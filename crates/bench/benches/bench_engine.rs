@@ -1,0 +1,101 @@
+//! Ablation A (DESIGN.md): naive vs semi-naive bottom-up evaluation.
+//!
+//! Transitive closure over chain graphs (deep recursion — semi-naive's
+//! best case) and random graphs (dense closure). Expected shape:
+//! semi-naive at least matches naive everywhere and wins increasingly
+//! with recursion depth, because naive re-derives the full closure every
+//! round while semi-naive only extends the frontier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spannerlib_bench::{chain_graph, load_edges, random_graph, TC_PROGRAM};
+use spannerlog_engine::{EvalStrategy, Session};
+use std::hint::black_box;
+
+fn run_tc(edges: &[(i64, i64)], strategy: EvalStrategy) -> usize {
+    let mut session = Session::with_strategy(strategy);
+    load_edges(&mut session, edges);
+    session.run(TC_PROGRAM).unwrap();
+    session.relation("Path").unwrap().len()
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc_chain");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let edges = chain_graph(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &edges, |b, e| {
+            b.iter(|| run_tc(black_box(e), EvalStrategy::Naive))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &edges, |b, e| {
+            b.iter(|| run_tc(black_box(e), EvalStrategy::SemiNaive))
+        });
+    }
+    group.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc_random");
+    group.sample_size(10);
+    for (nodes, edges_n) in [(24usize, 48usize), (48, 96)] {
+        let edges = random_graph(nodes, edges_n, 7);
+        let id = format!("{nodes}n{edges_n}e");
+        group.bench_with_input(BenchmarkId::new("naive", &id), &edges, |b, e| {
+            b.iter(|| run_tc(black_box(e), EvalStrategy::Naive))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", &id), &edges, |b, e| {
+            b.iter(|| run_tc(black_box(e), EvalStrategy::SemiNaive))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stratified_negation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratified_negation");
+    group.sample_size(10);
+    let program = "
+        Reach(y) <- Edge(0, y)
+        Reach(z) <- Reach(y), Edge(y, z)
+        Node(x) <- Edge(x, _)
+        Node(y) <- Edge(_, y)
+        Dead(x) <- Node(x), not Reach(x)
+    ";
+    for nodes in [32usize, 64] {
+        let edges = random_graph(nodes, nodes * 2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &edges, |b, e| {
+            b.iter(|| {
+                let mut session = Session::new();
+                load_edges(&mut session, black_box(e));
+                session.run(program).unwrap();
+                session.relation("Dead").unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(10);
+    let program = "Stats(x, count(y), min(y), max(y)) <- Edge(x, y)";
+    for edges_n in [200usize, 800] {
+        let edges = random_graph(40, edges_n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(edges_n), &edges, |b, e| {
+            b.iter(|| {
+                let mut session = Session::new();
+                load_edges(&mut session, black_box(e));
+                session.run(program).unwrap();
+                session.relation("Stats").unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain,
+    bench_random,
+    bench_stratified_negation,
+    bench_aggregation
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation D (DESIGN.md): the cost of the IE plumbing.
+//!
+//! The same email extraction measured three ways:
+//!
+//! * `direct` — calling the regex library in a Rust loop (floor);
+//! * `through_rule` — the §3.2 rule through the full engine (parse,
+//!   safety, plan, IE dispatch, set semantics);
+//! * `callback` — a registered host closure instead of the builtin, to
+//!   price the callback indirection itself.
+//!
+//! Expected shape: direct < through_rule ≈ callback, with the declarative
+//! overhead shrinking per-byte as documents grow (fixed per-rule costs
+//! amortize).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spannerlib_bench::email_document;
+use spannerlib_core::Value;
+use spannerlib_regex::Regex;
+use spannerlog_engine::Session;
+use std::hint::black_box;
+
+const PATTERN: &str = r"(\w+)@(\w+)\.\w+";
+
+fn bench_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ie_direct");
+    let re = Regex::new(PATTERN).unwrap();
+    for words in [500usize, 2_000] {
+        let doc = email_document(words, 1);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(words), &doc, |b, d| {
+            b.iter(|| re.captures_iter(black_box(d)).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_through_rule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ie_through_rule");
+    group.sample_size(20);
+    for words in [500usize, 2_000] {
+        let doc = email_document(words, 1);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(words), &doc, |b, d| {
+            b.iter(|| {
+                let mut session = Session::new();
+                session.run("new Texts(str)").unwrap();
+                session.add_fact("Texts", [Value::str(d.as_str())]).unwrap();
+                session
+                    .run(r#"R(u, m) <- Texts(t), rgx_string("(\w+)@(\w+)\.\w+", t) -> (u, m)"#)
+                    .unwrap();
+                session.relation("R").unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_callback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ie_callback");
+    group.sample_size(20);
+    for words in [500usize, 2_000] {
+        let doc = email_document(words, 1);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(words), &doc, |b, d| {
+            b.iter(|| {
+                let mut session = Session::new();
+                let re = Regex::new(PATTERN).unwrap();
+                session.register("emails", Some(1), move |args, _ctx| {
+                    let text = args[0].as_str().unwrap_or_default().to_string();
+                    Ok(re
+                        .captures_iter(&text)
+                        .map(|c| {
+                            let (us, ue) = c.group(1).unwrap();
+                            let (ds, de) = c.group(2).unwrap();
+                            vec![
+                                Value::str(&text[us..ue]),
+                                Value::str(&text[ds..de]),
+                            ]
+                        })
+                        .collect())
+                });
+                session.run("new Texts(str)").unwrap();
+                session.add_fact("Texts", [Value::str(d.as_str())]).unwrap();
+                session
+                    .run("R(u, m) <- Texts(t), emails(t) -> (u, m)")
+                    .unwrap();
+                session.relation("R").unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct, bench_through_rule, bench_callback);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates **Table 1** of the paper: the lines-of-code comparison
+//! between the imperative COVID-19 pipeline and its SpannerLib rewrite,
+//! printed with the paper's numbers side by side.
+//!
+//! Also verifies, before printing, that the comparison is between
+//! *equivalent* implementations: both pipelines are run over a seeded
+//! corpus and must classify identically.
+//!
+//! Usage: `cargo run -p spannerlib-bench --bin table1`
+
+use spannerlib_covid::corpus::generate_corpus;
+use spannerlib_covid::loc;
+use spannerlib_covid::native::NativePipeline;
+use spannerlib_covid::spanner::SpannerPipeline;
+
+fn main() {
+    // Equivalence gate: the LoC comparison is only meaningful if the two
+    // implementations agree.
+    let docs = generate_corpus(80, 4242);
+    let native = NativePipeline::new().classify_corpus(&docs);
+    let rewritten = SpannerPipeline::new()
+        .expect("spanner pipeline builds")
+        .classify_corpus(&docs)
+        .expect("spanner pipeline runs");
+    let disagreements = native
+        .iter()
+        .zip(&rewritten)
+        .filter(|(n, s)| n.status != s.status)
+        .count();
+    println!(
+        "equivalence check: {}/{} documents agree ({} disagreements)\n",
+        docs.len() - disagreements,
+        docs.len(),
+        disagreements
+    );
+    assert_eq!(disagreements, 0, "pipelines must agree before comparing LoC");
+
+    println!("{}", loc::render_table1());
+}

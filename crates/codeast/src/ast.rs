@@ -1,0 +1,217 @@
+//! The span-carrying AST.
+//!
+//! Nodes form a uniform tree — kind, optional name, byte span, children —
+//! rather than a typed enum per production, because the consumer is the
+//! *pattern matcher*, which needs uniform traversal, and the IE layer,
+//! which needs spans. (Python's `ast` walked through `ast.walk` has the
+//! same shape.)
+
+use std::fmt;
+
+/// Node kinds of minilang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Whole file.
+    Program,
+    /// `class Name { … }`
+    ClassDecl,
+    /// `fn name(params) { … }`
+    FuncDecl,
+    /// A function parameter.
+    Param,
+    /// `{ … }`
+    Block,
+    /// `let x = expr;`
+    Let,
+    /// `return expr;`
+    Return,
+    /// `if cond { … } else { … }`
+    If,
+    /// `while cond { … }`
+    While,
+    /// An expression statement.
+    ExprStmt,
+    /// `callee(args)` — `name` holds the callee.
+    Call,
+    /// An identifier expression.
+    Ident,
+    /// A number literal.
+    Number,
+    /// A string literal.
+    Str,
+    /// A binary operation — `name` holds the operator.
+    BinOp,
+}
+
+impl NodeKind {
+    /// The pattern-language name of the kind (`FuncDecl`, `Call`, …).
+    pub fn pattern_name(&self) -> &'static str {
+        match self {
+            NodeKind::Program => "Program",
+            NodeKind::ClassDecl => "ClassDecl",
+            NodeKind::FuncDecl => "FuncDecl",
+            NodeKind::Param => "Param",
+            NodeKind::Block => "Block",
+            NodeKind::Let => "Let",
+            NodeKind::Return => "Return",
+            NodeKind::If => "If",
+            NodeKind::While => "While",
+            NodeKind::ExprStmt => "ExprStmt",
+            NodeKind::Call => "Call",
+            NodeKind::Ident => "Ident",
+            NodeKind::Number => "Number",
+            NodeKind::Str => "Str",
+            NodeKind::BinOp => "BinOp",
+        }
+    }
+
+    /// Parses a pattern-language name.
+    pub fn from_pattern_name(name: &str) -> Option<NodeKind> {
+        Some(match name {
+            "Program" => NodeKind::Program,
+            "ClassDecl" => NodeKind::ClassDecl,
+            "FuncDecl" => NodeKind::FuncDecl,
+            "Param" => NodeKind::Param,
+            "Block" => NodeKind::Block,
+            "Let" => NodeKind::Let,
+            "Return" => NodeKind::Return,
+            "If" => NodeKind::If,
+            "While" => NodeKind::While,
+            "ExprStmt" => NodeKind::ExprStmt,
+            "Call" => NodeKind::Call,
+            "Ident" => NodeKind::Ident,
+            "Number" => NodeKind::Number,
+            "Str" => NodeKind::Str,
+            "BinOp" => NodeKind::BinOp,
+            _ => return None,
+        })
+    }
+}
+
+/// An AST node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Kind of node.
+    pub kind: NodeKind,
+    /// Name, where meaningful: declaration names, callee names,
+    /// identifier text, binary operators.
+    pub name: Option<String>,
+    /// Byte offset where the node's source starts.
+    pub start: usize,
+    /// Byte offset one past the node's source end.
+    pub end: usize,
+    /// Children in source order.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// The node's source text.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+
+    /// Depth-first pre-order traversal over the subtree (including
+    /// `self`).
+    pub fn walk(&self) -> Vec<&Node> {
+        let mut out = Vec::new();
+        fn go<'n>(n: &'n Node, out: &mut Vec<&'n Node>) {
+            out.push(n);
+            for c in &n.children {
+                go(c, out);
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// All nodes of `kind` in the subtree.
+    pub fn find_kind(&self, kind: NodeKind) -> Vec<&Node> {
+        self.walk().into_iter().filter(|n| n.kind == kind).collect()
+    }
+
+    /// Whether this node's span contains byte `pos`.
+    pub fn contains_pos(&self, pos: usize) -> bool {
+        self.start <= pos && pos < self.end
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.pattern_name())?;
+        if let Some(n) = &self.name {
+            write!(f, "[{n}]")?;
+        }
+        write!(f, "@{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(kind: NodeKind, start: usize, end: usize) -> Node {
+        Node {
+            kind,
+            name: None,
+            start,
+            end,
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn pattern_names_round_trip() {
+        for kind in [
+            NodeKind::Program,
+            NodeKind::ClassDecl,
+            NodeKind::FuncDecl,
+            NodeKind::Call,
+            NodeKind::BinOp,
+        ] {
+            assert_eq!(
+                NodeKind::from_pattern_name(kind.pattern_name()),
+                Some(kind)
+            );
+        }
+        assert_eq!(NodeKind::from_pattern_name("Nope"), None);
+    }
+
+    #[test]
+    fn walk_is_preorder() {
+        let tree = Node {
+            kind: NodeKind::Program,
+            name: None,
+            start: 0,
+            end: 10,
+            children: vec![
+                Node {
+                    kind: NodeKind::FuncDecl,
+                    name: Some("f".into()),
+                    start: 0,
+                    end: 5,
+                    children: vec![leaf(NodeKind::Block, 2, 5)],
+                },
+                leaf(NodeKind::ExprStmt, 6, 10),
+            ],
+        };
+        let kinds: Vec<NodeKind> = tree.walk().iter().map(|n| n.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                NodeKind::Program,
+                NodeKind::FuncDecl,
+                NodeKind::Block,
+                NodeKind::ExprStmt
+            ]
+        );
+        assert_eq!(tree.find_kind(NodeKind::Block).len(), 1);
+    }
+
+    #[test]
+    fn position_containment() {
+        let n = leaf(NodeKind::Ident, 3, 7);
+        assert!(n.contains_pos(3));
+        assert!(n.contains_pos(6));
+        assert!(!n.contains_pos(7));
+    }
+}

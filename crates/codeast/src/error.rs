@@ -1,0 +1,34 @@
+//! Error type for lexing, parsing, and pattern compilation.
+
+use thiserror::Error;
+
+/// Errors raised by the minilang front end and pattern engine.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum CodeAstError {
+    /// Lexical error with byte position.
+    #[error("lex error at byte {pos}: {msg}")]
+    Lex {
+        /// Byte offset of the offending character.
+        pos: usize,
+        /// Explanation.
+        msg: String,
+    },
+
+    /// Parse error with byte position.
+    #[error("parse error at byte {pos}: {msg}")]
+    Parse {
+        /// Byte offset of the offending token.
+        pos: usize,
+        /// Explanation.
+        msg: String,
+    },
+
+    /// Malformed AST pattern.
+    #[error("bad pattern {pattern:?}: {msg}")]
+    Pattern {
+        /// The pattern source.
+        pattern: String,
+        /// Explanation.
+        msg: String,
+    },
+}

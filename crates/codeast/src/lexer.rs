@@ -1,0 +1,257 @@
+//! Minilang lexer.
+
+use crate::error::CodeAstError;
+
+/// Token kinds of minilang.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `class`
+    Class,
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// Identifier.
+    Ident(String),
+    /// Number literal (kept as text; minilang is untyped).
+    Number(String),
+    /// String literal (raw contents).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// An operator (`+ - * / < > <= >= == != && ||`).
+    Op(String),
+    /// `.` member access.
+    Dot,
+}
+
+/// A token with its byte range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Tokenizes minilang source. `//` comments run to end of line.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CodeAstError> {
+    let mut out = Vec::new();
+    let bytes: Vec<(usize, char)> = source.char_indices().collect();
+    let n = bytes.len();
+    let mut i = 0;
+    while i < n {
+        let (start, c) = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1].1 == '/' {
+            while i < n && bytes[i].1 != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < n && (bytes[j].1.is_alphanumeric() || bytes[j].1 == '_') {
+                j += 1;
+            }
+            let end = if j < n { bytes[j].0 } else { source.len() };
+            let text = &source[start..end];
+            let tok = match text {
+                "class" => Tok::Class,
+                "fn" => Tok::Fn,
+                "let" => Tok::Let,
+                "return" => Tok::Return,
+                "if" => Tok::If,
+                "else" => Tok::Else,
+                "while" => Tok::While,
+                _ => Tok::Ident(text.to_string()),
+            };
+            out.push(SpannedTok { tok, start, end });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (bytes[j].1.is_ascii_digit() || bytes[j].1 == '.') {
+                j += 1;
+            }
+            let end = if j < n { bytes[j].0 } else { source.len() };
+            out.push(SpannedTok {
+                tok: Tok::Number(source[start..end].to_string()),
+                start,
+                end,
+            });
+            i = j;
+            continue;
+        }
+        if c == '"' {
+            let mut j = i + 1;
+            let mut value = String::new();
+            loop {
+                if j >= n {
+                    return Err(CodeAstError::Lex {
+                        pos: start,
+                        msg: "unterminated string".into(),
+                    });
+                }
+                let ch = bytes[j].1;
+                if ch == '"' {
+                    break;
+                }
+                if ch == '\\' && j + 1 < n {
+                    value.push(bytes[j + 1].1);
+                    j += 2;
+                } else {
+                    value.push(ch);
+                    j += 1;
+                }
+            }
+            let end = if j + 1 < n { bytes[j + 1].0 } else { source.len() };
+            out.push(SpannedTok {
+                tok: Tok::Str(value),
+                start,
+                end,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Two-character operators first.
+        if i + 1 < n {
+            let pair: String = [c, bytes[i + 1].1].iter().collect();
+            if ["==", "!=", "<=", ">=", "&&", "||"].contains(&pair.as_str()) {
+                let end = if i + 2 < n { bytes[i + 2].0 } else { source.len() };
+                out.push(SpannedTok {
+                    tok: Tok::Op(pair),
+                    start,
+                    end,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        let end = if i + 1 < n { bytes[i + 1].0 } else { source.len() };
+        let tok = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            ',' => Tok::Comma,
+            ';' => Tok::Semi,
+            '=' => Tok::Assign,
+            '.' => Tok::Dot,
+            '+' | '-' | '*' | '/' | '<' | '>' | '%' => Tok::Op(c.to_string()),
+            other => {
+                return Err(CodeAstError::Lex {
+                    pos: start,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        };
+        out.push(SpannedTok { tok, start, end });
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo class Bar let x"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::Class,
+                Tok::Ident("Bar".into()),
+                Tok::Let,
+                Tok::Ident("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != <= >= && || + <"),
+            vec![
+                Tok::Op("==".into()),
+                Tok::Op("!=".into()),
+                Tok::Op("<=".into()),
+                Tok::Op(">=".into()),
+                Tok::Op("&&".into()),
+                Tok::Op("||".into()),
+                Tok::Op("+".into()),
+                Tok::Op("<".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        assert_eq!(
+            kinds(r#""hi \"x\"" 3.25 42"#),
+            vec![
+                Tok::Str("hi \"x\"".into()),
+                Tok::Number("3.25".into()),
+                Tok::Number("42".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("a // b c\n d"), vec![
+            Tok::Ident("a".into()),
+            Tok::Ident("d".into())
+        ]);
+    }
+
+    #[test]
+    fn spans_are_byte_ranges() {
+        let toks = lex("fn foo").unwrap();
+        assert_eq!((toks[0].start, toks[0].end), (0, 2));
+        assert_eq!((toks[1].start, toks[1].end), (3, 6));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        assert!(lex("a @ b").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # spannerlib-codeast
+//!
+//! A code-AST substrate for the paper's §4.1 code-documentation task —
+//! the stand-in for "wrapping Python's AST library into an IE function".
+//!
+//! Three pieces:
+//!
+//! * **minilang** — a small imperative language (classes, functions,
+//!   statements, call expressions) with a hand-written lexer and
+//!   recursive-descent parser producing a *span-carrying* AST
+//!   ([`ast::Node`]): every node knows its byte range in the source, so
+//!   AST queries produce document spans directly.
+//! * **pattern matching** — the XPath-like path patterns the paper uses:
+//!   `.*.(FuncDecl|ClassDecl)` returns all function and class
+//!   declarations nested anywhere ([`pattern::AstPattern`]); name filters
+//!   (`FuncDecl[score]`) narrow by identifier.
+//! * **IE functions** — [`ie::register_ast_functions`] installs `ast`,
+//!   `ast_name`, and `ast_calls` on a Spannerlog [`Session`], which is
+//!   exactly the set the paper's `scope_of` / `document` rules consume.
+//!
+//! [`Session`]: spannerlog_engine::Session
+
+pub mod ast;
+pub mod error;
+pub mod ie;
+pub mod lexer;
+pub mod parser;
+pub mod pattern;
+
+pub use ast::{Node, NodeKind};
+pub use error::CodeAstError;
+pub use parser::parse_source;
+pub use pattern::AstPattern;

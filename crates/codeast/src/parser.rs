@@ -1,0 +1,457 @@
+//! Minilang recursive-descent parser.
+
+use crate::ast::{Node, NodeKind};
+use crate::error::CodeAstError;
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Parses a minilang source file into a [`NodeKind::Program`] node.
+pub fn parse_source(source: &str) -> Result<Node, CodeAstError> {
+    let tokens = lex(source)?;
+    let mut p = P {
+        tokens,
+        pos: 0,
+        src_len: source.len(),
+    };
+    let mut children = Vec::new();
+    while !p.at_end() {
+        children.push(p.item()?);
+    }
+    Ok(Node {
+        kind: NodeKind::Program,
+        name: None,
+        start: 0,
+        end: source.len(),
+        children,
+    })
+}
+
+struct P {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl P {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.start)
+            .unwrap_or(self.src_len)
+    }
+
+    fn prev_end(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.tokens.get(i))
+            .map(|t| t.end)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CodeAstError {
+        CodeAstError::Parse {
+            pos: self.here(),
+            msg: msg.into(),
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CodeAstError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, usize, usize), CodeAstError> {
+        match self.tokens.get(self.pos) {
+            Some(SpannedTok {
+                tok: Tok::Ident(name),
+                start,
+                end,
+            }) => {
+                let out = (name.clone(), *start, *end);
+                self.pos += 1;
+                Ok(out)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn item(&mut self) -> Result<Node, CodeAstError> {
+        match self.peek() {
+            Some(Tok::Class) => self.class_decl(),
+            Some(Tok::Fn) => self.func_decl(),
+            _ => self.statement(),
+        }
+    }
+
+    fn class_decl(&mut self) -> Result<Node, CodeAstError> {
+        let start = self.here();
+        self.expect(&Tok::Class, "'class'")?;
+        let (name, ..) = self.ident("class name")?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut children = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at_end() {
+                return Err(self.err("unterminated class body"));
+            }
+            children.push(self.item()?);
+        }
+        Ok(Node {
+            kind: NodeKind::ClassDecl,
+            name: Some(name),
+            start,
+            end: self.prev_end(),
+            children,
+        })
+    }
+
+    fn func_decl(&mut self) -> Result<Node, CodeAstError> {
+        let start = self.here();
+        self.expect(&Tok::Fn, "'fn'")?;
+        let (name, ..) = self.ident("function name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut children = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let (pname, pstart, pend) = self.ident("parameter name")?;
+                children.push(Node {
+                    kind: NodeKind::Param,
+                    name: Some(pname),
+                    start: pstart,
+                    end: pend,
+                    children: Vec::new(),
+                });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        children.push(self.block()?);
+        Ok(Node {
+            kind: NodeKind::FuncDecl,
+            name: Some(name),
+            start,
+            end: self.prev_end(),
+            children,
+        })
+    }
+
+    fn block(&mut self) -> Result<Node, CodeAstError> {
+        let start = self.here();
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut children = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at_end() {
+                return Err(self.err("unterminated block"));
+            }
+            children.push(self.item()?);
+        }
+        Ok(Node {
+            kind: NodeKind::Block,
+            name: None,
+            start,
+            end: self.prev_end(),
+            children,
+        })
+    }
+
+    fn statement(&mut self) -> Result<Node, CodeAstError> {
+        let start = self.here();
+        match self.peek() {
+            Some(Tok::Let) => {
+                self.pos += 1;
+                let (name, ..) = self.ident("variable name")?;
+                self.expect(&Tok::Assign, "'='")?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Node {
+                    kind: NodeKind::Let,
+                    name: Some(name),
+                    start,
+                    end: self.prev_end(),
+                    children: vec![value],
+                })
+            }
+            Some(Tok::Return) => {
+                self.pos += 1;
+                let children = if self.peek() == Some(&Tok::Semi) {
+                    Vec::new()
+                } else {
+                    vec![self.expr()?]
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Node {
+                    kind: NodeKind::Return,
+                    name: None,
+                    start,
+                    end: self.prev_end(),
+                    children,
+                })
+            }
+            Some(Tok::If) => {
+                self.pos += 1;
+                let cond = self.expr()?;
+                let then = self.block()?;
+                let mut children = vec![cond, then];
+                if self.eat(&Tok::Else) {
+                    children.push(self.block()?);
+                }
+                Ok(Node {
+                    kind: NodeKind::If,
+                    name: None,
+                    start,
+                    end: self.prev_end(),
+                    children,
+                })
+            }
+            Some(Tok::While) => {
+                self.pos += 1;
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Node {
+                    kind: NodeKind::While,
+                    name: None,
+                    start,
+                    end: self.prev_end(),
+                    children: vec![cond, body],
+                })
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Node {
+                    kind: NodeKind::ExprStmt,
+                    name: None,
+                    start,
+                    end: self.prev_end(),
+                    children: vec![e],
+                })
+            }
+        }
+    }
+
+    /// expr := primary (op primary)* — flat left-associative fold; the
+    /// pattern matcher does not need precedence, only structure and
+    /// spans.
+    fn expr(&mut self) -> Result<Node, CodeAstError> {
+        let mut left = self.primary()?;
+        while let Some(Tok::Op(op)) = self.peek() {
+            let op = op.clone();
+            self.pos += 1;
+            let right = self.primary()?;
+            let (start, end) = (left.start, right.end);
+            left = Node {
+                kind: NodeKind::BinOp,
+                name: Some(op),
+                start,
+                end,
+                children: vec![left, right],
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Node, CodeAstError> {
+        let start = self.here();
+        match self.tokens.get(self.pos).cloned() {
+            Some(SpannedTok {
+                tok: Tok::Number(text),
+                end,
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Node {
+                    kind: NodeKind::Number,
+                    name: Some(text),
+                    start,
+                    end,
+                    children: Vec::new(),
+                })
+            }
+            Some(SpannedTok {
+                tok: Tok::Str(text),
+                end,
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Node {
+                    kind: NodeKind::Str,
+                    name: Some(text),
+                    start,
+                    end,
+                    children: Vec::new(),
+                })
+            }
+            Some(SpannedTok {
+                tok: Tok::Ident(name),
+                end,
+                ..
+            }) => {
+                self.pos += 1;
+                // Dotted path (obj.method) folds into the callee name.
+                let mut full = name;
+                let mut end = end;
+                while self.eat(&Tok::Dot) {
+                    let (next, _, nend) = self.ident("member name")?;
+                    full = format!("{full}.{next}");
+                    end = nend;
+                }
+                if self.eat(&Tok::LParen) {
+                    let mut children = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            children.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    return Ok(Node {
+                        kind: NodeKind::Call,
+                        name: Some(full),
+                        start,
+                        end: self.prev_end(),
+                        children,
+                    });
+                }
+                Ok(Node {
+                    kind: NodeKind::Ident,
+                    name: Some(full),
+                    start,
+                    end,
+                    children: Vec::new(),
+                })
+            }
+            Some(SpannedTok { tok: Tok::LParen, .. }) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+class Triage {
+  fn score(patient, history) {
+    let s = base(patient);
+    if s > 2 {
+      return s + adjust(history);
+    }
+    return s;
+  }
+}
+fn base(p) { return 1; }
+fn caller() { let t = Triage.score(p, h); audit(t); }
+";
+
+    #[test]
+    fn parses_program_shape() {
+        let program = parse_source(SRC).unwrap();
+        assert_eq!(program.kind, NodeKind::Program);
+        assert_eq!(program.children.len(), 3);
+        assert_eq!(program.children[0].kind, NodeKind::ClassDecl);
+        assert_eq!(program.children[0].name.as_deref(), Some("Triage"));
+    }
+
+    #[test]
+    fn function_declarations_with_spans() {
+        let program = parse_source(SRC).unwrap();
+        let funcs = program.find_kind(NodeKind::FuncDecl);
+        let names: Vec<&str> = funcs.iter().map(|f| f.name.as_deref().unwrap()).collect();
+        assert_eq!(names, vec!["score", "base", "caller"]);
+        // Spans cover the full declaration text.
+        assert!(funcs[0].text(SRC).starts_with("fn score(patient, history)"));
+        assert!(funcs[0].text(SRC).ends_with("}"));
+        assert!(funcs[1].text(SRC).contains("return 1;"));
+    }
+
+    #[test]
+    fn calls_capture_callee_names() {
+        let program = parse_source(SRC).unwrap();
+        let calls = program.find_kind(NodeKind::Call);
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_deref().unwrap()).collect();
+        assert_eq!(names, vec!["base", "adjust", "Triage.score", "audit"]);
+    }
+
+    #[test]
+    fn params_are_children() {
+        let program = parse_source(SRC).unwrap();
+        let score = &program.find_kind(NodeKind::FuncDecl)[0];
+        let params: Vec<&str> = score
+            .children
+            .iter()
+            .filter(|c| c.kind == NodeKind::Param)
+            .map(|c| c.name.as_deref().unwrap())
+            .collect();
+        assert_eq!(params, vec!["patient", "history"]);
+    }
+
+    #[test]
+    fn control_flow_nodes() {
+        let program = parse_source(SRC).unwrap();
+        assert_eq!(program.find_kind(NodeKind::If).len(), 1);
+        assert_eq!(program.find_kind(NodeKind::Return).len(), 3);
+        assert_eq!(program.find_kind(NodeKind::Let).len(), 2);
+    }
+
+    #[test]
+    fn binop_structure() {
+        let program = parse_source("fn f() { return 1 + 2 * 3; }").unwrap();
+        // Flat left-assoc: ((1+2)*3).
+        let bin = &program.find_kind(NodeKind::BinOp);
+        assert_eq!(bin.len(), 2);
+        assert_eq!(bin[0].name.as_deref(), Some("*"));
+    }
+
+    #[test]
+    fn while_and_else() {
+        let program =
+            parse_source("fn f(x) { while x < 3 { x; } if x { y; } else { z; } }").unwrap();
+        assert_eq!(program.find_kind(NodeKind::While).len(), 1);
+        let ifs = program.find_kind(NodeKind::If);
+        assert_eq!(ifs[0].children.len(), 3); // cond, then, else
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match parse_source("fn f( { }").unwrap_err() {
+            CodeAstError::Parse { pos, .. } => assert!(pos > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_source("class X {").is_err());
+        assert!(parse_source("let x = ;").is_err());
+    }
+
+    #[test]
+    fn empty_source() {
+        let program = parse_source("").unwrap();
+        assert!(program.children.is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! XPath-like AST path patterns.
+//!
+//! The paper's §4.1 uses `.*.(FuncDecl|ClassDecl)` — "all function and
+//! class definitions, nested in the AST". The grammar:
+//!
+//! ```text
+//! pattern := step ('.' step)*
+//! step    := '*'                      # any chain of descendants (≥ 0)
+//!          | kind                     # one node of this kind
+//!          | '(' kind ('|' kind)* ')' # one node of any listed kind
+//! kind    := NodeKind name, optional '[name]' filter, e.g. FuncDecl[score]
+//! ```
+//!
+//! A leading `.` anchors at the root's children (the paper's patterns
+//! start with `.`); since `*` matches zero or more levels, `.*.X`
+//! effectively finds every `X` at any depth.
+
+use crate::ast::{Node, NodeKind};
+use crate::error::CodeAstError;
+
+/// One pattern step.
+#[derive(Debug, Clone, PartialEq)]
+enum StepPat {
+    /// `*`: zero or more intermediate nodes.
+    Descend,
+    /// A node whose kind is one of `kinds` (and name matches, if given).
+    Kinds {
+        kinds: Vec<NodeKind>,
+        name: Option<String>,
+    },
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstPattern {
+    steps: Vec<StepPat>,
+    source: String,
+}
+
+impl AstPattern {
+    /// Compiles a pattern.
+    pub fn new(pattern: &str) -> Result<AstPattern, CodeAstError> {
+        let err = |msg: &str| CodeAstError::Pattern {
+            pattern: pattern.to_string(),
+            msg: msg.to_string(),
+        };
+        let trimmed = pattern.trim();
+        let body = trimmed.strip_prefix('.').unwrap_or(trimmed);
+        if body.is_empty() {
+            return Err(err("empty pattern"));
+        }
+        let mut steps = Vec::new();
+        for raw in body.split('.') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return Err(err("empty step (double dot?)"));
+            }
+            if raw == "*" {
+                steps.push(StepPat::Descend);
+                continue;
+            }
+            let (kinds_part, name) = match raw.find('[') {
+                Some(i) => {
+                    let close = raw.rfind(']').ok_or_else(|| err("missing ']'"))?;
+                    (
+                        raw[..i].trim().to_string(),
+                        Some(raw[i + 1..close].trim().to_string()),
+                    )
+                }
+                None => (raw.to_string(), None),
+            };
+            let inner = kinds_part
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+                .unwrap_or(&kinds_part);
+            let mut kinds = Vec::new();
+            for k in inner.split('|') {
+                let k = k.trim();
+                let kind = NodeKind::from_pattern_name(k).ok_or_else(|| {
+                    CodeAstError::Pattern {
+                        pattern: pattern.to_string(),
+                        msg: format!("unknown node kind {k:?}"),
+                    }
+                })?;
+                kinds.push(kind);
+            }
+            if kinds.is_empty() {
+                return Err(err("step lists no kinds"));
+            }
+            steps.push(StepPat::Kinds { kinds, name });
+        }
+        Ok(AstPattern {
+            steps,
+            source: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// All nodes matched by the pattern, starting from `root`'s children
+    /// (the root `Program` is the implicit context node).
+    pub fn find<'n>(&self, root: &'n Node) -> Vec<&'n Node> {
+        let mut out = Vec::new();
+        for child in &root.children {
+            self.match_at(child, 0, &mut out);
+        }
+        // A leading `*` may also match the root itself (zero descent from
+        // context); mirror XPath's descendant-or-self by trying the root.
+        self.match_at(root, 0, &mut out);
+        // Dedupe by identity (a node can be reached via both paths).
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|n| seen.insert(*n as *const Node));
+        out.sort_by_key(|n| (n.start, n.end));
+        out
+    }
+
+    fn match_at<'n>(&self, node: &'n Node, step: usize, out: &mut Vec<&'n Node>) {
+        match self.steps.get(step) {
+            None => {}
+            Some(StepPat::Descend) => {
+                if step + 1 == self.steps.len() {
+                    // Trailing `*`: every descendant-or-self matches.
+                    for n in node.walk() {
+                        out.push(n);
+                    }
+                    return;
+                }
+                // Zero levels: try next step at this node.
+                self.match_at(node, step + 1, out);
+                // One+ levels: stay on this step for children.
+                for child in &node.children {
+                    self.match_at(child, step, out);
+                }
+            }
+            Some(StepPat::Kinds { kinds, name }) => {
+                let kind_ok = kinds.contains(&node.kind);
+                let name_ok = name
+                    .as_ref()
+                    .is_none_or(|want| node.name.as_deref() == Some(want.as_str()));
+                if kind_ok && name_ok {
+                    if step + 1 == self.steps.len() {
+                        out.push(node);
+                    } else {
+                        for child in &node.children {
+                            self.match_at(child, step + 1, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+
+    const SRC: &str = "\
+class Triage {
+  fn score(patient) { return base(patient); }
+  fn audit(entry) { log(entry); }
+}
+fn base(p) { return 1; }
+";
+
+    fn names(pattern: &str) -> Vec<String> {
+        let root = parse_source(SRC).unwrap();
+        AstPattern::new(pattern)
+            .unwrap()
+            .find(&root)
+            .iter()
+            .filter_map(|n| n.name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn paper_pattern_finds_all_declarations() {
+        // The exact pattern from §4.1.
+        assert_eq!(
+            names(".*.(FuncDecl|ClassDecl)"),
+            vec!["Triage", "score", "audit", "base"]
+        );
+    }
+
+    #[test]
+    fn single_kind_at_depth() {
+        assert_eq!(names(".*.Call"), vec!["base", "log"]);
+    }
+
+    #[test]
+    fn name_filter() {
+        assert_eq!(names(".*.FuncDecl[score]"), vec!["score"]);
+        assert!(names(".*.FuncDecl[nope]").is_empty());
+    }
+
+    #[test]
+    fn anchored_path_without_star() {
+        // ClassDecl children of the program, then their FuncDecl children.
+        assert_eq!(names("ClassDecl.FuncDecl"), vec!["score", "audit"]);
+        // Top-level functions only.
+        assert_eq!(names("FuncDecl"), vec!["base"]);
+    }
+
+    #[test]
+    fn nested_star_between_kinds() {
+        assert_eq!(names("ClassDecl.*.Call"), vec!["base", "log"]);
+    }
+
+    #[test]
+    fn spans_are_sorted_and_unique() {
+        let root = parse_source(SRC).unwrap();
+        let pat = AstPattern::new(".*.FuncDecl").unwrap();
+        let nodes = pat.find(&root);
+        let spans: Vec<(usize, usize)> = nodes.iter().map(|n| (n.start, n.end)).collect();
+        let mut sorted = spans.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(spans, sorted);
+    }
+
+    #[test]
+    fn bad_patterns_rejected() {
+        assert!(AstPattern::new("").is_err());
+        assert!(AstPattern::new(".*.Bogus").is_err());
+        assert!(AstPattern::new("..FuncDecl").is_err());
+        assert!(AstPattern::new(".*.FuncDecl[unclosed").is_err());
+    }
+
+    #[test]
+    fn source_is_preserved() {
+        let p = AstPattern::new(".*.Call").unwrap();
+        assert_eq!(p.source(), ".*.Call");
+    }
+}

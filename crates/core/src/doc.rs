@@ -1,0 +1,231 @@
+//! Interned document storage.
+//!
+//! Spans must reference their document (the ⟨**d**, i, j⟩ of the paper), but
+//! carrying an owned string in every span would make tuples heavyweight.
+//! The [`DocumentStore`] interns each distinct document text once and hands
+//! out copyable [`DocId`]s; spans then stay three machine words.
+//!
+//! Interning is content-based: importing the same text twice yields the
+//! same id, so spans created independently over equal texts compare equal —
+//! exactly the set semantics Spannerlog relations need.
+
+use crate::error::CoreError;
+use crate::span::Span;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Identifier of an interned document inside one [`DocumentStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(u32);
+
+impl DocId {
+    /// Builds a `DocId` from a raw index. Only meaningful together with the
+    /// store that produced the index; exposed for tests and serialization.
+    pub fn from_index(index: u32) -> Self {
+        DocId(index)
+    }
+
+    /// The raw index of this id inside its store.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+/// An interning store of document texts.
+///
+/// The store is append-only: documents are never removed, so `DocId`s stay
+/// valid for the lifetime of the store. Texts are held behind [`Arc<str>`]
+/// so resolving is cheap and resolved texts can outlive a borrow of the
+/// store.
+#[derive(Debug, Default, Clone)]
+pub struct DocumentStore {
+    texts: Vec<Arc<str>>,
+    by_content: FxHashMap<Arc<str>, DocId>,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct documents interned so far.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Interns `text`, returning its id. Repeated calls with equal content
+    /// return the same id without storing a second copy.
+    pub fn intern(&mut self, text: &str) -> DocId {
+        if let Some(&id) = self.by_content.get(text) {
+            return id;
+        }
+        let arc: Arc<str> = Arc::from(text);
+        let id = DocId(self.texts.len() as u32);
+        self.texts.push(arc.clone());
+        self.by_content.insert(arc, id);
+        id
+    }
+
+    /// Interns an already-shared text without copying when it is new.
+    pub fn intern_arc(&mut self, text: Arc<str>) -> DocId {
+        if let Some(&id) = self.by_content.get(text.as_ref()) {
+            return id;
+        }
+        let id = DocId(self.texts.len() as u32);
+        self.texts.push(text.clone());
+        self.by_content.insert(text, id);
+        id
+    }
+
+    /// Looks up the id of `text` without interning it.
+    pub fn lookup(&self, text: &str) -> Option<DocId> {
+        self.by_content.get(text).copied()
+    }
+
+    /// Resolves an id to its text.
+    pub fn resolve(&self, id: DocId) -> Result<&Arc<str>, CoreError> {
+        self.texts
+            .get(id.0 as usize)
+            .ok_or(CoreError::UnknownDoc(id.0))
+    }
+
+    /// Resolves an id to its text, panicking on an unknown id.
+    ///
+    /// Ids are only minted by this store's `intern*` methods, so inside one
+    /// engine instance the panic is unreachable; use [`Self::resolve`] when
+    /// handling ids of untrusted provenance.
+    pub fn text(&self, id: DocId) -> &str {
+        &self.texts[id.0 as usize]
+    }
+
+    /// Creates a *checked* span over document `id`: offsets must be in
+    /// bounds and on UTF-8 character boundaries.
+    pub fn span(&self, id: DocId, start: usize, end: usize) -> Result<Span, CoreError> {
+        let text = self.resolve(id)?;
+        let invalid = CoreError::InvalidSpan {
+            start,
+            end,
+            doc_len: text.len(),
+        };
+        if start > end || end > text.len() {
+            return Err(invalid);
+        }
+        if !text.is_char_boundary(start) || !text.is_char_boundary(end) {
+            return Err(invalid);
+        }
+        Ok(Span::new(id, start, end))
+    }
+
+    /// Resolves a span to its substring.
+    pub fn span_text(&self, span: &Span) -> Result<&str, CoreError> {
+        let text = self.resolve(span.doc)?;
+        let (start, end) = (span.start_usize(), span.end_usize());
+        if end > text.len() || !text.is_char_boundary(start) || !text.is_char_boundary(end) {
+            return Err(CoreError::InvalidSpan {
+                start,
+                end,
+                doc_len: text.len(),
+            });
+        }
+        Ok(&text[start..end])
+    }
+
+    /// Iterates over `(id, text)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Arc<str>)> {
+        self.texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (DocId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut store = DocumentStore::new();
+        let a = store.intern("hello");
+        let b = store.intern("world");
+        let c = store.intern("hello");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut store = DocumentStore::new();
+        let id = store.intern("some text");
+        assert_eq!(store.text(id), "some text");
+        assert_eq!(store.resolve(id).unwrap().as_ref(), "some text");
+    }
+
+    #[test]
+    fn unknown_doc_is_an_error() {
+        let store = DocumentStore::new();
+        assert_eq!(
+            store.resolve(DocId::from_index(7)).unwrap_err(),
+            CoreError::UnknownDoc(7)
+        );
+    }
+
+    #[test]
+    fn checked_span_rejects_out_of_bounds() {
+        let mut store = DocumentStore::new();
+        let id = store.intern("abc");
+        assert!(store.span(id, 0, 3).is_ok());
+        assert!(store.span(id, 0, 4).is_err());
+        assert!(store.span(id, 2, 1).is_err());
+    }
+
+    #[test]
+    fn checked_span_rejects_non_char_boundaries() {
+        let mut store = DocumentStore::new();
+        let id = store.intern("héllo"); // 'é' is two bytes: offsets 1..3
+        assert!(store.span(id, 1, 3).is_ok());
+        assert!(store.span(id, 1, 2).is_err());
+        assert!(store.span(id, 2, 3).is_err());
+    }
+
+    #[test]
+    fn span_text_resolves_substring() {
+        let mut store = DocumentStore::new();
+        let id = store.intern("acb aacccbbb");
+        let span = store.span(id, 4, 6).unwrap();
+        assert_eq!(store.span_text(&span).unwrap(), "aa");
+    }
+
+    #[test]
+    fn intern_arc_shares_existing_entry() {
+        let mut store = DocumentStore::new();
+        let a = store.intern("shared");
+        let b = store.intern_arc(Arc::from("shared"));
+        assert_eq!(a, b);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut store = DocumentStore::new();
+        store.intern("x");
+        store.intern("y");
+        let collected: Vec<_> = store.iter().map(|(id, t)| (id.index(), t.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut store = DocumentStore::new();
+        assert_eq!(store.lookup("a"), None);
+        let id = store.intern("a");
+        assert_eq!(store.lookup("a"), Some(id));
+    }
+}

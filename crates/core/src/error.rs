@@ -1,0 +1,45 @@
+//! Shared error type for the core value model.
+
+use crate::schema::ValueType;
+use thiserror::Error;
+
+/// Errors raised by the core value model.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A span's offsets do not satisfy `start <= end <= doc.len()`, or they
+    /// fall outside UTF-8 character boundaries of the document.
+    #[error("invalid span [{start}, {end}) over document of length {doc_len}")]
+    InvalidSpan {
+        /// Byte offset of the span start.
+        start: usize,
+        /// Byte offset of the span end (exclusive).
+        end: usize,
+        /// Length of the target document in bytes.
+        doc_len: usize,
+    },
+
+    /// A [`crate::DocId`] that does not belong to the store it was resolved
+    /// against.
+    #[error("unknown document id {0}")]
+    UnknownDoc(u32),
+
+    /// A tuple's arity does not match the relation schema arity.
+    #[error("arity mismatch: schema has {expected} columns but tuple has {actual}")]
+    ArityMismatch {
+        /// Number of columns declared by the schema.
+        expected: usize,
+        /// Number of values in the offending tuple.
+        actual: usize,
+    },
+
+    /// A tuple value's type does not match the schema column type.
+    #[error("type mismatch in column {column}: expected {expected}, got {actual}")]
+    TypeMismatch {
+        /// Zero-based column index.
+        column: usize,
+        /// Type declared by the schema.
+        expected: ValueType,
+        /// Type of the value actually supplied.
+        actual: ValueType,
+    },
+}

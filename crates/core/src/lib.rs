@@ -1,0 +1,37 @@
+//! # spannerlib-core
+//!
+//! Core value model shared by every crate in the spannerlib workspace.
+//!
+//! Document spanners (Fagin et al., *J. ACM* 2015) cast information
+//! extraction as relational querying over **strings** and **spans**. This
+//! crate provides the shared vocabulary for that model:
+//!
+//! * [`Span`] — a triple ⟨d, i, j⟩ locating the substring `d[i..j]` of a
+//!   document `d` (0-based byte offsets, half-open, matching the convention
+//!   of the paper's worked example in §2);
+//! * [`DocumentStore`] / [`DocId`] — interned document texts, so spans stay
+//!   three machine words and identical texts share one id;
+//! * [`Value`] — the dynamically-typed cell of a Spannerlog relation
+//!   (string, span, int, bool, float) with a *total* order so relations can
+//!   be sorted deterministically;
+//! * [`Relation`] / [`Tuple`] — set-semantics relations over a [`Schema`];
+//! * [`CoreError`] — shared error type.
+//!
+//! Everything higher in the stack (the regex-formula engine, the Spannerlog
+//! parser and engine, the DataFrame bridge) speaks in these types.
+
+pub mod doc;
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod span;
+pub mod tuple;
+pub mod value;
+
+pub use doc::{DocId, DocumentStore};
+pub use error::CoreError;
+pub use relation::Relation;
+pub use schema::{Schema, ValueType};
+pub use span::Span;
+pub use tuple::Tuple;
+pub use value::Value;

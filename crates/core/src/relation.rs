@@ -1,0 +1,232 @@
+//! Relations: typed sets of tuples.
+//!
+//! Spannerlog semantics is pure set semantics — derivation order never
+//! produces duplicates — so the backing store is a hash set. Export paths
+//! ([`Relation::sorted_tuples`]) sort so output is deterministic.
+
+use crate::error::CoreError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use rustc_hash::FxHashSet;
+use std::fmt;
+
+/// A set of tuples conforming to a [`Schema`].
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    schema: Schema,
+    tuples: FxHashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: FxHashSet::default(),
+        }
+    }
+
+    /// Creates a relation and inserts `tuples`, checking each against the
+    /// schema.
+    pub fn from_tuples(
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, CoreError> {
+        let mut rel = Relation::new(schema);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple after validating it against the schema. Returns
+    /// `true` when the tuple was new.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool, CoreError> {
+        tuple.check_schema(&self.schema)?;
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Inserts a tuple that is already known to match the schema (hot path
+    /// inside the engine, where rule heads are type-checked statically).
+    pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
+        debug_assert!(tuple.check_schema(&self.schema).is_ok());
+        self.tuples.insert(tuple)
+    }
+
+    /// Whether the relation contains `tuple`.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterates over tuples in arbitrary (hash) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples, sorted lexicographically — the deterministic export
+    /// order used by `Session::export` and the DataFrame bridge.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Set union with another relation of the same schema. Returns the
+    /// number of tuples that were new.
+    pub fn union_in_place(&mut self, other: &Relation) -> Result<usize, CoreError> {
+        if other.schema != self.schema {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: other.schema.arity(),
+            });
+        }
+        let before = self.tuples.len();
+        for t in other.iter() {
+            self.tuples.insert(t.clone());
+        }
+        Ok(self.tuples.len() - before)
+    }
+
+    /// Tuples of `self` that are not in `other` (set difference); schemas
+    /// must match.
+    pub fn difference(&self, other: &Relation) -> Result<Relation, CoreError> {
+        if other.schema != self.schema {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: other.schema.arity(),
+            });
+        }
+        let mut out = Relation::new(self.schema.clone());
+        for t in self.iter() {
+            if !other.contains(t) {
+                out.tuples.insert(t.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Removes all tuples, keeping the schema.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.len())?;
+        for t in self.sorted_tuples() {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ValueType;
+    use crate::value::Value;
+
+    fn int_schema(n: usize) -> Schema {
+        Schema::new(vec![ValueType::Int; n])
+    }
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(int_schema(1));
+        assert!(r.insert(t(&[1])).unwrap());
+        assert!(!r.insert(t(&[1])).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_schema_violations() {
+        let mut r = Relation::new(int_schema(2));
+        assert!(r.insert(t(&[1])).is_err());
+        assert!(r
+            .insert(Tuple::new([Value::str("a"), Value::Int(1)]))
+            .is_err());
+    }
+
+    #[test]
+    fn sorted_tuples_are_deterministic() {
+        let mut r = Relation::new(int_schema(1));
+        for v in [5, 1, 3, 2, 4] {
+            r.insert(t(&[v])).unwrap();
+        }
+        let sorted: Vec<i64> = r
+            .sorted_tuples()
+            .iter()
+            .map(|t| t[0].as_int().unwrap())
+            .collect();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn union_counts_new_tuples() {
+        let mut a = Relation::from_tuples(int_schema(1), [t(&[1]), t(&[2])]).unwrap();
+        let b = Relation::from_tuples(int_schema(1), [t(&[2]), t(&[3])]).unwrap();
+        assert_eq!(a.union_in_place(&b).unwrap(), 1);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn union_rejects_schema_mismatch() {
+        let mut a = Relation::new(int_schema(1));
+        let b = Relation::new(int_schema(2));
+        assert!(a.union_in_place(&b).is_err());
+    }
+
+    #[test]
+    fn difference_removes_shared() {
+        let a = Relation::from_tuples(int_schema(1), [t(&[1]), t(&[2]), t(&[3])]).unwrap();
+        let b = Relation::from_tuples(int_schema(1), [t(&[2])]).unwrap();
+        let d = a.difference(&b).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&t(&[1])));
+        assert!(!d.contains(&t(&[2])));
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let a = Relation::from_tuples(int_schema(1), [t(&[1]), t(&[2])]).unwrap();
+        let b = Relation::from_tuples(int_schema(1), [t(&[2]), t(&[1])]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_lists_sorted() {
+        let r = Relation::from_tuples(int_schema(1), [t(&[2]), t(&[1])]).unwrap();
+        let s = r.to_string();
+        let pos1 = s.find("(1)").unwrap();
+        let pos2 = s.find("(2)").unwrap();
+        assert!(pos1 < pos2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Spans: the positional primitive of document spanners.
+//!
+//! A span ⟨d, i, j⟩ designates the substring `d[i..j]` of document `d`.
+//! The paper (§2) defines spans with 1-based inclusive bounds but its own
+//! worked example uses 0-based half-open offsets (⟨d,0,1⟩ is the first
+//! character); we follow the worked example and the universal Rust
+//! convention: **0-based byte offsets, half-open `[start, end)`**.
+
+use crate::doc::DocId;
+use std::fmt;
+
+/// A span ⟨d, i, j⟩: a reference to the substring `d[i..j]`.
+///
+/// Spans are plain value types — three machine words — and are ordered
+/// lexicographically by `(doc, start, end)`, which makes relation output
+/// deterministic. Offsets are byte offsets into the UTF-8 text; the
+/// [`crate::DocumentStore`] validates character boundaries on creation when
+/// the checked constructors are used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Identifier of the document this span points into.
+    pub doc: DocId,
+    /// Byte offset of the first character of the spanned substring.
+    pub start: u32,
+    /// Byte offset one past the last character (exclusive bound).
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span without validating offsets against a document.
+    ///
+    /// Use [`crate::DocumentStore::span`] for the checked variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` — such a triple is not a span under any
+    /// document.
+    pub fn new(doc: DocId, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end,
+            "span start {start} must not exceed end {end}"
+        );
+        Span {
+            doc,
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// Length of the spanned substring in bytes.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span is empty (`start == end`).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `self` fully contains `other` (same document, enclosing
+    /// offsets). Containment is reflexive: every span contains itself.
+    pub fn contains(&self, other: &Span) -> bool {
+        self.doc == other.doc && self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether `self` and `other` overlap in at least one position.
+    ///
+    /// Touching spans (`a.end == b.start`) do *not* overlap; an empty span
+    /// never overlaps anything.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        // Empty spans cover no position, so they cannot share one.
+        !self.is_empty()
+            && !other.is_empty()
+            && self.doc == other.doc
+            && self.start < other.end
+            && other.start < self.end
+    }
+
+    /// Whether `self` ends strictly before `other` starts (same document).
+    pub fn precedes(&self, other: &Span) -> bool {
+        self.doc == other.doc && self.end <= other.start
+    }
+
+    /// The start offset as `usize` (convenience for slicing).
+    pub fn start_usize(&self) -> usize {
+        self.start as usize
+    }
+
+    /// The end offset as `usize` (convenience for slicing).
+    pub fn end_usize(&self) -> usize {
+        self.end as usize
+    }
+
+    /// Extracts the spanned substring from `text`.
+    ///
+    /// `text` must be the document the span was created over; this is the
+    /// unchecked convenience used when the caller already holds the text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are out of bounds or split a UTF-8 character.
+    pub fn slice<'t>(&self, text: &'t str) -> &'t str {
+        &text[self.start_usize()..self.end_usize()]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The display form mirrors the paper's ⟨d, i, j⟩ notation, with the
+        // document elided to its id: `[3, 7)@d0`.
+        write!(f, "[{}, {})@d{}", self.start, self.end, self.doc.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DocId {
+        DocId::from_index(i)
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let s = Span::new(d(0), 2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(Span::new(d(0), 4, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn reversed_span_panics() {
+        let _ = Span::new(d(0), 5, 2);
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_directional() {
+        let outer = Span::new(d(0), 0, 10);
+        let inner = Span::new(d(0), 3, 7);
+        assert!(outer.contains(&outer));
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+    }
+
+    #[test]
+    fn containment_requires_same_document() {
+        let a = Span::new(d(0), 0, 10);
+        let b = Span::new(d(1), 3, 7);
+        assert!(!a.contains(&b));
+    }
+
+    #[test]
+    fn overlap_excludes_touching() {
+        let a = Span::new(d(0), 0, 5);
+        let b = Span::new(d(0), 5, 9);
+        let c = Span::new(d(0), 4, 6);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn empty_span_never_overlaps() {
+        let e = Span::new(d(0), 3, 3);
+        let a = Span::new(d(0), 0, 10);
+        assert!(!e.overlaps(&a));
+        assert!(!a.overlaps(&e));
+        // ...but a surrounding span still *contains* the empty span.
+        assert!(a.contains(&e));
+    }
+
+    #[test]
+    fn precedes_is_strict() {
+        let a = Span::new(d(0), 0, 3);
+        let b = Span::new(d(0), 3, 6);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+    }
+
+    #[test]
+    fn slice_extracts_substring() {
+        let text = "acb aacccbbb";
+        // The paper's §2 example: x bound to [4,6) maps to "aa".
+        assert_eq!(Span::new(d(0), 4, 6).slice(text), "aa");
+        assert_eq!(Span::new(d(0), 9, 12).slice(text), "bbb");
+    }
+
+    #[test]
+    fn ordering_is_doc_start_end() {
+        let mut spans = vec![
+            Span::new(d(1), 0, 1),
+            Span::new(d(0), 5, 9),
+            Span::new(d(0), 5, 7),
+            Span::new(d(0), 2, 3),
+        ];
+        spans.sort();
+        assert_eq!(
+            spans,
+            vec![
+                Span::new(d(0), 2, 3),
+                Span::new(d(0), 5, 7),
+                Span::new(d(0), 5, 9),
+                Span::new(d(1), 0, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Span::new(d(2), 1, 4);
+        assert_eq!(s.to_string(), "[1, 4)@d2");
+    }
+}

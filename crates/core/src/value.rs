@@ -1,0 +1,273 @@
+//! The dynamically-typed cell of a Spannerlog relation.
+//!
+//! The paper restricts the formal treatment to strings and spans (§2) and
+//! notes that "IE functions can be extended to handle other primitives
+//! (e.g., numbers)"; the shipped system supports them, and so do we:
+//! [`Value`] covers strings, spans, 64-bit integers, booleans, and floats.
+//!
+//! Relations are *sets* that must be sortable for deterministic export, so
+//! `Value` implements a **total** order (floats are ordered by
+//! `f64::total_cmp`, and values of different types order by a fixed type
+//! rank).
+
+use crate::schema::ValueType;
+use crate::span::Span;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single cell value in a relation.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A string. Shared via `Arc` so copying tuples through joins is cheap.
+    Str(Arc<str>),
+    /// A span ⟨d, i, j⟩ into an interned document.
+    Span(Span),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit float, totally ordered via `total_cmp`.
+    Float(f64),
+}
+
+impl Value {
+    /// Builds a string value from anything string-like.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The runtime type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Str(_) => ValueType::Str,
+            Value::Span(_) => ValueType::Span,
+            Value::Int(_) => ValueType::Int,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Float(_) => ValueType::Float,
+        }
+    }
+
+    /// Returns the string content if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the span if this is a `Span`.
+    pub fn as_span(&self) -> Option<&Span> {
+        match self {
+            Value::Span(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Rank used to order values of different types; stable across runs.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Str(_) => 0,
+            Value::Span(_) => 1,
+            Value::Int(_) => 2,
+            Value::Bool(_) => 3,
+            Value::Float(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Span(a), Value::Span(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            // Bit-level equality keeps Eq/Hash consistent (NaN == NaN here,
+            // which is what set semantics needs, not IEEE semantics).
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.type_rank());
+        match self {
+            Value::Str(s) => s.hash(state),
+            Value::Span(s) => s.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Span(a), Value::Span(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "\"{}\"", s),
+            Value::Span(s) => write!(f, "{}", s),
+            Value::Int(i) => write!(f, "{}", i),
+            Value::Bool(b) => write!(f, "{}", b),
+            Value::Float(x) => write!(f, "{}", x),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<Span> for Value {
+    fn from(s: Span) -> Self {
+        Value::Span(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::DocId;
+
+    #[test]
+    fn type_introspection() {
+        assert_eq!(Value::str("a").value_type(), ValueType::Str);
+        assert_eq!(Value::Int(1).value_type(), ValueType::Int);
+        assert_eq!(Value::Bool(true).value_type(), ValueType::Bool);
+        assert_eq!(Value::Float(1.5).value_type(), ValueType::Float);
+        let s = Span::new(DocId::from_index(0), 0, 1);
+        assert_eq!(Value::Span(s).value_type(), ValueType::Span);
+    }
+
+    #[test]
+    fn accessors_return_only_matching_variant() {
+        let v = Value::str("x");
+        assert_eq!(v.as_str(), Some("x"));
+        assert_eq!(v.as_int(), None);
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Float(2.0).as_float(), Some(2.0));
+    }
+
+    #[test]
+    fn nan_is_self_equal_under_set_semantics() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan_and_zero() {
+        let mut values = vec![
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(f64::NEG_INFINITY),
+        ];
+        values.sort();
+        // total_cmp: -inf < -0.0 < 0.0 < 1.0 < NaN
+        assert_eq!(values[0], Value::Float(f64::NEG_INFINITY));
+        assert_eq!(values[3], Value::Float(1.0));
+        assert!(matches!(values[4], Value::Float(x) if x.is_nan()));
+    }
+
+    #[test]
+    fn cross_type_order_is_stable() {
+        let mut values = vec![Value::Int(0), Value::str("z"), Value::Bool(true)];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![Value::str("z"), Value::Int(0), Value::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(Value::str("a b").to_string(), "\"a b\"");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn conversions_from_host_types() {
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(0.5), Value::Float(0.5));
+    }
+}

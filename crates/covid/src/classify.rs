@@ -1,0 +1,159 @@
+//! Shared classification vocabulary for both pipeline implementations.
+//!
+//! The document-level decision procedure (identical in both pipelines,
+//! and mirrored by the corpus generator's gold labeling):
+//!
+//! 1. A COVID mention is **ignored** when it sits in an ignored section
+//!    (family/social history) or carries an ignoring modifier
+//!    (hypothetical, historical, family experiencer).
+//! 2. Among the surviving mentions, **negation beats positive assertion
+//!    on the same mention**; a mention with neither negation nor positive
+//!    assertion counts as *uncertain* (explicitly `uncertain`-modified or
+//!    wholly unmodified).
+//! 3. Document status: `Positive` if any positively-asserted mention
+//!    survives; else `Uncertain` if any uncertain mention survives; else
+//!    `Negative` if any negated mention survives; else `Unknown`.
+
+use std::fmt;
+
+/// Document-level COVID-19 status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CovidStatus {
+    /// At least one surviving positively-asserted mention.
+    Positive,
+    /// No positive, but a surviving uncertain/unmodified mention.
+    Uncertain,
+    /// Only negated mentions survive.
+    Negative,
+    /// No relevant mention at all.
+    Unknown,
+}
+
+impl CovidStatus {
+    /// Stable lowercase name, used in relations and CSV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CovidStatus::Positive => "positive",
+            CovidStatus::Uncertain => "uncertain",
+            CovidStatus::Negative => "negative",
+            CovidStatus::Unknown => "unknown",
+        }
+    }
+
+    /// Parses a stable name.
+    pub fn from_name(s: &str) -> Option<CovidStatus> {
+        Some(match s {
+            "positive" => CovidStatus::Positive,
+            "uncertain" => CovidStatus::Uncertain,
+            "negative" => CovidStatus::Negative,
+            "unknown" => CovidStatus::Unknown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CovidStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Evidence class of one surviving mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MentionEvidence {
+    /// Positively asserted ("tested positive for covid-19").
+    Positive,
+    /// Negated ("denies covid-19").
+    Negated,
+    /// Uncertain or unmodified.
+    Uncertain,
+    /// Ignored (section policy or ignoring modifier).
+    Ignored,
+}
+
+/// Per-document pipeline output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocumentResult {
+    /// Document id.
+    pub doc_id: String,
+    /// Final classification.
+    pub status: CovidStatus,
+    /// Surviving mention evidences, as `(start, end, evidence)` byte
+    /// spans into the note text.
+    pub mentions: Vec<(usize, usize, MentionEvidence)>,
+}
+
+/// Folds mention evidences into the document status (step 3 above).
+pub fn combine_evidence(evidences: impl IntoIterator<Item = MentionEvidence>) -> CovidStatus {
+    let mut has_pos = false;
+    let mut has_unc = false;
+    let mut has_neg = false;
+    for e in evidences {
+        match e {
+            MentionEvidence::Positive => has_pos = true,
+            MentionEvidence::Uncertain => has_unc = true,
+            MentionEvidence::Negated => has_neg = true,
+            MentionEvidence::Ignored => {}
+        }
+    }
+    if has_pos {
+        CovidStatus::Positive
+    } else if has_unc {
+        CovidStatus::Uncertain
+    } else if has_neg {
+        CovidStatus::Negative
+    } else {
+        CovidStatus::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in [
+            CovidStatus::Positive,
+            CovidStatus::Uncertain,
+            CovidStatus::Negative,
+            CovidStatus::Unknown,
+        ] {
+            assert_eq!(CovidStatus::from_name(s.name()), Some(s));
+        }
+        assert_eq!(CovidStatus::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn precedence_positive_over_everything() {
+        let status = combine_evidence([
+            MentionEvidence::Negated,
+            MentionEvidence::Positive,
+            MentionEvidence::Uncertain,
+        ]);
+        assert_eq!(status, CovidStatus::Positive);
+    }
+
+    #[test]
+    fn uncertain_beats_negative() {
+        let status = combine_evidence([MentionEvidence::Negated, MentionEvidence::Uncertain]);
+        assert_eq!(status, CovidStatus::Uncertain);
+    }
+
+    #[test]
+    fn only_negated_is_negative() {
+        assert_eq!(
+            combine_evidence([MentionEvidence::Negated]),
+            CovidStatus::Negative
+        );
+    }
+
+    #[test]
+    fn ignored_contributes_nothing() {
+        assert_eq!(
+            combine_evidence([MentionEvidence::Ignored]),
+            CovidStatus::Unknown
+        );
+        assert_eq!(combine_evidence([]), CovidStatus::Unknown);
+    }
+}

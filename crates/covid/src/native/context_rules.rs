@@ -1,0 +1,279 @@
+//! ConText modifier configuration, inlined as code.
+//!
+//! The original surveillance system declared its complete modifier
+//! lexicon as constructor calls in Python source — the classic
+//! "configuration living in code" the paper's rewrite eliminates. This
+//! module is the Rust counterpart: the full cue table, written out as a
+//! constant. The SpannerLib rewrite carries the same table in
+//! `data/modifier_rules.csv` (generated from this constant by
+//! `regen_data`; a test asserts they stay in sync).
+
+use spannerlib_nlp::{ContextEngine, ModifierCategory, ModifierDirection, ModifierRule};
+
+/// The complete modifier table: `(phrase, category, direction, max_scope)`.
+/// `max_scope` 0 means unbounded (sentence edge). Categories/directions
+/// use the stable names parsed by [`parse_direction`] and
+/// [`ModifierCategory::from_name`].
+pub const MODIFIER_TABLE: &[(&str, &str, &str, u32)] = &[
+    // --- negated existence: forward ---------------------------------
+    ("no", "negated", "forward", 10),
+    ("not", "negated", "forward", 10),
+    ("denies", "negated", "forward", 10),
+    ("denied", "negated", "forward", 10),
+    ("negative for", "negated", "forward", 10),
+    ("no evidence of", "negated", "forward", 10),
+    ("no signs of", "negated", "forward", 10),
+    ("no sign of", "negated", "forward", 10),
+    ("without", "negated", "forward", 10),
+    ("absence of", "negated", "forward", 10),
+    ("free of", "negated", "forward", 10),
+    ("never had", "negated", "forward", 10),
+    ("fails to reveal", "negated", "forward", 10),
+    ("test negative", "negated", "forward", 10),
+    ("tested negative for", "negated", "forward", 10),
+    ("screen negative for", "negated", "forward", 10),
+    ("rules out", "negated", "forward", 10),
+    ("ruled out for", "negated", "forward", 10),
+    ("declines", "negated", "forward", 10),
+    ("no new", "negated", "forward", 10),
+    ("resolved without", "negated", "forward", 10),
+    ("unremarkable for", "negated", "forward", 10),
+    ("pcr negative for", "negated", "forward", 8),
+    ("antigen negative for", "negated", "forward", 8),
+    ("swab negative for", "negated", "forward", 8),
+    ("two negative tests for", "negated", "forward", 8),
+    // --- negated existence: backward --------------------------------
+    ("was ruled out", "negated", "backward", 10),
+    ("is ruled out", "negated", "backward", 10),
+    ("ruled out", "negated", "backward", 10),
+    ("unlikely", "negated", "backward", 10),
+    ("not detected", "negated", "backward", 10),
+    ("was negative", "negated", "backward", 10),
+    ("is negative", "negated", "backward", 10),
+    ("came back negative", "negated", "backward", 10),
+    // --- positive existence: forward ---------------------------------
+    ("confirmed", "positive", "forward", 10),
+    ("positive for", "positive", "forward", 10),
+    ("diagnosed with", "positive", "forward", 10),
+    ("diagnosis of", "positive", "forward", 10),
+    ("tested positive for", "positive", "forward", 10),
+    ("test positive for", "positive", "forward", 10),
+    ("consistent with", "positive", "forward", 10),
+    ("evidence of", "positive", "forward", 10),
+    ("presents with", "positive", "forward", 10),
+    ("presented with", "positive", "forward", 10),
+    ("acute", "positive", "forward", 10),
+    ("pcr positive for", "positive", "forward", 8),
+    ("antigen positive for", "positive", "forward", 8),
+    ("swab positive for", "positive", "forward", 8),
+    ("rapid test positive for", "positive", "forward", 8),
+    ("pcr confirmed", "positive", "forward", 8),
+    // --- positive existence: backward --------------------------------
+    ("was positive", "positive", "backward", 10),
+    ("is positive", "positive", "backward", 10),
+    ("came back positive", "positive", "backward", 10),
+    ("was confirmed", "positive", "backward", 10),
+    ("is confirmed", "positive", "backward", 10),
+    ("detected", "positive", "backward", 10),
+    ("was detected", "positive", "backward", 10),
+    // --- hypothetical: forward ----------------------------------------
+    ("if", "hypothetical", "forward", 12),
+    ("return if", "hypothetical", "forward", 12),
+    ("should", "hypothetical", "forward", 12),
+    ("in case of", "hypothetical", "forward", 12),
+    ("monitor for", "hypothetical", "forward", 12),
+    ("watch for", "hypothetical", "forward", 12),
+    ("precautions for", "hypothetical", "forward", 12),
+    ("screening for", "hypothetical", "forward", 12),
+    ("to be tested for", "hypothetical", "forward", 12),
+    ("risk of", "hypothetical", "forward", 12),
+    ("risk for", "hypothetical", "forward", 12),
+    ("concern for possible exposure to", "hypothetical", "forward", 12),
+    ("pending", "hypothetical", "forward", 12),
+    ("quarantine for", "hypothetical", "forward", 8),
+    ("self-quarantine if", "hypothetical", "forward", 10),
+    ("isolate if", "hypothetical", "forward", 10),
+    ("awaiting results for", "hypothetical", "forward", 8),
+    ("awaiting test results for", "hypothetical", "forward", 8),
+    ("exposure precautions for", "hypothetical", "forward", 8),
+    ("travel screening for", "hypothetical", "forward", 8),
+    // --- hypothetical: backward ---------------------------------------
+    ("is pending", "hypothetical", "backward", 10),
+    ("results pending", "hypothetical", "backward", 10),
+    ("will be tested", "hypothetical", "backward", 10),
+    // --- historical: forward -------------------------------------------
+    ("history of", "historical", "forward", 10),
+    ("hx of", "historical", "forward", 10),
+    ("past medical history of", "historical", "forward", 10),
+    ("previous", "historical", "forward", 10),
+    ("prior", "historical", "forward", 10),
+    ("in the past", "historical", "forward", 10),
+    ("years ago", "historical", "forward", 10),
+    ("last year", "historical", "forward", 10),
+    ("childhood", "historical", "forward", 10),
+    ("previously had", "historical", "forward", 10),
+    ("resolved", "historical", "forward", 10),
+    // --- historical: backward ------------------------------------------
+    ("in the past", "historical", "backward", 10),
+    ("years ago", "historical", "backward", 10),
+    ("last year", "historical", "backward", 10),
+    ("as a child", "historical", "backward", 10),
+    ("has resolved", "historical", "backward", 10),
+    ("during the first wave", "historical", "backward", 10),
+    ("early in the pandemic", "historical", "backward", 10),
+    // --- family / other experiencer -------------------------------------
+    ("mother", "family", "forward", 12),
+    ("father", "family", "forward", 12),
+    ("brother", "family", "forward", 12),
+    ("sister", "family", "forward", 12),
+    ("son", "family", "forward", 12),
+    ("daughter", "family", "forward", 12),
+    ("wife", "family", "forward", 12),
+    ("husband", "family", "forward", 12),
+    ("grandmother", "family", "forward", 12),
+    ("grandfather", "family", "forward", 12),
+    ("aunt", "family", "forward", 12),
+    ("uncle", "family", "forward", 12),
+    ("cousin", "family", "forward", 12),
+    ("family member", "family", "forward", 12),
+    ("family members", "family", "forward", 12),
+    ("roommate", "family", "forward", 12),
+    ("coworker", "family", "forward", 12),
+    ("co-worker", "family", "forward", 12),
+    ("neighbor", "family", "forward", 12),
+    ("spouse", "family", "forward", 12),
+    ("partner", "family", "forward", 12),
+    ("household contact", "family", "forward", 12),
+    ("close contact", "family", "forward", 10),
+    ("contact of a patient with", "family", "forward", 10),
+    ("caregiver", "family", "forward", 10),
+    // --- uncertain: forward ----------------------------------------------
+    ("possible", "uncertain", "forward", 10),
+    ("possibly", "uncertain", "forward", 10),
+    ("probable", "uncertain", "forward", 10),
+    ("presumed", "uncertain", "forward", 10),
+    ("suspected", "uncertain", "forward", 10),
+    ("suspicious for", "uncertain", "forward", 10),
+    ("may have", "uncertain", "forward", 10),
+    ("might have", "uncertain", "forward", 10),
+    ("cannot rule out", "uncertain", "forward", 10),
+    ("can't rule out", "uncertain", "forward", 10),
+    ("questionable", "uncertain", "forward", 10),
+    ("equivocal", "uncertain", "forward", 10),
+    ("vs", "uncertain", "forward", 10),
+    ("differential includes", "uncertain", "forward", 10),
+    ("concerning for", "uncertain", "forward", 8),
+    ("worried about", "uncertain", "forward", 8),
+    // --- uncertain: backward ----------------------------------------------
+    ("is suspected", "uncertain", "backward", 10),
+    ("was suspected", "uncertain", "backward", 10),
+    ("is questionable", "uncertain", "backward", 10),
+    ("not excluded", "uncertain", "backward", 10),
+    ("vs covid", "uncertain", "backward", 6),
+    // --- pseudo cues (block false matches of shorter cues) ---------------
+    ("history of present illness", "uncertain", "pseudo", 0),
+    ("hx of present illness", "uncertain", "pseudo", 0),
+    ("no increase", "uncertain", "pseudo", 0),
+    ("no change", "uncertain", "pseudo", 0),
+    ("not certain whether", "uncertain", "pseudo", 0),
+    ("not certain if", "uncertain", "pseudo", 0),
+    ("gram negative", "uncertain", "pseudo", 0),
+    ("without difficulty", "uncertain", "pseudo", 0),
+    // --- termination ------------------------------------------------------
+    ("but", "uncertain", "terminate", 0),
+    ("however", "uncertain", "terminate", 0),
+    ("although", "uncertain", "terminate", 0),
+    ("though", "uncertain", "terminate", 0),
+    ("aside from", "uncertain", "terminate", 0),
+    ("except", "uncertain", "terminate", 0),
+    ("apart from", "uncertain", "terminate", 0),
+    ("other than", "uncertain", "terminate", 0),
+    ("which", "uncertain", "terminate", 0),
+    ("who", "uncertain", "terminate", 0),
+    ("secondary to", "uncertain", "terminate", 0),
+];
+
+/// Parses a stable direction name.
+pub fn parse_direction(name: &str) -> Option<ModifierDirection> {
+    Some(match name {
+        "forward" => ModifierDirection::Forward,
+        "backward" => ModifierDirection::Backward,
+        "bidirectional" => ModifierDirection::Bidirectional,
+        "terminate" => ModifierDirection::Terminate,
+        "pseudo" => ModifierDirection::Pseudo,
+        _ => return None,
+    })
+}
+
+/// The table as [`ModifierRule`]s.
+pub fn modifier_rules() -> Vec<ModifierRule> {
+    MODIFIER_TABLE
+        .iter()
+        .map(|(phrase, cat, dir, scope)| {
+            ModifierRule::new(
+                phrase,
+                ModifierCategory::from_name(cat).expect("table categories are valid"),
+                parse_direction(dir).expect("table directions are valid"),
+                (*scope > 0).then_some(*scope as usize),
+            )
+        })
+        .collect()
+}
+
+/// Builds the full ConText engine from the inline table.
+pub fn build_context_engine() -> ContextEngine {
+    ContextEngine::new(modifier_rules())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_parses_completely() {
+        assert_eq!(modifier_rules().len(), MODIFIER_TABLE.len());
+        assert!(MODIFIER_TABLE.len() > 130, "got {}", MODIFIER_TABLE.len());
+    }
+
+    #[test]
+    fn covid_specific_cue_fires() {
+        let engine = build_context_engine();
+        let text = "pcr positive for covid-19";
+        let target = text.find("covid-19").unwrap();
+        let out = engine.assert_targets(text, (0, text.len()), &[(target, target + 8)]);
+        assert!(out[0].has(ModifierCategory::PositiveExistence));
+    }
+
+    #[test]
+    fn pseudo_cue_blocks_header_poisoning() {
+        let engine = build_context_engine();
+        let text = "History of Present Illness: Patient denies covid-19 exposure.";
+        let target = text.find("covid-19").unwrap();
+        let out = engine.assert_targets(text, (0, text.len()), &[(target, target + 8)]);
+        assert!(out[0].has(ModifierCategory::NegatedExistence));
+        assert!(!out[0].has(ModifierCategory::Historical));
+    }
+
+    #[test]
+    fn phrases_are_lowercase() {
+        for (p, ..) in MODIFIER_TABLE {
+            assert_eq!(*p, p.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn no_duplicate_phrase_direction_pairs() {
+        let mut seen = std::collections::HashSet::new();
+        for (p, _, d, _) in MODIFIER_TABLE {
+            assert!(seen.insert((*p, *d)), "duplicate ({p}, {d})");
+        }
+    }
+
+    #[test]
+    fn directions_and_categories_valid() {
+        for (_, c, d, _) in MODIFIER_TABLE {
+            assert!(ModifierCategory::from_name(c).is_some(), "bad category {c}");
+            assert!(parse_direction(d).is_some(), "bad direction {d}");
+        }
+    }
+}

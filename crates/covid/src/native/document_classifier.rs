@@ -1,0 +1,194 @@
+//! Mention-level evidence derivation and document-level classification.
+//!
+//! This module is the decision procedure shared (semantically) with the
+//! Spannerlog rules in `rules/covid.slog`; the rule file is the
+//! declarative transliteration of exactly this logic.
+
+use crate::classify::{combine_evidence, CovidStatus, MentionEvidence};
+use crate::native::section_rules::{policy_for, SectionPolicy};
+use crate::native::target_rules::COVID_LABEL;
+use spannerlib_nlp::sections::Section;
+use spannerlib_nlp::ModifierCategory;
+
+/// A target mention with its ConText assertion categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzedMention {
+    /// Byte offset of the mention start.
+    pub start: usize,
+    /// Byte offset one past the mention end.
+    pub end: usize,
+    /// Target label (`COVID`, `SYMPTOM`, …).
+    pub label: String,
+    /// Assertion categories from ConText (sorted, deduplicated).
+    pub categories: Vec<ModifierCategory>,
+}
+
+/// Modifier policy: how each assertion category affects evidence. The
+/// CSV twin is `data/modifier_policies.csv`.
+pub const MODIFIER_POLICIES: &[(ModifierCategory, &str)] = &[
+    (ModifierCategory::NegatedExistence, "negative"),
+    (ModifierCategory::PositiveExistence, "positive"),
+    (ModifierCategory::Hypothetical, "ignore"),
+    (ModifierCategory::Historical, "ignore"),
+    (ModifierCategory::FamilyExperiencer, "ignore"),
+    (ModifierCategory::Uncertain, "uncertain"),
+];
+
+/// The policy name for a category.
+pub fn modifier_policy(category: ModifierCategory) -> &'static str {
+    MODIFIER_POLICIES
+        .iter()
+        .find(|(c, _)| *c == category)
+        .map(|(_, p)| *p)
+        .expect("every category has a policy")
+}
+
+/// The policy table as `(category_name, policy)` rows — canonical
+/// content for `data/modifier_policies.csv`.
+pub fn policy_rows() -> Vec<(String, String)> {
+    MODIFIER_POLICIES
+        .iter()
+        .map(|(c, p)| (c.name().to_string(), p.to_string()))
+        .collect()
+}
+
+/// Derives the evidence class of a single COVID mention.
+///
+/// Precedence (must match `rules/covid.slog`):
+/// ignored-section → ignore; ignoring modifier → ignore; negation →
+/// negative; positive assertion → positive; uncertain modifier or no
+/// modifier at all → uncertain.
+pub fn mention_evidence(mention: &AnalyzedMention, sections: &[Section]) -> MentionEvidence {
+    // Section policy: the containing section must not be ignored.
+    let in_ignored_section = sections.iter().any(|sec| {
+        sec.header_start <= mention.start
+            && mention.end <= sec.body_end
+            && policy_for(&sec.category) == SectionPolicy::Ignore
+    });
+    if in_ignored_section {
+        return MentionEvidence::Ignored;
+    }
+    let has = |policy: &str| {
+        mention
+            .categories
+            .iter()
+            .any(|c| modifier_policy(*c) == policy)
+    };
+    if has("ignore") {
+        MentionEvidence::Ignored
+    } else if has("negative") {
+        MentionEvidence::Negated
+    } else if has("positive") {
+        MentionEvidence::Positive
+    } else {
+        // Explicit `uncertain` modifier, or no modifier at all.
+        MentionEvidence::Uncertain
+    }
+}
+
+/// Classifies a document from its analyzed mentions.
+///
+/// Returns the status plus the surviving COVID mentions (ignored ones
+/// included with their `Ignored` evidence for inspection parity with the
+/// Spannerlog `Evidence` relation, which omits them — callers that
+/// compare must filter).
+pub fn classify_mentions(
+    mentions: &[AnalyzedMention],
+    sections: &[Section],
+) -> (CovidStatus, Vec<(usize, usize, MentionEvidence)>) {
+    let covid: Vec<&AnalyzedMention> = mentions
+        .iter()
+        .filter(|m| m.label == COVID_LABEL)
+        .collect();
+    let evidences: Vec<(usize, usize, MentionEvidence)> = covid
+        .iter()
+        .map(|m| (m.start, m.end, mention_evidence(m, sections)))
+        .filter(|(_, _, e)| *e != MentionEvidence::Ignored)
+        .collect();
+    let status = combine_evidence(evidences.iter().map(|&(_, _, e)| e));
+    (status, evidences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spannerlib_nlp::sections::detect_sections;
+
+    fn mention(start: usize, end: usize, cats: &[ModifierCategory]) -> AnalyzedMention {
+        AnalyzedMention {
+            start,
+            end,
+            label: COVID_LABEL.to_string(),
+            categories: cats.to_vec(),
+        }
+    }
+
+    #[test]
+    fn policy_table_is_total() {
+        for c in [
+            ModifierCategory::NegatedExistence,
+            ModifierCategory::PositiveExistence,
+            ModifierCategory::Hypothetical,
+            ModifierCategory::Historical,
+            ModifierCategory::FamilyExperiencer,
+            ModifierCategory::Uncertain,
+        ] {
+            let _ = modifier_policy(c); // must not panic
+        }
+        assert_eq!(policy_rows().len(), 6);
+    }
+
+    #[test]
+    fn negation_beats_positive_on_same_mention() {
+        let m = mention(
+            0,
+            5,
+            &[
+                ModifierCategory::PositiveExistence,
+                ModifierCategory::NegatedExistence,
+            ],
+        );
+        assert_eq!(mention_evidence(&m, &[]), MentionEvidence::Negated);
+    }
+
+    #[test]
+    fn ignoring_modifier_beats_everything() {
+        let m = mention(
+            0,
+            5,
+            &[
+                ModifierCategory::PositiveExistence,
+                ModifierCategory::FamilyExperiencer,
+            ],
+        );
+        assert_eq!(mention_evidence(&m, &[]), MentionEvidence::Ignored);
+    }
+
+    #[test]
+    fn unmodified_is_uncertain() {
+        let m = mention(0, 5, &[]);
+        assert_eq!(mention_evidence(&m, &[]), MentionEvidence::Uncertain);
+    }
+
+    #[test]
+    fn ignored_section_suppresses() {
+        let text = "Family History: covid-19 in mother.\n";
+        let sections = detect_sections(text);
+        let start = text.find("covid-19").unwrap();
+        let m = mention(start, start + 8, &[ModifierCategory::PositiveExistence]);
+        assert_eq!(mention_evidence(&m, &sections), MentionEvidence::Ignored);
+    }
+
+    #[test]
+    fn classification_filters_non_covid_labels() {
+        let m = AnalyzedMention {
+            start: 0,
+            end: 5,
+            label: "SYMPTOM".to_string(),
+            categories: vec![ModifierCategory::PositiveExistence],
+        };
+        let (status, evidences) = classify_mentions(&[m], &[]);
+        assert_eq!(status, CovidStatus::Unknown);
+        assert!(evidences.is_empty());
+    }
+}

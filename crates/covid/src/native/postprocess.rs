@@ -1,0 +1,73 @@
+//! Mention post-processing: deduplication and deterministic ordering.
+//!
+//! The original pipeline had a post-processing stage that cleaned up the
+//! raw matcher output before classification; the parts that affect
+//! classification semantics (duplicate suppression, stable ordering) are
+//! reproduced here so both implementations see the same mention stream.
+
+use crate::native::document_classifier::AnalyzedMention;
+
+/// Deduplicates mentions by `(span, label)` — a phrase listed in two
+/// lexicon variants may fire twice on the same tokens — merging their
+/// assertion categories, and sorts by position.
+pub fn normalize_mentions(mentions: Vec<AnalyzedMention>) -> Vec<AnalyzedMention> {
+    let mut out: Vec<AnalyzedMention> = Vec::with_capacity(mentions.len());
+    for m in mentions {
+        if let Some(existing) = out
+            .iter_mut()
+            .find(|e| e.start == m.start && e.end == m.end && e.label == m.label)
+        {
+            for c in m.categories {
+                if !existing.categories.contains(&c) {
+                    existing.categories.push(c);
+                }
+            }
+            existing.categories.sort();
+        } else {
+            out.push(m);
+        }
+    }
+    out.sort_by_key(|m| (m.start, m.end, m.label.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spannerlib_nlp::ModifierCategory;
+
+    fn m(start: usize, end: usize, label: &str, cats: &[ModifierCategory]) -> AnalyzedMention {
+        AnalyzedMention {
+            start,
+            end,
+            label: label.to_string(),
+            categories: cats.to_vec(),
+        }
+    }
+
+    #[test]
+    fn duplicates_merge_categories() {
+        let out = normalize_mentions(vec![
+            m(0, 5, "COVID", &[ModifierCategory::NegatedExistence]),
+            m(0, 5, "COVID", &[ModifierCategory::Historical]),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].categories.len(), 2);
+    }
+
+    #[test]
+    fn distinct_labels_kept_separate() {
+        let out = normalize_mentions(vec![
+            m(0, 5, "COVID", &[]),
+            m(0, 5, "SYMPTOM", &[]),
+        ]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn output_is_position_sorted() {
+        let out = normalize_mentions(vec![m(10, 15, "A", &[]), m(0, 5, "B", &[])]);
+        assert_eq!(out[0].start, 0);
+        assert_eq!(out[1].start, 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Surveillance reporting — the imperative aggregation code.
+//!
+//! The original system produced national surveillance statistics from
+//! per-document results: counts per status, per evidence class, and the
+//! most frequent concept mentions. In the imperative implementation this
+//! is explicit fold-and-format code below; in the SpannerLib rewrite the
+//! same numbers fall out of two aggregation rules
+//! (`StatusCount(s, count(d)) <- Status(d, s)` etc.) — a direct
+//! illustration of the paper's §3.1 aggregation feature.
+
+use crate::classify::{CovidStatus, DocumentResult, MentionEvidence};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated surveillance statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SurveillanceReport {
+    /// Number of documents processed.
+    pub total_documents: usize,
+    /// Documents per status.
+    pub by_status: BTreeMap<CovidStatus, usize>,
+    /// Surviving mentions per evidence class.
+    pub by_evidence: BTreeMap<&'static str, usize>,
+}
+
+impl SurveillanceReport {
+    /// Builds the report from per-document results.
+    pub fn build(results: &[DocumentResult]) -> SurveillanceReport {
+        let mut report = SurveillanceReport {
+            total_documents: results.len(),
+            ..Default::default()
+        };
+        for r in results {
+            *report.by_status.entry(r.status).or_insert(0) += 1;
+            for &(_, _, evidence) in &r.mentions {
+                let key = match evidence {
+                    MentionEvidence::Positive => "positive",
+                    MentionEvidence::Negated => "negated",
+                    MentionEvidence::Uncertain => "uncertain",
+                    MentionEvidence::Ignored => continue,
+                };
+                *report.by_evidence.entry(key).or_insert(0) += 1;
+            }
+        }
+        report
+    }
+
+    /// Documents with the given status.
+    pub fn count(&self, status: CovidStatus) -> usize {
+        self.by_status.get(&status).copied().unwrap_or(0)
+    }
+
+    /// Positivity rate among documents with a determinate status.
+    pub fn positivity_rate(&self) -> f64 {
+        let pos = self.count(CovidStatus::Positive);
+        let neg = self.count(CovidStatus::Negative);
+        if pos + neg == 0 {
+            return 0.0;
+        }
+        pos as f64 / (pos + neg) as f64
+    }
+}
+
+impl fmt::Display for SurveillanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "COVID-19 surveillance report")?;
+        writeln!(f, "  documents: {}", self.total_documents)?;
+        for (status, n) in &self.by_status {
+            writeln!(f, "  status {:<10} {n}", status.name())?;
+        }
+        for (evidence, n) in &self.by_evidence {
+            writeln!(f, "  evidence {:<9} {n}", evidence)?;
+        }
+        write!(
+            f,
+            "  positivity rate: {:.1}%",
+            100.0 * self.positivity_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(id: &str, status: CovidStatus, evidences: &[MentionEvidence]) -> DocumentResult {
+        DocumentResult {
+            doc_id: id.to_string(),
+            status,
+            mentions: evidences.iter().map(|&e| (0, 1, e)).collect(),
+        }
+    }
+
+    #[test]
+    fn counts_statuses_and_evidence() {
+        let report = SurveillanceReport::build(&[
+            result("a", CovidStatus::Positive, &[MentionEvidence::Positive]),
+            result("b", CovidStatus::Negative, &[MentionEvidence::Negated]),
+            result("c", CovidStatus::Positive, &[MentionEvidence::Positive]),
+            result("d", CovidStatus::Unknown, &[]),
+        ]);
+        assert_eq!(report.total_documents, 4);
+        assert_eq!(report.count(CovidStatus::Positive), 2);
+        assert_eq!(report.count(CovidStatus::Negative), 1);
+        assert_eq!(report.by_evidence["positive"], 2);
+        assert_eq!(report.positivity_rate(), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = SurveillanceReport::build(&[]);
+        assert_eq!(report.total_documents, 0);
+        assert_eq!(report.positivity_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_counts() {
+        let report =
+            SurveillanceReport::build(&[result("a", CovidStatus::Positive, &[])]);
+        let s = report.to_string();
+        assert!(s.contains("documents: 1"));
+        assert!(s.contains("status positive"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Section policies, inlined as code.
+//!
+//! The original pipeline configured, per clinical section, whether
+//! concept mentions inside it may contribute to the patient's own
+//! status. The SpannerLib rewrite carries the same table in
+//! `data/section_policies.csv`.
+
+/// What a section does to mentions inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionPolicy {
+    /// Mentions count normally.
+    Keep,
+    /// Mentions are not about the patient's current status.
+    Ignore,
+}
+
+impl SectionPolicy {
+    /// Stable name used in the CSV twin.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SectionPolicy::Keep => "keep",
+            SectionPolicy::Ignore => "ignore",
+        }
+    }
+}
+
+/// The per-section policy table.
+pub const SECTION_POLICIES: &[(&str, SectionPolicy)] = &[
+    ("chief_complaint", SectionPolicy::Keep),
+    ("history_of_present_illness", SectionPolicy::Keep),
+    ("past_medical_history", SectionPolicy::Keep),
+    ("family_history", SectionPolicy::Ignore),
+    ("social_history", SectionPolicy::Ignore),
+    ("medications", SectionPolicy::Keep),
+    ("allergies", SectionPolicy::Ignore),
+    ("review_of_systems", SectionPolicy::Keep),
+    ("physical_exam", SectionPolicy::Keep),
+    ("vital_signs", SectionPolicy::Keep),
+    ("labs", SectionPolicy::Keep),
+    ("imaging", SectionPolicy::Keep),
+    ("assessment_plan", SectionPolicy::Keep),
+    ("diagnosis", SectionPolicy::Keep),
+    ("discharge_instructions", SectionPolicy::Keep),
+    ("follow_up", SectionPolicy::Keep),
+];
+
+/// The policy for a section category (unknown categories keep mentions).
+pub fn policy_for(category: &str) -> SectionPolicy {
+    SECTION_POLICIES
+        .iter()
+        .find(|(c, _)| *c == category)
+        .map(|(_, p)| *p)
+        .unwrap_or(SectionPolicy::Keep)
+}
+
+/// The table as `(category, policy_name)` rows — the canonical content
+/// from which `data/section_policies.csv` is generated.
+pub fn policy_rows() -> Vec<(String, String)> {
+    SECTION_POLICIES
+        .iter()
+        .map(|(c, p)| (c.to_string(), p.name().to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_history_is_ignored() {
+        assert_eq!(policy_for("family_history"), SectionPolicy::Ignore);
+        assert_eq!(policy_for("social_history"), SectionPolicy::Ignore);
+    }
+
+    #[test]
+    fn clinical_sections_keep() {
+        assert_eq!(policy_for("assessment_plan"), SectionPolicy::Keep);
+        assert_eq!(policy_for("labs"), SectionPolicy::Keep);
+    }
+
+    #[test]
+    fn unknown_sections_default_to_keep() {
+        assert_eq!(policy_for("made_up"), SectionPolicy::Keep);
+    }
+
+    #[test]
+    fn rows_cover_all_entries() {
+        assert_eq!(policy_rows().len(), SECTION_POLICIES.len());
+    }
+}

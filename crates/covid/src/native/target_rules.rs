@@ -1,0 +1,204 @@
+//! Target concept lexicon, inlined as code.
+//!
+//! In the original pipeline the equivalent of this module was a Python
+//! file of `TargetRule(...)` constructor calls — concept configuration
+//! living inside the source tree. The SpannerLib rewrite moves the same
+//! content to `data/covid_targets.csv`; a test in `spanner::ie_funcs`
+//! asserts the two stay in sync.
+
+use spannerlib_nlp::PhraseMatcher;
+
+/// Label for COVID-19 concepts — the label classification tracks.
+pub const COVID_LABEL: &str = "COVID";
+
+/// Label for respiratory symptom concepts (extracted but not classified;
+/// the original pipeline tracked them for surveillance statistics).
+pub const SYMPTOM_LABEL: &str = "SYMPTOM";
+
+/// Label for other respiratory diagnoses.
+pub const OTHER_DX_LABEL: &str = "OTHER_DX";
+
+/// COVID-19 concept phrases.
+pub const COVID_PHRASES: &[&str] = &[
+    "covid-19",
+    "covid19",
+    "covid",
+    "coronavirus",
+    "sars-cov-2",
+    "sars cov 2",
+    "sars-cov2",
+    "novel coronavirus",
+    "corona virus",
+    "covid-19 infection",
+    "covid-19 pneumonia",
+    "covid-19 illness",
+    "covid-19 disease",
+    "covid pneumonia",
+    "coronavirus infection",
+    "coronavirus disease",
+    "coronavirus disease 2019",
+    "covid-like illness",
+    "2019-ncov",
+    "ncov-2019",
+];
+
+/// Respiratory symptom phrases.
+pub const SYMPTOM_PHRASES: &[&str] = &[
+    "fever",
+    "high fever",
+    "low grade fever",
+    "subjective fever",
+    "febrile",
+    "cough",
+    "dry cough",
+    "productive cough",
+    "persistent cough",
+    "shortness of breath",
+    "dyspnea",
+    "difficulty breathing",
+    "trouble breathing",
+    "sore throat",
+    "throat pain",
+    "fatigue",
+    "malaise",
+    "weakness",
+    "myalgia",
+    "muscle aches",
+    "body aches",
+    "loss of taste",
+    "loss of smell",
+    "anosmia",
+    "ageusia",
+    "chills",
+    "rigors",
+    "headache",
+    "congestion",
+    "nasal congestion",
+    "runny nose",
+    "rhinorrhea",
+    "nausea",
+    "vomiting",
+    "diarrhea",
+    "abdominal pain",
+    "chest pain",
+    "chest tightness",
+    "wheezing",
+    "hypoxia",
+    "low oxygen saturation",
+    "tachypnea",
+    "sneezing",
+    "night sweats",
+];
+
+/// Other respiratory diagnoses tracked by the original system.
+pub const OTHER_DX_PHRASES: &[&str] = &[
+    "influenza",
+    "influenza a",
+    "influenza b",
+    "flu",
+    "pneumonia",
+    "bacterial pneumonia",
+    "viral pneumonia",
+    "aspiration pneumonia",
+    "community acquired pneumonia",
+    "bronchitis",
+    "acute bronchitis",
+    "bronchiolitis",
+    "asthma",
+    "asthma exacerbation",
+    "copd",
+    "copd exacerbation",
+    "respiratory failure",
+    "acute respiratory failure",
+    "ards",
+    "acute respiratory distress syndrome",
+    "upper respiratory infection",
+    "uri",
+    "rsv",
+    "respiratory syncytial virus",
+    "strep throat",
+    "streptococcal pharyngitis",
+    "sinusitis",
+    "common cold",
+    "pertussis",
+    "whooping cough",
+    "tuberculosis",
+    "pulmonary embolism",
+];
+
+/// Builds the compiled target matcher from the inline lexicon.
+pub fn build_target_matcher() -> PhraseMatcher {
+    let mut matcher = PhraseMatcher::new();
+    matcher.add_all(COVID_LABEL, COVID_PHRASES.iter().copied());
+    matcher.add_all(SYMPTOM_LABEL, SYMPTOM_PHRASES.iter().copied());
+    matcher.add_all(OTHER_DX_LABEL, OTHER_DX_PHRASES.iter().copied());
+    matcher
+}
+
+/// The full lexicon as `(phrase, label)` rows — the canonical content
+/// from which `data/covid_targets.csv` is generated.
+pub fn lexicon_rows() -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for p in COVID_PHRASES {
+        rows.push((p.to_string(), COVID_LABEL.to_string()));
+    }
+    for p in SYMPTOM_PHRASES {
+        rows.push((p.to_string(), SYMPTOM_LABEL.to_string()));
+    }
+    for p in OTHER_DX_PHRASES {
+        rows.push((p.to_string(), OTHER_DX_LABEL.to_string()));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spannerlib_nlp::tokenizer::tokenize;
+
+    #[test]
+    fn matcher_loads_all_phrases() {
+        let m = build_target_matcher();
+        assert_eq!(
+            m.len(),
+            COVID_PHRASES.len() + SYMPTOM_PHRASES.len() + OTHER_DX_PHRASES.len()
+        );
+    }
+
+    #[test]
+    fn covid_phrases_match_in_context() {
+        let m = build_target_matcher();
+        for (text, expect) in [
+            ("patient has covid-19 today", "covid-19"),
+            ("positive for sars-cov-2 rna", "sars-cov-2"),
+            ("novel coronavirus detected", "novel coronavirus"),
+        ] {
+            let tokens = tokenize(text);
+            let found = m.find(&tokens, text);
+            assert!(
+                found
+                    .iter()
+                    .any(|f| f.label == COVID_LABEL && &text[f.start..f.end] == expect),
+                "expected {expect:?} in {text:?}, got {found:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_disjoint() {
+        let rows = lexicon_rows();
+        let mut seen = std::collections::HashMap::new();
+        for (phrase, label) in rows {
+            if let Some(prev) = seen.insert(phrase.clone(), label.clone()) {
+                assert_eq!(prev, label, "phrase {phrase:?} listed under two labels");
+            }
+        }
+    }
+
+    #[test]
+    fn phrases_are_lowercase() {
+        for (p, _) in lexicon_rows() {
+            assert_eq!(p, p.to_lowercase());
+        }
+    }
+}

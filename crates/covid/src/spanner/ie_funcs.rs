@@ -1,0 +1,155 @@
+//! The Python-IE-function analogue: thin wrappers around the NLP library
+//! registered as Spannerlog IE functions.
+//!
+//! Table 1 counts 93 lines of "Python IE Functions" in the rewrite —
+//! this module is their Rust counterpart: each function is a few lines
+//! of adapter code around a library call, with no pipeline logic.
+
+use spannerlib_core::{Span, Value};
+use spannerlib_nlp::sections::detect_sections;
+use spannerlib_nlp::sentences::split_sentences;
+use spannerlib_nlp::tokenizer::tokenize;
+use spannerlib_nlp::{ContextEngine, PhraseMatcher};
+use spannerlog_engine::Session;
+use std::sync::Arc;
+
+/// Registers the four IE functions the rule file uses:
+/// `sents`, `note_sections`, `mentions`, `assertions`.
+pub fn register_ie_functions(
+    session: &mut Session,
+    targets: Arc<PhraseMatcher>,
+    context: Arc<ContextEngine>,
+) {
+    // sents(text) -> (sentence_span)
+    session.register("sents", Some(1), |args, ctx| {
+        let (text, doc, base) = ctx.text_argument(&args[0])?;
+        Ok(split_sentences(&text)
+            .into_iter()
+            .map(|s| vec![Value::Span(Span::new(doc, base + s.start, base + s.end))])
+            .collect())
+    });
+
+    // note_sections(text) -> (section_span, category)
+    session.register("note_sections", Some(1), |args, ctx| {
+        let (text, doc, base) = ctx.text_argument(&args[0])?;
+        Ok(detect_sections(&text)
+            .into_iter()
+            .map(|s| {
+                vec![
+                    Value::Span(Span::new(doc, base + s.header_start, base + s.body_end)),
+                    Value::str(s.category),
+                ]
+            })
+            .collect())
+    });
+
+    // mentions(sentence_span) -> (mention_span, label)
+    let matcher = targets.clone();
+    session.register("mentions", Some(1), move |args, ctx| {
+        let (text, doc, base) = ctx.text_argument(&args[0])?;
+        let tokens = tokenize(&text);
+        Ok(matcher
+            .find(&tokens, &text)
+            .into_iter()
+            .map(|m| {
+                vec![
+                    Value::Span(Span::new(doc, base + m.start, base + m.end)),
+                    Value::str(m.label),
+                ]
+            })
+            .collect())
+    });
+
+    // assertions(sentence_span) -> (mention_span, category)
+    let matcher = targets;
+    let engine = context;
+    session.register("assertions", Some(1), move |args, ctx| {
+        let (text, doc, base) = ctx.text_argument(&args[0])?;
+        let tokens = tokenize(&text);
+        let spans: Vec<(usize, usize)> = matcher
+            .find(&tokens, &text)
+            .into_iter()
+            .map(|m| (m.start, m.end))
+            .collect();
+        let mut rows = Vec::new();
+        for assertion in engine.assert_targets(&text, (0, text.len()), &spans) {
+            for category in &assertion.categories {
+                rows.push(vec![
+                    Value::Span(Span::new(
+                        doc,
+                        base + assertion.target.0,
+                        base + assertion.target.1,
+                    )),
+                    Value::str(category.name()),
+                ]);
+            }
+        }
+        rows.dedup();
+        Ok(rows)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::context_rules::build_context_engine;
+    use crate::native::target_rules::build_target_matcher;
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        register_ie_functions(
+            &mut s,
+            Arc::new(build_target_matcher()),
+            Arc::new(build_context_engine()),
+        );
+        s.run("new T(str)").unwrap();
+        s
+    }
+
+    #[test]
+    fn sents_splits() {
+        let mut s = session();
+        s.add_fact("T", [Value::str("One here. Two here.")]).unwrap();
+        s.run("S(x) <- T(t), sents(t) -> (x)").unwrap();
+        assert_eq!(s.relation("S").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn mentions_find_targets_with_labels() {
+        let mut s = session();
+        s.add_fact("T", [Value::str("patient has covid-19 and fever")])
+            .unwrap();
+        s.run(r#"M(m) <- T(t), sents(t) -> (x), mentions(x) -> (m, "COVID")"#)
+            .unwrap();
+        assert_eq!(s.relation("M").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn assertions_emit_category_rows() {
+        let mut s = session();
+        s.add_fact("T", [Value::str("Patient denies covid-19 exposure.")])
+            .unwrap();
+        s.run(r#"A(m, c) <- T(t), sents(t) -> (x), assertions(x) -> (m, c)"#)
+            .unwrap();
+        let rel = s.relation("A").unwrap();
+        let cats: Vec<String> = rel
+            .sorted_tuples()
+            .iter()
+            .map(|t| t[1].as_str().unwrap().to_string())
+            .collect();
+        assert!(cats.contains(&"negated".to_string()));
+    }
+
+    #[test]
+    fn note_sections_categorize() {
+        let mut s = session();
+        s.add_fact(
+            "T",
+            [Value::str("Family History: none\nAssessment/Plan: rest\n")],
+        )
+        .unwrap();
+        s.run("Sec(c) <- T(t), note_sections(t) -> (x, c)").unwrap();
+        let rel = s.relation("Sec").unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

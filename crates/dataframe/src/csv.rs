@@ -1,0 +1,345 @@
+//! CSV serialization — the "code as data" channel of the case study.
+//!
+//! Table 1 of the paper counts 286 lines of txt/csv files as declarative
+//! code: lexicons and rule tables that the SpannerLib rewrite moved out of
+//! Python. This module gives frames the same capability. The dialect is
+//! RFC-4180-ish: comma separator, `"` quoting with `""` escapes, header
+//! row required.
+
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use spannerlib_core::{Value, ValueType};
+
+impl DataFrame {
+    /// Serializes the frame to CSV with a header row. Spans render as
+    /// `start..end@doc` and parse back with [`DataFrame::from_csv_typed`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .column_names()
+                .iter()
+                .map(|n| quote(n))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in self.iter_rows() {
+            let rendered: Vec<String> = row.iter().map(render_value).collect();
+            out.push_str(&rendered.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses CSV, inferring each column's type from its first data cell
+    /// (int, then float, then bool, else string). An empty body yields an
+    /// error because nothing can be inferred — use
+    /// [`DataFrame::from_csv_typed`] instead.
+    pub fn from_csv(text: &str) -> Result<DataFrame, FrameError> {
+        let (header, records) = parse_csv(text)?;
+        let first = records.first().ok_or(FrameError::Csv {
+            line: 2,
+            msg: "cannot infer column types from an empty body".into(),
+        })?;
+        let types: Vec<ValueType> = first.iter().map(|cell| infer_type(cell)).collect();
+        build(header, records, &types)
+    }
+
+    /// Parses CSV against an explicit column-type list.
+    pub fn from_csv_typed(text: &str, types: &[ValueType]) -> Result<DataFrame, FrameError> {
+        let (header, records) = parse_csv(text)?;
+        if header.len() != types.len() {
+            return Err(FrameError::ArityMismatch {
+                expected: types.len(),
+                actual: header.len(),
+            });
+        }
+        build(header, records, types)
+    }
+}
+
+fn build(
+    header: Vec<String>,
+    records: Vec<Vec<String>>,
+    types: &[ValueType],
+) -> Result<DataFrame, FrameError> {
+    let mut df = DataFrame::new(header.into_iter().zip(types.iter().copied()).collect())?;
+    for (i, record) in records.into_iter().enumerate() {
+        if record.len() != types.len() {
+            return Err(FrameError::Csv {
+                line: i + 2,
+                msg: format!(
+                    "expected {} fields, found {}",
+                    types.len(),
+                    record.len()
+                ),
+            });
+        }
+        let row: Vec<Value> = record
+            .iter()
+            .zip(types)
+            .map(|(cell, t)| parse_value(cell, *t, i + 2))
+            .collect::<Result<_, _>>()?;
+        df.push_row(row)?;
+    }
+    Ok(df)
+}
+
+fn infer_type(cell: &str) -> ValueType {
+    if cell.parse::<i64>().is_ok() {
+        ValueType::Int
+    } else if cell.parse::<f64>().is_ok() {
+        ValueType::Float
+    } else if cell == "true" || cell == "false" {
+        ValueType::Bool
+    } else {
+        ValueType::Str
+    }
+}
+
+fn parse_value(cell: &str, t: ValueType, line: usize) -> Result<Value, FrameError> {
+    let err = |msg: String| FrameError::Csv { line, msg };
+    match t {
+        ValueType::Str => Ok(Value::str(cell)),
+        ValueType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| err(format!("bad int {cell:?}: {e}"))),
+        ValueType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| err(format!("bad float {cell:?}: {e}"))),
+        ValueType::Bool => match cell {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            other => Err(err(format!("bad bool {other:?}"))),
+        },
+        ValueType::Span => {
+            // Format: start..end@doc
+            let parse = || -> Option<Value> {
+                let (range, doc) = cell.split_once('@')?;
+                let (s, e) = range.split_once("..")?;
+                Some(Value::Span(spannerlib_core::Span::new(
+                    spannerlib_core::DocId::from_index(doc.parse().ok()?),
+                    s.parse().ok()?,
+                    e.parse().ok()?,
+                )))
+            };
+            parse().ok_or_else(|| err(format!("bad span {cell:?}, expected start..end@doc")))
+        }
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => quote(s),
+        Value::Span(s) => format!("{}..{}@{}", s.start, s.end, s.doc.index()),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Float(f) => {
+            // Keep floats re-parseable (integral floats need the dot).
+            let s = f.to_string();
+            if s.parse::<i64>().is_ok() {
+                format!("{s}.0")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parses CSV text into a header and records, honoring quotes.
+fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), FrameError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any_content = false;
+
+    while let Some(c) = chars.next() {
+        any_content = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(FrameError::Csv {
+                            line,
+                            msg: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => { /* tolerate CRLF */ }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv {
+            line,
+            msg: "unterminated quote".into(),
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any_content || records.is_empty() {
+        return Err(FrameError::Csv {
+            line: 1,
+            msg: "missing header row".into(),
+        });
+    }
+    let header = records.remove(0);
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_rows(
+            vec!["text".into(), "n".into()],
+            vec![
+                vec![Value::str("plain"), Value::Int(1)],
+                vec![Value::str("with, comma"), Value::Int(2)],
+                vec![Value::str("with \"quotes\""), Value::Int(3)],
+                vec![Value::str("multi\nline"), Value::Int(4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_quoting() {
+        let df = sample();
+        let csv = df.to_csv();
+        let back = DataFrame::from_csv(&csv).unwrap();
+        assert_eq!(df, back);
+    }
+
+    #[test]
+    fn round_trip_typed_with_spans() {
+        let df = DataFrame::from_rows(
+            vec!["s".into()],
+            vec![vec![Value::Span(spannerlib_core::Span::new(
+                spannerlib_core::DocId::from_index(3),
+                4,
+                9,
+            ))]],
+        )
+        .unwrap();
+        let csv = df.to_csv();
+        assert!(csv.contains("4..9@3"));
+        let back = DataFrame::from_csv_typed(&csv, &[ValueType::Span]).unwrap();
+        assert_eq!(df, back);
+    }
+
+    #[test]
+    fn round_trip_floats_and_bools() {
+        let df = DataFrame::from_rows(
+            vec!["f".into(), "b".into()],
+            vec![
+                vec![Value::Float(1.5), Value::Bool(true)],
+                vec![Value::Float(2.0), Value::Bool(false)],
+            ],
+        )
+        .unwrap();
+        let back = DataFrame::from_csv(&df.to_csv()).unwrap();
+        assert_eq!(df, back);
+    }
+
+    #[test]
+    fn type_inference() {
+        let csv = "a,b,c,d\n1,1.5,true,hello\n2,2.5,false,world\n";
+        let df = DataFrame::from_csv(csv).unwrap();
+        assert_eq!(
+            df.schema().types(),
+            &[
+                ValueType::Int,
+                ValueType::Float,
+                ValueType::Bool,
+                ValueType::Str
+            ]
+        );
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_line() {
+        let csv = "a,b\n1,2\n3\n";
+        match DataFrame::from_csv(csv).unwrap_err() {
+            FrameError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(
+            DataFrame::from_csv("a\n\"oops\n").unwrap_err(),
+            FrameError::Csv { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(DataFrame::from_csv("").is_err());
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let df = DataFrame::from_csv("a,b\r\n1,x\r\n").unwrap();
+        assert_eq!(df.num_rows(), 1);
+        assert_eq!(df.get(0, 1), Some(Value::str("x")));
+    }
+
+    #[test]
+    fn typed_parse_rejects_bad_cells() {
+        assert!(DataFrame::from_csv_typed("a\nnot_an_int\n", &[ValueType::Int]).is_err());
+        assert!(DataFrame::from_csv_typed("a\nmaybe\n", &[ValueType::Bool]).is_err());
+        assert!(DataFrame::from_csv_typed("a\n1-2\n", &[ValueType::Span]).is_err());
+    }
+
+    #[test]
+    fn header_only_is_valid_with_types() {
+        let df = DataFrame::from_csv_typed("a,b\n", &[ValueType::Int, ValueType::Str]).unwrap();
+        assert_eq!(df.num_rows(), 0);
+        assert_eq!(df.num_columns(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for DataFrame operations.
+
+use spannerlib_core::ValueType;
+use thiserror::Error;
+
+/// Errors raised by frame construction and manipulation.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Column lengths diverge (every column must have the same row count).
+    #[error("ragged frame: column {column:?} has {actual} rows, expected {expected}")]
+    RaggedColumns {
+        /// Name of the offending column.
+        column: String,
+        /// Its row count.
+        actual: usize,
+        /// The frame's row count.
+        expected: usize,
+    },
+
+    /// A value of the wrong type was pushed into a typed column.
+    #[error("type mismatch in column {column:?}: expected {expected}, got {actual}")]
+    TypeMismatch {
+        /// Name of the column.
+        column: String,
+        /// The column's type.
+        expected: ValueType,
+        /// The value's type.
+        actual: ValueType,
+    },
+
+    /// A row's arity does not match the frame's column count.
+    #[error("row arity {actual} does not match {expected} columns")]
+    ArityMismatch {
+        /// Number of columns in the frame.
+        expected: usize,
+        /// Number of values in the row.
+        actual: usize,
+    },
+
+    /// Reference to a column name that does not exist.
+    #[error("no such column: {0:?}")]
+    NoSuchColumn(String),
+
+    /// Two columns share a name.
+    #[error("duplicate column name: {0:?}")]
+    DuplicateColumn(String),
+
+    /// CSV text that cannot be parsed.
+    #[error("csv parse error at line {line}: {msg}")]
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+
+    /// A frame with zero columns cannot hold rows.
+    #[error("operation requires at least one column")]
+    NoColumns,
+}

@@ -1,0 +1,22 @@
+//! # spannerlib-dataframe
+//!
+//! The host-side table type — the stand-in for pandas in the paper's §3.2
+//! embedding. `Session::import` consumes a [`DataFrame`] to create an
+//! engine relation; `Session::export` materializes a query result back
+//! into one.
+//!
+//! The frame is columnar: each [`Column`] is a typed vector (string, span,
+//! int, bool, float), so a frame is schema-checked by construction.
+//! Frames support the small relational surface the demo scenarios need —
+//! row/column selection, filtering, sorting, head — plus CSV round-trips
+//! ([`DataFrame::to_csv`] / [`DataFrame::from_csv`]) and aligned
+//! pretty-printing (`Display`), which is what a notebook cell would show.
+
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod frame;
+
+pub use column::Column;
+pub use error::FrameError;
+pub use frame::DataFrame;

@@ -1,0 +1,318 @@
+//! The `rgx` family — the canonical IE functions of document spanners.
+//!
+//! * `rgx(pattern, text) -> (span, …)` — one output span per capture
+//!   group, one row per **leftmost-first non-overlapping** match (Python
+//!   `re` semantics; reproduces the paper's §2 worked example). With zero
+//!   capture groups the whole match is returned as a single span.
+//! * `rgx_string(pattern, text) -> (str, …)` — same scan, strings instead
+//!   of spans.
+//! * `rgx_all(pattern, text) -> (span, …)` — the formal all-matches
+//!   spanner semantics ⟦γ⟧(d): every accepting run of every substring.
+//! * `rgx_is_match(pattern, text) -> ()` — boolean filter.
+//!
+//! `text` may be a string (spans refer to its interned document) or a
+//! span (output spans stay positioned in the *original* document, which
+//! is what lets rules compose extractions, e.g. matching inside an AST
+//! node's span).
+//!
+//! Compiled patterns are cached per function instance, keyed by pattern
+//! text — rules typically call `rgx` with a constant pattern over many
+//! documents.
+
+use crate::error::{EngineError, Result};
+use crate::ie::{filter_output, IeContext, IeFunction, IeOutput};
+use crate::registry::Registry;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use spannerlib_core::{DocId, Span, Value};
+use spannerlib_regex::Regex;
+use std::sync::Arc;
+
+/// Which semantics and output representation a `RgxFunction` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Leftmost-first scan, span outputs.
+    FindSpans,
+    /// Leftmost-first scan, string outputs.
+    FindStrings,
+    /// All-matches spanner semantics, span outputs.
+    AllSpans,
+    /// Boolean filter.
+    IsMatch,
+}
+
+/// Shared regex IE implementation parameterized by [`Mode`].
+struct RgxFunction {
+    mode: Mode,
+    cache: Mutex<FxHashMap<String, Arc<Regex>>>,
+}
+
+impl RgxFunction {
+    fn new(mode: Mode) -> Self {
+        RgxFunction {
+            mode,
+            cache: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    fn compiled(&self, pattern: &str) -> Result<Arc<Regex>> {
+        if let Some(re) = self.cache.lock().get(pattern) {
+            return Ok(re.clone());
+        }
+        let re = Arc::new(Regex::new(pattern).map_err(|e| EngineError::IeRuntime {
+            function: "rgx".into(),
+            msg: format!("bad pattern {pattern:?}: {e}"),
+        })?);
+        self.cache
+            .lock()
+            .insert(pattern.to_string(), re.clone());
+        Ok(re)
+    }
+}
+
+/// Builds one output row from group byte-ranges.
+fn row_from_groups(
+    mode: Mode,
+    groups: &[Option<(usize, usize)>],
+    whole: (usize, usize),
+    doc: DocId,
+    base: usize,
+    text: &str,
+) -> Result<Vec<Value>> {
+    // Zero-group patterns export the whole match as a single column.
+    let ranges: Vec<(usize, usize)> = if groups.is_empty() {
+        vec![whole]
+    } else {
+        groups
+            .iter()
+            .map(|g| {
+                g.ok_or_else(|| EngineError::IeRuntime {
+                    function: "rgx".into(),
+                    msg: "a capture group did not participate in the match; \
+                          use alternation inside the group instead"
+                        .into(),
+                })
+            })
+            .collect::<Result<_>>()?
+    };
+    Ok(ranges
+        .into_iter()
+        .map(|(s, e)| match mode {
+            Mode::FindStrings => Value::str(&text[s..e]),
+            _ => Value::Span(Span::new(doc, base + s, base + e)),
+        })
+        .collect())
+}
+
+impl IeFunction for RgxFunction {
+    fn input_arity(&self) -> Option<usize> {
+        Some(2)
+    }
+
+    fn call(&self, args: &[Value], n_outputs: usize, ctx: &mut IeContext<'_>) -> Result<IeOutput> {
+        let pattern = args[0].as_str().ok_or_else(|| EngineError::IeRuntime {
+            function: "rgx".into(),
+            msg: format!("pattern must be a string, got {}", args[0].value_type()),
+        })?;
+        let re = self.compiled(pattern)?;
+        let (text, doc, base) = ctx.text_argument(&args[1])?;
+
+        if self.mode == Mode::IsMatch {
+            return Ok(filter_output(re.is_match(&text)));
+        }
+
+        // Output arity check: groups (or 1 for group-free patterns).
+        let expected = if re.group_count() == 0 {
+            1
+        } else {
+            re.group_count()
+        };
+        if n_outputs != expected {
+            return Err(EngineError::IeOutputArity {
+                function: "rgx".into(),
+                expected: n_outputs,
+                actual: expected,
+            });
+        }
+
+        let mut out = Vec::new();
+        match self.mode {
+            Mode::FindSpans | Mode::FindStrings => {
+                for caps in re.captures_iter(&text) {
+                    let whole = caps.group(0).expect("group 0 present");
+                    let groups: Vec<_> = caps.explicit_groups().collect();
+                    out.push(row_from_groups(
+                        self.mode, &groups, whole, doc, base, &text,
+                    )?);
+                }
+            }
+            Mode::AllSpans => {
+                for m in re.all_matches(&text) {
+                    out.push(row_from_groups(
+                        self.mode,
+                        &m.groups,
+                        (m.start, m.end),
+                        doc,
+                        base,
+                        &text,
+                    )?);
+                }
+            }
+            Mode::IsMatch => unreachable!("handled above"),
+        }
+        // A failed optional group aborts the row; tolerate by dropping
+        // duplicates introduced through re-offsetting.
+        out.dedup();
+        Ok(out)
+    }
+}
+
+/// Installs the rgx family.
+pub fn install(registry: &mut Registry) {
+    registry.register_ie("rgx", Arc::new(RgxFunction::new(Mode::FindSpans)));
+    registry.register_ie("rgx_string", Arc::new(RgxFunction::new(Mode::FindStrings)));
+    registry.register_ie("rgx_all", Arc::new(RgxFunction::new(Mode::AllSpans)));
+    registry.register_ie("rgx_is_match", Arc::new(RgxFunction::new(Mode::IsMatch)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spannerlib_core::DocumentStore;
+
+    fn call(name: &str, args: &[Value], n_outputs: usize, docs: &mut DocumentStore) -> IeOutput {
+        let registry = Registry::new();
+        let f = registry.ie(name).unwrap().clone();
+        let mut ctx = IeContext::new(docs);
+        f.call(args, n_outputs, &mut ctx).unwrap()
+    }
+
+    #[test]
+    fn paper_example_via_ie_function() {
+        let mut docs = DocumentStore::new();
+        let rows = call(
+            "rgx",
+            &[Value::str("x{a+}c+y{b+}"), Value::str("acb aacccbbb")],
+            2,
+            &mut docs,
+        );
+        let doc = docs.lookup("acb aacccbbb").unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![
+                    Value::Span(Span::new(doc, 0, 1)),
+                    Value::Span(Span::new(doc, 2, 3))
+                ],
+                vec![
+                    Value::Span(Span::new(doc, 4, 6)),
+                    Value::Span(Span::new(doc, 9, 12))
+                ],
+            ]
+        );
+    }
+
+    #[test]
+    fn rgx_string_returns_text() {
+        let mut docs = DocumentStore::new();
+        let rows = call(
+            "rgx_string",
+            &[Value::str("x{a+}c+y{b+}"), Value::str("acb aacccbbb")],
+            2,
+            &mut docs,
+        );
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::str("a"), Value::str("b")],
+                vec![Value::str("aa"), Value::str("bbb")],
+            ]
+        );
+    }
+
+    #[test]
+    fn group_free_pattern_yields_whole_match() {
+        let mut docs = DocumentStore::new();
+        let rows = call("rgx", &[Value::str("b+"), Value::str("abba")], 1, &mut docs);
+        let doc = docs.lookup("abba").unwrap();
+        assert_eq!(rows, vec![vec![Value::Span(Span::new(doc, 1, 3))]]);
+    }
+
+    #[test]
+    fn span_input_offsets_results_into_original_doc() {
+        let mut docs = DocumentStore::new();
+        let id = docs.intern("zzz abba zzz");
+        let scope = docs.span(id, 4, 9).unwrap(); // "abba "
+        let rows = call("rgx", &[Value::str("b+"), Value::Span(scope)], 1, &mut docs);
+        assert_eq!(rows, vec![vec![Value::Span(Span::new(id, 5, 7))]]);
+    }
+
+    #[test]
+    fn all_matches_mode_is_superset() {
+        let mut docs = DocumentStore::new();
+        let find = call("rgx", &[Value::str("a+"), Value::str("aaa")], 1, &mut docs);
+        let all = call("rgx_all", &[Value::str("a+"), Value::str("aaa")], 1, &mut docs);
+        assert_eq!(find.len(), 1);
+        assert_eq!(all.len(), 6);
+        for row in &find {
+            assert!(all.contains(row));
+        }
+    }
+
+    #[test]
+    fn is_match_filters() {
+        let mut docs = DocumentStore::new();
+        assert_eq!(
+            call(
+                "rgx_is_match",
+                &[Value::str("b+"), Value::str("abc")],
+                0,
+                &mut docs
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            call(
+                "rgx_is_match",
+                &[Value::str("z"), Value::str("abc")],
+                0,
+                &mut docs
+            )
+            .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn wrong_output_arity_is_an_error() {
+        let registry = Registry::new();
+        let f = registry.ie("rgx").unwrap().clone();
+        let mut docs = DocumentStore::new();
+        let mut ctx = IeContext::new(&mut docs);
+        let err = f
+            .call(&[Value::str("x{a}y{b}"), Value::str("ab")], 1, &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::IeOutputArity { .. }));
+    }
+
+    #[test]
+    fn bad_pattern_reports() {
+        let registry = Registry::new();
+        let f = registry.ie("rgx").unwrap().clone();
+        let mut docs = DocumentStore::new();
+        let mut ctx = IeContext::new(&mut docs);
+        let err = f
+            .call(&[Value::str("a("), Value::str("x")], 1, &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::IeRuntime { .. }));
+    }
+
+    #[test]
+    fn pattern_cache_reuses_compilation() {
+        let f = RgxFunction::new(Mode::FindSpans);
+        let a = f.compiled("a+").unwrap();
+        let b = f.compiled("a+").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,263 @@
+//! String-manipulation IE functions.
+//!
+//! The paper (§4.1) assumes "standard operations such as string
+//! concatenation … and a printf-like formatting" as IE functions; this
+//! module supplies them. String arguments accept spans too — a span is
+//! resolved to its text first, which keeps rules free of explicit
+//! conversions.
+
+use crate::error::{EngineError, Result};
+use crate::ie::{filter_output, IeContext};
+use crate::registry::Registry;
+use spannerlib_core::Value;
+
+fn err(function: &str, msg: impl Into<String>) -> EngineError {
+    EngineError::IeRuntime {
+        function: function.to_string(),
+        msg: msg.into(),
+    }
+}
+
+/// Resolves a value to text: strings pass through, spans resolve.
+fn as_text(function: &str, v: &Value, ctx: &IeContext<'_>) -> Result<String> {
+    match v {
+        Value::Str(s) => Ok(s.to_string()),
+        Value::Span(s) => ctx.span_text(s),
+        other => Err(err(
+            function,
+            format!("expected str or span, got {}", other.value_type()),
+        )),
+    }
+}
+
+/// Installs the string builtins.
+pub fn install(registry: &mut Registry) {
+    // concat(a, b) -> (a ++ b)
+    registry.register_closure("concat", Some(2), |args, ctx| {
+        let a = as_text("concat", &args[0], ctx)?;
+        let b = as_text("concat", &args[1], ctx)?;
+        Ok(vec![vec![Value::str(format!("{a}{b}"))]])
+    });
+
+    // format(template, x1, …, xn) -> (filled) — `{}` placeholders.
+    registry.register_closure("format", None, |args, ctx| {
+        let template = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("format", "first argument must be a template string"))?;
+        let mut pieces = template.split("{}");
+        let mut out = String::new();
+        out.push_str(pieces.next().unwrap_or(""));
+        let mut used = 0usize;
+        for (i, piece) in pieces.enumerate() {
+            let arg = args.get(i + 1).ok_or_else(|| {
+                err(
+                    "format",
+                    format!("template has more placeholders than the {} argument(s)", args.len() - 1),
+                )
+            })?;
+            match arg {
+                Value::Str(s) => out.push_str(s),
+                Value::Span(s) => out.push_str(&ctx.span_text(s)?),
+                Value::Int(x) => out.push_str(&x.to_string()),
+                Value::Float(x) => out.push_str(&x.to_string()),
+                Value::Bool(x) => out.push_str(&x.to_string()),
+            }
+            used = i + 1;
+            out.push_str(piece);
+        }
+        if used != args.len() - 1 {
+            return Err(err(
+                "format",
+                format!(
+                    "template has {used} placeholder(s) but {} argument(s) were given",
+                    args.len() - 1
+                ),
+            ));
+        }
+        Ok(vec![vec![Value::str(out)]])
+    });
+
+    // upper/lower/trim: one in, one out.
+    registry.register_closure("upper", Some(1), |args, ctx| {
+        let s = as_text("upper", &args[0], ctx)?;
+        Ok(vec![vec![Value::str(s.to_uppercase())]])
+    });
+    registry.register_closure("lower", Some(1), |args, ctx| {
+        let s = as_text("lower", &args[0], ctx)?;
+        Ok(vec![vec![Value::str(s.to_lowercase())]])
+    });
+    registry.register_closure("trim", Some(1), |args, ctx| {
+        let s = as_text("trim", &args[0], ctx)?;
+        Ok(vec![vec![Value::str(s.trim())]])
+    });
+
+    // replace(s, from, to) -> (s')
+    registry.register_closure("replace", Some(3), |args, ctx| {
+        let s = as_text("replace", &args[0], ctx)?;
+        let from = as_text("replace", &args[1], ctx)?;
+        let to = as_text("replace", &args[2], ctx)?;
+        Ok(vec![vec![Value::str(s.replace(&from, &to))]])
+    });
+
+    // split(delim, s) -> (part) — one row per part; empty parts skipped.
+    registry.register_closure("split", Some(2), |args, ctx| {
+        let delim = as_text("split", &args[0], ctx)?;
+        let s = as_text("split", &args[1], ctx)?;
+        if delim.is_empty() {
+            return Err(err("split", "delimiter must be non-empty"));
+        }
+        Ok(s.split(&delim)
+            .filter(|p| !p.is_empty())
+            .map(|p| vec![Value::str(p)])
+            .collect())
+    });
+
+    // str_len(s) -> (n)
+    registry.register_closure("str_len", Some(1), |args, ctx| {
+        let s = as_text("str_len", &args[0], ctx)?;
+        Ok(vec![vec![Value::Int(s.len() as i64)]])
+    });
+
+    // as_str(x) -> (text) — explicit span→string (the paper writes
+    // str(y) in aggregation; in rule bodies this is the equivalent).
+    registry.register_closure("as_str", Some(1), |args, ctx| {
+        let s = as_text("as_str", &args[0], ctx)?;
+        Ok(vec![vec![Value::str(s)]])
+    });
+
+    // starts_with / ends_with / str_contains: boolean filters.
+    registry.register_closure("starts_with", Some(2), |args, ctx| {
+        let s = as_text("starts_with", &args[0], ctx)?;
+        let prefix = as_text("starts_with", &args[1], ctx)?;
+        Ok(filter_output(s.starts_with(&prefix)))
+    });
+    registry.register_closure("ends_with", Some(2), |args, ctx| {
+        let s = as_text("ends_with", &args[0], ctx)?;
+        let suffix = as_text("ends_with", &args[1], ctx)?;
+        Ok(filter_output(s.ends_with(&suffix)))
+    });
+    registry.register_closure("str_contains", Some(2), |args, ctx| {
+        let s = as_text("str_contains", &args[0], ctx)?;
+        let needle = as_text("str_contains", &args[1], ctx)?;
+        Ok(filter_output(s.contains(&needle)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ie::IeOutput;
+    use spannerlib_core::DocumentStore;
+
+    fn call(name: &str, args: &[Value]) -> Result<IeOutput> {
+        let registry = Registry::new();
+        let f = registry.ie(name).unwrap().clone();
+        let mut docs = DocumentStore::new();
+        let mut ctx = IeContext::new(&mut docs);
+        f.call(args, 1, &mut ctx)
+    }
+
+    fn one(name: &str, args: &[Value]) -> Value {
+        call(name, args).unwrap()[0][0].clone()
+    }
+
+    #[test]
+    fn concat_joins() {
+        assert_eq!(
+            one("concat", &[Value::str("foo"), Value::str("bar")]),
+            Value::str("foobar")
+        );
+    }
+
+    #[test]
+    fn concat_accepts_spans() {
+        let registry = Registry::new();
+        let f = registry.ie("concat").unwrap().clone();
+        let mut docs = DocumentStore::new();
+        let id = docs.intern("hello world");
+        let span = docs.span(id, 0, 5).unwrap();
+        let mut ctx = IeContext::new(&mut docs);
+        let out = f
+            .call(&[Value::Span(span), Value::str("!")], 1, &mut ctx)
+            .unwrap();
+        assert_eq!(out[0][0], Value::str("hello!"));
+    }
+
+    #[test]
+    fn format_fills_placeholders() {
+        assert_eq!(
+            one(
+                "format",
+                &[
+                    Value::str("sum of {} and {} is {}"),
+                    Value::Int(1),
+                    Value::Int(2),
+                    Value::Int(3)
+                ]
+            ),
+            Value::str("sum of 1 and 2 is 3")
+        );
+    }
+
+    #[test]
+    fn format_arity_mismatches_error() {
+        assert!(call("format", &[Value::str("{} {}"), Value::Int(1)]).is_err());
+        assert!(call("format", &[Value::str("{}"), Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn case_and_trim() {
+        assert_eq!(one("upper", &[Value::str("ab")]), Value::str("AB"));
+        assert_eq!(one("lower", &[Value::str("AB")]), Value::str("ab"));
+        assert_eq!(one("trim", &[Value::str("  x ")]), Value::str("x"));
+    }
+
+    #[test]
+    fn replace_replaces_all() {
+        assert_eq!(
+            one(
+                "replace",
+                &[Value::str("a-b-c"), Value::str("-"), Value::str("+")]
+            ),
+            Value::str("a+b+c")
+        );
+    }
+
+    #[test]
+    fn split_skips_empties() {
+        let rows = call("split", &[Value::str(","), Value::str("a,,b,c,")]).unwrap();
+        let parts: Vec<_> = rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(
+            parts,
+            vec![Value::str("a"), Value::str("b"), Value::str("c")]
+        );
+    }
+
+    #[test]
+    fn filters_behave() {
+        assert_eq!(
+            call("starts_with", &[Value::str("abc"), Value::str("ab")])
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            call("ends_with", &[Value::str("abc"), Value::str("ab")])
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            call("str_contains", &[Value::str("abc"), Value::str("b")])
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn str_len_bytes() {
+        assert_eq!(one("str_len", &[Value::str("héllo")]), Value::Int(6));
+    }
+}

@@ -1,0 +1,187 @@
+//! Relation storage: declared (extensional) and derived (intensional)
+//! relations plus the session-wide document store.
+
+use crate::error::{EngineError, Result};
+use rustc_hash::FxHashMap;
+use spannerlib_core::{DocumentStore, Relation, Schema, Tuple};
+
+/// The fact store of one session.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    relations: FxHashMap<String, Relation>,
+    /// Names created by `new …` declarations or imports (extensional);
+    /// everything else is rule-derived (intensional).
+    extensional: FxHashMap<String, Schema>,
+    /// Interned documents; spans in any relation point here.
+    pub docs: DocumentStore,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Declares an extensional relation with an explicit schema.
+    pub fn declare(&mut self, name: &str, schema: Schema) -> Result<()> {
+        if self.relations.contains_key(name) {
+            return Err(EngineError::DuplicateRelation(name.to_string()));
+        }
+        self.extensional.insert(name.to_string(), schema.clone());
+        self.relations
+            .insert(name.to_string(), Relation::new(schema));
+        Ok(())
+    }
+
+    /// Inserts a whole relation under `name`, replacing any previous one
+    /// (used by `Session::import`).
+    pub fn put_relation(&mut self, name: &str, relation: Relation) {
+        self.extensional
+            .insert(name.to_string(), relation.schema().clone());
+        self.relations.insert(name.to_string(), relation);
+    }
+
+    /// Whether `name` exists (extensional or derived).
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Whether `name` was declared/imported (as opposed to rule-derived).
+    pub fn is_extensional(&self, name: &str) -> bool {
+        self.extensional.contains_key(name)
+    }
+
+    /// The relation named `name`.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))
+    }
+
+    /// The relation named `name`, or an empty placeholder if it does not
+    /// exist (used for derived relations that produced no tuples).
+    pub fn relation_or_empty(&self, name: &str) -> Relation {
+        self.relations
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(Schema::empty()))
+    }
+
+    /// Inserts a tuple into a relation, creating a derived relation with
+    /// the tuple's own schema on first insertion. Returns `true` when the
+    /// tuple is new.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
+        if let Some(rel) = self.relations.get_mut(name) {
+            return Ok(rel.insert(tuple)?);
+        }
+        let schema = Schema::new(
+            tuple
+                .values()
+                .iter()
+                .map(|v| v.value_type())
+                .collect::<Vec<_>>(),
+        );
+        let mut rel = Relation::new(schema);
+        rel.insert(tuple)?;
+        self.relations.insert(name.to_string(), rel);
+        Ok(true)
+    }
+
+    /// Clears every *derived* relation (before re-running the fixpoint);
+    /// extensional relations and documents are preserved.
+    pub fn clear_derived(&mut self) {
+        self.relations
+            .retain(|name, _| self.extensional.contains_key(name));
+    }
+
+    /// Removes a relation entirely.
+    pub fn remove(&mut self, name: &str) {
+        self.relations.remove(name);
+        self.extensional.remove(name);
+    }
+
+    /// Iterates over `(name, relation)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Splits the database into a shared view of the relations and an
+    /// exclusive handle on the document store — the aliasing pattern of
+    /// plan execution, where IE functions intern documents while scans
+    /// read relations.
+    pub fn split_mut(&mut self) -> (&FxHashMap<String, Relation>, &mut DocumentStore) {
+        (&self.relations, &mut self.docs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spannerlib_core::{Value, ValueType};
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn declare_and_insert() {
+        let mut db = Database::new();
+        db.declare("R", Schema::new(vec![ValueType::Int])).unwrap();
+        assert!(db.insert("R", t(&[1])).unwrap());
+        assert!(!db.insert("R", t(&[1])).unwrap());
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn double_declare_rejected() {
+        let mut db = Database::new();
+        db.declare("R", Schema::new(vec![ValueType::Int])).unwrap();
+        assert!(matches!(
+            db.declare("R", Schema::new(vec![ValueType::Int])),
+            Err(EngineError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn derived_relation_infers_schema() {
+        let mut db = Database::new();
+        db.insert("D", Tuple::new([Value::str("a"), Value::Int(1)]))
+            .unwrap();
+        assert_eq!(
+            db.relation("D").unwrap().schema().types(),
+            &[ValueType::Str, ValueType::Int]
+        );
+        // Later inserts must conform.
+        assert!(db.insert("D", t(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn clear_derived_preserves_extensional() {
+        let mut db = Database::new();
+        db.declare("E", Schema::new(vec![ValueType::Int])).unwrap();
+        db.insert("E", t(&[1])).unwrap();
+        db.insert("D", t(&[2])).unwrap();
+        db.clear_derived();
+        assert!(db.contains("E"));
+        assert_eq!(db.relation("E").unwrap().len(), 1);
+        assert!(!db.contains("D"));
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = Database::new();
+        assert!(matches!(
+            db.relation("nope"),
+            Err(EngineError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn extensional_flag() {
+        let mut db = Database::new();
+        db.declare("E", Schema::new(vec![ValueType::Int])).unwrap();
+        db.insert("D", t(&[1])).unwrap();
+        assert!(db.is_extensional("E"));
+        assert!(!db.is_extensional("D"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Engine error type.
+
+use spannerlib_core::{CoreError, ValueType};
+use spannerlog_parser::ParseError;
+use thiserror::Error;
+
+/// Errors raised while loading or evaluating Spannerlog programs.
+#[derive(Debug, Error)]
+pub enum EngineError {
+    /// Source text failed to parse.
+    #[error(transparent)]
+    Parse(#[from] ParseError),
+
+    /// Core value-model error (span bounds, schema mismatch, …).
+    #[error(transparent)]
+    Core(#[from] CoreError),
+
+    /// Reference to a relation that was never declared, imported, or
+    /// derived by a rule.
+    #[error("unknown relation {0:?}")]
+    UnknownRelation(String),
+
+    /// A body atom's predicate is neither a relation nor a registered IE
+    /// function.
+    #[error("unknown predicate {0:?}: not a relation and not a registered IE function")]
+    UnknownPredicate(String),
+
+    /// Reference to an IE function that is not registered.
+    #[error("unknown IE function {0:?}")]
+    UnknownIeFunction(String),
+
+    /// Reference to an aggregation function that is not registered.
+    #[error("unknown aggregation function {0:?}")]
+    UnknownAggregate(String),
+
+    /// Reference to a conversion function (inside an aggregation term)
+    /// that is not registered.
+    #[error("unknown conversion function {0:?}")]
+    UnknownConversion(String),
+
+    /// A declaration or import collides with an existing relation.
+    #[error("relation {0:?} already exists")]
+    DuplicateRelation(String),
+
+    /// An atom used a relation with the wrong number of arguments.
+    #[error("arity mismatch for {relation:?}: declared {expected}, used with {actual}")]
+    Arity {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity at the use site.
+        actual: usize,
+    },
+
+    /// An IE function was called with the wrong number of inputs.
+    #[error("IE function {function:?} takes {expected} inputs, called with {actual}")]
+    IeArity {
+        /// Function name.
+        function: String,
+        /// Declared input arity.
+        expected: usize,
+        /// Arity at the call site.
+        actual: usize,
+    },
+
+    /// A fact's constant does not match the declared column type.
+    #[error("fact for {relation:?}, column {column}: expected {expected}, got {actual}")]
+    FactType {
+        /// Relation name.
+        relation: String,
+        /// Zero-based column index.
+        column: usize,
+        /// Declared type.
+        expected: ValueType,
+        /// Supplied type.
+        actual: ValueType,
+    },
+
+    /// Rule safety violation (paper §3.1: the semantic safety checker).
+    #[error("unsafe rule (line {line}): {msg}")]
+    Unsafe {
+        /// 1-based source line of the rule head.
+        line: usize,
+        /// Explanation of the violation.
+        msg: String,
+    },
+
+    /// Negation (or aggregation) through recursion — no stratification
+    /// exists.
+    #[error("program is not stratifiable: {0}")]
+    NotStratifiable(String),
+
+    /// An IE callback reported a failure.
+    #[error("IE function {function:?} failed: {msg}")]
+    IeRuntime {
+        /// Function name.
+        function: String,
+        /// Explanation from the callback.
+        msg: String,
+    },
+
+    /// An IE callback returned a row of unexpected arity.
+    #[error("IE function {function:?} returned a row of arity {actual}, atom expects {expected}")]
+    IeOutputArity {
+        /// Function name.
+        function: String,
+        /// Arity expected by the IE atom.
+        expected: usize,
+        /// Arity of the offending returned row.
+        actual: usize,
+    },
+
+    /// A comparison guard applied to incomparable values.
+    #[error("cannot compare {left} with {right}")]
+    Incomparable {
+        /// Type of the left operand.
+        left: ValueType,
+        /// Type of the right operand.
+        right: ValueType,
+    },
+
+    /// An aggregation function failed.
+    #[error("aggregation {function:?} failed: {msg}")]
+    AggRuntime {
+        /// Aggregation function name.
+        function: String,
+        /// Explanation.
+        msg: String,
+    },
+
+    /// DataFrame bridge failure.
+    #[error("dataframe error: {0}")]
+    Frame(#[from] spannerlib_dataframe::FrameError),
+
+    /// A query used in `export` must be a single query statement.
+    #[error("expected a single query statement (e.g. ?R(x, \"c\")), got {0}")]
+    NotAQuery(String),
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

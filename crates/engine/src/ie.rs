@@ -1,0 +1,187 @@
+//! The IE-function framework — pillar 3 of the paper (§3.3).
+//!
+//! An IE function is a **stateless** mapping from an input tuple to a
+//! relation of output tuples. Anything implementing [`IeFunction`] — in
+//! particular, any plain closure registered through
+//! [`crate::Session::register`] — can be called from Spannerlog rules as
+//! an IE atom `f(inputs) -> (outputs)`, turning host code into a callback
+//! of the declarative layer.
+//!
+//! Functions receive an [`IeContext`] giving access to the session's
+//! document store, so they can resolve spans to text and mint spans over
+//! new or existing documents.
+
+use crate::error::{EngineError, Result};
+use spannerlib_core::{DocId, DocumentStore, Span, Value};
+use std::sync::Arc;
+
+/// Execution context handed to every IE call.
+pub struct IeContext<'a> {
+    docs: &'a mut DocumentStore,
+}
+
+impl<'a> IeContext<'a> {
+    /// Wraps a document store.
+    pub fn new(docs: &'a mut DocumentStore) -> Self {
+        IeContext { docs }
+    }
+
+    /// Resolves a span to its substring.
+    pub fn span_text(&self, span: &Span) -> Result<String> {
+        Ok(self.docs.span_text(span)?.to_string())
+    }
+
+    /// Resolves a document id to its full text.
+    pub fn doc_text(&self, id: DocId) -> Result<Arc<str>> {
+        Ok(self.docs.resolve(id)?.clone())
+    }
+
+    /// Interns a text, returning its document id (idempotent).
+    pub fn intern(&mut self, text: &str) -> DocId {
+        self.docs.intern(text)
+    }
+
+    /// Creates a checked span over an interned document.
+    pub fn make_span(&self, doc: DocId, start: usize, end: usize) -> Result<Span> {
+        Ok(self.docs.span(doc, start, end)?)
+    }
+
+    /// Resolves a `str`-or-`span` value to `(text, doc, base_offset)` —
+    /// the common entry point for text-consuming IE functions like `rgx`:
+    /// a string argument is interned (so result spans can reference it),
+    /// a span argument yields its substring with its own document and
+    /// offset so result spans land in the *original* document.
+    pub fn text_argument(&mut self, v: &Value) -> Result<(String, DocId, usize)> {
+        match v {
+            Value::Str(s) => {
+                let doc = self.docs.intern(s);
+                Ok((s.to_string(), doc, 0))
+            }
+            Value::Span(span) => {
+                let text = self.docs.span_text(span)?.to_string();
+                Ok((text, span.doc, span.start_usize()))
+            }
+            other => Err(EngineError::IeRuntime {
+                function: "<text argument>".into(),
+                msg: format!("expected str or span, got {}", other.value_type()),
+            }),
+        }
+    }
+}
+
+/// Output of an IE call: a list of rows.
+pub type IeOutput = Vec<Vec<Value>>;
+
+/// A registered IE function.
+pub trait IeFunction: Send + Sync {
+    /// Number of inputs, or `None` for variadic functions (e.g. `format`).
+    fn input_arity(&self) -> Option<usize>;
+
+    /// Invokes the function on one input tuple. `n_outputs` is the arity
+    /// expected by the calling IE atom — functions with shape-dependent
+    /// output (like `rgx`, whose arity is the pattern's group count) may
+    /// use it for validation.
+    fn call(&self, args: &[Value], n_outputs: usize, ctx: &mut IeContext<'_>) -> Result<IeOutput>;
+}
+
+/// Adapter turning a closure into an [`IeFunction`].
+pub struct ClosureIe<F> {
+    arity: Option<usize>,
+    f: F,
+}
+
+impl<F> ClosureIe<F>
+where
+    F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync,
+{
+    /// Wraps `f` with a fixed (or variadic, `None`) input arity.
+    pub fn new(arity: Option<usize>, f: F) -> Self {
+        ClosureIe { arity, f }
+    }
+}
+
+impl<F> IeFunction for ClosureIe<F>
+where
+    F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync,
+{
+    fn input_arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    fn call(&self, args: &[Value], _n_outputs: usize, ctx: &mut IeContext<'_>) -> Result<IeOutput> {
+        (self.f)(args, ctx)
+    }
+}
+
+/// Helper for boolean *filter* functions (zero outputs): `true` keeps the
+/// binding row, `false` drops it.
+pub fn filter_output(keep: bool) -> IeOutput {
+    if keep {
+        vec![vec![]]
+    } else {
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_interns_and_resolves() {
+        let mut docs = DocumentStore::new();
+        let mut ctx = IeContext::new(&mut docs);
+        let id = ctx.intern("hello world");
+        let span = ctx.make_span(id, 0, 5).unwrap();
+        assert_eq!(ctx.span_text(&span).unwrap(), "hello");
+        assert_eq!(ctx.doc_text(id).unwrap().as_ref(), "hello world");
+    }
+
+    #[test]
+    fn text_argument_interns_strings() {
+        let mut docs = DocumentStore::new();
+        let mut ctx = IeContext::new(&mut docs);
+        let (text, doc, base) = ctx.text_argument(&Value::str("abc")).unwrap();
+        assert_eq!(text, "abc");
+        assert_eq!(base, 0);
+        assert_eq!(docs.text(doc), "abc");
+    }
+
+    #[test]
+    fn text_argument_offsets_spans() {
+        let mut docs = DocumentStore::new();
+        let id = docs.intern("xxabcxx");
+        let span = docs.span(id, 2, 5).unwrap();
+        let mut ctx = IeContext::new(&mut docs);
+        let (text, doc, base) = ctx.text_argument(&Value::Span(span)).unwrap();
+        assert_eq!(text, "abc");
+        assert_eq!(doc, id);
+        assert_eq!(base, 2);
+    }
+
+    #[test]
+    fn text_argument_rejects_ints() {
+        let mut docs = DocumentStore::new();
+        let mut ctx = IeContext::new(&mut docs);
+        assert!(ctx.text_argument(&Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn closure_adapter() {
+        let f = ClosureIe::new(Some(1), |args: &[Value], _ctx: &mut IeContext<'_>| {
+            let n = args[0].as_int().unwrap();
+            Ok((0..n).map(|i| vec![Value::Int(i)]).collect())
+        });
+        let mut docs = DocumentStore::new();
+        let mut ctx = IeContext::new(&mut docs);
+        let out = f.call(&[Value::Int(3)], 1, &mut ctx).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(f.input_arity(), Some(1));
+    }
+
+    #[test]
+    fn filter_output_shapes() {
+        assert_eq!(filter_output(true), vec![Vec::<Value>::new()]);
+        assert!(filter_output(false).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # spannerlog-engine
+//!
+//! The Spannerlog evaluation engine — pillar 1 of the paper, plus the
+//! [`Session`] embedding API of pillars 2 and 3.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  source cell ──parse──▶ AST ──safety──▶ RulePlan ──stratify──▶ strata
+//!                                            │                    │
+//!            IE registry (builtins + host closures)         eval (naive /
+//!                                            │               semi-naive)
+//!                                            ▼                    │
+//!                             binding-row pipeline ◀──────────────┘
+//!                      (scan-join · IE call · negation · compare)
+//!                                            │
+//!                              head projection / aggregation
+//! ```
+//!
+//! * [`safety`] implements the paper's semantic safety checker, which
+//!   also derives the IE execution order inside each rule body (§3.1).
+//! * [`strata`] stratifies negation and aggregation (extensions beyond
+//!   the paper's core, documented in DESIGN.md).
+//! * [`eval`] provides naive bottom-up evaluation — the algorithm the
+//!   paper's implementation uses — and the semi-naive refinement, kept
+//!   observationally equivalent (property-tested) and compared in the
+//!   benches.
+//! * [`builtins`] registers the `rgx` family and the string/span/number
+//!   helper functions the paper's examples assume.
+//! * [`Session`] is the host-facing object: import/export DataFrames,
+//!   run cells, register IE callbacks.
+
+pub mod aggregate;
+pub mod builtins;
+pub mod database;
+pub mod error;
+pub mod eval;
+pub mod ie;
+pub mod plan;
+pub mod query;
+pub mod registry;
+pub mod safety;
+pub mod session;
+pub mod strata;
+
+pub use database::Database;
+pub use error::{EngineError, Result};
+pub use eval::{EvalStats, EvalStrategy};
+pub use ie::{filter_output, IeContext, IeFunction, IeOutput};
+pub use registry::Registry;
+pub use session::Session;

@@ -1,0 +1,437 @@
+//! Compiled rule plans and their execution.
+//!
+//! A [`RulePlan`] is a rule whose body has been reordered by the safety
+//! checker ([`crate::safety`]) into an executable pipeline over *binding
+//! rows* — partial assignments of the rule's variables (`None` =
+//! unbound). Each [`Step`] either extends the bindings (relation
+//! scan-join, IE call) or filters them (negation, comparison, zero-output
+//! IE call).
+
+use crate::error::{EngineError, Result};
+use crate::ie::IeContext;
+use crate::registry::Registry;
+use rustc_hash::{FxHashMap, FxHashSet};
+use spannerlib_core::{DocumentStore, Relation, Tuple, Value};
+use spannerlog_parser::CmpOp;
+
+/// A term resolved against the rule's variable table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PTerm {
+    /// Variable with index into the binding row.
+    Var(usize),
+    /// A constant value.
+    Const(Value),
+    /// `_` — matches anything, binds nothing.
+    Wildcard,
+}
+
+/// One pipeline step.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Join current bindings with a stored relation.
+    Scan {
+        /// Relation to scan.
+        relation: String,
+        /// One term per relation column.
+        terms: Vec<PTerm>,
+    },
+    /// Call an IE function for each binding row and join its output.
+    Ie {
+        /// Function name (for diagnostics).
+        function: String,
+        /// Input terms (bound vars / constants — guaranteed by safety).
+        inputs: Vec<PTerm>,
+        /// Output terms (new vars bind; bound vars/constants filter).
+        outputs: Vec<PTerm>,
+    },
+    /// Drop rows for which a matching tuple exists.
+    Negation {
+        /// Relation that must *not* contain a match.
+        relation: String,
+        /// One term per column (all vars bound; wildcards allowed).
+        terms: Vec<PTerm>,
+    },
+    /// Drop rows failing a comparison (all vars bound).
+    Compare {
+        /// Left operand.
+        left: PTerm,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: PTerm,
+    },
+}
+
+/// A head output column.
+#[derive(Debug, Clone)]
+pub enum HeadOut {
+    /// Project a bound variable.
+    Var(usize),
+    /// Emit a constant.
+    Const(Value),
+    /// Aggregate a variable within each group.
+    Aggregate {
+        /// Aggregation function name.
+        func: String,
+        /// Conversion chain as written (outermost first).
+        conversions: Vec<String>,
+        /// Index of the aggregated variable.
+        var: usize,
+    },
+}
+
+/// An executable rule.
+#[derive(Debug, Clone)]
+pub struct RulePlan {
+    /// Head predicate.
+    pub head_predicate: String,
+    /// Ordered pipeline.
+    pub steps: Vec<Step>,
+    /// Head projection (aggregates trigger the group-by path).
+    pub head: Vec<HeadOut>,
+    /// Variable names by index (diagnostics).
+    pub var_names: Vec<String>,
+    /// Source line of the rule.
+    pub line: usize,
+    /// `(predicate, through_negation_or_aggregation)` dependencies for
+    /// stratification.
+    pub dependencies: Vec<(String, bool)>,
+}
+
+impl RulePlan {
+    /// Whether the plan has any aggregate head column.
+    pub fn has_aggregation(&self) -> bool {
+        self.head
+            .iter()
+            .any(|h| matches!(h, HeadOut::Aggregate { .. }))
+    }
+}
+
+/// A binding row: `None` = variable not yet bound.
+type Row = Vec<Option<Value>>;
+
+/// Executes `plan` against the given relations, returning the derived
+/// head tuples. `delta_at`, when set, makes the scan at that step index
+/// read from `deltas` instead of `relations` (semi-naive evaluation).
+pub fn execute(
+    plan: &RulePlan,
+    relations: &FxHashMap<String, Relation>,
+    docs: &mut DocumentStore,
+    registry: &Registry,
+    delta_at: Option<usize>,
+    deltas: &FxHashMap<String, Relation>,
+) -> Result<Vec<Tuple>> {
+    let n_vars = plan.var_names.len();
+    let empty = Relation::new(spannerlib_core::Schema::empty());
+    let mut rows: Vec<Row> = vec![vec![None; n_vars]];
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        match step {
+            Step::Scan { relation, terms } => {
+                let rel = if delta_at == Some(i) {
+                    deltas.get(relation.as_str()).unwrap_or(&empty)
+                } else {
+                    relations.get(relation.as_str()).unwrap_or(&empty)
+                };
+                rows = scan_join(rows, rel, terms, relation)?;
+            }
+            Step::Ie {
+                function,
+                inputs,
+                outputs,
+            } => {
+                let f = registry.ie(function)?.clone();
+                let mut next = Vec::new();
+                for row in rows {
+                    let args: Vec<Value> = inputs
+                        .iter()
+                        .map(|t| match t {
+                            PTerm::Var(v) => row[*v].clone().expect("safety: inputs bound"),
+                            PTerm::Const(c) => c.clone(),
+                            PTerm::Wildcard => unreachable!("safety rejects wildcard inputs"),
+                        })
+                        .collect();
+                    let mut ctx = IeContext::new(docs);
+                    let out_rows = f.call(&args, outputs.len(), &mut ctx)?;
+                    for out in out_rows {
+                        if out.len() != outputs.len() {
+                            return Err(EngineError::IeOutputArity {
+                                function: function.clone(),
+                                expected: outputs.len(),
+                                actual: out.len(),
+                            });
+                        }
+                        if let Some(extended) = unify_values(&row, outputs, &out) {
+                            next.push(extended);
+                        }
+                    }
+                }
+                rows = dedupe(next);
+            }
+            Step::Negation { relation, terms } => {
+                let rel = relations.get(relation.as_str()).unwrap_or(&empty);
+                rows.retain(|row| !exists_match(rel, terms, row));
+            }
+            Step::Compare { left, op, right } => {
+                let mut filtered = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let keep = {
+                        let a = term_value(left, &row);
+                        let b = term_value(right, &row);
+                        compare(a, b, *op)?
+                    };
+                    if keep {
+                        filtered.push(row);
+                    }
+                }
+                rows = filtered;
+            }
+        }
+    }
+
+    project_head(plan, rows, docs, registry)
+}
+
+fn term_value<'r>(t: &'r PTerm, row: &'r Row) -> &'r Value {
+    match t {
+        PTerm::Var(v) => row[*v].as_ref().expect("safety: comparison vars bound"),
+        PTerm::Const(c) => c,
+        PTerm::Wildcard => unreachable!("safety rejects wildcard comparison operands"),
+    }
+}
+
+fn compare(a: &Value, b: &Value, op: CmpOp) -> Result<bool> {
+    use std::cmp::Ordering;
+    let ord: Ordering = match (a, b) {
+        // Numeric cross-type comparison promotes to float.
+        (Value::Int(x), Value::Float(y)) => (*x as f64).total_cmp(y),
+        (Value::Float(x), Value::Int(y)) => x.total_cmp(&(*y as f64)),
+        _ if a.value_type() == b.value_type() => a.cmp(b),
+        _ => {
+            // Eq/Neq across types are well-defined (always unequal);
+            // ordering across types is a type error.
+            return match op {
+                CmpOp::Eq => Ok(false),
+                CmpOp::Neq => Ok(true),
+                _ => Err(EngineError::Incomparable {
+                    left: a.value_type(),
+                    right: b.value_type(),
+                }),
+            };
+        }
+    };
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Neq => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+/// Hash join of binding rows with a relation.
+///
+/// Columns whose term is a constant or an already-bound variable form the
+/// join key; remaining variable columns bind new variables (repeated new
+/// variables unify left-to-right). The bound-variable set is uniform
+/// across rows at any step, so it is read off the first row.
+fn scan_join(rows: Vec<Row>, rel: &Relation, terms: &[PTerm], relation: &str) -> Result<Vec<Row>> {
+    let bound: Vec<bool> = rows[0].iter().map(Option::is_some).collect();
+
+    let mut key_cols: Vec<usize> = Vec::new();
+    for (c, t) in terms.iter().enumerate() {
+        match t {
+            PTerm::Const(_) => key_cols.push(c),
+            PTerm::Var(v) if bound[*v] => key_cols.push(c),
+            _ => {}
+        }
+    }
+
+    // Build an index over relation tuples keyed by the join columns.
+    let mut index: FxHashMap<Vec<&Value>, Vec<&Tuple>> = FxHashMap::default();
+    'tuples: for tuple in rel.iter() {
+        if tuple.arity() != terms.len() {
+            return Err(EngineError::Arity {
+                relation: relation.to_string(),
+                expected: terms.len(),
+                actual: tuple.arity(),
+            });
+        }
+        for &c in &key_cols {
+            if let PTerm::Const(v) = &terms[c] {
+                if &tuple[c] != v {
+                    continue 'tuples;
+                }
+            }
+        }
+        let key: Vec<&Value> = key_cols.iter().map(|&c| &tuple[c]).collect();
+        index.entry(key).or_default().push(tuple);
+    }
+
+    let mut out = Vec::new();
+    for row in &rows {
+        let key: Vec<&Value> = key_cols
+            .iter()
+            .map(|&c| match &terms[c] {
+                PTerm::Const(v) => v,
+                PTerm::Var(v) => row[*v].as_ref().expect("key col is bound"),
+                PTerm::Wildcard => unreachable!("wildcards are not key columns"),
+            })
+            .collect();
+        let Some(candidates) = index.get(&key) else {
+            continue;
+        };
+        for tuple in candidates {
+            if let Some(extended) = unify_values(row, terms, tuple.values()) {
+                out.push(extended);
+            }
+        }
+    }
+    Ok(dedupe(out))
+}
+
+/// Unifies concrete `values` against `terms`, extending `row` where a
+/// variable is unbound and filtering where it is bound or constant.
+fn unify_values(row: &Row, terms: &[PTerm], values: &[Value]) -> Option<Row> {
+    let mut extended = row.clone();
+    for (c, t) in terms.iter().enumerate() {
+        match t {
+            PTerm::Wildcard => {}
+            PTerm::Const(v) => {
+                if &values[c] != v {
+                    return None;
+                }
+            }
+            PTerm::Var(v) => match &extended[*v] {
+                Some(existing) => {
+                    if existing != &values[c] {
+                        return None;
+                    }
+                }
+                None => extended[*v] = Some(values[c].clone()),
+            },
+        }
+    }
+    Some(extended)
+}
+
+fn exists_match(rel: &Relation, terms: &[PTerm], row: &Row) -> bool {
+    rel.iter().any(|tuple| {
+        tuple.arity() == terms.len()
+            && terms.iter().enumerate().all(|(c, t)| match t {
+                PTerm::Wildcard => true,
+                PTerm::Const(v) => &tuple[c] == v,
+                PTerm::Var(v) => Some(&tuple[c]) == row[*v].as_ref(),
+            })
+    })
+}
+
+fn dedupe(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        if seen.insert(r.clone()) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Projects binding rows through the head, grouping if any aggregate
+/// column is present.
+fn project_head(
+    plan: &RulePlan,
+    rows: Vec<Row>,
+    docs: &mut DocumentStore,
+    registry: &Registry,
+) -> Result<Vec<Tuple>> {
+    let var_value = |row: &Row, v: usize| -> Value {
+        row[v].clone().expect("safety: head vars bound")
+    };
+
+    if !plan.has_aggregation() {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            out.push(Tuple::new(plan.head.iter().map(|h| match h {
+                HeadOut::Var(v) => var_value(&row, *v),
+                HeadOut::Const(c) => c.clone(),
+                HeadOut::Aggregate { .. } => unreachable!("no aggregation"),
+            })));
+        }
+        return Ok(out);
+    }
+
+    // Group-by: key = non-aggregate head columns; each aggregate folds
+    // the distinct (key, agg-vars) projections (set semantics — see
+    // DESIGN.md §4 "aggregation semantics").
+    let agg_vars: Vec<usize> = plan
+        .head
+        .iter()
+        .filter_map(|h| match h {
+            HeadOut::Aggregate { var, .. } => Some(*var),
+            _ => None,
+        })
+        .collect();
+
+    let mut groups: FxHashMap<Vec<Value>, Vec<Vec<Value>>> = FxHashMap::default();
+    let mut seen: FxHashSet<(Vec<Value>, Vec<Value>)> = FxHashSet::default();
+    let mut group_order: Vec<Vec<Value>> = Vec::new();
+    for row in &rows {
+        let key: Vec<Value> = plan
+            .head
+            .iter()
+            .filter_map(|h| match h {
+                HeadOut::Var(v) => Some(var_value(row, *v)),
+                HeadOut::Const(c) => Some(c.clone()),
+                HeadOut::Aggregate { .. } => None,
+            })
+            .collect();
+        let aggs: Vec<Value> = agg_vars.iter().map(|&v| var_value(row, v)).collect();
+        if seen.insert((key.clone(), aggs.clone())) {
+            if !groups.contains_key(&key) {
+                group_order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(aggs);
+        }
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for key in group_order {
+        let members = &groups[&key];
+        let mut tuple: Vec<Value> = Vec::with_capacity(plan.head.len());
+        let mut key_iter = key.iter();
+        let mut agg_idx = 0usize;
+        for h in &plan.head {
+            match h {
+                HeadOut::Var(_) | HeadOut::Const(_) => {
+                    tuple.push(key_iter.next().expect("key arity").clone());
+                }
+                HeadOut::Aggregate {
+                    func, conversions, ..
+                } => {
+                    let mut values: Vec<Value> =
+                        members.iter().map(|m| m[agg_idx].clone()).collect();
+                    // Conversions apply innermost-first; they are stored
+                    // outermost-first as written.
+                    for conv_name in conversions.iter().rev() {
+                        let conv = registry.conversion(conv_name)?;
+                        let ctx = IeContext::new(docs);
+                        values = values
+                            .iter()
+                            .map(|v| conv.convert(v, &ctx))
+                            .collect::<Result<_>>()?;
+                    }
+                    let agg = registry.aggregate(func)?;
+                    tuple.push(agg.apply(&values)?);
+                    agg_idx += 1;
+                }
+            }
+        }
+        out.push(Tuple::new(tuple));
+    }
+    Ok(out)
+}

@@ -1,0 +1,180 @@
+//! Query evaluation: `?R(usr, "gmail")` → DataFrame.
+//!
+//! Query terms follow the paper's §3.2 export syntax: constants and
+//! wildcards *filter* the relation, variables *project* columns. A
+//! repeated variable adds an equality constraint and projects once. A
+//! variable-free query returns a single boolean column reporting whether
+//! any tuple matched.
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::safety::constant_value;
+use rustc_hash::FxHashMap;
+use spannerlib_core::{Relation, Schema, Tuple, Value};
+use spannerlib_dataframe::DataFrame;
+use spannerlog_parser::{Query, Term};
+
+/// Evaluates `query` against (already fixpointed) `db`.
+pub fn run_query(db: &Database, query: &Query) -> Result<DataFrame> {
+    let relation = match db.relation(&query.predicate) {
+        Ok(r) => r.clone(),
+        // A derived relation that produced no tuples does not exist in
+        // the database; treat as empty rather than unknown if some rule
+        // could have produced it — the session layer passes only resolved
+        // queries, so map unknown to an empty result with the right shape.
+        Err(EngineError::UnknownRelation(_)) => Relation::new(Schema::empty()),
+        Err(e) => return Err(e),
+    };
+
+    if !relation.schema().is_empty() && relation.schema().arity() != query.terms.len() {
+        return Err(EngineError::Arity {
+            relation: query.predicate.clone(),
+            expected: relation.schema().arity(),
+            actual: query.terms.len(),
+        });
+    }
+
+    // Column plan: projected variables in first-occurrence order.
+    let mut var_cols: Vec<(String, usize)> = Vec::new();
+    let mut seen: FxHashMap<&str, usize> = FxHashMap::default();
+    for (i, t) in query.terms.iter().enumerate() {
+        if let Term::Variable(v) = t {
+            if !seen.contains_key(v.as_str()) {
+                seen.insert(v, i);
+                var_cols.push((v.clone(), i));
+            }
+        }
+    }
+
+    let matches = |tuple: &Tuple| -> bool {
+        query.terms.iter().enumerate().all(|(i, t)| match t {
+            Term::Wildcard => true,
+            Term::Const(c) => tuple[i] == constant_value(c),
+            Term::Variable(v) => {
+                // Repeated variables force equality with first occurrence.
+                let first = seen[v.as_str()];
+                tuple[i] == tuple[first]
+            }
+        })
+    };
+
+    if var_cols.is_empty() {
+        // Boolean query.
+        let holds = relation.iter().any(matches);
+        return Ok(DataFrame::from_rows(
+            vec!["result".to_string()],
+            vec![vec![Value::Bool(holds)]],
+        )?);
+    }
+
+    let names: Vec<String> = var_cols.iter().map(|(v, _)| v.clone()).collect();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for tuple in relation.sorted_tuples() {
+        if matches(&tuple) {
+            rows.push(var_cols.iter().map(|&(_, i)| tuple[i].clone()).collect());
+        }
+    }
+    if rows.is_empty() {
+        // Typed empty frame is impossible without tuples; fall back to
+        // string columns, documenting the convention.
+        return Ok(DataFrame::new(
+            names
+                .into_iter()
+                .map(|n| (n, spannerlib_core::ValueType::Str))
+                .collect(),
+        )?);
+    }
+    Ok(DataFrame::from_rows(names, rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spannerlib_core::ValueType;
+    use spannerlog_parser::{parse_program, Statement};
+
+    fn query(src: &str) -> Query {
+        match parse_program(src).unwrap().statements.remove(0) {
+            Statement::Query(q) => q,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.declare(
+            "R",
+            Schema::new(vec![ValueType::Str, ValueType::Str]),
+        )
+        .unwrap();
+        for (a, b) in [("ann", "gmail"), ("bob", "work"), ("eve", "gmail")] {
+            db.insert("R", Tuple::new([Value::str(a), Value::str(b)]))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn constant_filters_variable_projects() {
+        let df = run_query(&sample_db(), &query("?R(usr, \"gmail\")")).unwrap();
+        assert_eq!(df.column_names(), &["usr"]);
+        let users: Vec<Value> = df.iter_rows().map(|r| r[0].clone()).collect();
+        assert_eq!(users, vec![Value::str("ann"), Value::str("eve")]);
+    }
+
+    #[test]
+    fn wildcard_matches_anything() {
+        let df = run_query(&sample_db(), &query("?R(usr, _)")).unwrap();
+        assert_eq!(df.num_rows(), 3);
+    }
+
+    #[test]
+    fn full_projection_sorted() {
+        let df = run_query(&sample_db(), &query("?R(u, d)")).unwrap();
+        assert_eq!(df.column_names(), &["u", "d"]);
+        assert_eq!(df.get(0, 0), Some(Value::str("ann")));
+    }
+
+    #[test]
+    fn repeated_variable_is_equality() {
+        let mut db = Database::new();
+        db.declare("P", Schema::new(vec![ValueType::Int, ValueType::Int]))
+            .unwrap();
+        db.insert("P", Tuple::new([Value::Int(1), Value::Int(1)]))
+            .unwrap();
+        db.insert("P", Tuple::new([Value::Int(1), Value::Int(2)]))
+            .unwrap();
+        let df = run_query(&db, &query("?P(x, x)")).unwrap();
+        assert_eq!(df.num_rows(), 1);
+        assert_eq!(df.column_names(), &["x"]);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let df = run_query(&sample_db(), &query("?R(\"ann\", \"gmail\")")).unwrap();
+        assert_eq!(df.get(0, 0), Some(Value::Bool(true)));
+        let df = run_query(&sample_db(), &query("?R(\"ann\", \"work\")")).unwrap();
+        assert_eq!(df.get(0, 0), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn empty_result_has_columns() {
+        let df = run_query(&sample_db(), &query("?R(u, \"none\")")).unwrap();
+        assert_eq!(df.num_rows(), 0);
+        assert_eq!(df.column_names(), &["u"]);
+    }
+
+    #[test]
+    fn missing_relation_is_empty() {
+        let df = run_query(&Database::new(), &query("?Nothing(x)")).unwrap();
+        assert_eq!(df.num_rows(), 0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        assert!(matches!(
+            run_query(&sample_db(), &query("?R(x)")),
+            Err(EngineError::Arity { .. })
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Registries for IE functions, aggregation functions, and conversions.
+
+use crate::aggregate::{builtin_aggregates, builtin_conversions, AggFunction, Conversion};
+use crate::builtins::install_builtins;
+use crate::error::{EngineError, Result};
+use crate::ie::{ClosureIe, IeContext, IeFunction, IeOutput};
+use rustc_hash::FxHashMap;
+use spannerlib_core::Value;
+use std::sync::Arc;
+
+/// The session-wide registry of callable host functionality.
+pub struct Registry {
+    ie: FxHashMap<String, Arc<dyn IeFunction>>,
+    aggregates: FxHashMap<String, Arc<dyn AggFunction>>,
+    conversions: FxHashMap<String, Arc<dyn Conversion>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry pre-populated with the builtin IE functions (`rgx`
+    /// family, string/span/arithmetic helpers) and builtin aggregations
+    /// (`count`, `sum`, `min`, `max`, `avg`, `lex_concat`).
+    pub fn new() -> Self {
+        let mut r = Registry {
+            ie: FxHashMap::default(),
+            aggregates: FxHashMap::default(),
+            conversions: FxHashMap::default(),
+        };
+        install_builtins(&mut r);
+        for (name, agg) in builtin_aggregates() {
+            r.aggregates.insert(name, agg);
+        }
+        for (name, conv) in builtin_conversions() {
+            r.conversions.insert(name, conv);
+        }
+        r
+    }
+
+    /// Registers (or replaces) an IE function object.
+    pub fn register_ie(&mut self, name: &str, f: Arc<dyn IeFunction>) {
+        self.ie.insert(name.to_string(), f);
+    }
+
+    /// Registers a closure as an IE function — the `session.register(foo,
+    /// …)` of the paper's §3.3. `arity` is the input arity (`None` =
+    /// variadic).
+    pub fn register_closure<F>(&mut self, name: &str, arity: Option<usize>, f: F)
+    where
+        F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
+    {
+        self.register_ie(name, Arc::new(ClosureIe::new(arity, f)));
+    }
+
+    /// Looks up an IE function.
+    pub fn ie(&self, name: &str) -> Result<&Arc<dyn IeFunction>> {
+        self.ie
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownIeFunction(name.to_string()))
+    }
+
+    /// Whether an IE function named `name` exists.
+    pub fn has_ie(&self, name: &str) -> bool {
+        self.ie.contains_key(name)
+    }
+
+    /// Registers (or replaces) an aggregation function.
+    pub fn register_aggregate(&mut self, name: &str, f: Arc<dyn AggFunction>) {
+        self.aggregates.insert(name.to_string(), f);
+    }
+
+    /// Looks up an aggregation function.
+    pub fn aggregate(&self, name: &str) -> Result<&Arc<dyn AggFunction>> {
+        self.aggregates
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownAggregate(name.to_string()))
+    }
+
+    /// Registers (or replaces) a conversion function usable inside
+    /// aggregation terms.
+    pub fn register_conversion(&mut self, name: &str, f: Arc<dyn Conversion>) {
+        self.conversions.insert(name.to_string(), f);
+    }
+
+    /// Looks up a conversion function.
+    pub fn conversion(&self, name: &str) -> Result<&Arc<dyn Conversion>> {
+        self.conversions
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownConversion(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ie::filter_output;
+    use spannerlib_core::DocumentStore;
+
+    #[test]
+    fn builtins_present() {
+        let r = Registry::new();
+        for f in ["rgx", "rgx_string", "rgx_all", "concat", "contains", "format"] {
+            assert!(r.has_ie(f), "missing builtin {f}");
+        }
+        for a in ["count", "sum", "min", "max", "avg", "lex_concat"] {
+            assert!(r.aggregate(a).is_ok(), "missing aggregate {a}");
+        }
+        assert!(r.conversion("str").is_ok());
+    }
+
+    #[test]
+    fn closure_registration_and_call() {
+        let mut r = Registry::new();
+        r.register_closure("is_even", Some(1), |args, _ctx| {
+            Ok(filter_output(args[0].as_int().unwrap() % 2 == 0))
+        });
+        let f = r.ie("is_even").unwrap().clone();
+        let mut docs = DocumentStore::new();
+        let mut ctx = IeContext::new(&mut docs);
+        assert_eq!(f.call(&[Value::Int(4)], 0, &mut ctx).unwrap().len(), 1);
+        assert_eq!(f.call(&[Value::Int(3)], 0, &mut ctx).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let r = Registry::new();
+        assert!(matches!(
+            r.ie("nope"),
+            Err(EngineError::UnknownIeFunction(_))
+        ));
+        assert!(matches!(
+            r.aggregate("nope"),
+            Err(EngineError::UnknownAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn user_function_can_shadow_builtin() {
+        let mut r = Registry::new();
+        r.register_closure("concat", Some(1), |_args, _ctx| Ok(vec![]));
+        assert_eq!(r.ie("concat").unwrap().input_arity(), Some(1));
+    }
+}

@@ -1,0 +1,521 @@
+//! The semantic safety checker (paper §3.1).
+//!
+//! "Spannerlog requires a more intricate definition of rule safety, which
+//! in turn determines IE function execution order within a rule" — this
+//! module implements that analysis, following the safety definitions of
+//! Nahshon, Peterfreund & Vansummeren (WebDB 2016):
+//!
+//! 1. every variable of an IE atom's **input** must be bound by other
+//!    body elements scheduled before it;
+//! 2. every variable of a negated atom or comparison must be bound;
+//! 3. every head variable (including aggregated ones) must be bound by
+//!    the positive body.
+//!
+//! The checker greedily schedules body elements (source order among the
+//! schedulable), which simultaneously *derives the IE execution order*
+//! and rejects unsafe rules — e.g. circular IE dependencies such as
+//! `f(x) -> (y), g(y) -> (x)` with neither `x` nor `y` otherwise bound.
+//!
+//! Atoms written relation-style whose predicate is actually a registered
+//! IE function (`contains(pos, s)` in the paper's §4.1) are rewritten
+//! into zero-output IE atoms here.
+
+use crate::error::{EngineError, Result};
+use crate::plan::{HeadOut, PTerm, RulePlan, Step};
+use crate::registry::Registry;
+use rustc_hash::{FxHashMap, FxHashSet};
+use spannerlib_core::Value;
+use spannerlog_parser::{BodyElem, Constant, HeadTerm, Rule, Term};
+
+/// Converts a parsed constant into an engine value.
+pub fn constant_value(c: &Constant) -> Value {
+    match c {
+        Constant::Str(s) => Value::str(s.as_str()),
+        Constant::Int(i) => Value::Int(*i),
+        Constant::Float(f) => Value::Float(*f),
+        Constant::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// Context the checker needs: which names are relations (declared or any
+/// rule head) — everything else must be an IE function.
+pub struct SafetyContext<'a> {
+    /// Names that resolve to stored relations.
+    pub relations: &'a FxHashSet<String>,
+    /// The IE/aggregation registry.
+    pub registry: &'a Registry,
+}
+
+/// Analyzes one rule: checks safety and produces the executable plan.
+pub fn analyze(rule: &Rule, ctx: &SafetyContext<'_>) -> Result<RulePlan> {
+    let unsafe_err = |msg: String| EngineError::Unsafe {
+        line: rule.line,
+        msg,
+    };
+
+    // Variable table: name → index, in first-mention order (head first so
+    // diagnostics read naturally).
+    let mut vars: FxHashMap<String, usize> = FxHashMap::default();
+    let mut var_names: Vec<String> = Vec::new();
+    let var_index = |name: &str, vars: &mut FxHashMap<String, usize>,
+                         var_names: &mut Vec<String>| {
+        if let Some(&i) = vars.get(name) {
+            return i;
+        }
+        let i = var_names.len();
+        vars.insert(name.to_string(), i);
+        var_names.push(name.to_string());
+        i
+    };
+
+    // Resolve body elements, rewriting relation-style atoms over IE
+    // function names into zero-output IE atoms (filters).
+    #[derive(Debug)]
+    enum Elem {
+        Scan {
+            relation: String,
+            terms: Vec<Term>,
+        },
+        Ie {
+            function: String,
+            inputs: Vec<Term>,
+            outputs: Vec<Term>,
+        },
+        Neg {
+            relation: String,
+            terms: Vec<Term>,
+        },
+        Cmp {
+            left: Term,
+            op: spannerlog_parser::CmpOp,
+            right: Term,
+        },
+    }
+
+    let mut elems: Vec<Elem> = Vec::new();
+    for b in &rule.body {
+        match b {
+            BodyElem::Relation(a) => {
+                if ctx.relations.contains(&a.predicate) {
+                    elems.push(Elem::Scan {
+                        relation: a.predicate.clone(),
+                        terms: a.terms.clone(),
+                    });
+                } else if ctx.registry.has_ie(&a.predicate) {
+                    elems.push(Elem::Ie {
+                        function: a.predicate.clone(),
+                        inputs: a.terms.clone(),
+                        outputs: Vec::new(),
+                    });
+                } else {
+                    return Err(EngineError::UnknownPredicate(a.predicate.clone()));
+                }
+            }
+            BodyElem::Negated(a) => {
+                if !ctx.relations.contains(&a.predicate) {
+                    return Err(EngineError::UnknownRelation(a.predicate.clone()));
+                }
+                elems.push(Elem::Neg {
+                    relation: a.predicate.clone(),
+                    terms: a.terms.clone(),
+                });
+            }
+            BodyElem::Ie(ie) => {
+                if !ctx.registry.has_ie(&ie.function) {
+                    return Err(EngineError::UnknownIeFunction(ie.function.clone()));
+                }
+                // Static input-arity check when declared.
+                if let Some(expected) = ctx.registry.ie(&ie.function)?.input_arity() {
+                    if ie.inputs.len() != expected {
+                        return Err(EngineError::IeArity {
+                            function: ie.function.clone(),
+                            expected,
+                            actual: ie.inputs.len(),
+                        });
+                    }
+                }
+                // Wildcards cannot be IE inputs (nothing to pass).
+                if ie.inputs.iter().any(|t| matches!(t, Term::Wildcard)) {
+                    return Err(unsafe_err(format!(
+                        "IE function {:?} has a wildcard input",
+                        ie.function
+                    )));
+                }
+                elems.push(Elem::Ie {
+                    function: ie.function.clone(),
+                    inputs: ie.inputs.clone(),
+                    outputs: ie.outputs.clone(),
+                });
+            }
+            BodyElem::Comparison { left, op, right } => elems.push(Elem::Cmp {
+                left: left.clone(),
+                op: *op,
+                right: right.clone(),
+            }),
+        }
+    }
+
+    let term_vars = |terms: &[Term]| -> Vec<String> {
+        terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Variable(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect()
+    };
+
+    // Greedy scheduling: repeatedly pick the first schedulable element.
+    let mut bound: FxHashSet<String> = FxHashSet::default();
+    let mut scheduled: Vec<Elem> = Vec::new();
+    let mut pending: Vec<Elem> = elems;
+    while !pending.is_empty() {
+        let pick = pending.iter().position(|e| match e {
+            Elem::Scan { .. } => true,
+            Elem::Ie { inputs, .. } => {
+                term_vars(inputs).iter().all(|v| bound.contains(v))
+            }
+            Elem::Neg { terms, .. } => term_vars(terms).iter().all(|v| bound.contains(v)),
+            Elem::Cmp { left, right, .. } => {
+                let mut ts = Vec::new();
+                if let Term::Variable(v) = left {
+                    ts.push(v.clone());
+                }
+                if let Term::Variable(v) = right {
+                    ts.push(v.clone());
+                }
+                ts.iter().all(|v| bound.contains(v))
+            }
+        });
+        let Some(i) = pick else {
+            let blocked: Vec<String> = pending
+                .iter()
+                .map(|e| match e {
+                    Elem::Scan { relation, .. } => relation.clone(),
+                    Elem::Ie {
+                        function, inputs, ..
+                    } => {
+                        let missing: Vec<String> = term_vars(inputs)
+                            .into_iter()
+                            .filter(|v| !bound.contains(v))
+                            .collect();
+                        format!("{function} (unbound inputs: {})", missing.join(", "))
+                    }
+                    Elem::Neg { relation, terms } => {
+                        let missing: Vec<String> = term_vars(terms)
+                            .into_iter()
+                            .filter(|v| !bound.contains(v))
+                            .collect();
+                        format!("not {relation} (unbound: {})", missing.join(", "))
+                    }
+                    Elem::Cmp { left, op, right } => format!("{left} {op} {right}"),
+                })
+                .collect();
+            return Err(unsafe_err(format!(
+                "no safe evaluation order: cannot schedule {}",
+                blocked.join("; ")
+            )));
+        };
+        let e = pending.remove(i);
+        match &e {
+            Elem::Scan { terms, .. } => {
+                for v in term_vars(terms) {
+                    bound.insert(v);
+                }
+            }
+            Elem::Ie { outputs, .. } => {
+                for v in term_vars(outputs) {
+                    bound.insert(v);
+                }
+            }
+            Elem::Neg { .. } | Elem::Cmp { .. } => {}
+        }
+        scheduled.push(e);
+    }
+
+    // Head checks: wildcards rejected; every variable bound.
+    let mut head: Vec<HeadOut> = Vec::new();
+    for t in &rule.head_terms {
+        match t {
+            HeadTerm::Term(Term::Wildcard) => {
+                return Err(unsafe_err("wildcard in rule head".into()))
+            }
+            HeadTerm::Term(Term::Variable(v)) => {
+                if !bound.contains(v) {
+                    return Err(unsafe_err(format!(
+                        "head variable {v:?} is not bound by the body"
+                    )));
+                }
+                head.push(HeadOut::Var(var_index(v, &mut vars, &mut var_names)));
+            }
+            HeadTerm::Term(Term::Const(c)) => head.push(HeadOut::Const(constant_value(c))),
+            HeadTerm::Aggregate {
+                func,
+                conversions,
+                var,
+            } => {
+                // Validate function and conversions exist.
+                ctx.registry.aggregate(func)?;
+                for c in conversions {
+                    ctx.registry.conversion(c)?;
+                }
+                if !bound.contains(var) {
+                    return Err(unsafe_err(format!(
+                        "aggregated variable {var:?} is not bound by the body"
+                    )));
+                }
+                head.push(HeadOut::Aggregate {
+                    func: func.clone(),
+                    conversions: conversions.clone(),
+                    var: var_index(var, &mut vars, &mut var_names),
+                });
+            }
+        }
+    }
+
+    // Build plan steps with variable indices.
+    let mut pterm = |t: &Term| -> PTerm {
+        match t {
+            Term::Variable(v) => PTerm::Var(var_index(v, &mut vars, &mut var_names)),
+            Term::Wildcard => PTerm::Wildcard,
+            Term::Const(c) => PTerm::Const(constant_value(c)),
+        }
+    };
+    let mut steps: Vec<Step> = Vec::new();
+    let mut dependencies: Vec<(String, bool)> = Vec::new();
+    let negative_deps = rule.has_aggregation();
+    for e in &scheduled {
+        match e {
+            Elem::Scan { relation, terms } => {
+                dependencies.push((relation.clone(), negative_deps));
+                steps.push(Step::Scan {
+                    relation: relation.clone(),
+                    terms: terms.iter().map(&mut pterm).collect(),
+                });
+            }
+            Elem::Ie {
+                function,
+                inputs,
+                outputs,
+            } => steps.push(Step::Ie {
+                function: function.clone(),
+                inputs: inputs.iter().map(&mut pterm).collect(),
+                outputs: outputs.iter().map(&mut pterm).collect(),
+            }),
+            Elem::Neg { relation, terms } => {
+                dependencies.push((relation.clone(), true));
+                steps.push(Step::Negation {
+                    relation: relation.clone(),
+                    terms: terms.iter().map(&mut pterm).collect(),
+                });
+            }
+            Elem::Cmp { left, op, right } => steps.push(Step::Compare {
+                left: pterm(left),
+                op: *op,
+                right: pterm(right),
+            }),
+        }
+    }
+
+    Ok(RulePlan {
+        head_predicate: rule.head_predicate.clone(),
+        steps,
+        head,
+        var_names,
+        line: rule.line,
+        dependencies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spannerlog_parser::parse_program;
+    use spannerlog_parser::Statement;
+
+    fn rule(src: &str) -> Rule {
+        match parse_program(src).unwrap().statements.remove(0) {
+            Statement::Rule(r) => r,
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    fn ctx_with(relations: &[&str]) -> (FxHashSet<String>, Registry) {
+        let rels: FxHashSet<String> = relations.iter().map(|s| s.to_string()).collect();
+        (rels, Registry::new())
+    }
+
+    fn analyze_src(src: &str, relations: &[&str]) -> Result<RulePlan> {
+        let (rels, registry) = ctx_with(relations);
+        analyze(
+            &rule(src),
+            &SafetyContext {
+                relations: &rels,
+                registry: &registry,
+            },
+        )
+    }
+
+    #[test]
+    fn paper_email_rule_is_safe() {
+        let plan = analyze_src(
+            r#"R(usr, dom) <- Texts(d, t), rgx("(\w+)@(\w+)", t) -> (usr, dom)"#,
+            &["Texts"],
+        )
+        .unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        assert!(matches!(plan.steps[0], Step::Scan { .. }));
+        assert!(matches!(plan.steps[1], Step::Ie { .. }));
+    }
+
+    #[test]
+    fn ie_scheduled_after_binding_even_if_written_first() {
+        // The IE atom appears first in source but needs `t` from Texts.
+        let plan = analyze_src(
+            r#"R(x) <- rgx("a", t) -> (x), Texts(d, t)"#,
+            &["Texts"],
+        )
+        .unwrap();
+        assert!(matches!(plan.steps[0], Step::Scan { .. }));
+        assert!(matches!(plan.steps[1], Step::Ie { .. }));
+    }
+
+    #[test]
+    fn chained_ie_functions_order_correctly() {
+        // §2's example: foo feeds rgx.
+        let plan = analyze_src(
+            r#"T(z, v, w) <- Texts(d, t), rgx("x{.}", z) -> (w, v), foo(d, t) -> (z)"#,
+            &["Texts"],
+        );
+        // `foo` is not registered — register it first.
+        assert!(matches!(plan, Err(EngineError::UnknownIeFunction(_))));
+
+        let (rels, mut registry) = ctx_with(&["Texts"]);
+        registry.register_closure("foo", Some(2), |_args, _ctx| Ok(vec![]));
+        let plan = analyze(
+            &rule(r#"T(z, v, w) <- Texts(d, t), rgx("x{.}y{.}", z) -> (w, v), foo(d, t) -> (z)"#),
+            &SafetyContext {
+                relations: &rels,
+                registry: &registry,
+            },
+        )
+        .unwrap();
+        // Order must be Texts, foo, rgx.
+        match (&plan.steps[0], &plan.steps[1], &plan.steps[2]) {
+            (
+                Step::Scan { relation, .. },
+                Step::Ie { function: f1, .. },
+                Step::Ie { function: f2, .. },
+            ) => {
+                assert_eq!(relation, "Texts");
+                assert_eq!(f1, "foo");
+                assert_eq!(f2, "rgx");
+            }
+            other => panic!("unexpected order {other:?}"),
+        }
+    }
+
+    #[test]
+    fn circular_ie_dependency_is_unsafe() {
+        let (rels, mut registry) = ctx_with(&[]);
+        registry.register_closure("f", Some(1), |_a, _c| Ok(vec![]));
+        registry.register_closure("g", Some(1), |_a, _c| Ok(vec![]));
+        let err = analyze(
+            &rule("R(x) <- f(x) -> (y), g(y) -> (x)"),
+            &SafetyContext {
+                relations: &rels,
+                registry: &registry,
+            },
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Unsafe { msg, .. } => assert!(msg.contains("no safe evaluation order")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_head_variable_is_unsafe() {
+        let err = analyze_src("R(x, y) <- S(x)", &["S"]).unwrap_err();
+        match err {
+            EngineError::Unsafe { msg, .. } => assert!(msg.contains("y")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_needs_bound_vars() {
+        let err = analyze_src("R(x) <- S(x), not T(y)", &["S", "T"]).unwrap_err();
+        assert!(matches!(err, EngineError::Unsafe { .. }));
+        // Bound version is fine; negation scheduled after the scan.
+        let plan = analyze_src("R(x) <- not T(x), S(x)", &["S", "T"]).unwrap();
+        assert!(matches!(plan.steps[0], Step::Scan { .. }));
+        assert!(matches!(plan.steps[1], Step::Negation { .. }));
+    }
+
+    #[test]
+    fn comparison_needs_bound_vars() {
+        assert!(analyze_src("R(x) <- S(x), x < y", &["S"]).is_err());
+        assert!(analyze_src("R(x) <- S(x), x < 10", &["S"]).is_ok());
+    }
+
+    #[test]
+    fn relation_style_ie_filter_is_rewritten() {
+        // `contains(x, y)` written as a plain atom (paper §4.1 style).
+        let plan = analyze_src("R(x, y) <- S(x, y), contains(x, y)", &["S"]).unwrap();
+        match &plan.steps[1] {
+            Step::Ie {
+                function, outputs, ..
+            } => {
+                assert_eq!(function, "contains");
+                assert!(outputs.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_predicate_reported() {
+        let err = analyze_src("R(x) <- Mystery(x)", &[]).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownPredicate(_)));
+    }
+
+    #[test]
+    fn wildcard_in_head_rejected() {
+        let err = analyze_src("R(_) <- S(x)", &["S"]).unwrap_err();
+        assert!(matches!(err, EngineError::Unsafe { .. }));
+    }
+
+    #[test]
+    fn wildcard_ie_input_rejected() {
+        let err = analyze_src(r#"R(x) <- S(x), rgx("a", _) -> (y)"#, &["S"]).unwrap_err();
+        assert!(matches!(err, EngineError::Unsafe { .. }));
+    }
+
+    #[test]
+    fn ie_input_arity_checked_statically() {
+        let err = analyze_src(r#"R(x) <- S(t), rgx("a") -> (x)"#, &["S"]).unwrap_err();
+        assert!(matches!(err, EngineError::IeArity { .. }));
+    }
+
+    #[test]
+    fn aggregation_marks_dependencies_negative() {
+        let plan = analyze_src("R(x, count(y)) <- S(x, y)", &["S"]).unwrap();
+        assert!(plan.has_aggregation());
+        assert_eq!(plan.dependencies, vec![("S".to_string(), true)]);
+        let plain = analyze_src("R(x) <- S(x)", &["S"]).unwrap();
+        assert_eq!(plain.dependencies, vec![("S".to_string(), false)]);
+    }
+
+    #[test]
+    fn unknown_aggregate_rejected() {
+        let err = analyze_src("R(bogus(y)) <- S(y)", &["S"]).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownAggregate(_)));
+    }
+
+    #[test]
+    fn head_constants_allowed() {
+        let plan = analyze_src(r#"R(x, "tag") <- S(x)"#, &["S"]).unwrap();
+        assert!(matches!(plan.head[1], HeadOut::Const(_)));
+    }
+}

@@ -1,0 +1,308 @@
+//! The [`Session`]: the object that "facilitates communication between
+//! the [host] and Spannerlog runtimes" (paper §3.2).
+//!
+//! A session owns the fact database, the rule set, and the IE registry.
+//! Host code drives it with four verbs, mirroring the paper's API:
+//!
+//! * [`Session::import_dataframe`] — host table → engine relation;
+//! * [`Session::run`] — execute a cell of Spannerlog source
+//!   (declarations, facts, rules, queries);
+//! * [`Session::export`] — evaluate a query, returning a `DataFrame`;
+//! * [`Session::register`] — host closure → IE function callable from
+//!   rules.
+//!
+//! Rules are evaluated lazily: the fixpoint recomputes when a query runs
+//! after any mutation, and is cached until the next mutation.
+
+use crate::database::Database;
+use crate::eval::{evaluate, EvalStats, EvalStrategy};
+use crate::error::{EngineError, Result};
+use crate::ie::{IeContext, IeFunction, IeOutput};
+use crate::query::run_query;
+use crate::registry::Registry;
+use crate::safety::{analyze, constant_value, SafetyContext};
+use crate::strata::stratify;
+use rustc_hash::FxHashSet;
+use spannerlib_core::{DocId, DocumentStore, Relation, Schema, Span, Tuple, Value};
+use spannerlib_dataframe::DataFrame;
+use spannerlog_parser::{parse_program, Query, Rule, Statement};
+use std::sync::Arc;
+
+/// An embedded Spannerlog engine instance.
+pub struct Session {
+    db: Database,
+    registry: Registry,
+    rules: Vec<Rule>,
+    strategy: EvalStrategy,
+    dirty: bool,
+    last_stats: EvalStats,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with builtin IE functions and semi-naive
+    /// evaluation.
+    pub fn new() -> Session {
+        Session::with_strategy(EvalStrategy::SemiNaive)
+    }
+
+    /// A fresh session with an explicit evaluation strategy (the naive
+    /// strategy reproduces the paper's implementation; see ablation A).
+    pub fn with_strategy(strategy: EvalStrategy) -> Session {
+        Session {
+            db: Database::new(),
+            registry: Registry::new(),
+            rules: Vec::new(),
+            strategy,
+            dirty: true,
+            last_stats: EvalStats::default(),
+        }
+    }
+
+    /// Switches the evaluation strategy; forces re-evaluation.
+    pub fn set_strategy(&mut self, strategy: EvalStrategy) {
+        self.strategy = strategy;
+        self.dirty = true;
+    }
+
+    /// Statistics of the most recent fixpoint run.
+    pub fn stats(&self) -> EvalStats {
+        self.last_stats
+    }
+
+    // ------------------------------------------------------------------
+    // Pillar 2: host → engine (import) and engine → host (export)
+    // ------------------------------------------------------------------
+
+    /// Imports a DataFrame as relation `name`, replacing any previous
+    /// relation of that name (the paper's `session.import(df, name)`).
+    pub fn import_dataframe(&mut self, df: &DataFrame, name: &str) -> Result<()> {
+        self.db.put_relation(name, df.to_relation());
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Imports an already-built relation.
+    pub fn import_relation(&mut self, name: &str, relation: Relation) {
+        self.db.put_relation(name, relation);
+        self.dirty = true;
+    }
+
+    /// Evaluates a query string (`?R(x, "c")`) and exports the result as
+    /// a DataFrame (the paper's `session.export('?R(usr, "gmail")')`).
+    pub fn export(&mut self, query_src: &str) -> Result<DataFrame> {
+        let program = parse_program(query_src)?;
+        let [Statement::Query(q)] = &program.statements[..] else {
+            return Err(EngineError::NotAQuery(query_src.trim().to_string()));
+        };
+        let q = q.clone();
+        self.ensure_evaluated()?;
+        run_query(&self.db, &q)
+    }
+
+    /// Runs a cell of Spannerlog source. Declarations, facts, and rules
+    /// mutate the session; queries evaluate eagerly and their results are
+    /// returned in order.
+    pub fn run(&mut self, source: &str) -> Result<Vec<(Query, DataFrame)>> {
+        let program = parse_program(source)?;
+        let mut outputs = Vec::new();
+        for statement in program.statements {
+            match statement {
+                Statement::Declaration(d) => {
+                    self.db.declare(&d.name, Schema::new(d.types.clone()))?;
+                    self.dirty = true;
+                }
+                Statement::Fact(f) => {
+                    self.add_fact_values(
+                        &f.predicate,
+                        f.values.iter().map(constant_value).collect(),
+                    )?;
+                }
+                Statement::Rule(r) => {
+                    self.rules.push(r);
+                    self.dirty = true;
+                }
+                Statement::Query(q) => {
+                    self.ensure_evaluated()?;
+                    let df = run_query(&self.db, &q)?;
+                    outputs.push((q, df));
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    // ------------------------------------------------------------------
+    // Pillar 3: registering host code as IE functions
+    // ------------------------------------------------------------------
+
+    /// Registers a closure as an IE function (the paper's
+    /// `session.register(foo, input=…, output=…)`). `input_arity` of
+    /// `None` means variadic.
+    pub fn register<F>(&mut self, name: &str, input_arity: Option<usize>, f: F)
+    where
+        F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
+    {
+        self.registry.register_closure(name, input_arity, f);
+        self.dirty = true;
+    }
+
+    /// Registers an IE function object.
+    pub fn register_ie(&mut self, name: &str, f: Arc<dyn IeFunction>) {
+        self.registry.register_ie(name, f);
+        self.dirty = true;
+    }
+
+    /// Registers an aggregation function.
+    pub fn register_aggregate(&mut self, name: &str, f: Arc<dyn crate::aggregate::AggFunction>) {
+        self.registry.register_aggregate(name, f);
+        self.dirty = true;
+    }
+
+    /// Registers a conversion function usable inside aggregation terms.
+    pub fn register_conversion(&mut self, name: &str, f: Arc<dyn crate::aggregate::Conversion>) {
+        self.registry.register_conversion(name, f);
+        self.dirty = true;
+    }
+
+    /// The registry (read access, e.g. for direct IE invocation in tests).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    // ------------------------------------------------------------------
+    // Direct fact/relation access
+    // ------------------------------------------------------------------
+
+    /// Declares a relation programmatically.
+    pub fn declare(&mut self, name: &str, schema: Schema) -> Result<()> {
+        self.db.declare(name, schema)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Adds one fact programmatically.
+    pub fn add_fact(&mut self, relation: &str, values: impl IntoIterator<Item = Value>) -> Result<()> {
+        self.add_fact_values(relation, values.into_iter().collect())
+    }
+
+    fn add_fact_values(&mut self, relation: &str, values: Vec<Value>) -> Result<()> {
+        if !self.db.is_extensional(relation) {
+            return Err(EngineError::UnknownRelation(format!(
+                "{relation} (declare it with `new {relation}(…)` before adding facts)"
+            )));
+        }
+        let schema = self.db.relation(relation)?.schema().clone();
+        let tuple = Tuple::new(values);
+        if tuple.arity() != schema.arity() {
+            return Err(EngineError::Arity {
+                relation: relation.to_string(),
+                expected: schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        for (i, (v, t)) in tuple.values().iter().zip(schema.types()).enumerate() {
+            if v.value_type() != *t {
+                return Err(EngineError::FactType {
+                    relation: relation.to_string(),
+                    column: i,
+                    expected: *t,
+                    actual: v.value_type(),
+                });
+            }
+        }
+        self.db.insert(relation, tuple)?;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Reads a relation (evaluating pending rules first).
+    pub fn relation(&mut self, name: &str) -> Result<Relation> {
+        self.ensure_evaluated()?;
+        Ok(self.db.relation_or_empty(name))
+    }
+
+    /// Exports a relation by name into a DataFrame with given column
+    /// names.
+    pub fn export_relation(&mut self, name: &str, columns: Vec<String>) -> Result<DataFrame> {
+        let rel = self.relation(name)?;
+        Ok(DataFrame::from_relation(columns, &rel)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Document store access (spans created by host code)
+    // ------------------------------------------------------------------
+
+    /// The session's document store.
+    pub fn docs(&self) -> &DocumentStore {
+        &self.db.docs
+    }
+
+    /// Interns a document, returning its id.
+    pub fn intern(&mut self, text: &str) -> DocId {
+        self.db.docs.intern(text)
+    }
+
+    /// Creates a checked span over an interned document.
+    pub fn make_span(&self, doc: DocId, start: usize, end: usize) -> Result<Span> {
+        Ok(self.db.docs.span(doc, start, end)?)
+    }
+
+    /// Resolves a span to its text.
+    pub fn span_text(&self, span: &Span) -> Result<String> {
+        Ok(self.db.docs.span_text(span)?.to_string())
+    }
+
+    // ------------------------------------------------------------------
+    // Fixpoint
+    // ------------------------------------------------------------------
+
+    /// Forces evaluation now (queries call this implicitly).
+    pub fn ensure_evaluated(&mut self) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.db.clear_derived();
+
+        // Predicates that resolve to relations: extensional names plus
+        // every rule head.
+        let mut relation_names: FxHashSet<String> = self
+            .db
+            .iter()
+            .map(|(name, _)| name.clone())
+            .collect();
+        for r in &self.rules {
+            relation_names.insert(r.head_predicate.clone());
+        }
+
+        let ctx = SafetyContext {
+            relations: &relation_names,
+            registry: &self.registry,
+        };
+        let plans = self
+            .rules
+            .iter()
+            .map(|r| analyze(r, &ctx))
+            .collect::<Result<Vec<_>>>()?;
+        let strata = stratify(plans)?;
+        self.last_stats = evaluate(&mut self.db, &strata, &self.registry, self.strategy)?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Removes every rule (facts and registrations are kept).
+    pub fn clear_rules(&mut self) {
+        self.rules.clear();
+        self.dirty = true;
+    }
+
+    /// Number of rules currently loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}

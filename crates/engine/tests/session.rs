@@ -1,0 +1,435 @@
+//! End-to-end session tests: every code snippet from the paper, plus
+//! recursion, negation, aggregation, and failure-injection suites.
+
+use spannerlib_core::{Schema, Value, ValueType};
+use spannerlib_dataframe::DataFrame;
+use spannerlog_engine::{filter_output, EngineError, EvalStrategy, Session};
+
+fn strings(df: &DataFrame, col: usize) -> Vec<String> {
+    df.iter_rows()
+        .map(|r| r[col].as_str().unwrap().to_string())
+        .collect()
+}
+
+/// The complete §3.2 embedding example: DataFrame import → rule with
+/// rgx → export with a constant filter.
+#[test]
+fn paper_section_3_2_email_pipeline() {
+    let mut session = Session::new();
+    let df = DataFrame::from_rows(
+        vec!["date".into(), "text".into()],
+        vec![
+            vec![
+                Value::str("2024-01-01"),
+                Value::str("write to ann@gmail.com and bob@work.org"),
+            ],
+            vec![Value::str("2024-01-02"), Value::str("or eve@gmail.com")],
+        ],
+    )
+    .unwrap();
+    session.import_dataframe(&df, "Texts").unwrap();
+
+    session
+        .run(r#"R(usr, dom) <- Texts(d, t), rgx_string("(\w+)@(\w+)\.\w+", t) -> (usr, dom)."#)
+        .unwrap();
+
+    let out = session.export(r#"?R(usr, "gmail")"#).unwrap();
+    assert_eq!(out.column_names(), &["usr"]);
+    assert_eq!(strings(&out, 0), vec!["ann", "eve"]);
+}
+
+/// §2's worked example driven through the full engine with span outputs.
+#[test]
+fn paper_section_2_rgx_example_via_rules() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new Texts(str)
+            Texts("acb aacccbbb")
+            R(x, y) <- Texts(t), rgx("x{a+}c+y{b+}", t) -> (x, y)
+        "#,
+        )
+        .unwrap();
+    let rel = session.relation("R").unwrap();
+    let rows = rel.sorted_tuples();
+    assert_eq!(rows.len(), 2);
+    // (⟨0,1⟩, ⟨2,3⟩) and (⟨4,6⟩, ⟨9,12⟩)
+    let spans: Vec<(u32, u32, u32, u32)> = rows
+        .iter()
+        .map(|t| {
+            let a = t[0].as_span().unwrap();
+            let b = t[1].as_span().unwrap();
+            (a.start, a.end, b.start, b.end)
+        })
+        .collect();
+    assert_eq!(spans, vec![(0, 1, 2, 3), (4, 6, 9, 12)]);
+}
+
+/// §3.1's aggregation example: lex_concat of str(y) grouped by document.
+#[test]
+fn paper_aggregation_lex_concat() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new Texts(str, str)
+            Texts("d1", "b a c")
+            Texts("d2", "z y")
+            R(t, lex_concat(str(y))) <- Texts(d, t), rgx("\w+", t) -> (y)
+        "#,
+        )
+        .unwrap();
+    let out = session.export("?R(t, s)").unwrap();
+    let pairs: Vec<(String, String)> = out
+        .iter_rows()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap().to_string(),
+                r[1].as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    assert!(pairs.contains(&("b a c".to_string(), "abc".to_string())));
+    assert!(pairs.contains(&("z y".to_string(), "yz".to_string())));
+}
+
+/// §3.3: registering a host closure and composing it with rgx in one
+/// rule, exactly like the paper's `foo` example.
+#[test]
+fn paper_section_3_3_callback_composition() {
+    let mut session = Session::new();
+    // foo(x, y) -> (z): returns the concatenation reversed (arbitrary
+    // host logic standing in for the paper's `foo`).
+    session.register("foo", Some(2), |args, _ctx| {
+        let x = args[0].as_str().unwrap_or_default();
+        let y = args[1].as_str().unwrap_or_default();
+        let z: String = format!("{x}{y}").chars().rev().collect();
+        Ok(vec![vec![Value::str(z)]])
+    });
+    session
+        .run(
+            r#"
+            new R(str, str)
+            new S(str, str)
+            R("ka", "yb")
+            S("bob", "ka")
+            T(z, w) <- R(x, y), S("bob", x), foo(x, y) -> (z), rgx_string("b\w+", z) -> (w)
+        "#,
+        )
+        .unwrap();
+    let out = session.export("?T(z, w)").unwrap();
+    assert_eq!(out.num_rows(), 1);
+    assert_eq!(strings(&out, 0), vec!["byak"]);
+    assert_eq!(strings(&out, 1), vec!["byak"]);
+}
+
+#[test]
+fn recursion_transitive_closure() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new Edge(str, str)
+            Edge("a", "b") Edge("b", "c") Edge("c", "d")
+            Path(x, y) <- Edge(x, y)
+            Path(x, z) <- Path(x, y), Edge(y, z)
+        "#,
+        )
+        .unwrap();
+    let out = session.export("?Path(\"a\", y)").unwrap();
+    assert_eq!(strings(&out, 0), vec!["b", "c", "d"]);
+}
+
+#[test]
+fn naive_and_seminaive_agree_on_recursion() {
+    let program = r#"
+        new Edge(int, int)
+        Edge(1, 2) Edge(2, 3) Edge(3, 4) Edge(4, 1) Edge(3, 5)
+        Path(x, y) <- Edge(x, y)
+        Path(x, z) <- Path(x, y), Edge(y, z)
+    "#;
+    let mut naive = Session::with_strategy(EvalStrategy::Naive);
+    naive.run(program).unwrap();
+    let mut semi = Session::with_strategy(EvalStrategy::SemiNaive);
+    semi.run(program).unwrap();
+    let a = naive.relation("Path").unwrap();
+    let b = semi.relation("Path").unwrap();
+    assert_eq!(a.sorted_tuples(), b.sorted_tuples());
+    assert_eq!(a.len(), 20); // 4×4 pairs within the cycle + 4 nodes reaching 5
+}
+
+#[test]
+fn stratified_negation() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new Node(str)
+            new Edge(str, str)
+            Node("a") Node("b") Node("c") Node("d")
+            Edge("a", "b") Edge("b", "c")
+            Reach(x) <- Edge("a", x)
+            Reach(y) <- Reach(x), Edge(x, y)
+            Unreach(x) <- Node(x), not Reach(x), x != "a"
+        "#,
+        )
+        .unwrap();
+    let out = session.export("?Unreach(x)").unwrap();
+    assert_eq!(strings(&out, 0), vec!["d"]);
+}
+
+#[test]
+fn negation_through_recursion_rejected() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new S(str)
+            S("a")
+            P(x) <- S(x), not Q(x)
+            Q(x) <- S(x), not P(x)
+        "#,
+        )
+        .unwrap();
+    let err = session.export("?P(x)").unwrap_err();
+    assert!(matches!(err, EngineError::NotStratifiable(_)));
+}
+
+#[test]
+fn unsafe_rule_rejected_at_query_time() {
+    let mut session = Session::new();
+    session.run("new S(str)\nR(x, y) <- S(x)").unwrap();
+    let err = session.export("?R(x, y)").unwrap_err();
+    assert!(matches!(err, EngineError::Unsafe { .. }));
+}
+
+#[test]
+fn ie_error_propagates() {
+    let mut session = Session::new();
+    session.register("boom", Some(1), |_args, _ctx| {
+        Err(EngineError::IeRuntime {
+            function: "boom".into(),
+            msg: "injected failure".into(),
+        })
+    });
+    session
+        .run("new S(str)\nS(\"a\")\nR(y) <- S(x), boom(x) -> (y)")
+        .unwrap();
+    let err = session.export("?R(y)").unwrap_err();
+    assert!(matches!(err, EngineError::IeRuntime { .. }));
+}
+
+#[test]
+fn filter_predicate_written_as_plain_atom() {
+    // The paper's §4.1 style: `contains(pos, s)` with no arrow.
+    let mut session = Session::new();
+    let doc = session.intern("hello world");
+    let outer = Value::Span(session.make_span(doc, 0, 11).unwrap());
+    let inner = Value::Span(session.make_span(doc, 2, 5).unwrap());
+    let disjoint = Value::Span(session.make_span(doc, 6, 11).unwrap());
+    session
+        .declare(
+            "Pairs",
+            Schema::new(vec![ValueType::Span, ValueType::Span]),
+        )
+        .unwrap();
+    session
+        .add_fact("Pairs", [outer.clone(), inner.clone()])
+        .unwrap();
+    session.add_fact("Pairs", [inner, disjoint]).unwrap();
+    session.run("Nested(a, b) <- Pairs(a, b), contains(a, b)").unwrap();
+    let rel = session.relation("Nested").unwrap();
+    assert_eq!(rel.len(), 1);
+}
+
+#[test]
+fn comparison_guards() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new N(int)
+            N(1) N(5) N(10)
+            Big(x) <- N(x), x >= 5
+            Pairs(x, y) <- N(x), N(y), x < y
+        "#,
+        )
+        .unwrap();
+    assert_eq!(session.relation("Big").unwrap().len(), 2);
+    assert_eq!(session.relation("Pairs").unwrap().len(), 3);
+}
+
+#[test]
+fn queries_inside_run_return_frames() {
+    let mut session = Session::new();
+    let results = session
+        .run(
+            r#"
+            new S(str)
+            S("x") S("y")
+            ?S(v)
+        "#,
+        )
+        .unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].1.num_rows(), 2);
+}
+
+#[test]
+fn incremental_cells_compose() {
+    // The notebook workflow: separate cells accumulate state.
+    let mut session = Session::new();
+    session.run("new S(str)").unwrap();
+    session.run("S(\"a\")").unwrap();
+    session.run("R(x) <- S(x)").unwrap();
+    assert_eq!(session.export("?R(x)").unwrap().num_rows(), 1);
+    // New fact invalidates the fixpoint cache.
+    session.run("S(\"b\")").unwrap();
+    assert_eq!(session.export("?R(x)").unwrap().num_rows(), 2);
+}
+
+#[test]
+fn fact_type_errors_are_reported() {
+    let mut session = Session::new();
+    session.run("new S(int)").unwrap();
+    let err = session.run("S(\"oops\")").unwrap_err();
+    assert!(matches!(err, EngineError::FactType { .. }));
+    let err = session.run("S(1, 2)").unwrap_err();
+    assert!(matches!(err, EngineError::Arity { .. }));
+}
+
+#[test]
+fn fact_for_undeclared_relation_rejected() {
+    let mut session = Session::new();
+    let err = session.run("S(1)").unwrap_err();
+    assert!(matches!(err, EngineError::UnknownRelation(_)));
+}
+
+#[test]
+fn export_requires_a_query() {
+    let mut session = Session::new();
+    assert!(matches!(
+        session.export("new S(str)").unwrap_err(),
+        EngineError::NotAQuery(_)
+    ));
+}
+
+#[test]
+fn head_constants_and_boolean_queries() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new S(str)
+            S("a")
+            Tagged(x, "seen") <- S(x)
+        "#,
+        )
+        .unwrap();
+    let out = session.export("?Tagged(\"a\", \"seen\")").unwrap();
+    assert_eq!(out.get(0, 0), Some(Value::Bool(true)));
+}
+
+#[test]
+fn zero_output_registered_filter() {
+    let mut session = Session::new();
+    session.register("is_long", Some(1), |args, _ctx| {
+        Ok(filter_output(
+            args[0].as_str().is_some_and(|s| s.len() > 3),
+        ))
+    });
+    session
+        .run(
+            r#"
+            new Words(str)
+            Words("hi") Words("hello")
+            Long(w) <- Words(w), is_long(w)
+        "#,
+        )
+        .unwrap();
+    let out = session.export("?Long(w)").unwrap();
+    assert_eq!(strings(&out, 0), vec!["hello"]);
+}
+
+#[test]
+fn multi_aggregate_heads() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new M(str, int)
+            M("a", 1) M("a", 3) M("b", 10)
+            Stats(g, count(x), sum(x), min(x), max(x)) <- M(g, x)
+        "#,
+        )
+        .unwrap();
+    let out = session.export("?Stats(g, c, s, lo, hi)").unwrap();
+    let rows: Vec<Vec<Value>> = out.iter_rows().collect();
+    assert_eq!(
+        rows[0],
+        vec![
+            Value::str("a"),
+            Value::Int(2),
+            Value::Int(4),
+            Value::Int(1),
+            Value::Int(3)
+        ]
+    );
+    assert_eq!(
+        rows[1],
+        vec![
+            Value::str("b"),
+            Value::Int(1),
+            Value::Int(10),
+            Value::Int(10),
+            Value::Int(10)
+        ]
+    );
+}
+
+#[test]
+fn spans_compose_through_rules() {
+    // rgx over a span found by a previous rgx stays anchored in the
+    // original document — the property §4.1's pipeline depends on.
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new Docs(str)
+            Docs("num=42; num=7;")
+            Stmt(s) <- Docs(d), rgx("num=\d+", d) -> (s)
+            Num(n) <- Stmt(s), rgx("\d+", s) -> (n)
+        "#,
+        )
+        .unwrap();
+    let rel = session.relation("Num").unwrap();
+    let spans: Vec<(u32, u32)> = rel
+        .sorted_tuples()
+        .iter()
+        .map(|t| {
+            let s = t[0].as_span().unwrap();
+            (s.start, s.end)
+        })
+        .collect();
+    assert_eq!(spans, vec![(4, 6), (12, 13)]);
+}
+
+#[test]
+fn eval_stats_populated() {
+    let mut session = Session::with_strategy(EvalStrategy::Naive);
+    session
+        .run(
+            r#"
+            new Edge(int, int)
+            Edge(1, 2) Edge(2, 3)
+            Path(x, y) <- Edge(x, y)
+            Path(x, z) <- Path(x, y), Edge(y, z)
+        "#,
+        )
+        .unwrap();
+    session.ensure_evaluated().unwrap();
+    let stats = session.stats();
+    assert!(stats.rounds >= 2);
+    assert!(stats.tuples_new >= 3);
+}

@@ -1,0 +1,124 @@
+//! Few-shot prompting from recorded feedback — the second extension of
+//! the §5 "Extending SpannerLib Code" scenario: "user feedback over
+//! previous executions of this task" becomes examples in the prompt.
+
+use crate::tfidf::TfIdfIndex;
+
+/// One recorded interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Example {
+    /// The input the user gave.
+    pub input: String,
+    /// The output the user approved (the "feedback").
+    pub output: String,
+}
+
+/// A store of approved examples with similarity-based selection.
+#[derive(Debug, Clone, Default)]
+pub struct FewShotStore {
+    examples: Vec<Example>,
+}
+
+impl FewShotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        FewShotStore::default()
+    }
+
+    /// Records an approved (input, output) pair.
+    pub fn record(&mut self, input: &str, output: &str) {
+        self.examples.push(Example {
+            input: input.to_string(),
+            output: output.to_string(),
+        });
+    }
+
+    /// Number of recorded examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// The `k` most similar examples to `input` (TF-IDF cosine over the
+    /// recorded inputs), in rank order.
+    pub fn select(&self, input: &str, k: usize) -> Vec<&Example> {
+        let mut index = TfIdfIndex::new();
+        for (i, e) in self.examples.iter().enumerate() {
+            index.add(&i.to_string(), &e.input);
+        }
+        index.finalize();
+        index
+            .search(input, k)
+            .into_iter()
+            .map(|(id, _)| &self.examples[id.parse::<usize>().expect("ids are indices")])
+            .collect()
+    }
+
+    /// Builds a few-shot prompt: `Examples:` blocks then the new input —
+    /// the shape [`crate::TemplateLlm`] continues stylistically.
+    pub fn prompt(&self, input: &str, k: usize) -> String {
+        let mut prompt = String::from("Examples:");
+        for e in self.select(input, k) {
+            prompt.push_str(&format!("\nInput: {}\nOutput: {}", e.input, e.output));
+        }
+        prompt.push_str(&format!("\nInput: {input}\nOutput:"));
+        prompt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LlmModel, TemplateLlm};
+
+    fn store() -> FewShotStore {
+        let mut s = FewShotStore::new();
+        s.record("summarize the patient note", "SUMMARY OF NOTE");
+        s.record("summarize the lab report", "SUMMARY OF LABS");
+        s.record("translate to french", "bonjour");
+        s
+    }
+
+    #[test]
+    fn selects_similar_examples() {
+        let s = store();
+        let selected = s.select("summarize the discharge note", 2);
+        assert_eq!(selected.len(), 2);
+        assert!(selected.iter().all(|e| e.input.contains("summarize")));
+    }
+
+    #[test]
+    fn prompt_contains_examples_and_input() {
+        let p = store().prompt("summarize the x-ray", 1);
+        assert!(p.starts_with("Examples:"));
+        assert!(p.contains("Input: summarize the"));
+        assert!(p.ends_with("Input: summarize the x-ray\nOutput:"));
+    }
+
+    #[test]
+    fn end_to_end_style_following() {
+        // The two summarize examples answer in uppercase; the model
+        // follows suit.
+        let p = store().prompt("summarize the new admission", 2);
+        let answer = TemplateLlm::new().complete(&p);
+        assert_eq!(answer, "SUMMARIZE THE NEW ADMISSION");
+    }
+
+    #[test]
+    fn empty_store_still_prompts() {
+        let p = FewShotStore::new().prompt("anything", 3);
+        assert!(p.contains("Input: anything"));
+    }
+
+    #[test]
+    fn record_grows_store() {
+        let mut s = FewShotStore::new();
+        assert!(s.is_empty());
+        s.record("a", "b");
+        assert_eq!(s.len(), 1);
+    }
+}

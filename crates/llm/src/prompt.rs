@@ -1,0 +1,87 @@
+//! Structured prompt assembly for the code-documentation task (§4.1).
+
+/// Builds the documentation prompt from the pieces the Spannerlog rules
+/// extract: the function's code and the code of its callers.
+#[derive(Debug, Clone, Default)]
+pub struct PromptBuilder {
+    function_code: String,
+    callers: Vec<String>,
+    extra_context: Vec<String>,
+}
+
+impl PromptBuilder {
+    /// Starts a prompt for documenting `function_code`.
+    pub fn for_function(function_code: &str) -> Self {
+        PromptBuilder {
+            function_code: function_code.to_string(),
+            callers: Vec::new(),
+            extra_context: Vec::new(),
+        }
+    }
+
+    /// Adds a caller's name (the paper's `mentions` component).
+    pub fn with_caller(mut self, caller: &str) -> Self {
+        self.callers.push(caller.to_string());
+        self
+    }
+
+    /// Adds retrieved context (the RAG extension).
+    pub fn with_context(mut self, passage: &str) -> Self {
+        self.extra_context.push(passage.to_string());
+        self
+    }
+
+    /// Renders the final prompt in the shape
+    /// [`crate::TemplateLlm`] recognizes.
+    pub fn build(&self) -> String {
+        let mut p = String::new();
+        if !self.extra_context.is_empty() {
+            p.push_str("Background:\n");
+            for c in &self.extra_context {
+                p.push_str(&format!("  {c}\n"));
+            }
+        }
+        p.push_str("Write documentation for the function:\n");
+        p.push_str(&self.function_code);
+        if !self.callers.is_empty() {
+            p.push_str("\nCallers:\n");
+            for c in &self.callers {
+                p.push_str(&format!("  {c}\n"));
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LlmModel, TemplateLlm};
+
+    #[test]
+    fn prompt_layout() {
+        let p = PromptBuilder::for_function("fn add(a, b) { return a + b; }")
+            .with_caller("compute_sum")
+            .with_context("arithmetic helpers live in math.ml")
+            .build();
+        assert!(p.starts_with("Background:"));
+        assert!(p.contains("Write documentation for the function:"));
+        assert!(p.contains("Callers:\n  compute_sum"));
+    }
+
+    #[test]
+    fn template_llm_documents_through_builder() {
+        let p = PromptBuilder::for_function("fn parse_note(text) { ... }")
+            .with_caller("classify_document")
+            .build();
+        let out = TemplateLlm::new().complete(&p);
+        assert!(out.starts_with("/// Parse note."), "{out}");
+        assert!(out.contains("classify_document"), "{out}");
+    }
+
+    #[test]
+    fn no_callers_no_callers_section() {
+        let p = PromptBuilder::for_function("fn lone() {}").build();
+        assert!(!p.contains("Callers:"));
+    }
+}

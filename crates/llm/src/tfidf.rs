@@ -1,0 +1,220 @@
+//! TF-IDF vectors with cosine similarity, from scratch.
+//!
+//! The retrieval engine behind the RAG extension scenario. Documents are
+//! tokenized to lowercase word stems (cheap suffix stripping), weighted
+//! `tf · idf` with `idf = ln(1 + N / df)`, L2-normalized, and compared by
+//! dot product (= cosine, post-normalization).
+
+use rustc_hash::FxHashMap;
+
+/// A TF-IDF index over a fixed document collection.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfIndex {
+    /// Document ids as supplied at insertion.
+    ids: Vec<String>,
+    /// Sparse normalized vectors, term-id keyed.
+    vectors: Vec<FxHashMap<u32, f64>>,
+    /// Vocabulary: term → term id.
+    vocab: FxHashMap<String, u32>,
+    /// Document frequency per term id.
+    df: Vec<u32>,
+    /// Raw term counts per document (pre-finalize staging).
+    staged: Vec<FxHashMap<u32, u32>>,
+    finalized: bool,
+}
+
+impl TfIdfIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        TfIdfIndex::default()
+    }
+
+    /// Adds a document. Call [`TfIdfIndex::finalize`] after the last add.
+    pub fn add(&mut self, id: &str, text: &str) {
+        assert!(
+            !self.finalized,
+            "cannot add documents after finalize(); build a new index"
+        );
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        for term in tokenize_terms(text) {
+            let next_id = self.vocab.len() as u32;
+            let tid = *self.vocab.entry(term).or_insert(next_id);
+            if tid as usize >= self.df.len() {
+                self.df.push(0);
+            }
+            let c = counts.entry(tid).or_insert(0);
+            if *c == 0 {
+                self.df[tid as usize] += 1;
+            }
+            *c += 1;
+        }
+        self.ids.push(id.to_string());
+        self.staged.push(counts);
+    }
+
+    /// Computes idf weights and normalized vectors.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        let n = self.staged.len() as f64;
+        for counts in &self.staged {
+            let mut vec: FxHashMap<u32, f64> = FxHashMap::default();
+            for (&tid, &c) in counts {
+                let idf = (1.0 + n / self.df[tid as usize] as f64).ln();
+                vec.insert(tid, c as f64 * idf);
+            }
+            let norm = vec.values().map(|w| w * w).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for w in vec.values_mut() {
+                    *w /= norm;
+                }
+            }
+            self.vectors.push(vec);
+        }
+        self.staged.clear();
+        self.finalized = true;
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Top-`k` documents by cosine similarity to `query`, as
+    /// `(id, score)` with scores descending (ties broken by id for
+    /// determinism). Zero-similarity documents are omitted.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(String, f64)> {
+        assert!(self.finalized, "call finalize() before search()");
+        // Query vector (idf-weighted, normalized).
+        let mut q: FxHashMap<u32, f64> = FxHashMap::default();
+        let n = self.ids.len() as f64;
+        for term in tokenize_terms(query) {
+            if let Some(&tid) = self.vocab.get(&term) {
+                let idf = (1.0 + n / self.df[tid as usize] as f64).ln();
+                *q.entry(tid).or_insert(0.0) += idf;
+            }
+        }
+        let norm = q.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return Vec::new();
+        }
+        for w in q.values_mut() {
+            *w /= norm;
+        }
+
+        let mut scored: Vec<(String, f64)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                let score: f64 = q
+                    .iter()
+                    .filter_map(|(tid, qw)| v.get(tid).map(|dw| qw * dw))
+                    .sum();
+                (score > 0.0).then(|| (self.ids[i].clone(), score))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Tokenizes into lowercase terms with light suffix stripping (plural
+/// and `-ing`/`-ed`), dropping one- and two-letter tokens.
+fn tokenize_terms(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| w.len() > 2)
+        .map(|w| {
+            let w = w.to_lowercase();
+            for suffix in ["ing", "ed", "es", "s"] {
+                if w.len() > suffix.len() + 2 {
+                    if let Some(stem) = w.strip_suffix(suffix) {
+                        return stem.to_string();
+                    }
+                }
+            }
+            w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> TfIdfIndex {
+        let mut idx = TfIdfIndex::new();
+        idx.add("paris", "The capital of France is Paris, a large city");
+        idx.add("rome", "The capital of Italy is Rome, an ancient city");
+        idx.add("fruit", "Bananas and apples are common fruits");
+        idx.finalize();
+        idx
+    }
+
+    #[test]
+    fn retrieves_most_relevant_first() {
+        let hits = index().search("capital of France", 2);
+        assert_eq!(hits[0].0, "paris");
+        assert!(hits[0].1 > hits.get(1).map(|h| h.1).unwrap_or(0.0));
+    }
+
+    #[test]
+    fn zero_overlap_returns_nothing() {
+        assert!(index().search("quantum chromodynamics", 3).is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        assert_eq!(index().search("capital city", 1).len(), 1);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common() {
+        // "capital" appears in two docs, "banana" in one: a query with
+        // both should rank the banana doc via idf despite one term each.
+        let hits = index().search("banana capital", 3);
+        assert_eq!(hits[0].0, "fruit");
+    }
+
+    #[test]
+    fn suffix_stripping_unifies_forms() {
+        let mut idx = TfIdfIndex::new();
+        idx.add("a", "testing tested tests");
+        idx.finalize();
+        let hits = idx.search("test", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut idx = TfIdfIndex::new();
+        idx.add("b", "same words here");
+        idx.add("a", "same words here");
+        idx.finalize();
+        let hits = idx.search("same words", 2);
+        assert_eq!(hits[0].0, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize")]
+    fn search_before_finalize_panics() {
+        let mut idx = TfIdfIndex::new();
+        idx.add("a", "text");
+        idx.search("text", 1);
+    }
+
+    #[test]
+    fn empty_index_is_searchable_after_finalize() {
+        let mut idx = TfIdfIndex::new();
+        idx.finalize();
+        assert!(idx.search("anything", 3).is_empty());
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! The default ConText rule set.
+//!
+//! Cue lexicon distilled from the public NegEx/ConText term lists
+//! (Chapman et al.) and the medSpaCy defaults, restricted to the cues the
+//! synthetic corpus generator can produce plus common clinical phrasing.
+
+use super::{ModifierCategory, ModifierDirection, ModifierRule};
+
+fn rule(
+    phrase: &str,
+    category: ModifierCategory,
+    direction: ModifierDirection,
+    max_scope: Option<usize>,
+) -> ModifierRule {
+    ModifierRule::new(phrase, category, direction, max_scope)
+}
+
+/// Builds the default rule set.
+pub fn default_rules() -> Vec<ModifierRule> {
+    use ModifierCategory::*;
+    use ModifierDirection::*;
+
+    let mut rules = Vec::new();
+
+    // --- Negated existence: forward cues -----------------------------
+    for phrase in [
+        "no",
+        "not",
+        "denies",
+        "denied",
+        "negative for",
+        "no evidence of",
+        "no signs of",
+        "no sign of",
+        "without",
+        "absence of",
+        "free of",
+        "never had",
+        "fails to reveal",
+        "test negative",
+        "tested negative for",
+        "screen negative for",
+        "rules out",
+        "ruled out for",
+        "declines",
+        "no new",
+        "resolved without",
+        "unremarkable for",
+    ] {
+        rules.push(rule(phrase, NegatedExistence, Forward, Some(10)));
+    }
+    // --- Negated existence: backward cues ----------------------------
+    for phrase in [
+        "was ruled out",
+        "is ruled out",
+        "ruled out",
+        "unlikely",
+        "not detected",
+        "was negative",
+        "is negative",
+        "came back negative",
+    ] {
+        rules.push(rule(phrase, NegatedExistence, Backward, Some(10)));
+    }
+
+    // --- Positive existence ------------------------------------------
+    for phrase in [
+        "confirmed",
+        "positive for",
+        "diagnosed with",
+        "diagnosis of",
+        "tested positive for",
+        "test positive for",
+        "consistent with",
+        "evidence of",
+        "presents with",
+        "presented with",
+        "acute",
+    ] {
+        rules.push(rule(phrase, PositiveExistence, Forward, Some(10)));
+    }
+    for phrase in [
+        "was positive",
+        "is positive",
+        "came back positive",
+        "was confirmed",
+        "is confirmed",
+        "detected",
+        "was detected",
+    ] {
+        rules.push(rule(phrase, PositiveExistence, Backward, Some(10)));
+    }
+
+    // --- Hypothetical --------------------------------------------------
+    for phrase in [
+        "if",
+        "return if",
+        "should",
+        "in case of",
+        "monitor for",
+        "watch for",
+        "precautions for",
+        "screening for",
+        "to be tested for",
+        "risk of",
+        "risk for",
+        "concern for possible exposure to",
+        "pending",
+    ] {
+        rules.push(rule(phrase, Hypothetical, Forward, Some(12)));
+    }
+    for phrase in ["is pending", "results pending", "will be tested"] {
+        rules.push(rule(phrase, Hypothetical, Backward, Some(10)));
+    }
+
+    // --- Historical -----------------------------------------------------
+    for phrase in [
+        "history of",
+        "hx of",
+        "past medical history of",
+        "previous",
+        "prior",
+        "in the past",
+        "years ago",
+        "last year",
+        "childhood",
+        "previously had",
+        "resolved",
+    ] {
+        rules.push(rule(phrase, Historical, Forward, Some(10)));
+    }
+    for phrase in ["in the past", "years ago", "last year", "as a child", "has resolved"] {
+        rules.push(rule(phrase, Historical, Backward, Some(10)));
+    }
+
+    // --- Family experiencer ---------------------------------------------
+    for phrase in [
+        "mother",
+        "father",
+        "brother",
+        "sister",
+        "son",
+        "daughter",
+        "wife",
+        "husband",
+        "grandmother",
+        "grandfather",
+        "aunt",
+        "uncle",
+        "cousin",
+        "family member",
+        "family members",
+        "roommate",
+        "coworker",
+        "co-worker",
+        "neighbor",
+        "spouse",
+        "partner",
+        "household contact",
+    ] {
+        rules.push(rule(phrase, FamilyExperiencer, Forward, Some(12)));
+    }
+
+    // --- Uncertain -------------------------------------------------------
+    for phrase in [
+        "possible",
+        "possibly",
+        "probable",
+        "presumed",
+        "suspected",
+        "suspicious for",
+        "may have",
+        "might have",
+        "cannot rule out",
+        "can't rule out",
+        "questionable",
+        "equivocal",
+        "vs",
+        "differential includes",
+    ] {
+        rules.push(rule(phrase, Uncertain, Forward, Some(10)));
+    }
+    for phrase in ["is suspected", "was suspected", "is questionable", "not excluded"] {
+        rules.push(rule(phrase, Uncertain, Backward, Some(10)));
+    }
+
+    // --- Pseudo cues: block false cue matches inside fixed phrases ----
+    for phrase in [
+        "history of present illness",
+        "hx of present illness",
+        "no increase",
+        "no change",
+        "not certain whether",
+        "not certain if",
+        "gram negative",
+        "without difficulty",
+    ] {
+        // Category is irrelevant for pseudo cues; reuse Uncertain.
+        rules.push(rule(phrase, Uncertain, Pseudo, None));
+    }
+
+    // --- Termination (pseudo-category; direction carries the meaning) ---
+    for phrase in [
+        "but",
+        "however",
+        "although",
+        "though",
+        "aside from",
+        "except",
+        "apart from",
+        "other than",
+        "which",
+        "who",
+        "secondary to",
+    ] {
+        // Category is irrelevant for terminators; reuse Uncertain.
+        rules.push(rule(phrase, Uncertain, Terminate, None));
+    }
+
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_set_is_nontrivial() {
+        let rules = default_rules();
+        assert!(rules.len() > 90, "got {}", rules.len());
+    }
+
+    #[test]
+    fn every_category_is_covered() {
+        use ModifierCategory::*;
+        let rules = default_rules();
+        for cat in [
+            NegatedExistence,
+            PositiveExistence,
+            Hypothetical,
+            Historical,
+            FamilyExperiencer,
+            Uncertain,
+        ] {
+            assert!(
+                rules
+                    .iter()
+                    .any(|r| r.category == cat && r.direction != ModifierDirection::Terminate),
+                "no rule for {cat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn has_pseudo_cues() {
+        assert!(default_rules()
+            .iter()
+            .any(|r| r.direction == ModifierDirection::Pseudo));
+    }
+
+    #[test]
+    fn has_terminators() {
+        assert!(default_rules()
+            .iter()
+            .any(|r| r.direction == ModifierDirection::Terminate));
+    }
+
+    #[test]
+    fn phrases_are_lowercase() {
+        for r in default_rules() {
+            assert_eq!(r.phrase, r.phrase.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Rule + exception-table lemmatization.
+//!
+//! English inflectional morphology handled with ordered suffix rules and
+//! the irregular tables from [`crate::lexicon`]. Deterministic; no POS
+//! disambiguation is attempted beyond an optional tag hint.
+
+use crate::lexicon::{IRREGULAR_NOUNS, IRREGULAR_VERBS};
+use crate::pos::PosTag;
+
+/// Lemmatizes a lowercase word, optionally guided by its POS tag.
+pub fn lemmatize(word: &str, tag: Option<PosTag>) -> String {
+    let w = word.to_lowercase();
+
+    // Irregulars first.
+    if !matches!(tag, Some(PosTag::Noun)) {
+        if let Some((_, lemma)) = IRREGULAR_VERBS.iter().find(|(form, _)| *form == w) {
+            return lemma.to_string();
+        }
+    }
+    if !matches!(tag, Some(PosTag::Verb)) {
+        if let Some((_, lemma)) = IRREGULAR_NOUNS.iter().find(|(form, _)| *form == w) {
+            return lemma.to_string();
+        }
+    }
+
+    // Verbal endings.
+    if matches!(tag, Some(PosTag::Verb) | None) {
+        if let Some(stem) = strip_ing(&w) {
+            return stem;
+        }
+        if let Some(stem) = strip_ed(&w) {
+            return stem;
+        }
+    }
+
+    // Plural / 3rd-person -s endings.
+    if let Some(stem) = strip_s(&w) {
+        return stem;
+    }
+    w
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+fn strip_ing(w: &str) -> Option<String> {
+    let stem = w.strip_suffix("ing")?;
+    if stem.len() < 2 {
+        return None;
+    }
+    // doubling: running → run
+    let bytes: Vec<char> = stem.chars().collect();
+    let n = bytes.len();
+    if n >= 2 && bytes[n - 1] == bytes[n - 2] && !is_vowel(bytes[n - 1]) && bytes[n - 1] != 'l' && bytes[n - 1] != 's' {
+        return Some(stem[..stem.len() - 1].to_string());
+    }
+    // e-restoration: taking → take (stem ends in single consonant after vowel)
+    if n >= 2 && !is_vowel(bytes[n - 1]) && is_vowel(bytes[n - 2]) && !stem.ends_with('w') && !stem.ends_with('x') && !stem.ends_with('y') {
+        return Some(format!("{stem}e"));
+    }
+    Some(stem.to_string())
+}
+
+fn strip_ed(w: &str) -> Option<String> {
+    let stem = w.strip_suffix("ed")?;
+    if stem.len() < 2 {
+        return None;
+    }
+    let bytes: Vec<char> = stem.chars().collect();
+    let n = bytes.len();
+    // tried → try
+    if let Some(prefix) = stem.strip_suffix('i') {
+        if !prefix.is_empty() {
+            return Some(format!("{prefix}y"));
+        }
+    }
+    // admitted → admit
+    if n >= 2 && bytes[n - 1] == bytes[n - 2] && !is_vowel(bytes[n - 1]) && bytes[n - 1] != 'l' && bytes[n - 1] != 's' {
+        return Some(stem[..stem.len() - 1].to_string());
+    }
+    // confirmed → confirm; noted → note (e-restoration when CVC-ish)
+    if n >= 3 && !is_vowel(bytes[n - 1]) && is_vowel(bytes[n - 2]) && !is_vowel(bytes[n - 3]) {
+        return Some(format!("{stem}e"));
+    }
+    Some(stem.to_string())
+}
+
+fn strip_s(w: &str) -> Option<String> {
+    if w.len() < 3 || !w.ends_with('s') || w.ends_with("ss") || w.ends_with("us") || w.ends_with("is") {
+        return None;
+    }
+    // -ies → -y
+    if let Some(prefix) = w.strip_suffix("ies") {
+        if prefix.len() >= 2 {
+            return Some(format!("{prefix}y"));
+        }
+    }
+    // -xes/-ches/-shes/-sses/-zes → strip "es"
+    for suf in ["xes", "ches", "shes", "sses", "zes"] {
+        if let Some(prefix) = w.strip_suffix("es") {
+            if w.ends_with(suf) {
+                return Some(prefix.to_string());
+            }
+        }
+    }
+    Some(w[..w.len() - 1].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregular_verbs() {
+        assert_eq!(lemmatize("was", None), "be");
+        assert_eq!(lemmatize("has", None), "have");
+        assert_eq!(lemmatize("felt", None), "feel");
+    }
+
+    #[test]
+    fn irregular_nouns() {
+        assert_eq!(lemmatize("diagnoses", Some(PosTag::Noun)), "diagnosis");
+        assert_eq!(lemmatize("children", None), "child");
+        assert_eq!(lemmatize("criteria", None), "criterion");
+    }
+
+    #[test]
+    fn ing_forms() {
+        assert_eq!(lemmatize("running", Some(PosTag::Verb)), "run");
+        assert_eq!(lemmatize("taking", Some(PosTag::Verb)), "take");
+        assert_eq!(lemmatize("coughing", Some(PosTag::Verb)), "cough");
+    }
+
+    #[test]
+    fn ed_forms() {
+        assert_eq!(lemmatize("tried", Some(PosTag::Verb)), "try");
+        assert_eq!(lemmatize("admitted", Some(PosTag::Verb)), "admit");
+        assert_eq!(lemmatize("confirmed", Some(PosTag::Verb)), "confirm");
+        assert_eq!(lemmatize("noted", Some(PosTag::Verb)), "note");
+    }
+
+    #[test]
+    fn plurals() {
+        assert_eq!(lemmatize("symptoms", Some(PosTag::Noun)), "symptom");
+        assert_eq!(lemmatize("studies", Some(PosTag::Noun)), "study");
+        assert_eq!(lemmatize("boxes", Some(PosTag::Noun)), "box");
+        // -ss and -us endings are not plural.
+        assert_eq!(lemmatize("illness", Some(PosTag::Noun)), "illness");
+        assert_eq!(lemmatize("status", Some(PosTag::Noun)), "status");
+    }
+
+    #[test]
+    fn tag_hint_disambiguates_irregulars() {
+        // "felt" as a noun (the fabric) should not map to "feel".
+        assert_eq!(lemmatize("felt", Some(PosTag::Noun)), "felt");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(lemmatize("is", Some(PosTag::Noun)), "is");
+        assert_eq!(lemmatize("as", None), "as");
+    }
+}

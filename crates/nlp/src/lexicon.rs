@@ -1,0 +1,167 @@
+//! Shared word lists ("data as code").
+//!
+//! These tables play the role spaCy's bundled language data plays for the
+//! original pipeline: closed-class word lists for the POS tagger, an
+//! abbreviation list for the sentence splitter, and irregular-form tables
+//! for the lemmatizer.
+
+/// Abbreviations that do not end a sentence despite a trailing period.
+pub const ABBREVIATIONS: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "st", "jr", "sr", "vs", "etc", "e.g", "i.e", "fig", "al",
+    "pt", "pts", "dx", "hx", "tx", "rx", "sx", "fx", "wt", "ht", "temp", "resp", "approx", "appt",
+    "dept", "est", "min", "max", "mon", "tue", "wed", "thu", "fri", "sat", "sun", "jan", "feb",
+    "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec", "no", "neg", "pos",
+];
+
+/// Determiners.
+pub const DETERMINERS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "each", "every", "some", "any", "no",
+    "his", "her", "its", "their", "our", "my", "your",
+];
+
+/// Pronouns.
+pub const PRONOUNS: &[&str] = &[
+    "i", "you", "he", "she", "it", "we", "they", "me", "him", "us", "them", "who", "whom",
+    "which", "what", "himself", "herself", "itself", "themselves", "patient",
+];
+
+/// Prepositions.
+pub const PREPOSITIONS: &[&str] = &[
+    "of", "in", "on", "at", "by", "for", "with", "without", "from", "to", "into", "onto",
+    "over", "under", "between", "among", "through", "during", "before", "after", "about",
+    "against", "per", "via", "within",
+];
+
+/// Conjunctions.
+pub const CONJUNCTIONS: &[&str] = &[
+    "and", "or", "but", "nor", "so", "yet", "because", "although", "while", "if", "unless",
+    "since", "whereas", "however",
+];
+
+/// Common verbs (clinical register included).
+pub const COMMON_VERBS: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "do", "does",
+    "did", "will", "would", "can", "could", "shall", "should", "may", "might", "must", "denies",
+    "deny", "denied", "reports", "report", "reported", "presents", "present", "presented",
+    "tested", "tests", "test", "admitted", "admit", "admits", "discharged", "discharge",
+    "complains", "complained", "states", "stated", "exhibits", "exhibited", "shows", "showed",
+    "confirmed", "confirms", "confirm", "suspected", "suspects", "suspect", "ruled", "rules",
+    "rule", "received", "receives", "receive", "developed", "develops", "develop", "noted",
+    "notes", "note", "observed", "observes", "observe", "feels", "felt", "feel", "appears",
+    "appeared", "appear", "remains", "remained", "remain", "improved", "improves", "improve",
+    "worsened", "worsens", "worsen", "screened", "screens", "screen", "treated", "treats",
+    "treat", "exposed", "advised", "advises", "advise", "recommended", "recommends",
+    "recommend", "scheduled", "schedules", "schedule", "requires", "required", "require",
+];
+
+/// Common adjectives (clinical register included).
+pub const COMMON_ADJECTIVES: &[&str] = &[
+    "positive", "negative", "acute", "chronic", "severe", "mild", "moderate", "stable",
+    "unstable", "normal", "abnormal", "elevated", "high", "low", "recent", "prior", "previous",
+    "current", "new", "old", "asymptomatic", "symptomatic", "afebrile", "febrile", "intact",
+    "alert", "oriented", "clear", "unremarkable", "remarkable", "significant", "likely",
+    "unlikely", "possible", "probable", "presumptive", "pending", "confirmed", "suspected",
+    "good", "poor", "well", "sick", "healthy", "ill",
+];
+
+/// Common adverbs.
+pub const COMMON_ADVERBS: &[&str] = &[
+    "not", "very", "quite", "too", "also", "only", "just", "still", "already", "currently",
+    "recently", "previously", "again", "never", "always", "often", "sometimes", "rarely",
+    "here", "there", "now", "then", "today", "yesterday", "tomorrow", "daily", "twice",
+];
+
+/// Irregular plural → singular pairs for the lemmatizer.
+pub const IRREGULAR_NOUNS: &[(&str, &str)] = &[
+    ("children", "child"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("people", "person"),
+    ("feet", "foot"),
+    ("teeth", "tooth"),
+    ("mice", "mouse"),
+    ("criteria", "criterion"),
+    ("phenomena", "phenomenon"),
+    ("diagnoses", "diagnosis"),
+    ("prognoses", "prognosis"),
+    ("analyses", "analysis"),
+    ("bacteria", "bacterium"),
+    ("fungi", "fungus"),
+    ("nuclei", "nucleus"),
+    ("stimuli", "stimulus"),
+];
+
+/// Irregular verb form → lemma pairs for the lemmatizer.
+pub const IRREGULAR_VERBS: &[(&str, &str)] = &[
+    ("is", "be"),
+    ("are", "be"),
+    ("was", "be"),
+    ("were", "be"),
+    ("been", "be"),
+    ("being", "be"),
+    ("am", "be"),
+    ("has", "have"),
+    ("had", "have"),
+    ("having", "have"),
+    ("does", "do"),
+    ("did", "do"),
+    ("done", "do"),
+    ("goes", "go"),
+    ("went", "go"),
+    ("gone", "go"),
+    ("took", "take"),
+    ("taken", "take"),
+    ("gave", "give"),
+    ("given", "give"),
+    ("felt", "feel"),
+    ("saw", "see"),
+    ("seen", "see"),
+    ("came", "come"),
+    ("said", "say"),
+    ("made", "make"),
+    ("found", "find"),
+    ("got", "get"),
+    ("gotten", "get"),
+    ("ran", "run"),
+    ("began", "begin"),
+    ("begun", "begin"),
+    ("wrote", "write"),
+    ("written", "write"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_lowercase() {
+        for w in DETERMINERS
+            .iter()
+            .chain(PRONOUNS)
+            .chain(PREPOSITIONS)
+            .chain(CONJUNCTIONS)
+            .chain(COMMON_VERBS)
+            .chain(COMMON_ADJECTIVES)
+            .chain(COMMON_ADVERBS)
+            .chain(ABBREVIATIONS)
+        {
+            assert_eq!(*w, w.to_lowercase(), "entry {w:?} must be lowercase");
+        }
+    }
+
+    #[test]
+    fn irregular_tables_are_lowercase_pairs() {
+        for (a, b) in IRREGULAR_NOUNS.iter().chain(IRREGULAR_VERBS) {
+            assert_eq!(*a, a.to_lowercase());
+            assert_eq!(*b, b.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn no_duplicate_abbreviations() {
+        let mut seen = std::collections::HashSet::new();
+        for a in ABBREVIATIONS {
+            assert!(seen.insert(a), "duplicate abbreviation {a:?}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Case-insensitive multi-token phrase matching.
+//!
+//! The pipeline's *target matcher*: given a lexicon of phrases (each
+//! carrying a label), find every occurrence over the token sequence.
+//! Matching is token-aligned — `"covid"` does not match inside
+//! `"covidiom"` — and longest-match-wins among overlapping phrases with
+//! the same start, which is how medSpaCy's `TargetMatcher` resolves
+//! overlaps.
+
+use crate::tokenizer::{lowered, Token};
+use rustc_hash::FxHashMap;
+
+/// A phrase occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhraseMatch {
+    /// Byte offset of the first matched token.
+    pub start: usize,
+    /// Byte offset one past the last matched token.
+    pub end: usize,
+    /// Label of the matched phrase.
+    pub label: String,
+    /// The canonical (lexicon) form of the phrase.
+    pub phrase: String,
+}
+
+/// A compiled phrase lexicon.
+#[derive(Debug, Clone, Default)]
+pub struct PhraseMatcher {
+    /// First-token → list of (token sequence, label, canonical phrase).
+    by_first: FxHashMap<String, Vec<(Vec<String>, String, String)>>,
+}
+
+impl PhraseMatcher {
+    /// An empty matcher.
+    pub fn new() -> Self {
+        PhraseMatcher::default()
+    }
+
+    /// Adds a phrase under a label. Phrases are tokenized on whitespace
+    /// and matched case-insensitively.
+    pub fn add(&mut self, label: &str, phrase: &str) {
+        let tokens: Vec<String> = phrase
+            .split_whitespace()
+            .map(|w| w.to_lowercase())
+            .collect();
+        if tokens.is_empty() {
+            return;
+        }
+        self.by_first
+            .entry(tokens[0].clone())
+            .or_default()
+            .push((tokens, label.to_string(), phrase.to_string()));
+    }
+
+    /// Adds many phrases under one label.
+    pub fn add_all<'p>(&mut self, label: &str, phrases: impl IntoIterator<Item = &'p str>) {
+        for p in phrases {
+            self.add(label, p);
+        }
+    }
+
+    /// Number of phrases loaded.
+    pub fn len(&self) -> usize {
+        self.by_first.values().map(Vec::len).sum()
+    }
+
+    /// Whether no phrases are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.by_first.is_empty()
+    }
+
+    /// Finds all phrase occurrences over a tokenized text. Matches with
+    /// the same start keep only the longest; matches starting inside a
+    /// previous match are allowed (ConText needs nested cues).
+    pub fn find(&self, tokens: &[Token], source: &str) -> Vec<PhraseMatch> {
+        let lower = lowered(tokens, source);
+        let mut out = Vec::new();
+        for i in 0..tokens.len() {
+            let Some(candidates) = self.by_first.get(lower[i].as_str()) else {
+                continue;
+            };
+            let mut best: Option<(usize, &str, &str)> = None; // (token_len, label, phrase)
+            for (seq, label, phrase) in candidates {
+                if i + seq.len() > tokens.len() {
+                    continue;
+                }
+                if seq
+                    .iter()
+                    .zip(&lower[i..i + seq.len()])
+                    .all(|(a, b)| a == b)
+                {
+                    match best {
+                        Some((blen, _, _)) if blen >= seq.len() => {}
+                        _ => best = Some((seq.len(), label, phrase)),
+                    }
+                }
+            }
+            if let Some((len, label, phrase)) = best {
+                out.push(PhraseMatch {
+                    start: tokens[i].start,
+                    end: tokens[i + len - 1].end,
+                    label: label.to_string(),
+                    phrase: phrase.to_string(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn matcher() -> PhraseMatcher {
+        let mut m = PhraseMatcher::new();
+        m.add("COVID", "covid-19");
+        m.add("COVID", "covid");
+        m.add("COVID", "coronavirus");
+        m.add("FEVER", "fever");
+        m.add("FEVER", "high fever");
+        m
+    }
+
+    fn find(src: &str) -> Vec<(String, String)> {
+        let tokens = tokenize(src);
+        matcher()
+            .find(&tokens, src)
+            .into_iter()
+            .map(|m| (m.label, src[m.start..m.end].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn single_and_multi_token_phrases() {
+        // Nested matches at distinct starts are all reported ("fever"
+        // inside "high fever") — ConText relies on that.
+        assert_eq!(
+            find("Patient has COVID-19 and high fever."),
+            vec![
+                ("COVID".to_string(), "COVID-19".to_string()),
+                ("FEVER".to_string(), "high fever".to_string()),
+                ("FEVER".to_string(), "fever".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_wins_at_same_start() {
+        // "high fever" beats "fever" when starting at "high"; the bare
+        // "fever" token still matches at its own start.
+        let matches = find("high fever");
+        assert_eq!(matches[0].1, "high fever");
+        assert_eq!(matches[1].1, "fever");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(find("CORONAVIRUS detected")[0].0, "COVID");
+    }
+
+    #[test]
+    fn token_aligned_no_substring_matches() {
+        assert!(find("covidiom is not a disease").is_empty());
+    }
+
+    #[test]
+    fn byte_offsets_correct() {
+        let src = "note: covid positive";
+        let tokens = tokenize(src);
+        let m = &matcher().find(&tokens, src)[0];
+        assert_eq!(&src[m.start..m.end], "covid");
+        assert_eq!(m.start, 6);
+    }
+
+    #[test]
+    fn empty_matcher_finds_nothing() {
+        let m = PhraseMatcher::new();
+        assert!(m.is_empty());
+        let src = "anything";
+        assert!(m.find(&tokenize(src), src).is_empty());
+    }
+
+    #[test]
+    fn phrase_count() {
+        assert_eq!(matcher().len(), 5);
+    }
+}

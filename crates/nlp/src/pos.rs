@@ -1,0 +1,197 @@
+//! Rule-based part-of-speech tagging.
+//!
+//! Lexicon lookups for closed classes, suffix heuristics for open
+//! classes, and a small set of contextual repair rules (a word after a
+//! determiner is nominal, etc.). This mirrors the pre-statistical tagger
+//! design (Brill-style), which is deterministic and dependency-free —
+//! adequate for the pipeline's needs (the case study uses POS only for
+//! filtering candidate targets).
+
+use crate::lexicon::*;
+use crate::tokenizer::{Token, TokenKind};
+
+/// Part-of-speech tags (coarse universal-style set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Noun (default open-class fallback).
+    Noun,
+    /// Verb.
+    Verb,
+    /// Adjective.
+    Adj,
+    /// Adverb.
+    Adv,
+    /// Pronoun.
+    Pron,
+    /// Determiner.
+    Det,
+    /// Preposition / adposition.
+    Prep,
+    /// Conjunction.
+    Conj,
+    /// Numeral.
+    Num,
+    /// Punctuation.
+    Punct,
+}
+
+impl PosTag {
+    /// Canonical lowercase name (used when exporting to relations).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PosTag::Noun => "noun",
+            PosTag::Verb => "verb",
+            PosTag::Adj => "adj",
+            PosTag::Adv => "adv",
+            PosTag::Pron => "pron",
+            PosTag::Det => "det",
+            PosTag::Prep => "prep",
+            PosTag::Conj => "conj",
+            PosTag::Num => "num",
+            PosTag::Punct => "punct",
+        }
+    }
+}
+
+fn lexicon_tag(word: &str) -> Option<PosTag> {
+    if DETERMINERS.contains(&word) {
+        Some(PosTag::Det)
+    } else if PRONOUNS.contains(&word) {
+        Some(PosTag::Pron)
+    } else if PREPOSITIONS.contains(&word) {
+        Some(PosTag::Prep)
+    } else if CONJUNCTIONS.contains(&word) {
+        Some(PosTag::Conj)
+    } else if COMMON_VERBS.contains(&word) {
+        Some(PosTag::Verb)
+    } else if COMMON_ADJECTIVES.contains(&word) {
+        Some(PosTag::Adj)
+    } else if COMMON_ADVERBS.contains(&word) {
+        Some(PosTag::Adv)
+    } else {
+        None
+    }
+}
+
+fn suffix_tag(word: &str) -> PosTag {
+    const ADJ_SUFFIXES: &[&str] = &[
+        "ous", "ful", "ive", "able", "ible", "al", "ic", "ish", "less", "ary", "ory",
+    ];
+    const ADV_SUFFIXES: &[&str] = &["ly"];
+    const VERB_SUFFIXES: &[&str] = &["ize", "ise", "ate", "ify"];
+    const NOUN_SUFFIXES: &[&str] = &[
+        "tion", "sion", "ment", "ness", "ity", "ism", "ist", "ance", "ence", "itis", "osis",
+        "emia", "pathy", "ology",
+    ];
+    for s in ADV_SUFFIXES {
+        if word.len() > s.len() + 2 && word.ends_with(s) {
+            return PosTag::Adv;
+        }
+    }
+    for s in NOUN_SUFFIXES {
+        if word.len() > s.len() + 1 && word.ends_with(s) {
+            return PosTag::Noun;
+        }
+    }
+    for s in ADJ_SUFFIXES {
+        if word.len() > s.len() + 2 && word.ends_with(s) {
+            return PosTag::Adj;
+        }
+    }
+    for s in VERB_SUFFIXES {
+        if word.len() > s.len() + 1 && word.ends_with(s) {
+            return PosTag::Verb;
+        }
+    }
+    // -ing / -ed: verbal forms.
+    if word.len() > 4 && (word.ends_with("ing") || word.ends_with("ed")) {
+        return PosTag::Verb;
+    }
+    PosTag::Noun
+}
+
+/// Tags a token sequence (parallel vector).
+pub fn tag_tokens(tokens: &[Token], source: &str) -> Vec<PosTag> {
+    let mut tags: Vec<PosTag> = tokens
+        .iter()
+        .map(|t| match t.kind {
+            TokenKind::Punct => PosTag::Punct,
+            TokenKind::Number => PosTag::Num,
+            TokenKind::Word => {
+                let w = t.text(source).to_lowercase();
+                lexicon_tag(&w).unwrap_or_else(|| suffix_tag(&w))
+            }
+        })
+        .collect();
+
+    // Contextual repair: efter a determiner, a "verb" reading of an
+    // ambiguous open-class word is almost always nominal ("the tests").
+    for i in 1..tags.len() {
+        if tags[i] == PosTag::Verb && tags[i - 1] == PosTag::Det {
+            tags[i] = PosTag::Noun;
+        }
+    }
+    // An adjective directly before punctuation or end after a copula
+    // stays; a noun before a noun could be adjectival — left as-is (the
+    // pipeline never needs that distinction).
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn tags(src: &str) -> Vec<PosTag> {
+        tag_tokens(&tokenize(src), src)
+    }
+
+    #[test]
+    fn closed_classes_from_lexicon() {
+        assert_eq!(
+            tags("the patient was in bed"),
+            vec![
+                PosTag::Det,
+                PosTag::Pron, // "patient" listed as pronoun-ish referent in lexicon
+                PosTag::Verb,
+                PosTag::Prep,
+                PosTag::Noun
+            ]
+        );
+    }
+
+    #[test]
+    fn suffix_heuristics() {
+        assert_eq!(tags("infection")[0], PosTag::Noun);
+        assert_eq!(tags("quickly")[0], PosTag::Adv);
+        assert_eq!(tags("respiratory")[0], PosTag::Adj);
+        assert_eq!(tags("stabilize")[0], PosTag::Verb);
+        assert_eq!(tags("coughing")[0], PosTag::Verb);
+    }
+
+    #[test]
+    fn numbers_and_punctuation() {
+        let t = tags("38.5 !");
+        assert_eq!(t, vec![PosTag::Num, PosTag::Punct]);
+    }
+
+    #[test]
+    fn determiner_repair_rule() {
+        // "tests" is in the verb lexicon; after "the" it must be a noun.
+        let t = tags("the tests");
+        assert_eq!(t, vec![PosTag::Det, PosTag::Noun]);
+        let t = tags("he tests");
+        assert_eq!(t[1], PosTag::Verb);
+    }
+
+    #[test]
+    fn default_is_noun() {
+        assert_eq!(tags("zyzzyva")[0], PosTag::Noun);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PosTag::Noun.name(), "noun");
+        assert_eq!(PosTag::Punct.name(), "punct");
+    }
+}

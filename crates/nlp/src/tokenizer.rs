@@ -1,0 +1,201 @@
+//! Span-carrying tokenizer.
+//!
+//! Deterministic rules, adequate for clinical prose: maximal runs of
+//! alphabetic characters are words (internal apostrophes and hyphens
+//! stay inside the token, as in `patient's` and `COVID-19` — the latter
+//! mixes digits and is still one token), digit runs are numbers, and any
+//! other non-whitespace character is a single punctuation token.
+
+use std::fmt;
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic (possibly with internal `'`/`-`/digits) word.
+    Word,
+    /// Pure digit run (possibly with internal `.` or `,`).
+    Number,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// A token: byte range plus classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// Classification.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// The token's text within `source`.
+    pub fn text<'t>(&self, source: &'t str) -> &'t str {
+        &source[self.start..self.end]
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the token is empty (never produced by [`tokenize`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Whether `c` may continue a word token once one has started.
+fn continues_word(c: char, next: Option<char>) -> bool {
+    if c.is_alphanumeric() {
+        return true;
+    }
+    // Internal apostrophe/hyphen: only when followed by a letter/digit,
+    // so trailing punctuation is not swallowed ("end-" vs "COVID-19").
+    (c == '\'' || c == '-') && next.is_some_and(|n| n.is_alphanumeric())
+}
+
+/// Whether `c` may continue a number token.
+fn continues_number(c: char, next: Option<char>) -> bool {
+    if c.is_ascii_digit() {
+        return true;
+    }
+    (c == '.' || c == ',') && next.is_some_and(|n| n.is_ascii_digit())
+}
+
+/// Tokenizes `text` into words, numbers, and punctuation.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let (start, c) = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() {
+            let mut j = i + 1;
+            while j < n {
+                let next = chars.get(j + 1).map(|&(_, ch)| ch);
+                if continues_word(chars[j].1, next) {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let end = chars.get(j).map_or(text.len(), |&(b, _)| b);
+            tokens.push(Token {
+                start,
+                end,
+                kind: TokenKind::Word,
+            });
+            i = j;
+        } else if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n {
+                let next = chars.get(j + 1).map(|&(_, ch)| ch);
+                if continues_number(chars[j].1, next) {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let end = chars.get(j).map_or(text.len(), |&(b, _)| b);
+            tokens.push(Token {
+                start,
+                end,
+                kind: TokenKind::Number,
+            });
+            i = j;
+        } else {
+            let end = chars.get(i + 1).map_or(text.len(), |&(b, _)| b);
+            tokens.push(Token {
+                start,
+                end,
+                kind: TokenKind::Punct,
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Lowercased text of each token — the normalization used by the phrase
+/// matcher and ConText.
+pub fn lowered<'t>(tokens: &[Token], source: &'t str) -> Vec<String> {
+    tokens
+        .iter()
+        .map(|t| t.text(source).to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(source: &str) -> Vec<&str> {
+        tokenize(source).iter().map(|t| t.text(source)).collect()
+    }
+
+    #[test]
+    fn words_numbers_punct() {
+        assert_eq!(
+            texts("Pt tested positive, 2 times."),
+            vec!["Pt", "tested", "positive", ",", "2", "times", "."]
+        );
+    }
+
+    #[test]
+    fn internal_apostrophe_and_hyphen() {
+        assert_eq!(texts("patient's"), vec!["patient's"]);
+        assert_eq!(texts("COVID-19"), vec!["COVID-19"]);
+        // Trailing hyphen is punctuation.
+        assert_eq!(texts("end- stop"), vec!["end", "-", "stop"]);
+    }
+
+    #[test]
+    fn numbers_with_decimals() {
+        assert_eq!(texts("temp 38.5 today"), vec!["temp", "38.5", "today"]);
+        // Trailing dot is sentence punctuation, not part of the number.
+        assert_eq!(texts("count 12."), vec!["count", "12", "."]);
+    }
+
+    #[test]
+    fn offsets_are_byte_accurate() {
+        let src = "ab  cd";
+        let toks = tokenize(src);
+        assert_eq!((toks[0].start, toks[0].end), (0, 2));
+        assert_eq!((toks[1].start, toks[1].end), (4, 6));
+    }
+
+    #[test]
+    fn unicode_words() {
+        let src = "naïve café";
+        assert_eq!(texts(src), vec!["naïve", "café"]);
+        let toks = tokenize(src);
+        assert_eq!(toks[0].text(src), "naïve");
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn lowered_normalizes() {
+        let src = "COVID Positive";
+        let toks = tokenize(src);
+        assert_eq!(lowered(&toks, src), vec!["covid", "positive"]);
+    }
+}

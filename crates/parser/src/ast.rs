@@ -1,0 +1,417 @@
+//! Abstract syntax of Spannerlog programs.
+//!
+//! Every node implements `Display`, rendering concrete syntax that
+//! re-parses to the same AST (round-trip tested).
+
+use spannerlib_core::ValueType;
+use std::fmt;
+
+/// A constant literal appearing in source text.
+///
+/// Spans cannot be written literally — they only enter programs through
+/// IE functions or imported relations — so `Constant` covers the four
+/// literal types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+impl Constant {
+    /// The engine type of this constant.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Constant::Str(_) => ValueType::Str,
+            Constant::Int(_) => ValueType::Int,
+            Constant::Float(_) => ValueType::Float,
+            Constant::Bool(_) => ValueType::Bool,
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        '\r' => write!(f, "\\r")?,
+                        '\\' => write!(f, "\\\\")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Constant::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A term in an atom: variable, wildcard, or constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A named variable.
+    Variable(String),
+    /// `_`: matches anything, binds nothing.
+    Wildcard,
+    /// A constant literal.
+    Const(Constant),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Variable(v) => write!(f, "{v}"),
+            Term::Wildcard => write!(f, "_"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A relational atom `R(t1, …, tn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Predicate (relation) name.
+    pub predicate: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.predicate, join(&self.terms))
+    }
+}
+
+/// An IE atom `f(x1, …) -> (y1, …)` — the paper's `f(x̄) ↦ (ȳ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IeAtom {
+    /// IE function name.
+    pub function: String,
+    /// Input terms (must be bound before the call; checked by safety).
+    pub inputs: Vec<Term>,
+    /// Output terms (variables bind, constants/wildcards filter).
+    pub outputs: Vec<Term>,
+}
+
+impl fmt::Display for IeAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}) -> ({})",
+            self.function,
+            join(&self.inputs),
+            join(&self.outputs)
+        )
+    }
+}
+
+/// Comparison operators usable as body guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One element of a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyElem {
+    /// A positive relational atom.
+    Relation(Atom),
+    /// A negated relational atom (`not R(...)`) — extension, stratified.
+    Negated(Atom),
+    /// An IE atom.
+    Ie(IeAtom),
+    /// A comparison guard (`x < y`); all variables must be bound.
+    Comparison {
+        /// Left operand.
+        left: Term,
+        /// The operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Term,
+    },
+}
+
+impl fmt::Display for BodyElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyElem::Relation(a) => write!(f, "{a}"),
+            BodyElem::Negated(a) => write!(f, "not {a}"),
+            BodyElem::Ie(a) => write!(f, "{a}"),
+            BodyElem::Comparison { left, op, right } => write!(f, "{left} {op} {right}"),
+        }
+    }
+}
+
+/// A head term: plain term or aggregation (paper §3.1:
+/// `R(t, lex_concat(str(y))) <- …`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadTerm {
+    /// A plain term (variable or constant); variables are group-by keys
+    /// when any aggregate appears in the head.
+    Term(Term),
+    /// An aggregate application, optionally through conversion functions:
+    /// `lex_concat(str(y))` has `func = lex_concat`,
+    /// `conversions = [str]`, `var = y`.
+    Aggregate {
+        /// Aggregation function name (`count`, `sum`, `lex_concat`, …).
+        func: String,
+        /// Conversion functions applied innermost-last (e.g. `[str]`).
+        conversions: Vec<String>,
+        /// The aggregated variable.
+        var: String,
+    },
+}
+
+impl fmt::Display for HeadTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadTerm::Term(t) => write!(f, "{t}"),
+            HeadTerm::Aggregate {
+                func,
+                conversions,
+                var,
+            } => {
+                write!(f, "{func}(")?;
+                for c in conversions {
+                    write!(f, "{c}(")?;
+                }
+                write!(f, "{var}")?;
+                for _ in conversions {
+                    write!(f, ")")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A rule `Head(…) <- body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Head predicate name.
+    pub head_predicate: String,
+    /// Head terms (plain or aggregate).
+    pub head_terms: Vec<HeadTerm>,
+    /// Body elements, in source order (the engine reorders for safety).
+    pub body: Vec<BodyElem>,
+    /// 1-based source line of the head (for diagnostics).
+    pub line: usize,
+}
+
+impl Rule {
+    /// Whether any head term is an aggregate.
+    pub fn has_aggregation(&self) -> bool {
+        self.head_terms
+            .iter()
+            .any(|t| matches!(t, HeadTerm::Aggregate { .. }))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) <- ", self.head_predicate, join(&self.head_terms))?;
+        for (i, b) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A relation declaration `new R(str, span)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// Relation name.
+    pub name: String,
+    /// Column types.
+    pub types: Vec<ValueType>,
+}
+
+impl fmt::Display for Declaration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "new {}({})", self.name, join(&self.types))
+    }
+}
+
+/// A ground fact `R(c1, …, cn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact {
+    /// Relation name.
+    pub predicate: String,
+    /// Constant arguments.
+    pub values: Vec<Constant>,
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.predicate, join(&self.values))
+    }
+}
+
+/// A query `?R(t1, …, tn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Queried predicate.
+    pub predicate: String,
+    /// Terms: variables project, constants/wildcards filter.
+    pub terms: Vec<Term>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}({})", self.predicate, join(&self.terms))
+    }
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Relation declaration.
+    Declaration(Declaration),
+    /// Ground fact.
+    Fact(Fact),
+    /// Rule.
+    Rule(Rule),
+    /// Query.
+    Query(Query),
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Declaration(d) => write!(f, "{d}"),
+            Statement::Fact(x) => write!(f, "{x}"),
+            Statement::Rule(r) => write!(f, "{r}"),
+            Statement::Query(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+/// A parsed program: a sequence of statements ("cell" contents in the
+/// paper's notebook embedding).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.statements {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+fn join<T: fmt::Display>(items: &[T]) -> String {
+    items
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_display_escapes() {
+        assert_eq!(Constant::Str("a\"b\n".into()).to_string(), r#""a\"b\n""#);
+        assert_eq!(Constant::Int(-3).to_string(), "-3");
+        assert_eq!(Constant::Float(2.0).to_string(), "2.0");
+        assert_eq!(Constant::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn rule_display() {
+        let rule = Rule {
+            head_predicate: "R".into(),
+            head_terms: vec![
+                HeadTerm::Term(Term::Variable("x".into())),
+                HeadTerm::Aggregate {
+                    func: "lex_concat".into(),
+                    conversions: vec!["str".into()],
+                    var: "y".into(),
+                },
+            ],
+            body: vec![
+                BodyElem::Relation(Atom {
+                    predicate: "S".into(),
+                    terms: vec![Term::Variable("x".into()), Term::Variable("y".into())],
+                }),
+                BodyElem::Comparison {
+                    left: Term::Variable("x".into()),
+                    op: CmpOp::Neq,
+                    right: Term::Const(Constant::Str("z".into())),
+                },
+            ],
+            line: 1,
+        };
+        assert_eq!(
+            rule.to_string(),
+            r#"R(x, lex_concat(str(y))) <- S(x, y), x != "z"."#
+        );
+        assert!(rule.has_aggregation());
+    }
+
+    #[test]
+    fn ie_atom_display() {
+        let ie = IeAtom {
+            function: "rgx".into(),
+            inputs: vec![
+                Term::Const(Constant::Str("a+".into())),
+                Term::Variable("t".into()),
+            ],
+            outputs: vec![Term::Variable("x".into())],
+        };
+        assert_eq!(ie.to_string(), r#"rgx("a+", t) -> (x)"#);
+    }
+}

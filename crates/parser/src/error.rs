@@ -1,0 +1,27 @@
+//! Parse errors with source positions.
+
+use thiserror::Error;
+
+/// An error produced by the lexer or parser, carrying the 1-based source
+/// line and column of the offending character or token.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+#[error("parse error at {line}:{col}: {msg}")]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Convenience constructor.
+    pub fn new(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}

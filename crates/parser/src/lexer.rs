@@ -1,0 +1,400 @@
+//! Hand-written lexer for Spannerlog source.
+
+use crate::error::ParseError;
+use crate::token::{Spanned, Token};
+
+/// Tokenizes `source`. Comments (`#` to end of line) and whitespace are
+/// skipped; every token carries its line/column for error reporting.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(ch) = c {
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tok_line, tok_col) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c) = chars.peek() {
+                    bump!();
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(spanned(Token::LParen, tok_line, tok_col));
+            }
+            ')' => {
+                bump!();
+                out.push(spanned(Token::RParen, tok_line, tok_col));
+            }
+            ',' => {
+                bump!();
+                out.push(spanned(Token::Comma, tok_line, tok_col));
+            }
+            '?' => {
+                bump!();
+                out.push(spanned(Token::Question, tok_line, tok_col));
+            }
+            '←' => {
+                bump!();
+                out.push(spanned(Token::Implies, tok_line, tok_col));
+            }
+            '↦' => {
+                bump!();
+                out.push(spanned(Token::Arrow, tok_line, tok_col));
+            }
+            '=' => {
+                bump!();
+                out.push(spanned(Token::Eq, tok_line, tok_col));
+            }
+            '!' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(spanned(Token::Neq, tok_line, tok_col));
+                } else {
+                    return Err(ParseError::new(tok_line, tok_col, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                bump!();
+                match chars.peek() {
+                    Some('-') => {
+                        bump!();
+                        out.push(spanned(Token::Implies, tok_line, tok_col));
+                    }
+                    Some('=') => {
+                        bump!();
+                        out.push(spanned(Token::Le, tok_line, tok_col));
+                    }
+                    _ => out.push(spanned(Token::Lt, tok_line, tok_col)),
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(spanned(Token::Ge, tok_line, tok_col));
+                } else {
+                    out.push(spanned(Token::Gt, tok_line, tok_col));
+                }
+            }
+            '-' => {
+                bump!();
+                match chars.peek() {
+                    Some('>') => {
+                        bump!();
+                        out.push(spanned(Token::Arrow, tok_line, tok_col));
+                    }
+                    Some(c2) if c2.is_ascii_digit() => {
+                        let tok = lex_number(&mut chars, true, tok_line, tok_col, &mut line, &mut col)?;
+                        out.push(spanned(tok, tok_line, tok_col));
+                    }
+                    _ => {
+                        return Err(ParseError::new(
+                            tok_line,
+                            tok_col,
+                            "expected '>' or a digit after '-'",
+                        ))
+                    }
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        None => {
+                            return Err(ParseError::new(
+                                tok_line,
+                                tok_col,
+                                "unterminated string literal",
+                            ))
+                        }
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => {
+                                // Preserve the backslash pair: Spannerlog
+                                // string literals mostly hold regex patterns,
+                                // where `\\` must stay an escaped backslash
+                                // for the pattern parser. `\\` → `\`.
+                                s.push('\\');
+                            }
+                            Some(other) => {
+                                // Unknown escapes pass through verbatim so
+                                // regex escapes like \w survive: `\w` → `\w`.
+                                s.push('\\');
+                                s.push(other);
+                            }
+                            None => {
+                                return Err(ParseError::new(
+                                    tok_line,
+                                    tok_col,
+                                    "unterminated string literal",
+                                ))
+                            }
+                        },
+                        Some(other) => s.push(other),
+                    }
+                }
+                out.push(spanned(Token::Str(s), tok_line, tok_col));
+            }
+            c if c.is_ascii_digit() => {
+                let tok = lex_number(&mut chars, false, tok_line, tok_col, &mut line, &mut col)?;
+                out.push(spanned(tok, tok_line, tok_col));
+            }
+            '.' => {
+                bump!();
+                out.push(spanned(Token::Dot, tok_line, tok_col));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match ident.as_str() {
+                    "new" => Token::New,
+                    "not" => Token::Not,
+                    "true" => Token::Bool(true),
+                    "false" => Token::Bool(false),
+                    "_" => Token::Underscore,
+                    _ => Token::Ident(ident),
+                };
+                out.push(spanned(tok, tok_line, tok_col));
+            }
+            other => {
+                return Err(ParseError::new(
+                    tok_line,
+                    tok_col,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn spanned(token: Token, line: usize, col: usize) -> Spanned {
+    Spanned { token, line, col }
+}
+
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    negative: bool,
+    tok_line: usize,
+    tok_col: usize,
+    line: &mut usize,
+    col: &mut usize,
+) -> Result<Token, ParseError> {
+    let mut digits = String::new();
+    if negative {
+        digits.push('-');
+    }
+    let mut is_float = false;
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            digits.push(c);
+            chars.next();
+            *col += 1;
+        } else if c == '.' && !is_float {
+            // Lookahead: only a digit after '.' makes this a float;
+            // otherwise the '.' is a statement terminator.
+            let mut clone = chars.clone();
+            clone.next();
+            if clone.peek().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                digits.push('.');
+                chars.next();
+                *col += 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    let _ = line;
+    if is_float {
+        digits
+            .parse::<f64>()
+            .map(Token::Float)
+            .map_err(|e| ParseError::new(tok_line, tok_col, format!("bad float: {e}")))
+    } else {
+        digits
+            .parse::<i64>()
+            .map(Token::Int)
+            .map_err(|e| ParseError::new(tok_line, tok_col, format!("bad integer: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        assert_eq!(
+            toks(r#"new Texts(str, str)"#),
+            vec![
+                Token::New,
+                Token::Ident("Texts".into()),
+                Token::LParen,
+                Token::Ident("str".into()),
+                Token::Comma,
+                Token::Ident("str".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_ascii_and_unicode() {
+        assert_eq!(toks("<- -> ← ↦"), vec![
+            Token::Implies,
+            Token::Arrow,
+            Token::Implies,
+            Token::Arrow
+        ]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != < <= > >="),
+            vec![Token::Eq, Token::Neq, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""a\nb" "say \"hi\"" "tab\there""#),
+            vec![
+                Token::Str("a\nb".into()),
+                Token::Str("say \"hi\"".into()),
+                Token::Str("tab\there".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn regex_escapes_survive() {
+        // The §3.2 pattern: "\w" must reach the regex engine intact, and
+        // "\\." must become "\." (escaped dot).
+        assert_eq!(
+            toks(r#""(\w+)@(\w+)\.\w+""#),
+            vec![Token::Str(r"(\w+)@(\w+)\.\w+".into())]
+        );
+        assert_eq!(toks(r#""a\\.b""#), vec![Token::Str(r"a\.b".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 -7 3.25 -0.5"),
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.25),
+                Token::Float(-0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn int_then_statement_dot() {
+        // "R(1)." — the dot terminates the statement, not a float.
+        assert_eq!(
+            toks("R(1)."),
+            vec![
+                Token::Ident("R".into()),
+                Token::LParen,
+                Token::Int(1),
+                Token::RParen,
+                Token::Dot
+            ]
+        );
+        assert_eq!(toks("1."), vec![Token::Int(1), Token::Dot]);
+    }
+
+    #[test]
+    fn keywords_and_wildcard() {
+        assert_eq!(
+            toks("new not true false _ x"),
+            vec![
+                Token::New,
+                Token::Not,
+                Token::Bool(true),
+                Token::Bool(false),
+                Token::Underscore,
+                Token::Ident("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a # the rest is ignored <- -> \n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  bc").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex("\"abc").unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+    }
+
+    #[test]
+    fn bare_bang_is_error() {
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn unicode_identifiers_allowed() {
+        assert_eq!(toks("naïve"), vec![Token::Ident("naïve".into())]);
+    }
+}

@@ -1,0 +1,542 @@
+//! Recursive-descent parser: token stream → [`Program`].
+//!
+//! Statements are self-delimiting (bodies are comma-separated, so the
+//! next statement's leading token ends a rule); a trailing `.` is
+//! consumed wherever a statement ends, matching the paper's typography.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+use spannerlib_core::ValueType;
+
+/// Parses a full program (one "cell" of Spannerlog source).
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = P { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    while !p.at_end() {
+        statements.push(p.statement()?);
+        // Optional statement terminator.
+        p.eat(&Token::Dot);
+    }
+    Ok(Program { statements })
+}
+
+struct P {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl P {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off).map(|s| &s.token)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError::new(line, col, msg)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {what}, found {}",
+                self.peek().map_or("end of input".to_string(), |t| format!("'{t}'"))
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                let Some(Spanned {
+                    token: Token::Ident(name),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(name)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            Some(Token::New) => self.declaration().map(Statement::Declaration),
+            Some(Token::Question) => self.query().map(Statement::Query),
+            Some(Token::Ident(_)) => self.fact_or_rule(),
+            Some(other) => Err(self.err(format!("expected a statement, found '{other}'"))),
+            None => Err(self.err("expected a statement")),
+        }
+    }
+
+    /// `new R(type, …)`
+    fn declaration(&mut self) -> Result<Declaration, ParseError> {
+        self.expect(&Token::New, "'new'")?;
+        let name = self.ident("relation name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let mut types = Vec::new();
+        loop {
+            let tname = self.ident("a type (str, span, int, bool, float)")?;
+            let t: ValueType = tname
+                .parse()
+                .map_err(|e: String| self.err(e))?;
+            types.push(t);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Declaration { name, types })
+    }
+
+    /// `?R(term, …)`
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect(&Token::Question, "'?'")?;
+        let predicate = self.ident("relation name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let terms = self.term_list()?;
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Query { predicate, terms })
+    }
+
+    /// Disambiguates facts from rules after the shared `Name(…)` prefix.
+    fn fact_or_rule(&mut self) -> Result<Statement, ParseError> {
+        let (line, _) = self.here();
+        let predicate = self.ident("relation name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let head_terms = self.head_term_list()?;
+        self.expect(&Token::RParen, "')'")?;
+        if self.eat(&Token::Implies) {
+            let body = self.body()?;
+            return Ok(Statement::Rule(Rule {
+                head_predicate: predicate,
+                head_terms,
+                body,
+                line,
+            }));
+        }
+        // A fact: every head term must be a constant.
+        let mut values = Vec::new();
+        for t in head_terms {
+            match t {
+                HeadTerm::Term(Term::Const(c)) => values.push(c),
+                other => {
+                    return Err(self.err(format!(
+                        "fact arguments must be constants, found '{other}' \
+                         (did you forget '<-'?)"
+                    )))
+                }
+            }
+        }
+        Ok(Statement::Fact(Fact { predicate, values }))
+    }
+
+    fn body(&mut self) -> Result<Vec<BodyElem>, ParseError> {
+        let mut elems = vec![self.body_elem()?];
+        while self.eat(&Token::Comma) {
+            elems.push(self.body_elem()?);
+        }
+        Ok(elems)
+    }
+
+    fn body_elem(&mut self) -> Result<BodyElem, ParseError> {
+        if self.eat(&Token::Not) {
+            let atom = self.atom()?;
+            return Ok(BodyElem::Negated(atom));
+        }
+        // Comparison guard: `term op term` — detectable because a term
+        // followed by a comparison operator cannot start an atom.
+        let looks_like_atom = matches!(self.peek(), Some(Token::Ident(_)))
+            && matches!(self.peek_at(1), Some(Token::LParen));
+        if !looks_like_atom {
+            let left = self.term()?;
+            let op = match self.peek() {
+                Some(Token::Eq) => CmpOp::Eq,
+                Some(Token::Neq) => CmpOp::Neq,
+                Some(Token::Lt) => CmpOp::Lt,
+                Some(Token::Le) => CmpOp::Le,
+                Some(Token::Gt) => CmpOp::Gt,
+                Some(Token::Ge) => CmpOp::Ge,
+                _ => return Err(self.err("expected a comparison operator")),
+            };
+            self.pos += 1;
+            let right = self.term()?;
+            return Ok(BodyElem::Comparison { left, op, right });
+        }
+        // Atom or IE atom: `name(terms)` then optionally `-> (terms)`.
+        let name = self.ident("predicate or IE function name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let terms = self.term_list()?;
+        self.expect(&Token::RParen, "')'")?;
+        if self.eat(&Token::Arrow) {
+            self.expect(&Token::LParen, "'(' after '->'")?;
+            let outputs = self.term_list()?;
+            self.expect(&Token::RParen, "')'")?;
+            return Ok(BodyElem::Ie(IeAtom {
+                function: name,
+                inputs: terms,
+                outputs,
+            }));
+        }
+        Ok(BodyElem::Relation(Atom {
+            predicate: name,
+            terms,
+        }))
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let predicate = self.ident("relation name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let terms = self.term_list()?;
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Atom { predicate, terms })
+    }
+
+    fn term_list(&mut self) -> Result<Vec<Term>, ParseError> {
+        if self.peek() == Some(&Token::RParen) {
+            return Ok(Vec::new());
+        }
+        let mut terms = vec![self.term()?];
+        while self.eat(&Token::Comma) {
+            terms.push(self.term()?);
+        }
+        Ok(terms)
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some(Token::Underscore) => {
+                self.pos += 1;
+                Ok(Term::Wildcard)
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident("variable")?;
+                Ok(Term::Variable(name))
+            }
+            Some(Token::Str(_)) => {
+                let Some(Spanned {
+                    token: Token::Str(s),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(Term::Const(Constant::Str(s)))
+            }
+            Some(Token::Int(i)) => {
+                let i = *i;
+                self.pos += 1;
+                Ok(Term::Const(Constant::Int(i)))
+            }
+            Some(Token::Float(x)) => {
+                let x = *x;
+                self.pos += 1;
+                Ok(Term::Const(Constant::Float(x)))
+            }
+            Some(Token::Bool(b)) => {
+                let b = *b;
+                self.pos += 1;
+                Ok(Term::Const(Constant::Bool(b)))
+            }
+            _ => Err(self.err("expected a term (variable, constant, or '_')")),
+        }
+    }
+
+    fn head_term_list(&mut self) -> Result<Vec<HeadTerm>, ParseError> {
+        if self.peek() == Some(&Token::RParen) {
+            return Ok(Vec::new());
+        }
+        let mut terms = vec![self.head_term()?];
+        while self.eat(&Token::Comma) {
+            terms.push(self.head_term()?);
+        }
+        Ok(terms)
+    }
+
+    /// A head term: `var`, constant, or `agg(conv*(var))`.
+    fn head_term(&mut self) -> Result<HeadTerm, ParseError> {
+        // Aggregate: identifier followed by '('.
+        if matches!(self.peek(), Some(Token::Ident(_)))
+            && matches!(self.peek_at(1), Some(Token::LParen))
+        {
+            let func = self.ident("aggregation function")?;
+            self.expect(&Token::LParen, "'('")?;
+            let mut conversions = Vec::new();
+            // Nested conversions: str(y), len(str(y)), …
+            while matches!(self.peek(), Some(Token::Ident(_)))
+                && matches!(self.peek_at(1), Some(Token::LParen))
+            {
+                conversions.push(self.ident("conversion function")?);
+                self.expect(&Token::LParen, "'('")?;
+            }
+            let var = self.ident("aggregated variable")?;
+            for _ in 0..conversions.len() {
+                self.expect(&Token::RParen, "')' closing conversion")?;
+            }
+            self.expect(&Token::RParen, "')' closing aggregation")?;
+            return Ok(HeadTerm::Aggregate {
+                func,
+                conversions,
+                var,
+            });
+        }
+        Ok(HeadTerm::Term(self.term()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        parse_program(src).unwrap_or_else(|e| panic!("parse of {src:?} failed: {e}"))
+    }
+
+    #[test]
+    fn declaration() {
+        let p = program("new Texts(str, span, int, bool, float)");
+        assert_eq!(
+            p.statements,
+            vec![Statement::Declaration(Declaration {
+                name: "Texts".into(),
+                types: vec![
+                    ValueType::Str,
+                    ValueType::Span,
+                    ValueType::Int,
+                    ValueType::Bool,
+                    ValueType::Float
+                ],
+            })]
+        );
+    }
+
+    #[test]
+    fn fact() {
+        let p = program(r#"Texts("2024-01-01", "hello", 3, true, 1.5)"#);
+        match &p.statements[0] {
+            Statement::Fact(f) => {
+                assert_eq!(f.predicate, "Texts");
+                assert_eq!(f.values.len(), 5);
+                assert_eq!(f.values[2], Constant::Int(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_rule_section_3_2() {
+        // R(usr, dom) <- Texts(d, t), rgx_alpha(t) -> (usr, dom)
+        let p = program(r#"R(usr, dom) <- Texts(d, t), rgx("(\w+)@(\w+)", t) -> (usr, dom)."#);
+        match &p.statements[0] {
+            Statement::Rule(r) => {
+                assert_eq!(r.head_predicate, "R");
+                assert_eq!(r.body.len(), 2);
+                assert!(matches!(r.body[0], BodyElem::Relation(_)));
+                match &r.body[1] {
+                    BodyElem::Ie(ie) => {
+                        assert_eq!(ie.function, "rgx");
+                        assert_eq!(ie.inputs.len(), 2);
+                        assert_eq!(ie.outputs.len(), 2);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_rule_with_two_ie_atoms() {
+        // T(z, v, w) <- Texts(d, t), foo(d, t) -> (z), rgx_alpha(z) -> (w, v)
+        let p =
+            program(r#"T(z, v, w) <- Texts(d, t), foo(d, t) -> (z), rgx("x", z) -> (w, v)"#);
+        match &p.statements[0] {
+            Statement::Rule(r) => assert_eq!(r.body.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_arrows() {
+        let p = program("R(x) ← S(x), f(x) ↦ (y)");
+        match &p.statements[0] {
+            Statement::Rule(r) => assert_eq!(r.body.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregation_rule_from_paper() {
+        // R(t, lex_concat(str(y))) <- Texts(d, t), rgx_alpha(t) -> (y)
+        let p = program(r#"R(t, lex_concat(str(y))) <- Texts(d, t), rgx("a", t) -> (y)"#);
+        match &p.statements[0] {
+            Statement::Rule(r) => {
+                assert!(r.has_aggregation());
+                assert_eq!(
+                    r.head_terms[1],
+                    HeadTerm::Aggregate {
+                        func: "lex_concat".into(),
+                        conversions: vec!["str".into()],
+                        var: "y".into(),
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_with_constant_filter() {
+        let p = program(r#"?R(usr, "gmail")"#);
+        assert_eq!(
+            p.statements,
+            vec![Statement::Query(Query {
+                predicate: "R".into(),
+                terms: vec![
+                    Term::Variable("usr".into()),
+                    Term::Const(Constant::Str("gmail".into()))
+                ],
+            })]
+        );
+    }
+
+    #[test]
+    fn query_with_wildcard() {
+        let p = program("?R(x, _)");
+        match &p.statements[0] {
+            Statement::Query(q) => assert_eq!(q.terms[1], Term::Wildcard),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_and_comparison() {
+        let p = program("R(x) <- S(x), not T(x), x != \"skip\"");
+        match &p.statements[0] {
+            Statement::Rule(r) => {
+                assert!(matches!(r.body[1], BodyElem::Negated(_)));
+                assert!(matches!(
+                    r.body[2],
+                    BodyElem::Comparison {
+                        op: CmpOp::Neq,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consecutive_statements_self_delimit() {
+        let src = r#"
+            new S(str)
+            S("a")
+            R(x) <- S(x)
+            ?R(x)
+        "#;
+        let p = program(src);
+        assert_eq!(p.statements.len(), 4);
+        assert!(matches!(p.statements[0], Statement::Declaration(_)));
+        assert!(matches!(p.statements[1], Statement::Fact(_)));
+        assert!(matches!(p.statements[2], Statement::Rule(_)));
+        assert!(matches!(p.statements[3], Statement::Query(_)));
+    }
+
+    #[test]
+    fn rule_followed_by_fact_without_dot() {
+        let p = program("R(x) <- S(x)\nS(\"a\")");
+        assert_eq!(p.statements.len(), 2);
+    }
+
+    #[test]
+    fn recursive_rule() {
+        let p = program("Path(x, y) <- Edge(x, y)\nPath(x, z) <- Path(x, y), Edge(y, z)");
+        assert_eq!(p.statements.len(), 2);
+    }
+
+    #[test]
+    fn fact_with_variable_is_rejected() {
+        let err = parse_program("R(x)").unwrap_err();
+        assert!(err.msg.contains("constants"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("new Texts(str,\n  nonsense)").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_program_ok() {
+        assert_eq!(program("").statements.len(), 0);
+        assert_eq!(program("# only a comment\n").statements.len(), 0);
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let p = program("Flag() <- S(_)");
+        match &p.statements[0] {
+            Statement::Rule(r) => assert!(r.head_terms.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let sources = [
+            "new Texts(str, str)",
+            r#"Texts("d1", "hello")"#,
+            r#"R(usr, dom) <- Texts(d, t), rgx("(\w+)@(\w+)", t) -> (usr, dom)."#,
+            r#"R(t, lex_concat(str(y))) <- Texts(d, t), rgx("a", t) -> (y)."#,
+            "?R(x, \"gmail\")",
+            "R(x) <- S(x), not T(x), x != \"skip\".",
+            "Count(count(y)) <- S(y).",
+        ];
+        for src in sources {
+            let p1 = program(src);
+            let rendered = p1.to_string();
+            let p2 = program(&rendered);
+            assert_eq!(p1, p2, "round trip of {src:?} via {rendered:?}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Token vocabulary of the Spannerlog surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier: relation names, variables, IE/aggregation functions.
+    Ident(String),
+    /// String literal (escapes already resolved).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal `true` / `false`.
+    Bool(bool),
+    /// `new` keyword (relation declaration).
+    New,
+    /// `not` keyword (negated atom).
+    Not,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.` statement terminator.
+    Dot,
+    /// `?` query marker.
+    Question,
+    /// `<-` / `←` rule implication.
+    Implies,
+    /// `->` / `↦` IE output arrow.
+    Arrow,
+    /// `_` wildcard.
+    Underscore,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Neq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Bool(b) => write!(f, "{b}"),
+            Token::New => write!(f, "new"),
+            Token::Not => write!(f, "not"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Question => write!(f, "?"),
+            Token::Implies => write!(f, "<-"),
+            Token::Arrow => write!(f, "->"),
+            Token::Underscore => write!(f, "_"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}

@@ -1,0 +1,275 @@
+//! Abstract syntax of regex formulas.
+//!
+//! The AST distinguishes *capture groups* — which may carry a spanner
+//! variable name, as in the paper's `x{a+}` notation — from grouping-only
+//! parentheses, which the parser flattens away.
+
+use crate::classes::ClassSet;
+use std::fmt;
+
+/// Zero-width assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnchorKind {
+    /// `^` — start of the input.
+    StartText,
+    /// `$` — end of the input.
+    EndText,
+    /// `\b` — word boundary.
+    WordBoundary,
+    /// `\B` — not a word boundary.
+    NotWordBoundary,
+}
+
+/// A node of the regex-formula AST.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// A character class (`[...]`, `\d`, …).
+    Class(ClassSet),
+    /// `.` — any character except `\n` (Python `re` default).
+    AnyChar,
+    /// A zero-width assertion.
+    Anchor(AnchorKind),
+    /// Concatenation of sub-patterns, in order.
+    Concat(Vec<Ast>),
+    /// Ordered alternation (`a|b|c`); order encodes match priority.
+    Alternation(Vec<Ast>),
+    /// Repetition of a sub-pattern.
+    Repeat {
+        /// The repeated sub-pattern.
+        node: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` means unbounded.
+        max: Option<u32>,
+        /// Greedy (`a*`) vs lazy (`a*?`) priority.
+        greedy: bool,
+    },
+    /// A capture group. `index` is the 1-based group number (group 0 is the
+    /// implicit whole match); `name` is the spanner variable, if any.
+    Group {
+        /// 1-based capture index.
+        index: u32,
+        /// Optional spanner-variable / group name.
+        name: Option<String>,
+        /// The captured sub-pattern.
+        node: Box<Ast>,
+    },
+}
+
+impl Ast {
+    /// Concatenation that collapses the trivial cases.
+    pub fn concat(mut parts: Vec<Ast>) -> Ast {
+        match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("len checked"),
+            _ => Ast::Concat(parts),
+        }
+    }
+
+    /// Alternation that collapses the single-branch case.
+    pub fn alternation(mut branches: Vec<Ast>) -> Ast {
+        match branches.len() {
+            0 => Ast::Empty,
+            1 => branches.pop().expect("len checked"),
+            _ => Ast::Alternation(branches),
+        }
+    }
+
+    /// Whether the pattern can match the empty string (conservative exact
+    /// computation over the AST; anchors count as nullable).
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::Anchor(_) => true,
+            Ast::Literal(_) | Ast::Class(_) | Ast::AnyChar => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::is_nullable),
+            Ast::Alternation(branches) => branches.iter().any(Ast::is_nullable),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.is_nullable(),
+            Ast::Group { node, .. } => node.is_nullable(),
+        }
+    }
+
+    /// Collects `(index, name)` of every capture group, in index order.
+    pub fn capture_groups(&self) -> Vec<(u32, Option<String>)> {
+        fn walk(ast: &Ast, out: &mut Vec<(u32, Option<String>)>) {
+            match ast {
+                Ast::Group { index, name, node } => {
+                    out.push((*index, name.clone()));
+                    walk(node, out);
+                }
+                Ast::Concat(parts) | Ast::Alternation(parts) => {
+                    for p in parts {
+                        walk(p, out);
+                    }
+                }
+                Ast::Repeat { node, .. } => walk(node, out),
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.sort_by_key(|(i, _)| *i);
+        out
+    }
+}
+
+impl fmt::Display for Ast {
+    /// Renders a pattern string that re-parses to an equivalent AST (used
+    /// by round-trip tests). Literals that collide with metacharacters are
+    /// escaped.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ast::Empty => Ok(()),
+            Ast::Literal(c) => {
+                if "\\.+*?()|[]{}^$".contains(*c) {
+                    write!(f, "\\{c}")
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Ast::Class(set) => {
+                write!(f, "[")?;
+                for r in set.ranges() {
+                    if r.lo == r.hi {
+                        write_class_char(f, r.lo)?;
+                    } else {
+                        write_class_char(f, r.lo)?;
+                        write!(f, "-")?;
+                        write_class_char(f, r.hi)?;
+                    }
+                }
+                write!(f, "]")
+            }
+            Ast::AnyChar => write!(f, "."),
+            Ast::Anchor(AnchorKind::StartText) => write!(f, "^"),
+            Ast::Anchor(AnchorKind::EndText) => write!(f, "$"),
+            Ast::Anchor(AnchorKind::WordBoundary) => write!(f, "\\b"),
+            Ast::Anchor(AnchorKind::NotWordBoundary) => write!(f, "\\B"),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    if matches!(p, Ast::Alternation(_)) {
+                        write!(f, "(?:{p})")?;
+                    } else {
+                        write!(f, "{p}")?;
+                    }
+                }
+                Ok(())
+            }
+            Ast::Alternation(branches) => {
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                Ok(())
+            }
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => {
+                let needs_group = !matches!(
+                    node.as_ref(),
+                    Ast::Literal(_) | Ast::Class(_) | Ast::AnyChar | Ast::Group { .. }
+                );
+                if needs_group {
+                    write!(f, "(?:{node})")?;
+                } else {
+                    write!(f, "{node}")?;
+                }
+                match (min, max) {
+                    (0, None) => write!(f, "*")?,
+                    (1, None) => write!(f, "+")?,
+                    (0, Some(1)) => write!(f, "?")?,
+                    (m, None) => write!(f, "{{{m},}}")?,
+                    (m, Some(n)) if m == n => write!(f, "{{{m}}}")?,
+                    (m, Some(n)) => write!(f, "{{{m},{n}}}")?,
+                }
+                if !greedy {
+                    write!(f, "?")?;
+                }
+                Ok(())
+            }
+            Ast::Group { name, node, .. } => match name {
+                Some(n) => write!(f, "(?<{n}>{node})"),
+                None => write!(f, "({node})"),
+            },
+        }
+    }
+}
+
+fn write_class_char(f: &mut fmt::Formatter<'_>, c: char) -> fmt::Result {
+    if "\\]^-[".contains(c) {
+        write!(f, "\\{c}")
+    } else {
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_collapses() {
+        assert_eq!(Ast::concat(vec![]), Ast::Empty);
+        assert_eq!(Ast::concat(vec![Ast::Literal('a')]), Ast::Literal('a'));
+        assert!(matches!(
+            Ast::concat(vec![Ast::Literal('a'), Ast::Literal('b')]),
+            Ast::Concat(_)
+        ));
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ast::Empty.is_nullable());
+        assert!(!Ast::Literal('a').is_nullable());
+        let star = Ast::Repeat {
+            node: Box::new(Ast::Literal('a')),
+            min: 0,
+            max: None,
+            greedy: true,
+        };
+        assert!(star.is_nullable());
+        let plus = Ast::Repeat {
+            node: Box::new(Ast::Literal('a')),
+            min: 1,
+            max: None,
+            greedy: true,
+        };
+        assert!(!plus.is_nullable());
+        assert!(Ast::Anchor(AnchorKind::StartText).is_nullable());
+    }
+
+    #[test]
+    fn capture_group_listing() {
+        let ast = Ast::Concat(vec![
+            Ast::Group {
+                index: 2,
+                name: Some("y".into()),
+                node: Box::new(Ast::Literal('b')),
+            },
+            Ast::Group {
+                index: 1,
+                name: Some("x".into()),
+                node: Box::new(Ast::Literal('a')),
+            },
+        ]);
+        let groups = ast.capture_groups();
+        assert_eq!(
+            groups,
+            vec![(1, Some("x".to_string())), (2, Some("y".to_string()))]
+        );
+    }
+
+    #[test]
+    fn display_escapes_metacharacters() {
+        assert_eq!(Ast::Literal('+').to_string(), "\\+");
+        assert_eq!(Ast::Literal('a').to_string(), "a");
+    }
+}

@@ -1,0 +1,248 @@
+//! Character classes as sorted, disjoint ranges of `char`.
+//!
+//! A [`ClassSet`] is the normalized form of `[a-z0-9_]`, `\d`, `[^abc]`,
+//! etc.: an ordered list of non-overlapping, non-adjacent inclusive ranges.
+//! Normalization makes membership a binary search and makes set complement
+//! (for `[^...]` and `\D`/`\W`/`\S`) straightforward.
+
+/// An inclusive range of characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassRange {
+    /// First character of the range.
+    pub lo: char,
+    /// Last character of the range (inclusive).
+    pub hi: char,
+}
+
+impl ClassRange {
+    /// Builds a range; panics if `lo > hi` (parser validates first).
+    pub fn new(lo: char, hi: char) -> Self {
+        assert!(lo <= hi, "class range lo must not exceed hi");
+        ClassRange { lo, hi }
+    }
+
+    /// Single-character range.
+    pub fn single(c: char) -> Self {
+        ClassRange { lo: c, hi: c }
+    }
+}
+
+/// A normalized set of characters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ClassSet {
+    ranges: Vec<ClassRange>,
+}
+
+impl ClassSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        ClassSet::default()
+    }
+
+    /// Builds a normalized set from arbitrary (possibly overlapping,
+    /// unordered) ranges.
+    pub fn from_ranges(ranges: impl IntoIterator<Item = ClassRange>) -> Self {
+        let mut rs: Vec<ClassRange> = ranges.into_iter().collect();
+        rs.sort();
+        let mut out: Vec<ClassRange> = Vec::with_capacity(rs.len());
+        for r in rs {
+            match out.last_mut() {
+                // Merge when overlapping or exactly adjacent.
+                Some(last) if r.lo as u32 <= (last.hi as u32).saturating_add(1) => {
+                    if r.hi > last.hi {
+                        last.hi = r.hi;
+                    }
+                }
+                _ => out.push(r),
+            }
+        }
+        ClassSet { ranges: out }
+    }
+
+    /// A set containing the single character `c`.
+    pub fn single(c: char) -> Self {
+        ClassSet {
+            ranges: vec![ClassRange::single(c)],
+        }
+    }
+
+    /// The normalized ranges.
+    pub fn ranges(&self) -> &[ClassRange] {
+        &self.ranges
+    }
+
+    /// Whether the set contains no characters.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Membership test (binary search over the normalized ranges).
+    pub fn contains(&self, c: char) -> bool {
+        self.ranges
+            .binary_search_by(|r| {
+                if c < r.lo {
+                    std::cmp::Ordering::Greater
+                } else if c > r.hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ClassSet) -> ClassSet {
+        ClassSet::from_ranges(self.ranges.iter().chain(other.ranges.iter()).copied())
+    }
+
+    /// Complement with respect to the full Unicode scalar range, skipping
+    /// the surrogate gap.
+    pub fn negate(&self) -> ClassSet {
+        let mut out = Vec::new();
+        let mut next = 0u32;
+        for r in &self.ranges {
+            let lo = r.lo as u32;
+            if next < lo {
+                push_scalar_range(&mut out, next, lo - 1);
+            }
+            next = (r.hi as u32) + 1;
+        }
+        if next <= char::MAX as u32 {
+            push_scalar_range(&mut out, next, char::MAX as u32);
+        }
+        ClassSet::from_ranges(out)
+    }
+
+    /// `\d`: ASCII digits. (The paper's examples are ASCII; Unicode digit
+    /// classes are out of scope and documented as such.)
+    pub fn digit() -> Self {
+        ClassSet::from_ranges([ClassRange::new('0', '9')])
+    }
+
+    /// `\w`: ASCII word characters `[A-Za-z0-9_]`.
+    pub fn word() -> Self {
+        ClassSet::from_ranges([
+            ClassRange::new('A', 'Z'),
+            ClassRange::new('a', 'z'),
+            ClassRange::new('0', '9'),
+            ClassRange::single('_'),
+        ])
+    }
+
+    /// `\s`: ASCII whitespace `[ \t\n\r\x0b\x0c]`.
+    pub fn space() -> Self {
+        ClassSet::from_ranges([
+            ClassRange::single(' '),
+            ClassRange::new('\t', '\r'), // \t \n \x0b \x0c \r
+        ])
+    }
+}
+
+/// Pushes the scalar-value range `[lo, hi]` as char ranges, splitting
+/// around the UTF-16 surrogate gap D800–DFFF which are not valid chars.
+fn push_scalar_range(out: &mut Vec<ClassRange>, lo: u32, hi: u32) {
+    const SUR_LO: u32 = 0xD800;
+    const SUR_HI: u32 = 0xDFFF;
+    if lo > hi {
+        return;
+    }
+    if hi < SUR_LO || lo > SUR_HI {
+        // Entirely outside the gap.
+        if let (Some(l), Some(h)) = (char::from_u32(lo), char::from_u32(hi)) {
+            out.push(ClassRange::new(l, h));
+        }
+        return;
+    }
+    if lo < SUR_LO {
+        push_scalar_range(out, lo, SUR_LO - 1);
+    }
+    if hi > SUR_HI {
+        push_scalar_range(out, SUR_HI + 1, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_merges_overlaps_and_adjacent() {
+        let s = ClassSet::from_ranges([
+            ClassRange::new('a', 'f'),
+            ClassRange::new('d', 'k'),
+            ClassRange::new('l', 'p'), // adjacent to 'k'
+            ClassRange::single('z'),
+        ]);
+        assert_eq!(
+            s.ranges(),
+            &[ClassRange::new('a', 'p'), ClassRange::single('z')]
+        );
+    }
+
+    #[test]
+    fn membership() {
+        let s = ClassSet::from_ranges([ClassRange::new('a', 'c'), ClassRange::new('x', 'z')]);
+        for c in ['a', 'b', 'c', 'x', 'z'] {
+            assert!(s.contains(c), "{c}");
+        }
+        for c in ['d', 'w', 'A', '0'] {
+            assert!(!s.contains(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn negation_covers_complement() {
+        let s = ClassSet::from_ranges([ClassRange::new('b', 'd')]);
+        let n = s.negate();
+        assert!(n.contains('a'));
+        assert!(!n.contains('b'));
+        assert!(!n.contains('d'));
+        assert!(n.contains('e'));
+        assert!(n.contains('€'));
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let s = ClassSet::from_ranges([ClassRange::new('0', '9'), ClassRange::single('_')]);
+        assert_eq!(s.negate().negate(), s);
+    }
+
+    #[test]
+    fn negation_of_empty_is_everything() {
+        let all = ClassSet::empty().negate();
+        assert!(all.contains('\0'));
+        assert!(all.contains(char::MAX));
+        assert!(all.contains('中'));
+    }
+
+    #[test]
+    fn perl_classes() {
+        assert!(ClassSet::digit().contains('7'));
+        assert!(!ClassSet::digit().contains('a'));
+        assert!(ClassSet::word().contains('_'));
+        assert!(ClassSet::word().contains('Q'));
+        assert!(!ClassSet::word().contains('-'));
+        assert!(ClassSet::space().contains(' '));
+        assert!(ClassSet::space().contains('\n'));
+        assert!(!ClassSet::space().contains('x'));
+    }
+
+    #[test]
+    fn union_merges() {
+        let u = ClassSet::digit().union(&ClassSet::word());
+        assert_eq!(u, ClassSet::word()); // digits ⊆ word chars
+    }
+
+    #[test]
+    fn negate_skips_surrogates() {
+        // The complement of 'a' must not contain surrogate code points —
+        // verified indirectly: every range endpoint must be a valid char,
+        // and the ranges must jump over D800..DFFF.
+        let n = ClassSet::single('a').negate();
+        for r in n.ranges() {
+            assert!(!(0xD800..=0xDFFF).contains(&(r.lo as u32)));
+            assert!(!(0xD800..=0xDFFF).contains(&(r.hi as u32)));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # spannerlib-regex
+//!
+//! A from-scratch regex-formula engine with **document-spanner semantics**.
+//!
+//! Regex formulas — regular expressions with capture variables — are the
+//! canonical IE functions of the document-spanner framework (Fagin et al.,
+//! *J. ACM* 2015) and of the paper's `rgxα` primitives (§2). This crate
+//! implements them without depending on any external regex library, because
+//! the matching semantics *is* part of the system under reproduction:
+//!
+//! * [`Regex::find_iter`] — **leftmost-first, non-overlapping** scanning
+//!   (the semantics of Python's `re`, which the original SpannerLib wraps).
+//!   The paper's worked example (§2: `x{a+}c+y{b+}` over `acb aacccbbb`
+//!   yields exactly two matches) holds under this mode.
+//! * [`Regex::all_matches`] — the **formal spanner semantics**: every span
+//!   ⟨i, j⟩ such that the formula matches `d[i..j]` in its entirety,
+//!   together with *every* capture-variable assignment of every accepting
+//!   run. This is the ⟦γ⟧(d) of the theory.
+//!
+//! The pattern syntax is classic regex (alternation, repetition,
+//! character classes, anchors, `(...)`/`(?:...)`/`(?<name>...)` groups)
+//! extended with *spanner variable groups* `x{...}` as written in the
+//! paper — `x{a+}c+y{b+}` binds variables `x` and `y`.
+//!
+//! On top of single formulas, [`algebra`] provides the spanner-algebra
+//! combinators (union, concatenation, Kleene star, projection at the
+//! automaton level; natural join, selection, union at the relation level)
+//! that make the representation closed under the relational operators.
+//!
+//! Internals: patterns parse to an [`ast::Ast`], compile to a Thompson NFA
+//! with capture slots ([`nfa::Program`]), and execute on a Pike VM
+//! ([`pikevm`]) or an all-configurations simulator ([`allmatches`]). A
+//! brute-force backtracking [`oracle`] ships with the crate as the
+//! reference semantics for tests.
+
+pub mod algebra;
+pub mod allmatches;
+pub mod ast;
+pub mod classes;
+pub mod compile;
+pub mod error;
+pub mod nfa;
+pub mod oracle;
+pub mod parser;
+pub mod pikevm;
+pub mod regex;
+
+pub use crate::regex::{Captures, Match, Regex};
+pub use algebra::{SpanRelation, Spanner};
+pub use allmatches::AllMatch;
+pub use error::RegexError;

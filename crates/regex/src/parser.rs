@@ -1,0 +1,759 @@
+//! Recursive-descent parser for regex formulas.
+//!
+//! Classic syntax plus the paper's *spanner variable groups*: `x{a+}`
+//! binds variable `x` to the span matched by `a+`. Variable groups are
+//! disambiguated from repetition braces by lookahead — `ident{...}` is a
+//! variable group exactly when the brace body does **not** parse as a
+//! repetition count (`{3}`, `{3,}`, `{3,5}`). This mirrors how the
+//! RGXlog/SpannerLib pattern dialect reads; the corner case of a literal
+//! identifier followed by a counted repetition (`ab{2}`) keeps its classic
+//! meaning because `2` *is* a repetition count.
+
+use crate::ast::{AnchorKind, Ast};
+use crate::classes::{ClassRange, ClassSet};
+use crate::error::RegexError;
+use std::collections::HashSet;
+
+/// Parses a pattern into an AST plus its capture-group count.
+///
+/// Group indices are assigned 1-based in order of the opening delimiter;
+/// group 0 (the whole match) is implicit and not represented in the AST.
+pub fn parse(pattern: &str) -> Result<ParsedPattern, RegexError> {
+    let mut p = Parser {
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+        next_group: 1,
+        pattern_len: pattern.len(),
+        var_group_depth: 0,
+    };
+    let ast = p.parse_alternation()?;
+    if p.pos < p.chars.len() {
+        let (byte, c) = p.chars[p.pos];
+        return Err(RegexError::syntax(byte, format!("unexpected {c:?}")));
+    }
+    let groups = ast.capture_groups();
+    let mut seen = HashSet::new();
+    for (_, name) in &groups {
+        if let Some(n) = name {
+            if !seen.insert(n.clone()) {
+                return Err(RegexError::DuplicateVariable(n.clone()));
+            }
+        }
+    }
+    let group_names = {
+        let mut names: Vec<Option<String>> = vec![None; groups.len()];
+        for (idx, name) in groups {
+            names[(idx - 1) as usize] = name;
+        }
+        names
+    };
+    Ok(ParsedPattern { ast, group_names })
+}
+
+/// Result of parsing: the AST and, for each capture group (1-based index
+/// order), its optional variable name.
+#[derive(Debug, Clone)]
+pub struct ParsedPattern {
+    /// Root of the parsed AST.
+    pub ast: Ast,
+    /// `group_names[i]` is the name of group `i + 1`, if any.
+    pub group_names: Vec<Option<String>>,
+}
+
+impl ParsedPattern {
+    /// Number of explicit capture groups.
+    pub fn group_count(&self) -> usize {
+        self.group_names.len()
+    }
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    next_group: u32,
+    pattern_len: usize,
+    /// Nesting depth of spanner variable groups; inside one, `}` ends the
+    /// group instead of being a literal (escape it as `\}` if needed).
+    var_group_depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).map(|&(_, c)| c)
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.pattern_len)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), RegexError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(RegexError::syntax(
+                self.byte_pos(),
+                format!("expected {c:?}"),
+            ))
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alternation(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        Ok(Ast::alternation(branches))
+    }
+
+    /// concat := repeat*
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' || (c == '}' && self.var_group_depth > 0) {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(Ast::concat(parts))
+    }
+
+    /// repeat := atom ('*'|'+'|'?'|'{m,n}') '?'?
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => match self.try_parse_counted_repetition()? {
+                Some(bounds) => bounds,
+                None => return Ok(atom),
+            },
+            _ => return Ok(atom),
+        };
+        if let Some(m) = max {
+            if min > m {
+                return Err(RegexError::BadRepetition { min, max: m });
+            }
+        }
+        let greedy = !self.eat('?');
+        if matches!(atom, Ast::Anchor(_)) {
+            return Err(RegexError::syntax(
+                self.byte_pos(),
+                "repetition of a zero-width assertion",
+            ));
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    /// Attempts `{m}`, `{m,}`, `{m,n}` at the current `{`. Restores the
+    /// position and returns `None` when the braces are not a repetition
+    /// (then the `{` is a literal brace, matching Python's leniency).
+    fn try_parse_counted_repetition(&mut self) -> Result<Option<(u32, Option<u32>)>, RegexError> {
+        let save = self.pos;
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.pos += 1;
+        let min = match self.parse_number() {
+            Some(n) => n,
+            None => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                match self.parse_number() {
+                    Some(n) => Some(n),
+                    None => {
+                        self.pos = save;
+                        return Ok(None);
+                    }
+                }
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            self.pos = save;
+            return Ok(None);
+        }
+        Ok(Some((min, max)))
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        let mut value: u32 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                value = value.saturating_mul(10).saturating_add(d);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        (self.pos > start).then_some(value)
+    }
+
+    /// Checks whether the current position starts a spanner variable group
+    /// `ident{body}` — an identifier immediately followed by `{` whose body
+    /// is not a repetition count. Returns the identifier length in chars.
+    fn peek_variable_group(&self) -> Option<usize> {
+        let first = self.peek()?;
+        if !(first.is_ascii_alphabetic() || first == '_') {
+            return None;
+        }
+        let mut len = 1;
+        while let Some(c) = self.peek_at(len) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                len += 1;
+            } else {
+                break;
+            }
+        }
+        if self.peek_at(len) != Some('{') {
+            return None;
+        }
+        // Reject if the brace body is a repetition count: scan digits
+        // [, digits] '}'.
+        let mut i = len + 1;
+        let mut saw_digit = false;
+        while let Some(c) = self.peek_at(i) {
+            if c.is_ascii_digit() {
+                saw_digit = true;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        if saw_digit {
+            if self.peek_at(i) == Some(',') {
+                i += 1;
+                while let Some(c) = self.peek_at(i) {
+                    if c.is_ascii_digit() {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if self.peek_at(i) == Some('}') {
+                return None; // repetition applied to the last identifier char
+            }
+        }
+        Some(len)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        // Spanner variable group `x{...}` takes precedence at atom position.
+        if let Some(name_len) = self.peek_variable_group() {
+            let name: String = (0..name_len)
+                .map(|i| self.chars[self.pos + i].1)
+                .collect();
+            self.pos += name_len;
+            self.expect('{')?;
+            let index = self.next_group;
+            self.next_group += 1;
+            self.var_group_depth += 1;
+            let inner = self.parse_alternation()?;
+            self.var_group_depth -= 1;
+            if !self.eat('}') {
+                return Err(RegexError::syntax(
+                    self.byte_pos(),
+                    format!("unclosed variable group {name:?}"),
+                ));
+            }
+            return Ok(Ast::Group {
+                index,
+                name: Some(name),
+                node: Box::new(inner),
+            });
+        }
+
+        let start_byte = self.byte_pos();
+        let c = self
+            .bump()
+            .ok_or_else(|| RegexError::syntax(start_byte, "unexpected end of pattern"))?;
+        match c {
+            '(' => self.parse_group(),
+            '[' => self.parse_class(),
+            '.' => Ok(Ast::AnyChar),
+            '^' => Ok(Ast::Anchor(AnchorKind::StartText)),
+            '$' => Ok(Ast::Anchor(AnchorKind::EndText)),
+            '\\' => self.parse_escape(start_byte),
+            '*' | '+' | '?' => Err(RegexError::syntax(start_byte, "repetition with no operand")),
+            ')' => Err(RegexError::syntax(start_byte, "unmatched ')'")),
+            other => Ok(Ast::Literal(other)),
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<Ast, RegexError> {
+        if self.eat('?') {
+            if self.eat(':') {
+                // Non-capturing group.
+                let inner = self.parse_alternation()?;
+                self.expect(')')?;
+                return Ok(inner);
+            }
+            // Named group: (?P<name>...) or (?<name>...).
+            self.eat('P');
+            self.expect('<')?;
+            let mut name = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if name.is_empty() {
+                return Err(RegexError::syntax(self.byte_pos(), "empty group name"));
+            }
+            self.expect('>')?;
+            let index = self.next_group;
+            self.next_group += 1;
+            let inner = self.parse_alternation()?;
+            self.expect(')')?;
+            return Ok(Ast::Group {
+                index,
+                name: Some(name),
+                node: Box::new(inner),
+            });
+        }
+        let index = self.next_group;
+        self.next_group += 1;
+        let inner = self.parse_alternation()?;
+        self.expect(')')?;
+        Ok(Ast::Group {
+            index,
+            name: None,
+            node: Box::new(inner),
+        })
+    }
+
+    fn parse_escape(&mut self, start_byte: usize) -> Result<Ast, RegexError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| RegexError::syntax(start_byte, "dangling escape"))?;
+        Ok(match c {
+            'd' => Ast::Class(ClassSet::digit()),
+            'D' => Ast::Class(ClassSet::digit().negate()),
+            'w' => Ast::Class(ClassSet::word()),
+            'W' => Ast::Class(ClassSet::word().negate()),
+            's' => Ast::Class(ClassSet::space()),
+            'S' => Ast::Class(ClassSet::space().negate()),
+            'b' => Ast::Anchor(AnchorKind::WordBoundary),
+            'B' => Ast::Anchor(AnchorKind::NotWordBoundary),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            '0' => Ast::Literal('\0'),
+            c if c.is_ascii_alphanumeric() => {
+                return Err(RegexError::syntax(
+                    start_byte,
+                    format!("unknown escape \\{c}"),
+                ))
+            }
+            other => Ast::Literal(other),
+        })
+    }
+
+    /// Parses a character class after the opening `[`.
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let negated = self.eat('^');
+        let mut set = ClassSet::empty();
+        let mut first = true;
+        loop {
+            let item_byte = self.byte_pos();
+            let c = self
+                .bump()
+                .ok_or_else(|| RegexError::syntax(item_byte, "unclosed character class"))?;
+            if c == ']' && !first {
+                break;
+            }
+            first = false;
+            let lo = if c == '\\' {
+                match self.parse_class_escape(item_byte)? {
+                    ClassItem::Char(ch) => ch,
+                    ClassItem::Set(s) => {
+                        set = set.union(&s);
+                        continue;
+                    }
+                }
+            } else {
+                c
+            };
+            // Possible range `lo-hi` (a trailing `-` is a literal).
+            if self.peek() == Some('-') && self.peek_at(1) != Some(']') && self.peek_at(1).is_some()
+            {
+                self.pos += 1; // consume '-'
+                let hi_byte = self.byte_pos();
+                let hc = self
+                    .bump()
+                    .ok_or_else(|| RegexError::syntax(hi_byte, "unclosed character class"))?;
+                let hi = if hc == '\\' {
+                    match self.parse_class_escape(hi_byte)? {
+                        ClassItem::Char(ch) => ch,
+                        ClassItem::Set(_) => {
+                            return Err(RegexError::syntax(
+                                hi_byte,
+                                "class shorthand cannot end a range",
+                            ))
+                        }
+                    }
+                } else {
+                    hc
+                };
+                if lo > hi {
+                    return Err(RegexError::syntax(
+                        item_byte,
+                        format!("invalid range {lo:?}-{hi:?}"),
+                    ));
+                }
+                set = set.union(&ClassSet::from_ranges([ClassRange::new(lo, hi)]));
+            } else {
+                set = set.union(&ClassSet::single(lo));
+            }
+        }
+        Ok(Ast::Class(if negated { set.negate() } else { set }))
+    }
+
+    fn parse_class_escape(&mut self, start_byte: usize) -> Result<ClassItem, RegexError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| RegexError::syntax(start_byte, "dangling escape in class"))?;
+        Ok(match c {
+            'd' => ClassItem::Set(ClassSet::digit()),
+            'D' => ClassItem::Set(ClassSet::digit().negate()),
+            'w' => ClassItem::Set(ClassSet::word()),
+            'W' => ClassItem::Set(ClassSet::word().negate()),
+            's' => ClassItem::Set(ClassSet::space()),
+            'S' => ClassItem::Set(ClassSet::space().negate()),
+            'n' => ClassItem::Char('\n'),
+            't' => ClassItem::Char('\t'),
+            'r' => ClassItem::Char('\r'),
+            '0' => ClassItem::Char('\0'),
+            other => ClassItem::Char(other),
+        })
+    }
+}
+
+enum ClassItem {
+    Char(char),
+    Set(ClassSet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(pattern: &str) -> ParsedPattern {
+        parse(pattern).unwrap_or_else(|e| panic!("pattern {pattern:?} failed: {e}"))
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        let p = ok("abc");
+        assert_eq!(
+            p.ast,
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('b'),
+                Ast::Literal('c')
+            ])
+        );
+    }
+
+    #[test]
+    fn alternation_orders_branches() {
+        let p = ok("a|bc|d");
+        match p.ast {
+            Ast::Alternation(branches) => assert_eq!(branches.len(), 3),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repetitions() {
+        assert!(matches!(
+            ok("a*").ast,
+            Ast::Repeat {
+                min: 0,
+                max: None,
+                greedy: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            ok("a+?").ast,
+            Ast::Repeat {
+                min: 1,
+                max: None,
+                greedy: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            ok("a{2,5}").ast,
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            ok("a{3}").ast,
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
+        ));
+        assert!(matches!(
+            ok("a{3,}").ast,
+            Ast::Repeat { min: 3, max: None, .. }
+        ));
+    }
+
+    #[test]
+    fn inverted_repetition_is_an_error() {
+        assert_eq!(
+            parse("a{5,2}").unwrap_err(),
+            RegexError::BadRepetition { min: 5, max: 2 }
+        );
+    }
+
+    #[test]
+    fn spanner_variable_group_parses() {
+        // The paper's §2 formula.
+        let p = ok("x{a+}c+y{b+}");
+        assert_eq!(p.group_count(), 2);
+        assert_eq!(
+            p.group_names,
+            vec![Some("x".to_string()), Some("y".to_string())]
+        );
+    }
+
+    #[test]
+    fn counted_repetition_beats_variable_reading() {
+        // `ab{2}` must stay classic: 'a' then 'b' twice — no variable `ab`.
+        let p = ok("ab{2}");
+        assert_eq!(p.group_count(), 0);
+        match p.ast {
+            Ast::Concat(parts) => {
+                assert_eq!(parts[0], Ast::Literal('a'));
+                assert!(matches!(
+                    parts[1],
+                    Ast::Repeat {
+                        min: 2,
+                        max: Some(2),
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_group_with_digit_body_containing_letters() {
+        // `v{1a}` — body is not a pure repetition count, so `v` is a variable.
+        let p = ok("v{1a}");
+        assert_eq!(p.group_names, vec![Some("v".to_string())]);
+    }
+
+    #[test]
+    fn named_group_syntaxes() {
+        for pat in ["(?P<usr>a+)", "(?<usr>a+)"] {
+            let p = ok(pat);
+            assert_eq!(p.group_names, vec![Some("usr".to_string())]);
+        }
+    }
+
+    #[test]
+    fn numbered_and_noncapturing_groups() {
+        let p = ok("(a)(?:b)(c)");
+        assert_eq!(p.group_count(), 2);
+        assert_eq!(p.group_names, vec![None, None]);
+    }
+
+    #[test]
+    fn duplicate_variables_rejected() {
+        assert_eq!(
+            parse("x{a}x{b}").unwrap_err(),
+            RegexError::DuplicateVariable("x".to_string())
+        );
+    }
+
+    #[test]
+    fn classes_parse() {
+        let p = ok("[a-z0-9_]");
+        match p.ast {
+            Ast::Class(set) => {
+                assert!(set.contains('m'));
+                assert!(set.contains('5'));
+                assert!(set.contains('_'));
+                assert!(!set.contains('-'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        let p = ok("[^ab]");
+        match p.ast {
+            Ast::Class(set) => {
+                assert!(!set.contains('a'));
+                assert!(set.contains('c'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_literal_bracket_and_dash() {
+        let p = ok("[]a-]");
+        match p.ast {
+            Ast::Class(set) => {
+                assert!(set.contains(']'));
+                assert!(set.contains('a'));
+                assert!(set.contains('-'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perl_class_inside_class() {
+        let p = ok(r"[\d_]");
+        match p.ast {
+            Ast::Class(set) => {
+                assert!(set.contains('3'));
+                assert!(set.contains('_'));
+                assert!(!set.contains('a'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(ok(r"\.").ast, Ast::Literal('.'));
+        assert_eq!(ok(r"\n").ast, Ast::Literal('\n'));
+        assert!(matches!(ok(r"\d").ast, Ast::Class(_)));
+        assert_eq!(ok(r"\b").ast, Ast::Anchor(AnchorKind::WordBoundary));
+    }
+
+    #[test]
+    fn anchors() {
+        let p = ok("^a$");
+        assert_eq!(
+            p.ast,
+            Ast::Concat(vec![
+                Ast::Anchor(AnchorKind::StartText),
+                Ast::Literal('a'),
+                Ast::Anchor(AnchorKind::EndText),
+            ])
+        );
+    }
+
+    #[test]
+    fn error_positions_point_at_offender() {
+        match parse("a(b").unwrap_err() {
+            RegexError::Syntax { pos, .. } => assert_eq!(pos, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("a)").unwrap_err() {
+            RegexError::Syntax { pos, .. } => assert_eq!(pos, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stray_repetition_operators_rejected() {
+        assert!(parse("*a").is_err());
+        assert!(parse("+").is_err());
+    }
+
+    #[test]
+    fn literal_brace_without_count_is_literal() {
+        // `{` after a non-identifier atom with a non-count body: literal
+        // braces (Python leniency). After an *identifier* the same body
+        // would read as a spanner variable group — that is the dialect.
+        let p = ok(".{,2}");
+        match &p.ast {
+            Ast::Concat(parts) => {
+                assert_eq!(parts[0], Ast::AnyChar);
+                assert_eq!(parts[1], Ast::Literal('{'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And the identifier case is a variable group:
+        let p = ok("a{,2}");
+        assert_eq!(p.group_names, vec![Some("a".to_string())]);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for pat in [
+            "abc",
+            "a|b",
+            "a*b+c?",
+            "(a)(?:b)",
+            "[a-z]",
+            "x{a+}c+y{b+}",
+            r"\d\w\s",
+            "^end$",
+            "a{2,5}?",
+        ] {
+            let first = ok(pat);
+            let rendered = first.ast.to_string();
+            let second = parse(&rendered)
+                .unwrap_or_else(|e| panic!("re-parse of {rendered:?} (from {pat:?}) failed: {e}"));
+            // Group indices may shift through (?:...) flattening, so compare
+            // the structure re-rendered once more.
+            assert_eq!(rendered, second.ast.to_string());
+        }
+    }
+}

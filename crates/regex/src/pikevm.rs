@@ -1,0 +1,327 @@
+//! Pike VM: leftmost-first (Perl/Python) matching in `O(n · m)` time.
+//!
+//! Thread lists keep **priority order**: threads created earlier in a step
+//! outrank later ones, `Split` pushes its primary branch first, and new
+//! scan-start threads are appended last. When a thread reaches `Match`,
+//! every lower-priority thread is discarded — exactly the set of
+//! alternatives a backtracking engine would never explore — while
+//! higher-priority threads keep running and may supersede the match.
+//! The result is the match Python's `re` would produce.
+
+use crate::nfa::{assertion_holds, Inst, Program, StateId};
+use std::rc::Rc;
+
+/// Capture slots of one thread. `Rc` keeps thread forking cheap; a `Save`
+/// clones only when the slots are shared (copy-on-write).
+type Slots = Rc<Vec<Option<u32>>>;
+
+/// A successful search: the final capture slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Slot vector; slots `2k`/`2k+1` delimit group `k` (group 0 is the
+    /// whole match and is always present on success).
+    pub slots: Vec<Option<u32>>,
+}
+
+impl SearchResult {
+    /// Byte range of group `k`, if it participated in the match.
+    pub fn group(&self, k: usize) -> Option<(usize, usize)> {
+        let start = (*self.slots.get(2 * k)?)?;
+        let end = (*self.slots.get(2 * k + 1)?)?;
+        Some((start as usize, end as usize))
+    }
+}
+
+struct Thread {
+    pc: StateId,
+    slots: Slots,
+}
+
+/// One scan step's worth of threads plus the per-step dedupe set.
+struct ThreadList {
+    threads: Vec<Thread>,
+    seen: Vec<bool>,
+}
+
+impl ThreadList {
+    fn new(n_states: usize) -> Self {
+        ThreadList {
+            threads: Vec::new(),
+            seen: vec![false; n_states],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.seen.iter_mut().for_each(|s| *s = false);
+    }
+}
+
+/// Executes `program` over `text` starting the scan at byte `from`.
+///
+/// Returns the leftmost-first match at or after `from`, or `None`.
+pub fn search(program: &Program, text: &str, from: usize) -> Option<SearchResult> {
+    debug_assert!(text.is_char_boundary(from));
+    let mut clist = ThreadList::new(program.len());
+    let mut nlist = ThreadList::new(program.len());
+    let mut matched: Option<Slots> = None;
+
+    // Step positions: every char boundary from `from` to text.len(),
+    // inclusive. `chars[k]` is the character consumed at step k.
+    let tail = &text[from..];
+    let mut prev_char: Option<char> = if from == 0 {
+        None
+    } else {
+        text[..from].chars().next_back()
+    };
+
+    let mut iter = tail.char_indices();
+    let mut at = from;
+    let mut cur_char = iter.next().map(|(_, c)| c);
+    loop {
+        // Seed a new scan start unless a match was already found (leftmost
+        // priority: existing threads started earlier, so they come first).
+        if matched.is_none() {
+            let slots = Rc::new(vec![None; program.slot_count]);
+            add_thread(
+                program,
+                &mut clist,
+                program.start,
+                slots,
+                at,
+                text.len(),
+                prev_char,
+                cur_char,
+            );
+        }
+        if clist.threads.is_empty() && matched.is_some() {
+            break;
+        }
+
+        let next_at = at + cur_char.map_or(1, char::len_utf8);
+        let next_char = iter.next().map(|(_, c)| c);
+        for i in 0..clist.threads.len() {
+            let pc = clist.threads[i].pc;
+            match program.inst(pc) {
+                Inst::Char { c, next } => {
+                    if cur_char == Some(*c) {
+                        let slots = clist.threads[i].slots.clone();
+                        add_thread(
+                            program, &mut nlist, *next, slots, next_at, text.len(), cur_char,
+                            next_char,
+                        );
+                    }
+                }
+                Inst::Class { set, next } => {
+                    if cur_char.is_some_and(|c| set.contains(c)) {
+                        let slots = clist.threads[i].slots.clone();
+                        add_thread(
+                            program, &mut nlist, *next, slots, next_at, text.len(), cur_char,
+                            next_char,
+                        );
+                    }
+                }
+                Inst::Any { next } => {
+                    if cur_char.is_some_and(|c| c != '\n') {
+                        let slots = clist.threads[i].slots.clone();
+                        add_thread(
+                            program, &mut nlist, *next, slots, next_at, text.len(), cur_char,
+                            next_char,
+                        );
+                    }
+                }
+                Inst::Match => {
+                    matched = Some(clist.threads[i].slots.clone());
+                    // Lower-priority threads are alternatives a backtracker
+                    // would never reach; drop them permanently.
+                    break;
+                }
+                // Saves/Splits/Asserts were resolved by add_thread.
+                Inst::Save { .. } | Inst::Split { .. } | Inst::Assert { .. } => unreachable!(),
+            }
+        }
+
+        std::mem::swap(&mut clist, &mut nlist);
+        nlist.clear();
+
+        if cur_char.is_none() {
+            break;
+        }
+        prev_char = cur_char;
+        cur_char = next_char;
+        at = next_at;
+        if clist.threads.is_empty() && matched.is_some() {
+            break;
+        }
+    }
+
+    matched.map(|slots| SearchResult {
+        slots: slots.as_ref().clone(),
+    })
+}
+
+/// Adds `pc`'s epsilon closure to `list` in priority order, resolving
+/// `Split`/`Save`/`Assert` eagerly so the main loop only sees consuming
+/// instructions and `Match`.
+#[allow(clippy::too_many_arguments)]
+fn add_thread(
+    program: &Program,
+    list: &mut ThreadList,
+    pc: StateId,
+    slots: Slots,
+    at: usize,
+    len: usize,
+    prev: Option<char>,
+    next: Option<char>,
+) {
+    if list.seen[pc as usize] {
+        return;
+    }
+    list.seen[pc as usize] = true;
+    match program.inst(pc) {
+        Inst::Split { primary, secondary } => {
+            add_thread(program, list, *primary, slots.clone(), at, len, prev, next);
+            add_thread(program, list, *secondary, slots, at, len, prev, next);
+        }
+        Inst::Save { slot, next: n } => {
+            let mut new_slots = slots.as_ref().clone();
+            new_slots[*slot as usize] = Some(at as u32);
+            add_thread(program, list, *n, Rc::new(new_slots), at, len, prev, next);
+        }
+        Inst::Assert { kind, next: n } => {
+            if assertion_holds(*kind, at, len, prev, next) {
+                add_thread(program, list, *n, slots, at, len, prev, next);
+            }
+        }
+        Inst::Char { .. } | Inst::Class { .. } | Inst::Any { .. } | Inst::Match => {
+            list.threads.push(Thread { pc, slots });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+
+    fn find(pattern: &str, text: &str) -> Option<(usize, usize)> {
+        let program = compile(&parse(pattern).unwrap()).unwrap();
+        search(&program, text, 0).map(|r| r.group(0).unwrap())
+    }
+
+    fn groups(pattern: &str, text: &str) -> Vec<Option<(usize, usize)>> {
+        let program = compile(&parse(pattern).unwrap()).unwrap();
+        let r = search(&program, text, 0).unwrap();
+        (0..=program.group_count()).map(|k| r.group(k)).collect()
+    }
+
+    #[test]
+    fn literal_match() {
+        assert_eq!(find("abc", "xxabcyy"), Some((2, 5)));
+        assert_eq!(find("abc", "ab"), None);
+    }
+
+    #[test]
+    fn leftmost_priority() {
+        // Both "aa" at 0 and "aa" at 1 exist; leftmost wins.
+        assert_eq!(find("aa", "aaa"), Some((0, 2)));
+    }
+
+    #[test]
+    fn greedy_takes_longest_at_leftmost() {
+        assert_eq!(find("a+", "xaaay"), Some((1, 4)));
+    }
+
+    #[test]
+    fn lazy_takes_shortest() {
+        assert_eq!(find("a+?", "xaaay"), Some((1, 2)));
+    }
+
+    #[test]
+    fn alternation_prefers_first_branch() {
+        // Perl semantics: "a|ab" on "ab" matches "a", not the longer "ab".
+        assert_eq!(find("a|ab", "ab"), Some((0, 1)));
+        assert_eq!(find("ab|a", "ab"), Some((0, 2)));
+    }
+
+    #[test]
+    fn captures_from_paper_example_first_match() {
+        // §2: α = x{a+}c+y{b+} over "acb aacccbbb"; first match groups.
+        let g = groups("x{a+}c+y{b+}", "acb aacccbbb");
+        assert_eq!(g[0], Some((0, 3)));
+        assert_eq!(g[1], Some((0, 1))); // x ↦ "a"
+        assert_eq!(g[2], Some((2, 3))); // y ↦ "b"
+    }
+
+    #[test]
+    fn unmatched_group_is_none() {
+        let g = groups("(a)|(b)", "b");
+        assert_eq!(g[0], Some((0, 1)));
+        assert_eq!(g[1], None);
+        assert_eq!(g[2], Some((0, 1)));
+    }
+
+    #[test]
+    fn repeated_group_keeps_last_iteration() {
+        // Python: re.search(r'(ab)+', 'abab').group(1) == 'ab' at (2, 4).
+        let g = groups("(ab)+", "abab");
+        assert_eq!(g[0], Some((0, 4)));
+        assert_eq!(g[1], Some((2, 4)));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_at_start() {
+        assert_eq!(find("", "abc"), Some((0, 0)));
+        assert_eq!(find("", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn anchors_constrain() {
+        assert_eq!(find("^b", "abc"), None);
+        assert_eq!(find("^a", "abc"), Some((0, 1)));
+        assert_eq!(find("c$", "abc"), Some((2, 3)));
+        assert_eq!(find("b$", "abc"), None);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert_eq!(find(r"\bcat\b", "a cat sat"), Some((2, 5)));
+        assert_eq!(find(r"\bcat\b", "concatenate"), None);
+        assert_eq!(find(r"\Bcat\B", "concatenate"), Some((3, 6)));
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        assert_eq!(find("a.c", "a\nc"), None);
+        assert_eq!(find("a.c", "axc"), Some((0, 3)));
+    }
+
+    #[test]
+    fn search_from_offset() {
+        let program = compile(&parse("a").unwrap()).unwrap();
+        let r = search(&program, "a..a", 1).unwrap();
+        assert_eq!(r.group(0), Some((3, 4)));
+    }
+
+    #[test]
+    fn empty_star_loop_terminates() {
+        // (a*)* can epsilon-loop; the seen-set must break the cycle.
+        assert_eq!(find("(a*)*", "b"), Some((0, 0)));
+        assert_eq!(find("(a*)+", "aab"), Some((0, 2)));
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert_eq!(find("é+", "caféé!"), Some((3, 7)));
+        let g = groups("x{é+}", "caféé!");
+        assert_eq!(g[1], Some((3, 7)));
+    }
+
+    #[test]
+    fn counted_repetition_bounds() {
+        assert_eq!(find("a{2,3}", "aaaa"), Some((0, 3)));
+        assert_eq!(find("a{2,3}?", "aaaa"), Some((0, 2)));
+        assert_eq!(find("a{5}", "aaaa"), None);
+    }
+}

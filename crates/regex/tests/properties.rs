@@ -1,0 +1,182 @@
+//! Property tests: the production engines must agree with the brute-force
+//! oracles on random patterns and documents.
+//!
+//! Patterns are generated as ASTs over a small alphabet, rendered through
+//! `Display`, and re-parsed — so these tests simultaneously exercise the
+//! printer/parser round-trip, the compiler, the Pike VM, and the
+//! all-matches simulator.
+
+use proptest::prelude::*;
+use spannerlib_regex::ast::Ast;
+use spannerlib_regex::oracle::{oracle_all_matches, oracle_find_iter};
+use spannerlib_regex::Regex;
+
+/// Random pattern AST over {a, b, c}: small enough that the exponential
+/// oracle stays fast, rich enough to cover alternation, repetition,
+/// classes, groups, and anchors.
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        4 => prop_oneof![Just('a'), Just('b'), Just('c')].prop_map(Ast::Literal),
+        1 => Just(Ast::AnyChar),
+        1 => Just(Ast::Class(spannerlib_regex::classes::ClassSet::from_ranges([
+            spannerlib_regex::classes::ClassRange::new('a', 'b')
+        ]))),
+        1 => Just(Ast::Empty),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::alternation),
+            (inner.clone(), 0u32..3, prop::option::of(0u32..3), any::<bool>()).prop_map(
+                |(node, min, extra, greedy)| Ast::Repeat {
+                    node: Box::new(node),
+                    min,
+                    max: extra.map(|e| min + e),
+                    greedy,
+                }
+            ),
+            inner.prop_map(|node| Ast::Group {
+                index: 1, // renumbered below
+                name: None,
+                node: Box::new(node)
+            }),
+        ]
+    })
+}
+
+/// Renumbers group indices to 1..n in traversal order (the generator
+/// assigns everything index 1).
+fn renumber(ast: &mut Ast, next: &mut u32) {
+    match ast {
+        Ast::Group { index, node, .. } => {
+            *index = *next;
+            *next += 1;
+            renumber(node, next);
+        }
+        Ast::Concat(parts) | Ast::Alternation(parts) => {
+            for p in parts {
+                renumber(p, next);
+            }
+        }
+        Ast::Repeat { node, .. } => renumber(node, next),
+        _ => {}
+    }
+}
+
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    ast_strategy().prop_map(|mut ast| {
+        let mut next = 1;
+        renumber(&mut ast, &mut next);
+        ast.to_string()
+    })
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c'), Just(' ')], 0..10)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Pike VM scan must equal the backtracking oracle exactly:
+    /// same spans, same capture groups, same order.
+    #[test]
+    fn pikevm_agrees_with_backtracking_oracle(
+        pattern in pattern_strategy(),
+        text in text_strategy(),
+    ) {
+        let re = Regex::new(&pattern).expect("generated pattern parses");
+        let expected = oracle_find_iter(re.parsed(), &text);
+        let actual: Vec<_> = re
+            .captures_iter(&text)
+            .map(|c| {
+                let (s, e) = c.group(0).unwrap();
+                spannerlib_regex::AllMatch {
+                    start: s,
+                    end: e,
+                    groups: c.explicit_groups().collect(),
+                }
+            })
+            .collect();
+        prop_assert_eq!(actual, expected, "pattern {:?} text {:?}", pattern, text);
+    }
+
+    /// The all-configurations simulator must enumerate exactly the
+    /// accepting parses the exhaustive oracle finds.
+    #[test]
+    fn allmatches_agrees_with_exhaustive_oracle(
+        pattern in pattern_strategy(),
+        text in text_strategy(),
+    ) {
+        let re = Regex::new(&pattern).expect("generated pattern parses");
+        let expected = oracle_all_matches(re.parsed(), &text);
+        let actual = re.all_matches(&text);
+        prop_assert_eq!(actual, expected, "pattern {:?} text {:?}", pattern, text);
+    }
+
+    /// Every findall row is a row of the all-matches spanner (the scan is
+    /// a subset of the formal semantics).
+    #[test]
+    fn findall_is_subset_of_allmatches(
+        pattern in pattern_strategy(),
+        text in text_strategy(),
+    ) {
+        let re = Regex::new(&pattern).expect("generated pattern parses");
+        let all = re.all_matches(&text);
+        for caps in re.captures_iter(&text) {
+            let (s, e) = caps.group(0).unwrap();
+            let row: Vec<_> = caps.explicit_groups().collect();
+            prop_assert!(
+                all.iter().any(|m| m.start == s && m.end == e && m.groups == row),
+                "scan row ({s},{e},{row:?}) missing for pattern {:?} on {:?}",
+                pattern, text
+            );
+        }
+    }
+
+    /// Pretty-printing a parsed pattern and re-parsing it reaches a fixed
+    /// point after one iteration.
+    #[test]
+    fn display_parse_round_trip(pattern in pattern_strategy()) {
+        let first = Regex::new(&pattern).expect("generated pattern parses");
+        let rendered = first.parsed().ast.to_string();
+        let second = Regex::new(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of {rendered:?} failed: {e}"));
+        prop_assert_eq!(rendered.clone(), second.parsed().ast.to_string());
+    }
+
+    /// Matching behaviour is invariant under the print/parse round trip.
+    #[test]
+    fn round_trip_preserves_semantics(
+        pattern in pattern_strategy(),
+        text in text_strategy(),
+    ) {
+        let first = Regex::new(&pattern).unwrap();
+        let second = Regex::new(&first.parsed().ast.to_string()).unwrap();
+        let spans1: Vec<_> = first.find_iter(&text).collect();
+        let spans2: Vec<_> = second.find_iter(&text).collect();
+        prop_assert_eq!(spans1, spans2);
+    }
+}
+
+#[test]
+fn regression_empty_alternation_branch() {
+    // `a|` has an empty second branch: matches "a" or "".
+    let re = Regex::new("a|").unwrap();
+    let spans: Vec<_> = re.find_iter("ba").map(|m| (m.start, m.end)).collect();
+    assert_eq!(spans, vec![(0, 0), (1, 2), (2, 2)]);
+}
+
+#[test]
+fn regression_nested_empty_star() {
+    let re = Regex::new("(?:(?:)*)*").unwrap();
+    assert!(re.is_match(""));
+}
+
+#[test]
+fn regression_lazy_star_prefers_empty() {
+    let re = Regex::new("a*?").unwrap();
+    let m = re.find("aaa").unwrap();
+    assert_eq!((m.start, m.end), (0, 0));
+}

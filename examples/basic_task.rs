@@ -1,0 +1,69 @@
+//! Demo scenario 1 ("Basic Task", paper §5): defining and composing IE
+//! functions — finding identical sentences in a corpus, then a small
+//! LLM-backed question-answering pipeline.
+//!
+//! Run with: `cargo run --example basic_task`
+
+use spannerlib::llm::{LlmModel, TemplateLlm};
+use spannerlib::nlp::split_sentences;
+use spannerlib::prelude::*;
+use spannerlib::Span;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: identical sentences across documents -----------------
+    let mut session = Session::new();
+
+    // Register sentence splitting as an IE function (a thin wrapper, as
+    // the paper prescribes).
+    session.register("sents", Some(1), |args, ctx| {
+        let (text, doc, base) = ctx.text_argument(&args[0])?;
+        Ok(split_sentences(&text)
+            .into_iter()
+            .map(|s| vec![Value::Span(Span::new(doc, base + s.start, base + s.end))])
+            .collect())
+    });
+
+    session.run(
+        r#"
+        new Corpus(str, str)
+        Corpus("a.txt", "The lab is closed. Results are pending.")
+        Corpus("b.txt", "Results are pending. Call tomorrow.")
+        Corpus("c.txt", "Nothing matches here.")
+
+        Sentence(d, s, txt) <- Corpus(d, t), sents(t) -> (s), as_str(s) -> (txt)
+        # identical sentence text in two different documents
+        Identical(d1, d2, txt) <- Sentence(d1, s1, txt), Sentence(d2, s2, txt), d1 < d2
+        "#,
+    )?;
+    let out = session.export("?Identical(d1, d2, txt)")?;
+    println!("Identical sentences across documents:\n{out}\n");
+    assert_eq!(out.num_rows(), 1);
+
+    // --- Part 2: LLM question answering over extracted context ---------
+    // The LLM is an opaque str -> str IE function (here the deterministic
+    // TemplateLlm standing in for a chat-model API).
+    let llm = TemplateLlm::new();
+    session.register("llm", Some(1), move |args, _ctx| {
+        let prompt = args[0].as_str().unwrap_or_default();
+        Ok(vec![vec![Value::str(llm.complete(prompt))]])
+    });
+
+    session.run(
+        r#"
+        new Questions(str)
+        Questions("when is the lab closed")
+
+        # Build a prompt from every corpus document and ask the LLM.
+        Context(lex_concat(str(t))) <- Corpus(d, t)
+        Prompt(q, p) <- Questions(q), Context(c),
+                        format("Context: {}\nQuestion: {}", c, q) -> (p)
+        Answer(q, a) <- Prompt(q, p), llm(p) -> (a)
+        "#,
+    )?;
+    let answers = session.export("?Answer(q, a)")?;
+    println!("LLM answers:\n{answers}");
+    assert_eq!(answers.num_rows(), 1);
+    let answer = answers.get(0, 1).unwrap();
+    assert!(answer.as_str().unwrap().contains("lab is closed"));
+    Ok(())
+}

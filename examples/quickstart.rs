@@ -1,0 +1,66 @@
+//! Quickstart: the paper's §3.2 embedding example, end to end.
+//!
+//! Mirrors the notebook flow — build a DataFrame in host code, import it,
+//! run a Spannerlog cell with a regex IE atom, export a filtered query —
+//! and additionally reproduces the §2 worked example (`x{a+}c+y{b+}` over
+//! `acb aacccbbb`) with span outputs.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use spannerlib::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new();
+
+    // %%python — build the host-side table and import it.
+    let df = DataFrame::from_rows(
+        vec!["date".into(), "text".into()],
+        vec![
+            vec![
+                Value::str("2024-01-01"),
+                Value::str("write to ann@gmail.com and bob@work.org"),
+            ],
+            vec![Value::str("2024-01-02"), Value::str("or eve@gmail.com")],
+        ],
+    )?;
+    session.import_dataframe(&df, "Texts")?;
+    println!("Imported Texts:\n{df}\n");
+
+    // %%log — the paper's rule: extract user and domain of every email.
+    session.run(
+        r#"
+        R(usr, dom) <- Texts(d, t), rgx_string("(\w+)@(\w+)\.\w+", t) -> (usr, dom).
+    "#,
+    )?;
+
+    // %%python — export the gmail users.
+    let out = session.export(r#"?R(usr, "gmail")"#)?;
+    println!("?R(usr, \"gmail\"):\n{out}\n");
+    assert_eq!(out.num_rows(), 2);
+
+    // --- The §2 worked example, with spans -----------------------------
+    let mut session = Session::new();
+    session.run(
+        r#"
+        new Docs(str)
+        Docs("acb aacccbbb")
+        Spans(x, y) <- Docs(d), rgx("x{a+}c+y{b+}", d) -> (x, y)
+        "#,
+    )?;
+    let rel = session.relation("Spans")?;
+    println!("rgx(x{{a+}}c+y{{b+}}) over \"acb aacccbbb\":");
+    for tuple in rel.sorted_tuples() {
+        let x = tuple[0].as_span().unwrap();
+        let y = tuple[1].as_span().unwrap();
+        println!(
+            "  x = {} ({:?}), y = {} ({:?})",
+            x,
+            session.span_text(x)?,
+            y,
+            session.span_text(y)?
+        );
+    }
+    // Exactly the paper's two tuples: (⟨0,1⟩,⟨2,3⟩) and (⟨4,6⟩,⟨9,12⟩).
+    assert_eq!(rel.len(), 2);
+    Ok(())
+}

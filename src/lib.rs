@@ -1,0 +1,90 @@
+//! # spannerlib
+//!
+//! A Rust library for **embedding declarative Information Extraction in an
+//! imperative workflow** — a from-scratch reproduction of the SpannerLib
+//! system (Light et al., PVLDB 17(12), 2024).
+//!
+//! SpannerLib rests on *document spanners*: information extraction cast as
+//! relational querying over strings and spans. Its language, **Spannerlog**,
+//! is Datalog over strings and spans extended with *IE atoms*
+//! `f(x…) -> (y…)` that call out to IE functions — regex formulas, NLP
+//! models, LLMs, or any host callback registered on the [`Session`].
+//!
+//! ## The three pillars (paper §3)
+//!
+//! 1. **Spannerlog implementation** — [`spannerlog_engine`] evaluates
+//!    programs bottom-up (naive or semi-naive), with a semantic safety
+//!    checker that also sequences IE calls inside each rule body, stratified
+//!    negation, and aggregation.
+//! 2. **Embedding Spannerlog in Rust** — a [`Session`] accepts "cells" of
+//!    Spannerlog source ([`Session::run`]) interleaved with ordinary Rust
+//!    code, and moves relations in and out as [`DataFrame`]s
+//!    ([`Session::import_dataframe`] / [`Session::export`]).
+//! 3. **Embedding Rust in Spannerlog** — any `Fn(&[Value]) -> rows` can be
+//!    registered as an IE function ([`Session::register`]) and invoked from
+//!    rules as a callback.
+//!
+//! ## Quick start
+//!
+//! The paper's §3.2 example — extract email users/domains, keep gmail users:
+//!
+//! ```
+//! use spannerlib::prelude::*;
+//!
+//! let mut session = Session::new();
+//! let df = DataFrame::from_rows(
+//!     vec!["date".into(), "text".into()],
+//!     vec![
+//!         vec![Value::str("2024-01-01"), Value::str("reach me at ann@gmail.com")],
+//!         vec![Value::str("2024-01-02"), Value::str("or bob@work.org instead")],
+//!     ],
+//! )
+//! .unwrap();
+//! session.import_dataframe(&df, "Texts").unwrap();
+//!
+//! session
+//!     .run(r#"
+//!         R(usr, dom) <- Texts(d, t),
+//!                        rgx_string("(\w+)@(\w+)\.\w+", t) -> (usr, dom).
+//!     "#)
+//!     .unwrap();
+//!
+//! let out = session.export("?R(usr, \"gmail\")").unwrap();
+//! assert_eq!(out.num_rows(), 1);
+//! ```
+//!
+//! The sub-crates are re-exported here so downstream users depend on a
+//! single crate:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | spans, documents, values, relations |
+//! | [`regex`] | the regex-formula (document spanner) engine |
+//! | [`dataframe`] | the columnar host-side table type |
+//! | [`parser`] | Spannerlog lexer/parser/AST |
+//! | [`engine`] | safety, evaluation, builtins, [`Session`] |
+//! | [`nlp`] | rule-based NLP substrate (tokenizer … ConText) |
+//! | [`llm`] | deterministic LLM mock, TF-IDF RAG, few-shot store |
+//! | [`codeast`] | minilang parser + AST pattern matcher |
+//! | [`covid`] | the §4.2 case study, both implementations |
+
+pub use spannerlib_codeast as codeast;
+pub use spannerlib_core as core;
+pub use spannerlib_covid as covid;
+pub use spannerlib_dataframe as dataframe;
+pub use spannerlib_llm as llm;
+pub use spannerlib_nlp as nlp;
+pub use spannerlib_regex as regex;
+pub use spannerlog_engine as engine;
+pub use spannerlog_parser as parser;
+
+pub use spannerlib_core::{DocId, DocumentStore, Relation, Schema, Span, Tuple, Value, ValueType};
+pub use spannerlib_dataframe::DataFrame;
+pub use spannerlog_engine::Session;
+
+/// Everything a typical embedding needs, in one import.
+pub mod prelude {
+    pub use crate::core::{DocumentStore, Relation, Schema, Span, Tuple, Value, ValueType};
+    pub use crate::dataframe::DataFrame;
+    pub use crate::engine::{EngineError, IeFunction, Session};
+}
