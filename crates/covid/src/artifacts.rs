@@ -1,0 +1,68 @@
+//! Renders the `data/*.csv` artifacts from the canonical inline
+//! configuration in [`crate::native`] — the single source of truth for
+//! both pipelines' configuration. The `regen_data` binary writes these
+//! to disk; the unit test below keeps every checked-in file in sync by
+//! construction.
+
+use crate::native::context_rules::MODIFIER_TABLE;
+use crate::native::document_classifier::policy_rows as modifier_policy_rows;
+use crate::native::section_rules::policy_rows as section_policy_rows;
+use crate::native::target_rules::lexicon_rows;
+
+/// Renders all four CSVs as `(file_name, content)` pairs.
+pub fn rendered_files() -> Vec<(&'static str, String)> {
+    let mut targets = String::from("phrase,label\n");
+    for (phrase, label) in lexicon_rows() {
+        targets.push_str(&format!("{phrase},{label}\n"));
+    }
+
+    let mut modifier_rules = String::from("phrase,category,direction,max_scope\n");
+    for (phrase, category, direction, scope) in MODIFIER_TABLE {
+        modifier_rules.push_str(&format!("{phrase},{category},{direction},{scope}\n"));
+    }
+
+    let mut sections = String::from("category,policy\n");
+    for (category, policy) in section_policy_rows() {
+        sections.push_str(&format!("{category},{policy}\n"));
+    }
+
+    let mut modifiers = String::from("category,policy\n");
+    for (category, policy) in modifier_policy_rows() {
+        modifiers.push_str(&format!("{category},{policy}\n"));
+    }
+
+    vec![
+        ("covid_targets.csv", targets),
+        ("modifier_rules.csv", modifier_rules),
+        ("section_policies.csv", sections),
+        ("modifier_policies.csv", modifiers),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every checked-in CSV must equal this generator's output — run
+    /// `cargo run -p spannerlib-covid --bin regen_data` after changing
+    /// either side. Covers all four files (the agreement suite only
+    /// spot-checks two).
+    #[test]
+    fn checked_in_csvs_match_generator() {
+        let checked_in: &[(&str, &str)] = &[
+            ("covid_targets.csv", crate::spanner::TARGETS_CSV),
+            ("modifier_rules.csv", crate::spanner::MODIFIER_RULES_CSV),
+            ("section_policies.csv", crate::spanner::SECTION_POLICIES_CSV),
+            ("modifier_policies.csv", crate::spanner::MODIFIER_POLICIES_CSV),
+        ];
+        let rendered = rendered_files();
+        assert_eq!(rendered.len(), checked_in.len());
+        for ((name, content), (expected_name, expected)) in rendered.iter().zip(checked_in) {
+            assert_eq!(name, expected_name);
+            assert_eq!(
+                content, expected,
+                "{name} is stale — re-run `cargo run -p spannerlib-covid --bin regen_data`"
+            );
+        }
+    }
+}

@@ -1,46 +1,14 @@
 //! Regenerates the `data/*.csv` artifacts from the canonical inline
 //! configuration in `native/` — keeping "code" (native pipeline) and
-//! "data" (SpannerLib pipeline) in sync by construction. Unit tests in
-//! the crate assert the checked-in files match this generator's output.
+//! "data" (SpannerLib pipeline) in sync by construction. The
+//! `artifacts::tests::checked_in_csvs_match_generator` unit test asserts
+//! the checked-in files match this generator's output.
 //!
 //! Usage: `cargo run -p spannerlib-covid --bin regen_data`
 
-use spannerlib_covid::native::context_rules::MODIFIER_TABLE;
-use spannerlib_covid::native::document_classifier::policy_rows as modifier_policy_rows;
-use spannerlib_covid::native::section_rules::policy_rows as section_policy_rows;
-use spannerlib_covid::native::target_rules::lexicon_rows;
+use spannerlib_covid::artifacts::rendered_files;
 use std::fs;
 use std::path::Path;
-
-/// Renders all four CSVs as `(file_name, content)` pairs.
-pub fn rendered_files() -> Vec<(&'static str, String)> {
-    let mut targets = String::from("phrase,label\n");
-    for (phrase, label) in lexicon_rows() {
-        targets.push_str(&format!("{phrase},{label}\n"));
-    }
-
-    let mut modifier_rules = String::from("phrase,category,direction,max_scope\n");
-    for (phrase, category, direction, scope) in MODIFIER_TABLE {
-        modifier_rules.push_str(&format!("{phrase},{category},{direction},{scope}\n"));
-    }
-
-    let mut sections = String::from("category,policy\n");
-    for (category, policy) in section_policy_rows() {
-        sections.push_str(&format!("{category},{policy}\n"));
-    }
-
-    let mut modifiers = String::from("category,policy\n");
-    for (category, policy) in modifier_policy_rows() {
-        modifiers.push_str(&format!("{category},{policy}\n"));
-    }
-
-    vec![
-        ("covid_targets.csv", targets),
-        ("modifier_rules.csv", modifier_rules),
-        ("section_policies.csv", sections),
-        ("modifier_policies.csv", modifiers),
-    ]
-}
 
 fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("data");

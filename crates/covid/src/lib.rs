@@ -25,6 +25,7 @@
 //! pipeline distinguishes (positive, negated, hypothetical, historical,
 //! family, uncertain, unmodified, no-mention).
 
+pub mod artifacts;
 pub mod classify;
 pub mod corpus;
 pub mod loc;

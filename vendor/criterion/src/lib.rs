@@ -1,0 +1,332 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Supports the bench surface this workspace uses — `Criterion`,
+//! `benchmark_group` (with `sample_size` / `throughput`),
+//! `bench_with_input`, `bench_function`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Instead of criterion's statistical machinery it runs a short
+//! warmup-then-measure loop and prints mean wall-clock time per
+//! iteration, which is enough for the relative comparisons the ROADMAP
+//! ablations need. `cargo bench -- <filter>` substring filtering works.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; a bare trailing argument is a
+        // name filter, matching criterion's CLI. A `--flag value` pair
+        // must not have its value misread as a filter, so a dashed flag
+        // without `=` consumes the following argument.
+        // Flags are boolean unless known to take a value: assuming the
+        // opposite would let any unrecognized boolean flag swallow the
+        // bench-name filter that follows it. (`value=x` forms carry
+        // their value inline either way.)
+        const VALUE_FLAGS: &[&str] = &[
+            "--sample-size",
+            "--warm-up-time",
+            "--measurement-time",
+            "--save-baseline",
+            "--baseline",
+            "--load-baseline",
+            "--logfile",
+            "--color",
+            "--format",
+            "--output-format",
+            "--profile-time",
+            "--significance-level",
+            "--noise-threshold",
+            "--confidence-level",
+            "--nresamples",
+        ];
+        let mut filter = None;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if a.starts_with('-') {
+                if !a.contains('=') && VALUE_FLAGS.contains(&a.as_str()) {
+                    args.next();
+                }
+                continue;
+            }
+            if !a.is_empty() {
+                filter = Some(a);
+                break;
+            }
+        }
+        Criterion {
+            filter,
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_samples;
+        self.run_one(name, None, samples, &mut f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<&Throughput>, samples: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: samples.max(1),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iters as f64
+        };
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!("  {:>10.1} MiB/s", *n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  {:>10.1} elem/s", *n as f64 / (mean_ns / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!("{id:<50} {:>12.1} ns/iter{rate}", mean_ns);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_samples);
+        let throughput = self.throughput.clone();
+        self.criterion
+            .run_one(&full, throughput.as_ref(), samples, &mut |b: &mut Bencher| {
+                f(b, input)
+            });
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_samples);
+        let throughput = self.throughput.clone();
+        self.criterion
+            .run_one(&full, throughput.as_ref(), samples, &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op beyond parity with criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (the group name identifies the
+    /// function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so string names work directly.
+pub trait IntoBenchmarkId {
+    /// Converts self.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+/// Per-iteration throughput declaration.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes, decimal multiple (parity with criterion).
+    BytesDecimal(u64),
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, one warmup pass then `samples` measured passes.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine()); // warmup / fault-in
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion {
+            filter: None,
+            default_samples: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(10));
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("f", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 10).render(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").render(), "x");
+    }
+}

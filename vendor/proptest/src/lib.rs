@@ -1,0 +1,352 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the strategy combinators and macros the workspace's
+//! property suites use — `Strategy` (`prop_map`, `prop_recursive`,
+//! `boxed`), `Just`, integer-range and regex-string strategies,
+//! `prop::collection::vec`, `prop::option::of`, tuple strategies,
+//! `any::<T>()`, `prop_oneof!`, and the `proptest!` test macro with
+//! `#![proptest_config(…)]` — on a deterministic per-test RNG.
+//!
+//! Differences from the real crate: generation only (no shrinking — on
+//! a failing case the runner prints the case number and the generated
+//! inputs to stderr, then re-raises the panic), and value streams
+//! differ. Case counts are honored. Generated values must be `Debug`,
+//! as with real proptest.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Per-test configuration (`cases` is the only knob honored).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic source used by all strategies — the vendored rand
+    /// generator (xoshiro256++), seeded from the test's name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from an arbitrary byte string (the
+        /// `proptest!` macro passes the test's name, FNV-1a hashed).
+        pub fn from_name(name: &str) -> TestRng {
+            use rand::SeedableRng;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The next raw 64 bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            rand::RngCore::next_u64(&mut self.inner)
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        #[inline]
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            TestRng::next_u64(self)
+        }
+    }
+}
+
+/// Namespaced strategy modules, mirroring `proptest::prelude::prop`.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// `prop::option` namespace.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` ~25% of the time, `Some(inner)`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy::new(inner)
+    }
+}
+
+/// Types with a canonical strategy, for [`prelude::any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The canonical strategy for a type (`any::<bool>()`).
+    pub fn any<T: crate::Arbitrary>() -> crate::strategy::AnyStrategy<T> {
+        crate::strategy::AnyStrategy::new()
+    }
+
+    /// Namespaced access (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Weighted choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion that reports the failing inputs (no shrinking, so the raw
+/// case is printed as-is).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Equality assertion with optional context message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            panic!(
+                "prop_assert_eq failed:\n  left: {:?}\n right: {:?}",
+                __l, __r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            panic!(
+                "prop_assert_eq failed ({}):\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            );
+        }
+    }};
+}
+
+/// Inequality assertion with optional context message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            panic!("prop_assert_ne failed: both sides are {:?}", __l);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            panic!(
+                "prop_assert_ne failed ({}): both sides are {:?}",
+                format!($($fmt)+),
+                __l
+            );
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            // Build each strategy once; draw per case.
+            $(let $arg = $strat;)+
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
+                // Render the inputs up front so a panicking case can be
+                // reproduced by inspection (there is no shrinking).
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let ::std::result::Result::Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __inputs
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn just_and_map() {
+        let mut rng = crate::test_runner::TestRng::from_name("t");
+        let s = Just(3).prop_map(|x| x * 2);
+        assert_eq!(s.generate(&mut rng), 6);
+    }
+
+    #[test]
+    fn ranges_and_vec() {
+        let mut rng = crate::test_runner::TestRng::from_name("t2");
+        let s = prop::collection::vec((0u8..4, 0u8..4), 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 4 && b < 4));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_cover_all_branches() {
+        let mut rng = crate::test_runner::TestRng::from_name("t3");
+        let s = prop_oneof![4 => Just('a'), 1 => Just('b')];
+        let drawn: std::collections::BTreeSet<char> =
+            (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert_eq!(drawn.len(), 2);
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = crate::test_runner::TestRng::from_name("t4");
+        let s = Just(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        for _ in 0..200 {
+            assert!(depth(&s.generate(&mut rng)) <= 3);
+        }
+    }
+
+    #[test]
+    fn regex_string_strategy() {
+        let mut rng = crate::test_runner::TestRng::from_name("t5");
+        let s = "[ab ]{0,20}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.len() <= 20);
+            assert!(v.chars().all(|c| c == 'a' || c == 'b' || c == ' '));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u8..10, ys in prop::collection::vec(0u8..5, 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(ys.len(), ys.len(), "lens of {:?}", ys);
+            prop_assert_ne!(x as usize, 100);
+        }
+    }
+}

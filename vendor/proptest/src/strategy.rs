@@ -1,0 +1,490 @@
+//! Strategy combinators: generation-only equivalents of proptest's.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+
+    /// Builds recursive structures: starting from `self` as the leaf
+    /// strategy, applies `recurse` up to `depth` times, mixing each new
+    /// layer with the previous ones. Termination is by construction —
+    /// layer *k* only references layers below it.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut acc = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(acc.clone()).boxed();
+            acc = Union::new(vec![(1, acc), (2, deeper)]).boxed();
+        }
+        acc
+    }
+}
+
+/// Object-safe view of [`Strategy`] for type erasure.
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union of strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds from `(weight, strategy)` pairs.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        let total = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { options, total }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// [`crate::prelude::any`] adapter.
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> AnyStrategy<T> {
+    /// A fresh instance.
+    pub fn new() -> Self {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for AnyStrategy<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl<T: crate::Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// Integer range strategies delegate to the vendored rand's uniform
+// sampling (one implementation of the modular arithmetic, shared with
+// every other seed-addressed workload in the workspace).
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// Collection size specification.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// `prop::collection::vec` strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::option::of` strategy.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> OptionStrategy<S> {
+    pub(crate) fn new(inner: S) -> Self {
+        OptionStrategy { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+// ---------------------------------------------------------------------
+// Regex-literal string strategies (`"[ab ]{0,20}"` in proptest parlance)
+// ---------------------------------------------------------------------
+
+/// One parsed atom of the mini-regex syntax.
+#[derive(Debug, Clone)]
+enum RegexAtom {
+    Literal(char),
+    /// Flattened list of candidate characters.
+    Class(Vec<char>),
+    AnyChar,
+}
+
+#[derive(Debug, Clone)]
+struct RegexPart {
+    atom: RegexAtom,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the subset of regex syntax proptest string strategies commonly
+/// use: literals, `[…]` classes (with ranges), `.`, and the quantifiers
+/// `{m}`, `{m,n}`, `*`, `+`, `?` (starred forms capped at 8 repeats).
+fn parse_string_pattern(pattern: &str) -> Vec<RegexPart> {
+    const UNBOUNDED_CAP: usize = 8;
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts: Vec<RegexPart> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        set.push(chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "string strategy {pattern:?}: unclosed character class"
+                );
+                i += 1; // closing ]
+                RegexAtom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                RegexAtom::AnyChar
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                i += 2;
+                match c {
+                    'd' => RegexAtom::Class(('0'..='9').collect()),
+                    'w' => RegexAtom::Class(
+                        ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                    ),
+                    's' => RegexAtom::Class(vec![' ', '\t', '\n']),
+                    other => RegexAtom::Literal(other),
+                }
+            }
+            // Metacharacters this mini-parser does not implement must
+            // fail loudly — treating them as literals would make
+            // property tests generate unintended inputs while passing.
+            c @ ('(' | ')' | '|' | '^' | '$') => {
+                panic!(
+                    "string strategy {pattern:?}: unsupported regex metacharacter {c:?} \
+                     (the vendored proptest supports literals, [...] classes, '.', \\d \\w \\s, \
+                     and the quantifiers {{m}}, {{m,n}}, *, +, ?)"
+                );
+            }
+            c => {
+                i += 1;
+                RegexAtom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .expect("unclosed {} quantifier");
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let lo: usize = lo.trim().parse().expect("bad quantifier");
+                    let hi: usize = if hi.trim().is_empty() {
+                        lo + UNBOUNDED_CAP
+                    } else {
+                        hi.trim().parse().expect("bad quantifier")
+                    };
+                    assert!(
+                        lo <= hi,
+                        "string strategy {pattern:?}: inverted quantifier {{{lo},{hi}}}"
+                    );
+                    (lo, hi)
+                } else {
+                    let n: usize = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        parts.push(RegexPart { atom, min, max });
+    }
+    parts
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for part in parse_string_pattern(pattern) {
+        let span = (part.max - part.min) as u64 + 1;
+        let count = part.min + rng.below(span) as usize;
+        for _ in 0..count {
+            match &part.atom {
+                RegexAtom::Literal(c) => out.push(*c),
+                RegexAtom::Class(set) => {
+                    assert!(!set.is_empty(), "empty character class");
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                RegexAtom::AnyChar => {
+                    let printable: u8 = b' ' + rng.below(95) as u8;
+                    out.push(printable as char);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}

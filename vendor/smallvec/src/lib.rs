@@ -1,0 +1,239 @@
+//! Offline stand-in for [`smallvec`](https://crates.io/crates/smallvec).
+//!
+//! Exposes the `SmallVec<[T; N]>` type the workspace uses. This vendored
+//! version is backed by a plain `Vec` (no inline storage), trading the
+//! small-size optimization for zero unsafe code; the API — `Deref` to
+//! slice, `FromIterator`, `Extend`, ordering/hashing — matches, so the
+//! real crate can be dropped in whenever a registry is reachable.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+
+/// Types usable as the inline-array parameter of [`SmallVec`].
+pub trait Array {
+    /// Element type.
+    type Item;
+    /// Inline capacity of the real smallvec (unused here).
+    fn capacity() -> usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+
+    fn capacity() -> usize {
+        N
+    }
+}
+
+/// A growable vector with the `smallvec` API, backed by `Vec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+    _marker: PhantomData<A>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        SmallVec {
+            inner: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// An empty vector with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(n),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Builds from a `Vec` without copying.
+    pub fn from_vec(v: Vec<A::Item>) -> Self {
+        SmallVec {
+            inner: v,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, item: A::Item) {
+        self.inner.push(item);
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Consumes self, returning the backing `Vec`.
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+
+    /// Consuming iterator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn into_iter(self) -> std::vec::IntoIter<A::Item> {
+        self.inner.into_iter()
+    }
+}
+
+impl<A: Array> SmallVec<A>
+where
+    A::Item: Clone,
+{
+    /// Builds by cloning a slice.
+    pub fn from_slice(s: &[A::Item]) -> Self {
+        SmallVec {
+            inner: s.to_vec(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> PartialOrd for SmallVec<A>
+where
+    A::Item: PartialOrd,
+{
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.inner.partial_cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Ord for SmallVec<A>
+where
+    A::Item: Ord,
+{
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.inner.cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: iter.into_iter().collect(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// `smallvec![…]` — same shorthand as the real crate.
+#[macro_export]
+macro_rules! smallvec {
+    ($($x:expr),* $(,)?) => {
+        $crate::SmallVec::from_vec(vec![$($x),*])
+    };
+    ($x:expr; $n:expr) => {
+        $crate::SmallVec::from_vec(vec![$x; $n])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_deref_and_order() {
+        let v: SmallVec<[i32; 4]> = (0..3).collect();
+        assert_eq!(&v[..], &[0, 1, 2]);
+        let w: SmallVec<[i32; 4]> = (0..4).collect();
+        assert!(v < w);
+        assert_eq!(<[i32; 4] as Array>::capacity(), 4);
+    }
+
+    #[test]
+    fn macro_forms() {
+        let a: SmallVec<[u8; 2]> = smallvec![1, 2, 3];
+        assert_eq!(a.len(), 3);
+        let b: SmallVec<[u8; 2]> = smallvec![9; 4];
+        assert_eq!(&b[..], &[9, 9, 9, 9]);
+    }
+}

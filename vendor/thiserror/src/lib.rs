@@ -1,0 +1,10 @@
+//! Offline stand-in for [`thiserror`](https://crates.io/crates/thiserror).
+//!
+//! Re-exports the vendored `derive(Error)` macro, which supports the
+//! subset of thiserror the workspace uses: enums with unit, tuple, and
+//! named-field variants; `#[error("… {named} … {0} …")]` display
+//! attributes (including `{x:?}`-style format specs and `{{` escapes);
+//! `#[error(transparent)]`; and `#[from]` / `#[source]` fields (which
+//! also wire up `std::error::Error::source` and a `From` impl).
+
+pub use thiserror_impl::Error;

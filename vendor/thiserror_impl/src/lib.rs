@@ -1,0 +1,462 @@
+//! A hand-rolled `derive(Error)` covering the thiserror subset this
+//! workspace uses. Written directly against `proc_macro` token trees
+//! (the build environment is offline, so `syn`/`quote` are unavailable).
+//!
+//! Supported shape: a (non-generic) `enum` whose variants are unit,
+//! tuple, or named-struct style, each carrying one `#[error(…)]`
+//! attribute that is either a format-string literal or `transparent`.
+//! Fields may be marked `#[from]` (generates a `From` impl and wires
+//! `Error::source`) or `#[source]` (wires `source` only).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum DisplayAttr {
+    /// `#[error("…")]` — the literal exactly as written in source.
+    Format(String),
+    /// `#[error(transparent)]`.
+    Transparent,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    /// Field name for named variants, `None` for tuple fields.
+    name: Option<String>,
+    /// Rendered type tokens.
+    ty: String,
+    /// Carries `#[from]`.
+    is_from: bool,
+    /// Carries `#[source]` (or `#[from]`, which implies it).
+    is_source: bool,
+}
+
+#[derive(Debug, Clone)]
+enum FieldsKind {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    display: Option<DisplayAttr>,
+    fields: FieldsKind,
+}
+
+/// Derives `Display`, `std::error::Error`, and `From` (for `#[from]`
+/// fields) in the style of thiserror.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Walk outer attributes (capturing `#[error(…)]` for the struct
+    // case) and visibility, until `enum` or `struct`.
+    let mut outer_display = None;
+    let mut is_struct = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(attr)) = tokens.get(i + 1) {
+                    if let Some(d) = parse_error_attr(attr.stream()) {
+                        outer_display = Some(d);
+                    }
+                }
+                i += 2; // `#` + `[...]`
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => break,
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                is_struct = true;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    if i >= tokens.len() {
+        return Err("derive(Error): no enum or struct found".into());
+    }
+    i += 1; // past `enum` / `struct`
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Error): missing type name".into()),
+    };
+    i += 1;
+
+    let variants = if is_struct {
+        // Model the struct as a single pseudo-variant named like the type.
+        let fields = loop {
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break FieldsKind::Named(parse_fields(g.stream(), true)?);
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    break FieldsKind::Tuple(parse_fields(g.stream(), false)?);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => break FieldsKind::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    return Err("vendored derive(Error) does not support generics".into());
+                }
+                Some(_) => i += 1,
+                None => break FieldsKind::Unit,
+            }
+        };
+        vec![Variant {
+            name: name.clone(),
+            display: outer_display,
+            fields,
+        }]
+    } else {
+        let body = loop {
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    return Err("vendored derive(Error) does not support generics".into());
+                }
+                Some(_) => i += 1,
+                None => return Err("derive(Error): missing enum body".into()),
+            }
+        };
+        parse_variants(body)?
+    };
+
+    let mut out = String::new();
+    out.push_str(&render_display(&name, &variants, is_struct)?);
+    out.push_str(&render_error(&name, &variants, is_struct));
+    out.push_str(&render_from(&name, &variants, is_struct));
+    out.parse::<TokenStream>()
+        .map_err(|e| format!("derive(Error): generated code failed to parse: {e}"))
+}
+
+/// Splits the enum body into variants, keeping each variant's attributes.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes before the variant name.
+        let mut display = None;
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            let TokenTree::Group(attr) = &tokens[i + 1] else {
+                return Err("derive(Error): malformed attribute".into());
+            };
+            if let Some(d) = parse_error_attr(attr.stream()) {
+                display = Some(d);
+            }
+            i += 2;
+        }
+        let TokenTree::Ident(vname) = &tokens[i] else {
+            return Err(format!("derive(Error): expected variant name, got {:?}", tokens[i].to_string()));
+        };
+        let vname = vname.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                FieldsKind::Tuple(parse_fields(g.stream(), false)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                FieldsKind::Named(parse_fields(g.stream(), true)?)
+            }
+            _ => FieldsKind::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant {
+            name: vname,
+            display,
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+/// Parses the inside of an `#[…]` group; returns the display spec when it
+/// is an `error(…)` attribute.
+fn parse_error_attr(stream: TokenStream) -> Option<DisplayAttr> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "error" => {}
+        _ => return None,
+    }
+    let TokenTree::Group(args) = tokens.get(1)? else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "transparent" => {
+            Some(DisplayAttr::Transparent)
+        }
+        Some(TokenTree::Literal(lit)) => Some(DisplayAttr::Format(lit.to_string())),
+        _ => None,
+    }
+}
+
+/// Parses a comma-separated field list (tuple or named).
+fn parse_fields(stream: TokenStream, named: bool) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    // Split on top-level commas (token trees already nest groups).
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(t),
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+
+    for chunk in chunks {
+        let mut is_from = false;
+        let mut is_source = false;
+        let mut j = 0;
+        while let Some(TokenTree::Punct(p)) = chunk.get(j) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = chunk.get(j + 1) {
+                let attr = g.stream().to_string();
+                if attr == "from" {
+                    is_from = true;
+                    is_source = true;
+                } else if attr == "source" {
+                    is_source = true;
+                }
+            }
+            j += 2;
+        }
+        // Skip a `pub` visibility if present.
+        if let Some(TokenTree::Ident(id)) = chunk.get(j) {
+            if id.to_string() == "pub" {
+                j += 1;
+            }
+        }
+        let (name, ty_start) = if named {
+            let Some(TokenTree::Ident(id)) = chunk.get(j) else {
+                return Err("derive(Error): expected field name".into());
+            };
+            // Skip `name :`.
+            (Some(id.to_string()), j + 2)
+        } else {
+            (None, j)
+        };
+        let ty = render_tokens(&chunk[ty_start..]);
+        fields.push(Field {
+            name,
+            ty,
+            is_from,
+            is_source,
+        });
+    }
+    Ok(fields)
+}
+
+/// Renders a token sequence back to source, separating only tokens that
+/// would otherwise glue into one (two identifiers/literals in a row).
+/// Naive space-joining breaks `::` paths — `:` arrives as two separate
+/// punct tokens.
+fn render_tokens(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut prev_wordlike = false;
+    for t in tokens {
+        let s = t.to_string();
+        let wordlike = matches!(t, TokenTree::Ident(_) | TokenTree::Literal(_));
+        if prev_wordlike && wordlike {
+            out.push(' ');
+        }
+        out.push_str(&s);
+        prev_wordlike = wordlike;
+    }
+    out
+}
+
+/// Pattern binding for a variant plus the names bound, in field order.
+/// For structs (`is_struct`) the pattern is the bare type name.
+fn binding(name: &str, v: &Variant, is_struct: bool) -> (String, Vec<String>) {
+    let path = if is_struct {
+        name.to_string()
+    } else {
+        format!("{name}::{}", v.name)
+    };
+    match &v.fields {
+        FieldsKind::Unit => (path, Vec::new()),
+        FieldsKind::Tuple(fs) => {
+            let binds: Vec<String> = (0..fs.len()).map(|i| format!("__f{i}")).collect();
+            (format!("{path}({})", binds.join(", ")), binds)
+        }
+        FieldsKind::Named(fs) => {
+            let binds: Vec<String> = fs.iter().map(|f| f.name.clone().unwrap()).collect();
+            (format!("{path} {{ {} }}", binds.join(", ")), binds)
+        }
+    }
+}
+
+/// Rewrites positional `{0}` / `{0:?}` references in a format literal to
+/// the `__fN` bindings used in tuple patterns. Named references and `{{`
+/// escapes pass through untouched (named fields are bound by their own
+/// names, so implicit capture picks them up).
+fn rewrite_positional(lit: &str) -> String {
+    let chars: Vec<char> = lit.chars().collect();
+    let mut out = String::with_capacity(lit.len() + 8);
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            // Collect the argument name (up to `:` or `}`).
+            let mut j = i + 1;
+            let mut arg = String::new();
+            while j < chars.len() && chars[j] != ':' && chars[j] != '}' {
+                arg.push(chars[j]);
+                j += 1;
+            }
+            out.push('{');
+            if !arg.is_empty() && arg.chars().all(|d| d.is_ascii_digit()) {
+                out.push_str("__f");
+            }
+            out.push_str(&arg);
+            i = j;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn render_display(name: &str, variants: &[Variant], is_struct: bool) -> Result<String, String> {
+    let mut arms = String::new();
+    for v in variants {
+        let (pat, binds) = binding(name, v, is_struct);
+        match &v.display {
+            Some(DisplayAttr::Transparent) => {
+                let target = binds
+                    .first()
+                    .ok_or_else(|| format!("transparent variant {} has no field", v.name))?;
+                arms.push_str(&format!(
+                    "{pat} => ::core::fmt::Display::fmt({target}, __formatter),\n"
+                ));
+            }
+            Some(DisplayAttr::Format(lit)) => {
+                let fmt = rewrite_positional(lit);
+                arms.push_str(&format!(
+                    "#[allow(unused_variables)] {pat} => ::core::write!(__formatter, {fmt}),\n"
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "variant {} is missing an #[error(…)] attribute",
+                    v.name
+                ));
+            }
+        }
+    }
+    Ok(format!(
+        "impl ::core::fmt::Display for {name} {{\n\
+           fn fmt(&self, __formatter: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+             match self {{\n{arms}}}\n\
+           }}\n\
+         }}\n"
+    ))
+}
+
+fn render_error(name: &str, variants: &[Variant], is_struct: bool) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let (pat, binds) = binding(name, v, is_struct);
+        let fields: &[Field] = match &v.fields {
+            FieldsKind::Unit => &[],
+            FieldsKind::Tuple(f) | FieldsKind::Named(f) => f,
+        };
+        let source_bind = fields
+            .iter()
+            .zip(&binds)
+            .find(|(f, _)| f.is_source)
+            .map(|(_, b)| b.clone());
+        let transparent = matches!(v.display, Some(DisplayAttr::Transparent));
+        match source_bind {
+            // thiserror's `transparent` forwards the *whole* error
+            // identity, so `source()` delegates to the inner error's
+            // source rather than adding a chain level.
+            Some(b) if transparent => arms.push_str(&format!(
+                "#[allow(unused_variables)] {pat} => ::std::error::Error::source({b}),\n"
+            )),
+            Some(b) => arms.push_str(&format!(
+                "#[allow(unused_variables)] {pat} => ::core::option::Option::Some({b} as &(dyn ::std::error::Error + 'static)),\n"
+            )),
+            None => arms.push_str(&format!(
+                "#[allow(unused_variables)] {pat} => ::core::option::Option::None,\n"
+            )),
+        }
+    }
+    format!(
+        "impl ::std::error::Error for {name} {{\n\
+           fn source(&self) -> ::core::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+             match self {{\n{arms}}}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn render_from(name: &str, variants: &[Variant], is_struct: bool) -> String {
+    let mut out = String::new();
+    for v in variants {
+        let fields: &[Field] = match &v.fields {
+            FieldsKind::Unit => continue,
+            FieldsKind::Tuple(f) | FieldsKind::Named(f) => f,
+        };
+        let Some(from_field) = fields.iter().find(|f| f.is_from) else {
+            continue;
+        };
+        if fields.len() != 1 {
+            // thiserror allows #[from] with a backtrace sibling; this
+            // subset does not.
+            continue;
+        }
+        let ty = &from_field.ty;
+        let path = if is_struct {
+            name.to_string()
+        } else {
+            format!("{name}::{}", v.name)
+        };
+        let construct = match &v.fields {
+            FieldsKind::Tuple(_) => format!("{path}(source)"),
+            FieldsKind::Named(_) => {
+                format!("{path} {{ {}: source }}", from_field.name.as_deref().unwrap())
+            }
+            FieldsKind::Unit => unreachable!(),
+        };
+        out.push_str(&format!(
+            "impl ::core::convert::From<{ty}> for {name} {{\n\
+               fn from(source: {ty}) -> Self {{ {construct} }}\n\
+             }}\n"
+        ));
+    }
+    out
+}
