@@ -51,5 +51,10 @@ fn bench_corpus_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_native, bench_spanner, bench_corpus_generation);
+criterion_group!(
+    benches,
+    bench_native,
+    bench_spanner,
+    bench_corpus_generation
+);
 criterion_main!(benches);

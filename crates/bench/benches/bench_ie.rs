@@ -72,10 +72,7 @@ fn bench_callback(c: &mut Criterion) {
                         .map(|c| {
                             let (us, ue) = c.group(1).unwrap();
                             let (ds, de) = c.group(2).unwrap();
-                            vec![
-                                Value::str(&text[us..ue]),
-                                Value::str(&text[ds..de]),
-                            ]
+                            vec![Value::str(&text[us..ue]), Value::str(&text[ds..de])]
                         })
                         .collect())
                 });

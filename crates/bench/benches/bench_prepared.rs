@@ -1,0 +1,59 @@
+//! Prepared-vs-export: the ISSUE 4 acceptance bench.
+//!
+//! One hundred `PreparedQuery::execute` calls against 100
+//! `Session::export` calls on the same program and data. Export
+//! re-parses the query text and re-validates the statement shape every
+//! call; the prepared query did that work once at prepare time, and the
+//! snapshot variant additionally skips the evaluation-fingerprint
+//! check. Expected shape: prepared < export, snapshot ≤ prepared.
+//!
+//! The `prepared_smoke` binary runs the same workload once and records
+//! the timings as `BENCH_prepared.json` (CI's bench-smoke step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spannerlib_bench::{email_session, EMAIL_QUERY};
+use std::hint::black_box;
+
+const ITERATIONS: usize = 100;
+
+fn bench_prepared_vs_export(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepared_vs_export");
+    group.sample_size(20);
+
+    group.bench_function("export_100", |b| {
+        let mut session = email_session(6, 60);
+        session.export(EMAIL_QUERY).unwrap(); // steady state: fixpoint done
+        b.iter(|| {
+            for _ in 0..ITERATIONS {
+                black_box(session.export(black_box(EMAIL_QUERY)).unwrap());
+            }
+        })
+    });
+
+    group.bench_function("prepared_100", |b| {
+        let mut session = email_session(6, 60);
+        let query = session.prepare(EMAIL_QUERY).unwrap();
+        query.execute(&mut session).unwrap();
+        b.iter(|| {
+            for _ in 0..ITERATIONS {
+                black_box(query.execute(&mut session).unwrap());
+            }
+        })
+    });
+
+    group.bench_function("snapshot_100", |b| {
+        let mut session = email_session(6, 60);
+        let query = session.prepare(EMAIL_QUERY).unwrap();
+        let snapshot = session.snapshot().unwrap();
+        b.iter(|| {
+            for _ in 0..ITERATIONS {
+                black_box(snapshot.execute(&query).unwrap());
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepared_vs_export);
+criterion_main!(benches);

@@ -15,7 +15,11 @@ use std::hint::black_box;
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("regex_compile");
-    for pattern in ["x{a+}c+y{b+}", r"(\w+)@(\w+)\.\w+", "[a-z]+([0-9]{2,4}|x+)*"] {
+    for pattern in [
+        "x{a+}c+y{b+}",
+        r"(\w+)@(\w+)\.\w+",
+        "[a-z]+([0-9]{2,4}|x+)*",
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(pattern), pattern, |b, p| {
             b.iter(|| Regex::new(black_box(p)).unwrap())
         });

@@ -35,7 +35,11 @@ fn main() {
     ];
     println!(
         "paper expects [(0,1),(2,3)] and [(4,6),(9,12)] → {}",
-        if rows == expect { "MATCH (exact)" } else { "MISMATCH" }
+        if rows == expect {
+            "MATCH (exact)"
+        } else {
+            "MISMATCH"
+        }
     );
     assert_eq!(rows, expect);
 

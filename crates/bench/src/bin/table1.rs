@@ -33,7 +33,10 @@ fn main() {
         docs.len(),
         disagreements
     );
-    assert_eq!(disagreements, 0, "pipelines must agree before comparing LoC");
+    assert_eq!(
+        disagreements, 0,
+        "pipelines must agree before comparing LoC"
+    );
 
     println!("{}", loc::render_table1());
 }

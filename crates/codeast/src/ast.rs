@@ -168,10 +168,7 @@ mod tests {
             NodeKind::Call,
             NodeKind::BinOp,
         ] {
-            assert_eq!(
-                NodeKind::from_pattern_name(kind.pattern_name()),
-                Some(kind)
-            );
+            assert_eq!(NodeKind::from_pattern_name(kind.pattern_name()), Some(kind));
         }
         assert_eq!(NodeKind::from_pattern_name("Nope"), None);
     }

@@ -35,8 +35,7 @@ pub fn register_ast_functions(session: &mut Session) {
         let pattern_src = args[0]
             .as_str()
             .ok_or_else(|| ie_err("ast", "pattern must be a string"))?;
-        let pattern =
-            AstPattern::new(pattern_src).map_err(|e| ie_err("ast", e.to_string()))?;
+        let pattern = AstPattern::new(pattern_src).map_err(|e| ie_err("ast", e.to_string()))?;
         let (source, doc, base) = ctx.text_argument(&args[1])?;
         let root = parse_source(&source).map_err(|e| ie_err("ast", e.to_string()))?;
         Ok(pattern
@@ -162,7 +161,10 @@ fn report(x) { let s = Triage.score(x); print(s); }
         let cursor_at = CODE.find("return base").unwrap();
         let pos = session.make_span(doc, cursor_at, cursor_at + 1).unwrap();
         session
-            .declare("Cursor", spannerlib_core::Schema::new(vec![spannerlib_core::ValueType::Span]))
+            .declare(
+                "Cursor",
+                spannerlib_core::Schema::new(vec![spannerlib_core::ValueType::Span]),
+            )
             .unwrap();
         session.add_fact("Cursor", [Value::Span(pos)]).unwrap();
         session

@@ -131,7 +131,11 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CodeAstError> {
                     j += 1;
                 }
             }
-            let end = if j + 1 < n { bytes[j + 1].0 } else { source.len() };
+            let end = if j + 1 < n {
+                bytes[j + 1].0
+            } else {
+                source.len()
+            };
             out.push(SpannedTok {
                 tok: Tok::Str(value),
                 start,
@@ -144,7 +148,11 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CodeAstError> {
         if i + 1 < n {
             let pair: String = [c, bytes[i + 1].1].iter().collect();
             if ["==", "!=", "<=", ">=", "&&", "||"].contains(&pair.as_str()) {
-                let end = if i + 2 < n { bytes[i + 2].0 } else { source.len() };
+                let end = if i + 2 < n {
+                    bytes[i + 2].0
+                } else {
+                    source.len()
+                };
                 out.push(SpannedTok {
                     tok: Tok::Op(pair),
                     start,
@@ -154,7 +162,11 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CodeAstError> {
                 continue;
             }
         }
-        let end = if i + 1 < n { bytes[i + 1].0 } else { source.len() };
+        let end = if i + 1 < n {
+            bytes[i + 1].0
+        } else {
+            source.len()
+        };
         let tok = match c {
             '(' => Tok::LParen,
             ')' => Tok::RParen,
@@ -232,10 +244,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("a // b c\n d"), vec![
-            Tok::Ident("a".into()),
-            Tok::Ident("d".into())
-        ]);
+        assert_eq!(
+            kinds("a // b c\n d"),
+            vec![Tok::Ident("a".into()), Tok::Ident("d".into())]
+        );
     }
 
     #[test]

@@ -342,7 +342,9 @@ impl P {
                     children: Vec::new(),
                 })
             }
-            Some(SpannedTok { tok: Tok::LParen, .. }) => {
+            Some(SpannedTok {
+                tok: Tok::LParen, ..
+            }) => {
                 self.pos += 1;
                 let inner = self.expr()?;
                 self.expect(&Tok::RParen, "')'")?;

@@ -76,11 +76,9 @@ impl AstPattern {
             let mut kinds = Vec::new();
             for k in inner.split('|') {
                 let k = k.trim();
-                let kind = NodeKind::from_pattern_name(k).ok_or_else(|| {
-                    CodeAstError::Pattern {
-                        pattern: pattern.to_string(),
-                        msg: format!("unknown node kind {k:?}"),
-                    }
+                let kind = NodeKind::from_pattern_name(k).ok_or_else(|| CodeAstError::Pattern {
+                    pattern: pattern.to_string(),
+                    msg: format!("unknown node kind {k:?}"),
                 })?;
                 kinds.push(kind);
             }

@@ -217,7 +217,10 @@ mod tests {
         let mut store = DocumentStore::new();
         store.intern("x");
         store.intern("y");
-        let collected: Vec<_> = store.iter().map(|(id, t)| (id.index(), t.to_string())).collect();
+        let collected: Vec<_> = store
+            .iter()
+            .map(|(id, t)| (id.index(), t.to_string()))
+            .collect();
         assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
     }
 

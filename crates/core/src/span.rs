@@ -36,10 +36,7 @@ impl Span {
     /// Panics if `start > end` — such a triple is not a span under any
     /// document.
     pub fn new(doc: DocId, start: usize, end: usize) -> Self {
-        assert!(
-            start <= end,
-            "span start {start} must not exceed end {end}"
-        );
+        assert!(start <= end, "span start {start} must not exceed end {end}");
         Span {
             doc,
             start: start as u32,

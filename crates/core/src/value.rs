@@ -232,7 +232,7 @@ mod tests {
 
     #[test]
     fn float_total_order_handles_nan_and_zero() {
-        let mut values = vec![
+        let mut values = [
             Value::Float(f64::NAN),
             Value::Float(1.0),
             Value::Float(-0.0),

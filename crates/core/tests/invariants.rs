@@ -43,7 +43,7 @@ fn span_order_is_total_and_consistent_with_eq() {
     assert_eq!(a, b);
     // Antisymmetry on a strict pair.
     let c = Span::new(d(0), 1, 4);
-    assert!(a < c && !(c < a));
+    assert!(a < c && (c >= a));
 }
 
 #[test]
@@ -163,7 +163,10 @@ fn nullary_tuple_matches_only_empty_schema() {
 fn relation_deduplicates_inserts() {
     let mut rel = Relation::new(Schema::new(vec![ValueType::Int]));
     assert!(rel.insert(Tuple::new([Value::Int(1)])).unwrap());
-    assert!(!rel.insert(Tuple::new([Value::Int(1)])).unwrap(), "duplicate");
+    assert!(
+        !rel.insert(Tuple::new([Value::Int(1)])).unwrap(),
+        "duplicate"
+    );
     assert!(rel.insert(Tuple::new([Value::Int(2)])).unwrap());
     assert_eq!(rel.len(), 2);
 }
@@ -179,12 +182,7 @@ fn relation_rejects_ill_typed_tuples() {
 #[test]
 fn sorted_tuples_is_deterministic_regardless_of_insert_order() {
     let schema = Schema::new(vec![ValueType::Int, ValueType::Str]);
-    let rows = [
-        (3, "c"),
-        (1, "b"),
-        (2, "a"),
-        (1, "a"),
-    ];
+    let rows = [(3, "c"), (1, "b"), (2, "a"), (1, "a")];
     let mut forward = Relation::new(schema.clone());
     for &(n, s) in &rows {
         forward
@@ -249,7 +247,11 @@ fn value_order_is_total_across_types() {
     // A total order must sort without panicking and be stable under
     // re-sorting a rotation.
     vs.sort();
-    let mut rotated: Vec<Value> = vs[3..].iter().cloned().chain(vs[..3].iter().cloned()).collect();
+    let mut rotated: Vec<Value> = vs[3..]
+        .iter()
+        .cloned()
+        .chain(vs[..3].iter().cloned())
+        .collect();
     rotated.sort();
     assert_eq!(vs, rotated);
     // Same-type values keep their natural order.

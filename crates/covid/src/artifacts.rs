@@ -53,7 +53,10 @@ mod tests {
             ("covid_targets.csv", crate::spanner::TARGETS_CSV),
             ("modifier_rules.csv", crate::spanner::MODIFIER_RULES_CSV),
             ("section_policies.csv", crate::spanner::SECTION_POLICIES_CSV),
-            ("modifier_policies.csv", crate::spanner::MODIFIER_POLICIES_CSV),
+            (
+                "modifier_policies.csv",
+                crate::spanner::MODIFIER_POLICIES_CSV,
+            ),
         ];
         let rendered = rendered_files();
         assert_eq!(rendered.len(), checked_in.len());

@@ -20,7 +20,10 @@ use std::sync::OnceLock;
 /// Sources of the *imperative* implementation (Table 1 column 1).
 const NATIVE_SOURCES: &[(&str, &str)] = &[
     ("native/mod.rs", include_str!("native/mod.rs")),
-    ("native/target_rules.rs", include_str!("native/target_rules.rs")),
+    (
+        "native/target_rules.rs",
+        include_str!("native/target_rules.rs"),
+    ),
     (
         "native/context_rules.rs",
         include_str!("native/context_rules.rs"),
@@ -29,7 +32,10 @@ const NATIVE_SOURCES: &[(&str, &str)] = &[
         "native/section_rules.rs",
         include_str!("native/section_rules.rs"),
     ),
-    ("native/postprocess.rs", include_str!("native/postprocess.rs")),
+    (
+        "native/postprocess.rs",
+        include_str!("native/postprocess.rs"),
+    ),
     ("native/report.rs", include_str!("native/report.rs")),
     (
         "native/document_classifier.rs",
@@ -215,11 +221,7 @@ pub fn render_table1() -> String {
     }
     out.push_str(&format!(
         "{:<22} {:>14} {:>16} {:>13} {:>15}\n",
-        "Total imperative",
-        4335,
-        203,
-        s.original_total,
-        s.rewrite_imperative
+        "Total imperative", 4335, 203, s.original_total, s.rewrite_imperative
     ));
     out.push_str(&format!(
         "{:<22} {:>14} {:>16} {:>13} {:>15}\n",
@@ -227,11 +229,7 @@ pub fn render_table1() -> String {
     ));
     out.push_str(&format!(
         "{:<22} {:>14} {:>16} {:>13} {:>15}\n",
-        "Total lines",
-        4335,
-        596,
-        s.original_total,
-        s.rewrite_total
+        "Total lines", 4335, 596, s.original_total, s.rewrite_total
     ));
     out.push_str(&format!(
         "\nImperative reduction: {:.1}x (paper: {:.1}x); imperative share of rewrite: {:.0}% (paper: {:.0}%)\n",

@@ -88,7 +88,12 @@ pub const MODIFIER_TABLE: &[(&str, &str, &str, u32)] = &[
     ("to be tested for", "hypothetical", "forward", 12),
     ("risk of", "hypothetical", "forward", 12),
     ("risk for", "hypothetical", "forward", 12),
-    ("concern for possible exposure to", "hypothetical", "forward", 12),
+    (
+        "concern for possible exposure to",
+        "hypothetical",
+        "forward",
+        12,
+    ),
     ("pending", "hypothetical", "forward", 12),
     ("quarantine for", "hypothetical", "forward", 8),
     ("self-quarantine if", "hypothetical", "forward", 10),

@@ -96,10 +96,7 @@ pub fn classify_mentions(
     mentions: &[AnalyzedMention],
     sections: &[Section],
 ) -> (CovidStatus, Vec<(usize, usize, MentionEvidence)>) {
-    let covid: Vec<&AnalyzedMention> = mentions
-        .iter()
-        .filter(|m| m.label == COVID_LABEL)
-        .collect();
+    let covid: Vec<&AnalyzedMention> = mentions.iter().filter(|m| m.label == COVID_LABEL).collect();
     let evidences: Vec<(usize, usize, MentionEvidence)> = covid
         .iter()
         .map(|m| (m.start, m.end, mention_evidence(m, sections)))

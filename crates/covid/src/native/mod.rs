@@ -130,9 +130,8 @@ mod tests {
 
     #[test]
     fn positive_note() {
-        let status = classify_text(
-            "Assessment/Plan: Patient tested positive for covid-19 this morning.\n",
-        );
+        let status =
+            classify_text("Assessment/Plan: Patient tested positive for covid-19 this morning.\n");
         assert_eq!(status, CovidStatus::Positive);
     }
 
@@ -151,8 +150,7 @@ mod tests {
 
     #[test]
     fn hypothetical_is_ignored() {
-        let status =
-            classify_text("Assessment/Plan: Return if covid-19 symptoms develop.\n");
+        let status = classify_text("Assessment/Plan: Return if covid-19 symptoms develop.\n");
         assert_eq!(status, CovidStatus::Unknown);
     }
 
@@ -164,8 +162,7 @@ mod tests {
 
     #[test]
     fn unmodified_mention_is_uncertain() {
-        let status =
-            classify_text("Assessment/Plan: Counseling regarding covid-19 provided.\n");
+        let status = classify_text("Assessment/Plan: Counseling regarding covid-19 provided.\n");
         assert_eq!(status, CovidStatus::Uncertain);
     }
 

@@ -57,10 +57,7 @@ mod tests {
 
     #[test]
     fn distinct_labels_kept_separate() {
-        let out = normalize_mentions(vec![
-            m(0, 5, "COVID", &[]),
-            m(0, 5, "SYMPTOM", &[]),
-        ]);
+        let out = normalize_mentions(vec![m(0, 5, "COVID", &[]), m(0, 5, "SYMPTOM", &[])]);
         assert_eq!(out.len(), 2);
     }
 

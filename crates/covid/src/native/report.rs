@@ -115,8 +115,7 @@ mod tests {
 
     #[test]
     fn display_renders_counts() {
-        let report =
-            SurveillanceReport::build(&[result("a", CovidStatus::Positive, &[])]);
+        let report = SurveillanceReport::build(&[result("a", CovidStatus::Positive, &[])]);
         let s = report.to_string();
         assert!(s.contains("documents: 1"));
         assert!(s.contains("status positive"));

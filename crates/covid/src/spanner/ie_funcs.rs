@@ -109,7 +109,8 @@ mod tests {
     #[test]
     fn sents_splits() {
         let mut s = session();
-        s.add_fact("T", [Value::str("One here. Two here.")]).unwrap();
+        s.add_fact("T", [Value::str("One here. Two here.")])
+            .unwrap();
         s.run("S(x) <- T(t), sents(t) -> (x)").unwrap();
         assert_eq!(s.relation("S").unwrap().len(), 2);
     }

@@ -16,10 +16,12 @@ pub mod ie_funcs;
 
 use crate::classify::{CovidStatus, DocumentResult, MentionEvidence};
 use crate::corpus::CorpusDoc;
-use spannerlib_core::Value;
+use spannerlib_core::{Schema, Value, ValueType};
 use spannerlib_dataframe::DataFrame;
-use spannerlib_nlp::{ContextEngine, ModifierCategory, ModifierDirection, ModifierRule, PhraseMatcher};
-use spannerlog_engine::{EngineError, Result, Session};
+use spannerlib_nlp::{
+    ContextEngine, ModifierCategory, ModifierDirection, ModifierRule, PhraseMatcher,
+};
+use spannerlog_engine::{EngineError, PreparedQuery, Result, Session};
 use std::sync::Arc;
 
 /// The Spannerlog program (declarative orchestration).
@@ -38,13 +40,22 @@ pub const SECTION_POLICIES_CSV: &str = include_str!("../../data/section_policies
 pub const MODIFIER_POLICIES_CSV: &str = include_str!("../../data/modifier_policies.csv");
 
 /// The assembled declarative pipeline.
+///
+/// The program is compiled **once** at construction: `new()` loads the
+/// rules, declares the corpus relation, and prepares the `Status` and
+/// `Evidence` queries. Each [`SpannerPipeline::classify_corpus`] call
+/// then only imports fresh `Notes` and executes the prepared queries —
+/// the serving-path shape of the prepare/execute lifecycle.
 pub struct SpannerPipeline {
     session: Session,
+    status_query: PreparedQuery,
+    evidence_query: PreparedQuery,
 }
 
 impl SpannerPipeline {
     /// Builds the pipeline: parses the CSV artifacts, registers the IE
-    /// functions, imports the policy relations, and loads the rules.
+    /// functions, imports the policy relations, loads the rules, and
+    /// prepares the export queries.
     pub fn new() -> Result<SpannerPipeline> {
         let mut session = Session::new();
 
@@ -75,7 +86,18 @@ impl SpannerPipeline {
 
         // The declarative program.
         session.run(RULES)?;
-        Ok(SpannerPipeline { session })
+
+        // Declare the corpus relation so the program compiles before the
+        // first import, then prepare the export queries once.
+        session.declare("Notes", Schema::new(vec![ValueType::Str, ValueType::Str]))?;
+        let program = session.prepare_program()?;
+        let status_query = program.query("?Status(d, s)")?;
+        let evidence_query = program.query("?Evidence(d, m, e)")?;
+        Ok(SpannerPipeline {
+            session,
+            status_query,
+            evidence_query,
+        })
     }
 
     /// Classifies a corpus: imports `Notes`, evaluates, exports `Status`
@@ -89,7 +111,7 @@ impl SpannerPipeline {
         )?;
         self.session.import_dataframe(&notes, "Notes")?;
 
-        let status_df = self.session.export("?Status(d, s)")?;
+        let status_df = self.status_query.execute(&mut self.session)?;
         let mut by_doc: std::collections::BTreeMap<String, CovidStatus> =
             std::collections::BTreeMap::new();
         for row in status_df.iter_rows() {
@@ -99,11 +121,9 @@ impl SpannerPipeline {
             by_doc.insert(doc, status);
         }
 
-        let evidence_df = self.session.export("?Evidence(d, m, e)")?;
-        let mut mentions: std::collections::BTreeMap<
-            String,
-            Vec<(usize, usize, MentionEvidence)>,
-        > = std::collections::BTreeMap::new();
+        let evidence_df = self.evidence_query.execute(&mut self.session)?;
+        let mut mentions: std::collections::BTreeMap<String, Vec<(usize, usize, MentionEvidence)>> =
+            std::collections::BTreeMap::new();
         for row in evidence_df.iter_rows() {
             let doc = row[0].as_str().expect("doc is str").to_string();
             let span = row[1].as_span().expect("mention is a span");
@@ -112,11 +132,10 @@ impl SpannerPipeline {
                 "negated" => MentionEvidence::Negated,
                 _ => MentionEvidence::Uncertain,
             };
-            mentions.entry(doc).or_default().push((
-                span.start_usize(),
-                span.end_usize(),
-                evidence,
-            ));
+            mentions
+                .entry(doc)
+                .or_default()
+                .push((span.start_usize(), span.end_usize(), evidence));
         }
 
         Ok(docs

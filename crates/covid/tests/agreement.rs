@@ -21,13 +21,15 @@ fn pipelines_agree_on_corpus() {
     for (n, s) in native.iter().zip(&rewritten) {
         assert_eq!(n.doc_id, s.doc_id);
         assert_eq!(
-            n.status, s.status,
+            n.status,
+            s.status,
             "status disagreement on {}:\n{}",
             n.doc_id,
             docs.iter().find(|d| d.id == n.doc_id).unwrap().text
         );
         assert_eq!(
-            n.mentions, s.mentions,
+            n.mentions,
+            s.mentions,
             "evidence disagreement on {}:\n{}",
             n.doc_id,
             docs.iter().find(|d| d.id == n.doc_id).unwrap().text
@@ -69,10 +71,7 @@ fn surveillance_statistics_agree() {
 
     let mut spanner = SpannerPipeline::new().unwrap();
     spanner.classify_corpus(&docs).unwrap();
-    let counts = spanner
-        .session_mut()
-        .export("?StatusCount(s, n)")
-        .unwrap();
+    let counts = spanner.session_mut().export("?StatusCount(s, n)").unwrap();
     for row in counts.iter_rows() {
         let status = CovidStatus::from_name(row[0].as_str().unwrap()).unwrap();
         let n = row[1].as_int().unwrap() as usize;

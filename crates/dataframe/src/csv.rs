@@ -69,11 +69,7 @@ fn build(
         if record.len() != types.len() {
             return Err(FrameError::Csv {
                 line: i + 2,
-                msg: format!(
-                    "expected {} fields, found {}",
-                    types.len(),
-                    record.len()
-                ),
+                msg: format!("expected {} fields, found {}", types.len(), record.len()),
             });
         }
         let row: Vec<Value> = record

@@ -57,4 +57,15 @@ pub enum FrameError {
     /// A frame with zero columns cannot hold rows.
     #[error("operation requires at least one column")]
     NoColumns,
+
+    /// A typed row conversion found a cell of the wrong type.
+    #[error("cell {index}: expected {expected}, got {actual}")]
+    CellType {
+        /// Zero-based cell index within the row.
+        index: usize,
+        /// Type the host-side conversion expects.
+        expected: ValueType,
+        /// Runtime type of the value.
+        actual: ValueType,
+    },
 }

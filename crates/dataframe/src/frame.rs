@@ -25,10 +25,7 @@ impl DataFrame {
 
     /// Builds a frame from rows of values. Column types are taken from the
     /// first row; every row must conform.
-    pub fn from_rows(
-        names: Vec<String>,
-        rows: Vec<Vec<Value>>,
-    ) -> Result<DataFrame, FrameError> {
+    pub fn from_rows(names: Vec<String>, rows: Vec<Vec<Value>>) -> Result<DataFrame, FrameError> {
         check_unique(names.iter().map(|s| s.as_str()))?;
         let first = rows.first().ok_or(FrameError::NoColumns)?;
         if first.len() != names.len() {
@@ -51,9 +48,7 @@ impl DataFrame {
     }
 
     /// Builds a frame from named columns (lengths must agree).
-    pub fn from_columns(
-        columns: Vec<(String, Column)>,
-    ) -> Result<DataFrame, FrameError> {
+    pub fn from_columns(columns: Vec<(String, Column)>) -> Result<DataFrame, FrameError> {
         check_unique(columns.iter().map(|(n, _)| n.as_str()))?;
         if let Some(expected) = columns.first().map(|(_, c)| c.len()) {
             for (name, col) in &columns {
@@ -200,6 +195,27 @@ impl DataFrame {
         }
     }
 
+    /// Converts every row into a typed host value via [`FromRow`] —
+    /// `df.to_typed::<(String, i64)>()` or any domain struct
+    /// implementing the trait.
+    ///
+    /// [`FromRow`]: crate::row::FromRow
+    pub fn to_typed<T: crate::row::FromRow>(&self) -> Result<Vec<T>, FrameError> {
+        self.iter_rows().map(|row| T::from_row(&row)).collect()
+    }
+
+    /// Builds a frame from typed host rows via [`IntoRows`] (tuples of
+    /// primitives, or anything implementing [`IntoRow`]).
+    ///
+    /// [`IntoRow`]: crate::row::IntoRow
+    /// [`IntoRows`]: crate::row::IntoRows
+    pub fn from_typed<R>(names: Vec<String>, rows: R) -> Result<DataFrame, FrameError>
+    where
+        R: crate::row::IntoRows,
+    {
+        DataFrame::from_rows(names, rows.into_rows())
+    }
+
     /// Converts the frame into an engine [`Relation`] (set semantics —
     /// duplicate rows collapse).
     pub fn to_relation(&self) -> Relation {
@@ -290,7 +306,12 @@ impl fmt::Display for DataFrame {
             writeln!(f)?;
         }
         sep(f)?;
-        write!(f, "[{} rows x {} columns]", self.num_rows(), self.num_columns())
+        write!(
+            f,
+            "[{} rows x {} columns]",
+            self.num_rows(),
+            self.num_columns()
+        )
     }
 }
 
@@ -381,8 +402,7 @@ mod tests {
         let df = sample();
         let rel = df.to_relation();
         assert_eq!(rel.len(), 3);
-        let back =
-            DataFrame::from_relation(vec!["name".into(), "age".into()], &rel).unwrap();
+        let back = DataFrame::from_relation(vec!["name".into(), "age".into()], &rel).unwrap();
         // Relation ordering is sorted, so compare as sets of rows.
         let mut a: Vec<_> = df.iter_rows().collect();
         let mut b: Vec<_> = back.iter_rows().collect();

@@ -11,12 +11,18 @@
 //! row/column selection, filtering, sorting, head — plus CSV round-trips
 //! ([`DataFrame::to_csv`] / [`DataFrame::from_csv`]) and aligned
 //! pretty-printing (`Display`), which is what a notebook cell would show.
+//!
+//! The [`row`] module adds a *typed* bridge: [`FromRow`] / [`IntoRows`]
+//! convert rows to and from host tuples and structs, so exports can
+//! yield `Vec<MyStruct>` instead of a stringly frame.
 
 pub mod column;
 pub mod csv;
 pub mod error;
 pub mod frame;
+pub mod row;
 
 pub use column::Column;
 pub use error::FrameError;
 pub use frame::DataFrame;
+pub use row::{FromRow, FromValue, IntoRow, IntoRows, IntoValue};

@@ -1,0 +1,267 @@
+//! Typed row conversion: host structs ⇄ engine rows.
+//!
+//! The paper's export API hands back a stringly DataFrame; these traits
+//! give host code a typed bridge instead. [`FromRow`] turns one engine
+//! row into a host value (so `Session::export_typed::<Email>(…)` yields
+//! `Vec<Email>`); [`IntoRow`] / [`IntoRows`] are the symmetric import
+//! side.
+//!
+//! Implementations are provided for tuples of [`FromValue`] /
+//! [`IntoValue`] primitives up to arity 8, so `(String, i64)` works out
+//! of the box. A domain struct implements [`FromRow`] in a few lines:
+//!
+//! ```
+//! use spannerlib_dataframe::{FromRow, FromValue, FrameError};
+//! use spannerlib_core::Value;
+//!
+//! struct Email { user: String, domain: String }
+//!
+//! impl FromRow for Email {
+//!     fn from_row(row: &[Value]) -> Result<Self, FrameError> {
+//!         let (user, domain) = FromRow::from_row(row)?;
+//!         Ok(Email { user, domain })
+//!     }
+//! }
+//! ```
+
+use crate::error::FrameError;
+use spannerlib_core::{Span, Value, ValueType};
+
+/// Conversion from one engine cell into a host value.
+pub trait FromValue: Sized {
+    /// The engine type this conversion expects (for diagnostics).
+    fn expected() -> ValueType;
+
+    /// Converts the cell, or `None` when the runtime type does not match.
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+/// Conversion from a host value into one engine cell.
+pub trait IntoValue {
+    /// Converts `self` into an engine value.
+    fn into_value(self) -> Value;
+}
+
+impl FromValue for String {
+    fn expected() -> ValueType {
+        ValueType::Str
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl FromValue for i64 {
+    fn expected() -> ValueType {
+        ValueType::Int
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_int()
+    }
+}
+
+impl FromValue for f64 {
+    fn expected() -> ValueType {
+        ValueType::Float
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl FromValue for bool {
+    fn expected() -> ValueType {
+        ValueType::Bool
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_bool()
+    }
+}
+
+impl FromValue for Span {
+    fn expected() -> ValueType {
+        ValueType::Span
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_span().copied()
+    }
+}
+
+impl FromValue for Value {
+    fn expected() -> ValueType {
+        // Never reported: the conversion is infallible.
+        ValueType::Str
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::str(self)
+    }
+}
+
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::str(self)
+    }
+}
+
+impl IntoValue for i64 {
+    fn into_value(self) -> Value {
+        Value::Int(self)
+    }
+}
+
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Float(self)
+    }
+}
+
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+}
+
+impl IntoValue for Span {
+    fn into_value(self) -> Value {
+        Value::Span(self)
+    }
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+/// Conversion from one engine row into a host value.
+pub trait FromRow: Sized {
+    /// Converts a full row. Implementations must check arity and cell
+    /// types and report mismatches as [`FrameError`]s.
+    fn from_row(row: &[Value]) -> Result<Self, FrameError>;
+}
+
+/// Conversion from a host value into one engine row.
+pub trait IntoRow {
+    /// Converts `self` into a row of engine values.
+    fn into_row(self) -> Vec<Value>;
+}
+
+/// Converts a cell at `index`, mapping a type mismatch to a frame error.
+fn cell<T: FromValue>(row: &[Value], index: usize) -> Result<T, FrameError> {
+    let v = &row[index];
+    T::from_value(v).ok_or(FrameError::CellType {
+        index,
+        expected: T::expected(),
+        actual: v.value_type(),
+    })
+}
+
+macro_rules! tuple_row_impls {
+    ($n:expr; $($t:ident => $i:tt),+) => {
+        impl<$($t: FromValue),+> FromRow for ($($t,)+) {
+            fn from_row(row: &[Value]) -> Result<Self, FrameError> {
+                if row.len() != $n {
+                    return Err(FrameError::ArityMismatch {
+                        expected: $n,
+                        actual: row.len(),
+                    });
+                }
+                Ok(($(cell::<$t>(row, $i)?,)+))
+            }
+        }
+
+        impl<$($t: IntoValue),+> IntoRow for ($($t,)+) {
+            fn into_row(self) -> Vec<Value> {
+                vec![$(self.$i.into_value()),+]
+            }
+        }
+    };
+}
+
+tuple_row_impls!(1; A => 0);
+tuple_row_impls!(2; A => 0, B => 1);
+tuple_row_impls!(3; A => 0, B => 1, C => 2);
+tuple_row_impls!(4; A => 0, B => 1, C => 2, D => 3);
+tuple_row_impls!(5; A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_row_impls!(6; A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+tuple_row_impls!(7; A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+tuple_row_impls!(8; A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+
+/// A collection of host values convertible into engine rows — the
+/// import-side counterpart of [`FromRow`], blanket-implemented for any
+/// iterable of [`IntoRow`] items.
+pub trait IntoRows {
+    /// Converts the collection into rows of engine values.
+    fn into_rows(self) -> Vec<Vec<Value>>;
+}
+
+impl<I> IntoRows for I
+where
+    I: IntoIterator,
+    I::Item: IntoRow,
+{
+    fn into_rows(self) -> Vec<Vec<Value>> {
+        self.into_iter().map(IntoRow::into_row).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_round_trip() {
+        let row = ("ann".to_string(), 34i64, true).into_row();
+        assert_eq!(
+            row,
+            vec![Value::str("ann"), Value::Int(34), Value::Bool(true)]
+        );
+        let back: (String, i64, bool) = FromRow::from_row(&row).unwrap();
+        assert_eq!(back, ("ann".to_string(), 34, true));
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let row = vec![Value::Int(1)];
+        let err = <(i64, i64)>::from_row(&row).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn cell_type_mismatch_reports_index() {
+        let row = vec![Value::str("x"), Value::str("not an int")];
+        let err = <(String, i64)>::from_row(&row).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::CellType {
+                index: 1,
+                expected: ValueType::Int,
+                actual: ValueType::Str,
+            }
+        );
+    }
+
+    #[test]
+    fn value_passthrough_and_str_import() {
+        let rows = vec![("ann", 1i64), ("bob", 2)].into_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::str("ann"));
+        let any: (Value, Value) = FromRow::from_row(&rows[1]).unwrap();
+        assert_eq!(any.1, Value::Int(2));
+    }
+}

@@ -75,7 +75,9 @@ pub fn builtin_aggregates() -> Vec<(String, Arc<dyn AggFunction>)> {
 
     out.push((
         "count".into(),
-        Arc::new(FnAgg("count", |vs: &[Value]| Ok(Value::Int(vs.len() as i64)))),
+        Arc::new(FnAgg("count", |vs: &[Value]| {
+            Ok(Value::Int(vs.len() as i64))
+        })),
     ));
 
     out.push((

@@ -63,9 +63,7 @@ impl RgxFunction {
             function: "rgx".into(),
             msg: format!("bad pattern {pattern:?}: {e}"),
         })?);
-        self.cache
-            .lock()
-            .insert(pattern.to_string(), re.clone());
+        self.cache.lock().insert(pattern.to_string(), re.clone());
         Ok(re)
     }
 }
@@ -251,7 +249,12 @@ mod tests {
     fn all_matches_mode_is_superset() {
         let mut docs = DocumentStore::new();
         let find = call("rgx", &[Value::str("a+"), Value::str("aaa")], 1, &mut docs);
-        let all = call("rgx_all", &[Value::str("a+"), Value::str("aaa")], 1, &mut docs);
+        let all = call(
+            "rgx_all",
+            &[Value::str("a+"), Value::str("aaa")],
+            1,
+            &mut docs,
+        );
         assert_eq!(find.len(), 1);
         assert_eq!(all.len(), 6);
         for row in &find {

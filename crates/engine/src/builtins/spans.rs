@@ -115,12 +115,7 @@ mod tests {
         (Registry::new(), DocumentStore::new())
     }
 
-    fn call(
-        registry: &Registry,
-        docs: &mut DocumentStore,
-        name: &str,
-        args: &[Value],
-    ) -> IeOutput {
+    fn call(registry: &Registry, docs: &mut DocumentStore, name: &str, args: &[Value]) -> IeOutput {
         let f = registry.ie(name).unwrap().clone();
         let mut ctx = IeContext::new(docs);
         f.call(args, 1, &mut ctx).unwrap()
@@ -136,8 +131,14 @@ mod tests {
             call(&r, &mut docs, "contains", &[outer.clone(), inner.clone()]).len(),
             1
         );
-        assert_eq!(call(&r, &mut docs, "contains", &[inner.clone(), outer.clone()]).len(), 0);
-        assert_eq!(call(&r, &mut docs, "contained_in", &[inner, outer]).len(), 1);
+        assert_eq!(
+            call(&r, &mut docs, "contains", &[inner.clone(), outer.clone()]).len(),
+            0
+        );
+        assert_eq!(
+            call(&r, &mut docs, "contained_in", &[inner, outer]).len(),
+            1
+        );
     }
 
     #[test]
@@ -147,8 +148,14 @@ mod tests {
         let a = Value::Span(docs.span(id, 0, 4).unwrap());
         let b = Value::Span(docs.span(id, 2, 6).unwrap());
         let c = Value::Span(docs.span(id, 6, 9).unwrap());
-        assert_eq!(call(&r, &mut docs, "overlaps", &[a.clone(), b.clone()]).len(), 1);
-        assert_eq!(call(&r, &mut docs, "overlaps", &[a.clone(), c.clone()]).len(), 0);
+        assert_eq!(
+            call(&r, &mut docs, "overlaps", &[a.clone(), b.clone()]).len(),
+            1
+        );
+        assert_eq!(
+            call(&r, &mut docs, "overlaps", &[a.clone(), c.clone()]).len(),
+            0
+        );
         assert_eq!(call(&r, &mut docs, "precedes", &[a, c]).len(), 1);
     }
 
@@ -158,11 +165,11 @@ mod tests {
         let id = docs.intern("0123456789");
         let s = Value::Span(docs.span(id, 2, 7).unwrap());
         assert_eq!(
-            call(&r, &mut docs, "span_start", &[s.clone()])[0][0],
+            call(&r, &mut docs, "span_start", std::slice::from_ref(&s))[0][0],
             Value::Int(2)
         );
         assert_eq!(
-            call(&r, &mut docs, "span_end", &[s.clone()])[0][0],
+            call(&r, &mut docs, "span_end", std::slice::from_ref(&s))[0][0],
             Value::Int(7)
         );
         assert_eq!(call(&r, &mut docs, "span_len", &[s])[0][0], Value::Int(5));
@@ -179,7 +186,7 @@ mod tests {
             "expand",
             &[s, Value::Int(100), Value::Int(2)],
         );
-        let span = out[0][0].as_span().unwrap().clone();
+        let span = *out[0][0].as_span().unwrap();
         assert_eq!((span.start, span.end), (0, 8));
     }
 

@@ -53,7 +53,10 @@ pub fn install(registry: &mut Registry) {
             let arg = args.get(i + 1).ok_or_else(|| {
                 err(
                     "format",
-                    format!("template has more placeholders than the {} argument(s)", args.len() - 1),
+                    format!(
+                        "template has more placeholders than the {} argument(s)",
+                        args.len() - 1
+                    ),
                 )
             })?;
             match arg {

@@ -1,5 +1,12 @@
 //! Relation storage: declared (extensional) and derived (intensional)
 //! relations plus the session-wide document store.
+//!
+//! Every *extensional* relation carries a **generation counter** bumped
+//! on each mutation (declare, import, fact insert, removal). The session
+//! fingerprints the generations of exactly the relations a compiled
+//! program reads, so an unchanged EDB — or a change to an unrelated
+//! relation — skips the fixpoint entirely. This replaces the old global
+//! `dirty` flag.
 
 use crate::error::{EngineError, Result};
 use rustc_hash::FxHashMap;
@@ -12,6 +19,10 @@ pub struct Database {
     /// Names created by `new …` declarations or imports (extensional);
     /// everything else is rule-derived (intensional).
     extensional: FxHashMap<String, Schema>,
+    /// Per-relation mutation generations (extensional relations only).
+    generations: FxHashMap<String, u64>,
+    /// Monotone tick backing the generation counters.
+    tick: u64,
     /// Interned documents; spans in any relation point here.
     pub docs: DocumentStore,
 }
@@ -22,6 +33,17 @@ impl Database {
         Database::default()
     }
 
+    /// The mutation generation of relation `name` (0 when it has never
+    /// been touched).
+    pub fn generation(&self, name: &str) -> u64 {
+        self.generations.get(name).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, name: &str) {
+        self.tick += 1;
+        self.generations.insert(name.to_string(), self.tick);
+    }
+
     /// Declares an extensional relation with an explicit schema.
     pub fn declare(&mut self, name: &str, schema: Schema) -> Result<()> {
         if self.relations.contains_key(name) {
@@ -30,6 +52,7 @@ impl Database {
         self.extensional.insert(name.to_string(), schema.clone());
         self.relations
             .insert(name.to_string(), Relation::new(schema));
+        self.bump(name);
         Ok(())
     }
 
@@ -39,6 +62,12 @@ impl Database {
         self.extensional
             .insert(name.to_string(), relation.schema().clone());
         self.relations.insert(name.to_string(), relation);
+        self.bump(name);
+    }
+
+    /// The declared schema of an extensional relation, if `name` is one.
+    pub fn extensional_schema(&self, name: &str) -> Option<&Schema> {
+        self.extensional.get(name)
     }
 
     /// Whether `name` exists (extensional or derived).
@@ -69,8 +98,22 @@ impl Database {
 
     /// Inserts a tuple into a relation, creating a derived relation with
     /// the tuple's own schema on first insertion. Returns `true` when the
-    /// tuple is new.
+    /// tuple is new. Inserts into extensional relations bump the
+    /// relation's generation; derived inserts (the fixpoint hot path) do
+    /// not.
     pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
+        let new = self.insert_derived(name, tuple)?;
+        if new && self.extensional.contains_key(name) {
+            self.bump(name);
+        }
+        Ok(new)
+    }
+
+    /// Inserts a tuple derived by the fixpoint. Identical to
+    /// [`Database::insert`] except it never bumps a generation counter —
+    /// derived content is a function of the EDB and the program, so it
+    /// must not invalidate the evaluation fingerprint.
+    pub fn insert_derived(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
         if let Some(rel) = self.relations.get_mut(name) {
             return Ok(rel.insert(tuple)?);
         }
@@ -94,10 +137,14 @@ impl Database {
             .retain(|name, _| self.extensional.contains_key(name));
     }
 
-    /// Removes a relation entirely.
-    pub fn remove(&mut self, name: &str) {
-        self.relations.remove(name);
+    /// Removes a relation entirely. Returns `true` when it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let existed = self.relations.remove(name).is_some();
         self.extensional.remove(name);
+        if existed {
+            self.bump(name);
+        }
+        existed
     }
 
     /// Iterates over `(name, relation)` pairs in unspecified order.
@@ -174,6 +221,32 @@ mod tests {
             db.relation("nope"),
             Err(EngineError::UnknownRelation(_))
         ));
+    }
+
+    #[test]
+    fn generations_track_extensional_mutations_only() {
+        let mut db = Database::new();
+        assert_eq!(db.generation("E"), 0);
+        db.declare("E", Schema::new(vec![ValueType::Int])).unwrap();
+        let g_decl = db.generation("E");
+        assert!(g_decl > 0);
+        db.insert("E", t(&[1])).unwrap();
+        let g_fact = db.generation("E");
+        assert!(g_fact > g_decl);
+        // Duplicate insert: no change.
+        db.insert("E", t(&[1])).unwrap();
+        assert_eq!(db.generation("E"), g_fact);
+        // Derived inserts never bump.
+        db.insert_derived("D", t(&[2])).unwrap();
+        db.insert_derived("D", t(&[3])).unwrap();
+        assert_eq!(db.generation("D"), 0);
+        // Unrelated relations are independent.
+        db.declare("F", Schema::new(vec![ValueType::Int])).unwrap();
+        assert_eq!(db.generation("E"), g_fact);
+        // Removal is a mutation.
+        assert!(db.remove("E"));
+        assert!(db.generation("E") > g_fact);
+        assert!(!db.remove("E"));
     }
 
     #[test]

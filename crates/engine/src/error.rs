@@ -42,6 +42,31 @@ pub enum EngineError {
     #[error("relation {0:?} already exists")]
     DuplicateRelation(String),
 
+    /// An import tried to replace a relation with one of a different
+    /// schema.
+    #[error(
+        "import into {relation:?} would change its schema from {expected} to {actual} \
+         (remove_relation first to retype it)"
+    )]
+    SchemaMismatch {
+        /// Relation name.
+        relation: String,
+        /// Existing schema, rendered as `(str, int, …)`.
+        expected: String,
+        /// Schema of the incoming data.
+        actual: String,
+    },
+
+    /// A resource limit configured via `SessionBuilder` was exceeded
+    /// during evaluation.
+    #[error("evaluation exceeded the configured limit of {limit} {resource}")]
+    LimitExceeded {
+        /// Which limit (e.g. "fixpoint rounds", "materialized rows").
+        resource: &'static str,
+        /// The configured bound.
+        limit: usize,
+    },
+
     /// An atom used a relation with the wrong number of arguments.
     #[error("arity mismatch for {relation:?}: declared {expected}, used with {actual}")]
     Arity {

@@ -6,9 +6,14 @@
 //! refinement (Green et al., *Datalog and Recursive Query Processing*),
 //! kept behaviourally identical — the equivalence is property-tested —
 //! and benchmarked as ablation A in EXPERIMENTS.md.
+//!
+//! Evaluation respects the session's [`EvalLimits`]: a bound on fixpoint
+//! rounds guards against runaway recursion, a bound on materialized
+//! tuples guards against blow-up — both surface as
+//! [`EngineError::LimitExceeded`].
 
 use crate::database::Database;
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::plan::{self, RulePlan, Step};
 use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -23,6 +28,46 @@ pub enum EvalStrategy {
     /// Evaluate rule variants against per-round deltas of recursive
     /// predicates.
     SemiNaive,
+}
+
+/// Resource limits applied to one fixpoint run (`None` = unlimited).
+/// Configured through `SessionBuilder`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalLimits {
+    /// Maximum fixpoint rounds summed across all strata.
+    pub max_rounds: Option<usize>,
+    /// Maximum newly materialized tuples across the whole run.
+    pub max_rows: Option<usize>,
+}
+
+impl EvalLimits {
+    fn check(&self, stats: &EvalStats) -> Result<()> {
+        if let Some(max) = self.max_rounds {
+            if stats.rounds > max {
+                return Err(EngineError::LimitExceeded {
+                    resource: "fixpoint rounds",
+                    limit: max,
+                });
+            }
+        }
+        self.check_rows(stats)
+    }
+
+    /// The row bound is also checked inside the insert loops, so one
+    /// round cannot materialize unboundedly far past the cap (tuples
+    /// buffered while a single rule plan executes are only bounded once
+    /// that plan returns).
+    fn check_rows(&self, stats: &EvalStats) -> Result<()> {
+        if let Some(max) = self.max_rows {
+            if stats.tuples_new > max {
+                return Err(EngineError::LimitExceeded {
+                    resource: "materialized rows",
+                    limit: max,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Counters filled during evaluation (consumed by benches and tests).
@@ -44,12 +89,15 @@ pub fn evaluate(
     strata: &[Vec<RulePlan>],
     registry: &Registry,
     strategy: EvalStrategy,
+    limits: EvalLimits,
 ) -> Result<EvalStats> {
     let mut stats = EvalStats::default();
     for stratum in strata {
         match strategy {
-            EvalStrategy::Naive => naive_stratum(db, stratum, registry, &mut stats)?,
-            EvalStrategy::SemiNaive => seminaive_stratum(db, stratum, registry, &mut stats)?,
+            EvalStrategy::Naive => naive_stratum(db, stratum, registry, limits, &mut stats)?,
+            EvalStrategy::SemiNaive => {
+                seminaive_stratum(db, stratum, registry, limits, &mut stats)?
+            }
         }
     }
     Ok(stats)
@@ -59,6 +107,7 @@ fn naive_stratum(
     db: &mut Database,
     rules: &[RulePlan],
     registry: &Registry,
+    limits: EvalLimits,
     stats: &mut EvalStats,
 ) -> Result<()> {
     let no_deltas: FxHashMap<String, Relation> = FxHashMap::default();
@@ -73,12 +122,14 @@ fn naive_stratum(
             };
             stats.tuples_derived += derived.len();
             for tuple in derived {
-                if db.insert(&rule.head_predicate, tuple)? {
+                if db.insert_derived(&rule.head_predicate, tuple)? {
                     stats.tuples_new += 1;
                     changed = true;
+                    limits.check_rows(stats)?;
                 }
             }
         }
+        limits.check(stats)?;
         if !changed {
             return Ok(());
         }
@@ -89,6 +140,7 @@ fn seminaive_stratum(
     db: &mut Database,
     rules: &[RulePlan],
     registry: &Registry,
+    limits: EvalLimits,
     stats: &mut EvalStats,
 ) -> Result<()> {
     // Heads of this stratum: atoms over them are "recursive" here.
@@ -108,8 +160,9 @@ fn seminaive_stratum(
         };
         stats.tuples_derived += derived.len();
         for tuple in derived {
-            if db.insert(&rule.head_predicate, tuple.clone())? {
+            if db.insert_derived(&rule.head_predicate, tuple.clone())? {
                 stats.tuples_new += 1;
+                limits.check_rows(stats)?;
                 let rel = db.relation(&rule.head_predicate)?;
                 deltas
                     .entry(rule.head_predicate.clone())
@@ -118,6 +171,7 @@ fn seminaive_stratum(
             }
         }
     }
+    limits.check(stats)?;
 
     // Subsequent rounds: for each rule and each scan step over a
     // recursive predicate, run the variant with that step reading the
@@ -143,8 +197,9 @@ fn seminaive_stratum(
                 };
                 stats.tuples_derived += derived.len();
                 for tuple in derived {
-                    if db.insert(&rule.head_predicate, tuple.clone())? {
+                    if db.insert_derived(&rule.head_predicate, tuple.clone())? {
                         stats.tuples_new += 1;
+                        limits.check_rows(stats)?;
                         let rel = db.relation(&rule.head_predicate)?;
                         next_deltas
                             .entry(rule.head_predicate.clone())
@@ -154,6 +209,7 @@ fn seminaive_stratum(
                 }
             }
         }
+        limits.check(stats)?;
         deltas = next_deltas;
     }
     Ok(())

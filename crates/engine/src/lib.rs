@@ -29,6 +29,9 @@
 //!   helper functions the paper's examples assume.
 //! * [`Session`] is the host-facing object: import/export DataFrames,
 //!   run cells, register IE callbacks.
+//! * [`prepared`] layers a prepare-once/execute-many lifecycle on top:
+//!   [`SessionBuilder`] → [`PreparedProgram`] / [`PreparedQuery`] →
+//!   [`Snapshot`] for lock-free concurrent reads.
 
 pub mod aggregate;
 pub mod builtins;
@@ -37,6 +40,7 @@ pub mod error;
 pub mod eval;
 pub mod ie;
 pub mod plan;
+pub mod prepared;
 pub mod query;
 pub mod registry;
 pub mod safety;
@@ -45,7 +49,8 @@ pub mod strata;
 
 pub use database::Database;
 pub use error::{EngineError, Result};
-pub use eval::{EvalStats, EvalStrategy};
+pub use eval::{EvalLimits, EvalStats, EvalStrategy};
 pub use ie::{filter_output, IeContext, IeFunction, IeOutput};
+pub use prepared::{CompiledProgram, PreparedProgram, PreparedQuery, Snapshot};
 pub use registry::Registry;
-pub use session::Session;
+pub use session::{Session, SessionBuilder};

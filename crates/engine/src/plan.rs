@@ -349,9 +349,8 @@ fn project_head(
     docs: &mut DocumentStore,
     registry: &Registry,
 ) -> Result<Vec<Tuple>> {
-    let var_value = |row: &Row, v: usize| -> Value {
-        row[v].clone().expect("safety: head vars bound")
-    };
+    let var_value =
+        |row: &Row, v: usize| -> Value { row[v].clone().expect("safety: head vars bound") };
 
     if !plan.has_aggregation() {
         let mut out = Vec::with_capacity(rows.len());

@@ -1,0 +1,249 @@
+//! The prepare-once/execute-many layer: compiled programs, prepared
+//! queries, and immutable snapshots.
+//!
+//! Spanner programs admit a compile-once/run-per-document factoring
+//! (Doleschal et al., *Split-Correctness in Information Extraction*):
+//! parsing, safety analysis (which also sequences IE calls),
+//! stratification, and planning depend only on the rules and the
+//! registry — not on the data. A [`CompiledProgram`] is that factored
+//! artifact; [`PreparedQuery`] pairs it with a parsed query so serving
+//! paths pay neither parsing nor planning per request, and [`Snapshot`]
+//! freezes a fully evaluated database for lock-free concurrent reads.
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::plan::RulePlan;
+use crate::query::run_query;
+use crate::registry::Registry;
+use crate::safety::{analyze, SafetyContext};
+use crate::session::Session;
+use crate::strata::stratify;
+use rustc_hash::FxHashSet;
+use spannerlib_core::{DocumentStore, Relation, Span};
+use spannerlib_dataframe::{DataFrame, FromRow};
+use spannerlog_parser::{parse_program, Query, Rule, Statement};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Parses `source` expecting exactly one query statement.
+pub(crate) fn parse_single_query(source: &str) -> Result<Query> {
+    let program = parse_program(source)?;
+    let [Statement::Query(q)] = &program.statements[..] else {
+        return Err(EngineError::NotAQuery(source.trim().to_string()));
+    };
+    Ok(q.clone())
+}
+
+static NEXT_PROGRAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A rule set taken through safety analysis, IE sequencing,
+/// stratification, and planning exactly once.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// Instance id, unique per compilation (fingerprints evaluation).
+    pub(crate) id: u64,
+    /// Stratified, executable rule plans.
+    pub(crate) strata: Vec<Vec<RulePlan>>,
+    /// Extensional relations the program reads (sorted): the only
+    /// relations whose mutation can change derived content.
+    pub(crate) input_relations: Vec<String>,
+}
+
+impl CompiledProgram {
+    /// Compiles `rules` against the relation names known to `db` and the
+    /// IE/aggregation `registry`. Unsafe rules and unstratifiable
+    /// programs are rejected here — before any data is touched.
+    pub(crate) fn compile(
+        rules: &[Rule],
+        db: &Database,
+        registry: &Registry,
+    ) -> Result<CompiledProgram> {
+        // Predicates that resolve to relations: extensional names plus
+        // every rule head.
+        let mut relation_names: FxHashSet<String> =
+            db.iter().map(|(name, _)| name.clone()).collect();
+        let heads: FxHashSet<String> = rules.iter().map(|r| r.head_predicate.clone()).collect();
+        relation_names.extend(heads.iter().cloned());
+
+        let ctx = SafetyContext {
+            relations: &relation_names,
+            registry,
+        };
+        let plans = rules
+            .iter()
+            .map(|r| analyze(r, &ctx))
+            .collect::<Result<Vec<_>>>()?;
+
+        // Every predicate a rule depends on is a fingerprint input —
+        // including rule heads. Derived inserts bypass the generation
+        // counters, so a purely derived dependency sits at generation 0
+        // and never perturbs the fingerprint; but the moment the host
+        // mutates any dependency (a fact into an extensional head, an
+        // import that shadows a derived name), its generation moves and
+        // the fixpoint re-runs. Filtering on compile-time extensionality
+        // here would blind old prepared queries to names that become
+        // extensional later.
+        let mut input_relations: Vec<String> = plans
+            .iter()
+            .flat_map(|p| p.dependencies.iter())
+            .map(|(dep, _)| dep.clone())
+            .collect::<FxHashSet<_>>()
+            .into_iter()
+            .collect();
+        input_relations.sort_unstable();
+
+        Ok(CompiledProgram {
+            id: NEXT_PROGRAM_ID.fetch_add(1, Ordering::Relaxed),
+            strata: stratify(plans)?,
+            input_relations,
+        })
+    }
+
+    /// Number of strata.
+    pub fn strata_count(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Number of compiled rules.
+    pub fn rule_count(&self) -> usize {
+        self.strata.iter().map(Vec::len).sum()
+    }
+
+    /// The extensional relations this program reads, sorted by name.
+    pub fn input_relations(&self) -> &[String] {
+        &self.input_relations
+    }
+}
+
+/// A shareable handle on a [`CompiledProgram`] — the result of
+/// [`Session::prepare_program`]. Derive per-query artifacts with
+/// [`PreparedProgram::query`].
+#[derive(Debug, Clone)]
+pub struct PreparedProgram {
+    pub(crate) inner: Arc<CompiledProgram>,
+}
+
+impl PreparedProgram {
+    /// Parses `query_src` (e.g. `?R(usr, "gmail")`) into a
+    /// [`PreparedQuery`] bound to this program.
+    pub fn query(&self, query_src: &str) -> Result<PreparedQuery> {
+        Ok(PreparedQuery {
+            query: parse_single_query(query_src)?,
+            source: query_src.to_string(),
+            program: self.inner.clone(),
+        })
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.inner
+    }
+}
+
+/// A query compiled once and executable many times — the serving-path
+/// counterpart of [`Session::export`].
+///
+/// Execution evaluates the *prepared* program (the rules as of
+/// [`Session::prepare`] time) against the session's current extensional
+/// data; thanks to per-relation generation counters, an unchanged EDB
+/// skips the fixpoint entirely.
+///
+/// Caveat for relations that are **both imported and rule heads**:
+/// re-evaluation only clears purely derived relations, so tuples a rule
+/// derived into an extensional relation persist across re-imports of
+/// the rule's inputs (they are indistinguishable from facts). Keep
+/// imported inputs and derived outputs under distinct names when
+/// re-importing between executions.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pub(crate) query: Query,
+    pub(crate) source: String,
+    pub(crate) program: Arc<CompiledProgram>,
+}
+
+impl PreparedQuery {
+    /// Executes against `session`'s current data, re-running the
+    /// fixpoint only if an input relation changed since the last
+    /// evaluation of this program.
+    pub fn execute(&self, session: &mut Session) -> Result<DataFrame> {
+        session.ensure_evaluated_with(&self.program)?;
+        run_query(session.database(), &self.query)
+    }
+
+    /// Like [`PreparedQuery::execute`], converting each row via
+    /// [`FromRow`].
+    pub fn execute_typed<T: FromRow>(&self, session: &mut Session) -> Result<Vec<T>> {
+        Ok(self.execute(session)?.to_typed()?)
+    }
+
+    /// The original query source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The program this query was prepared against.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+}
+
+/// An immutable, fully evaluated view of a session — `Send + Sync`, so
+/// prepared queries can run against it concurrently from many threads
+/// while the originating session keeps mutating.
+///
+/// Obtained from [`Session::snapshot`], which runs the fixpoint first;
+/// snapshot queries are therefore pure reads.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    db: Arc<Database>,
+}
+
+// Compile-time guarantee: a Snapshot can cross and be shared between
+// threads. (Also asserted in the integration tests.)
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot>()
+};
+
+impl Snapshot {
+    pub(crate) fn new(db: Arc<Database>) -> Snapshot {
+        Snapshot { db }
+    }
+
+    /// Evaluates a query string against the frozen data.
+    pub fn export(&self, query_src: &str) -> Result<DataFrame> {
+        run_query(&self.db, &parse_single_query(query_src)?)
+    }
+
+    /// Like [`Snapshot::export`], converting each row via [`FromRow`].
+    pub fn export_typed<T: FromRow>(&self, query_src: &str) -> Result<Vec<T>> {
+        Ok(self.export(query_src)?.to_typed()?)
+    }
+
+    /// Executes a prepared query. The snapshot is already evaluated, so
+    /// this skips even the fingerprint check — it is a pure indexed read.
+    pub fn execute(&self, query: &PreparedQuery) -> Result<DataFrame> {
+        run_query(&self.db, &query.query)
+    }
+
+    /// Like [`Snapshot::execute`], converting each row via [`FromRow`].
+    pub fn execute_typed<T: FromRow>(&self, query: &PreparedQuery) -> Result<Vec<T>> {
+        Ok(self.execute(query)?.to_typed()?)
+    }
+
+    /// Reads a relation by name (empty if it does not exist).
+    pub fn relation(&self, name: &str) -> Relation {
+        self.db.relation_or_empty(name)
+    }
+
+    /// The frozen document store (resolves spans exported from this
+    /// snapshot).
+    pub fn docs(&self) -> &DocumentStore {
+        &self.db.docs
+    }
+
+    /// Resolves a span to its text.
+    pub fn span_text(&self, span: &Span) -> Result<String> {
+        Ok(self.db.docs.span_text(span)?.to_string())
+    }
+}

@@ -16,13 +16,14 @@ use spannerlog_parser::{Query, Term};
 
 /// Evaluates `query` against (already fixpointed) `db`.
 pub fn run_query(db: &Database, query: &Query) -> Result<DataFrame> {
-    let relation = match db.relation(&query.predicate) {
-        Ok(r) => r.clone(),
+    let empty = Relation::new(Schema::empty());
+    let relation: &Relation = match db.relation(&query.predicate) {
+        Ok(r) => r,
         // A derived relation that produced no tuples does not exist in
         // the database; treat as empty rather than unknown if some rule
         // could have produced it — the session layer passes only resolved
         // queries, so map unknown to an empty result with the right shape.
-        Err(EngineError::UnknownRelation(_)) => Relation::new(Schema::empty()),
+        Err(EngineError::UnknownRelation(_)) => &empty,
         Err(e) => return Err(e),
     };
 
@@ -102,11 +103,8 @@ mod tests {
 
     fn sample_db() -> Database {
         let mut db = Database::new();
-        db.declare(
-            "R",
-            Schema::new(vec![ValueType::Str, ValueType::Str]),
-        )
-        .unwrap();
+        db.declare("R", Schema::new(vec![ValueType::Str, ValueType::Str]))
+            .unwrap();
         for (a, b) in [("ann", "gmail"), ("bob", "work"), ("eve", "gmail")] {
             db.insert("R", Tuple::new([Value::str(a), Value::str(b)]))
                 .unwrap();

@@ -103,7 +103,14 @@ mod tests {
     #[test]
     fn builtins_present() {
         let r = Registry::new();
-        for f in ["rgx", "rgx_string", "rgx_all", "concat", "contains", "format"] {
+        for f in [
+            "rgx",
+            "rgx_string",
+            "rgx_all",
+            "concat",
+            "contains",
+            "format",
+        ] {
             assert!(r.has_ie(f), "missing builtin {f}");
         }
         for a in ["count", "sum", "min", "max", "avg", "lex_concat"] {

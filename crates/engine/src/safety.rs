@@ -57,16 +57,16 @@ pub fn analyze(rule: &Rule, ctx: &SafetyContext<'_>) -> Result<RulePlan> {
     // diagnostics read naturally).
     let mut vars: FxHashMap<String, usize> = FxHashMap::default();
     let mut var_names: Vec<String> = Vec::new();
-    let var_index = |name: &str, vars: &mut FxHashMap<String, usize>,
-                         var_names: &mut Vec<String>| {
-        if let Some(&i) = vars.get(name) {
-            return i;
-        }
-        let i = var_names.len();
-        vars.insert(name.to_string(), i);
-        var_names.push(name.to_string());
-        i
-    };
+    let var_index =
+        |name: &str, vars: &mut FxHashMap<String, usize>, var_names: &mut Vec<String>| {
+            if let Some(&i) = vars.get(name) {
+                return i;
+            }
+            let i = var_names.len();
+            vars.insert(name.to_string(), i);
+            var_names.push(name.to_string());
+            i
+        };
 
     // Resolve body elements, rewriting relation-style atoms over IE
     // function names into zero-output IE atoms (filters).
@@ -172,9 +172,7 @@ pub fn analyze(rule: &Rule, ctx: &SafetyContext<'_>) -> Result<RulePlan> {
     while !pending.is_empty() {
         let pick = pending.iter().position(|e| match e {
             Elem::Scan { .. } => true,
-            Elem::Ie { inputs, .. } => {
-                term_vars(inputs).iter().all(|v| bound.contains(v))
-            }
+            Elem::Ie { inputs, .. } => term_vars(inputs).iter().all(|v| bound.contains(v)),
             Elem::Neg { terms, .. } => term_vars(terms).iter().all(|v| bound.contains(v)),
             Elem::Cmp { left, right, .. } => {
                 let mut ts = Vec::new();
@@ -371,11 +369,7 @@ mod tests {
     #[test]
     fn ie_scheduled_after_binding_even_if_written_first() {
         // The IE atom appears first in source but needs `t` from Texts.
-        let plan = analyze_src(
-            r#"R(x) <- rgx("a", t) -> (x), Texts(d, t)"#,
-            &["Texts"],
-        )
-        .unwrap();
+        let plan = analyze_src(r#"R(x) <- rgx("a", t) -> (x), Texts(d, t)"#, &["Texts"]).unwrap();
         assert!(matches!(plan.steps[0], Step::Scan { .. }));
         assert!(matches!(plan.steps[1], Step::Ie { .. }));
     }

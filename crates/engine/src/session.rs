@@ -2,7 +2,8 @@
 //! the [host] and Spannerlog runtimes" (paper §3.2).
 //!
 //! A session owns the fact database, the rule set, and the IE registry.
-//! Host code drives it with four verbs, mirroring the paper's API:
+//! The paper's four verbs still drive it, as thin wrappers over the
+//! prepare/execute lifecycle:
 //!
 //! * [`Session::import_dataframe`] — host table → engine relation;
 //! * [`Session::run`] — execute a cell of Spannerlog source
@@ -11,30 +12,152 @@
 //! * [`Session::register`] — host closure → IE function callable from
 //!   rules.
 //!
-//! Rules are evaluated lazily: the fixpoint recomputes when a query runs
-//! after any mutation, and is cached until the next mutation.
+//! Serving paths use the layered lifecycle instead:
+//!
+//! 1. [`Session::builder`] configures strategy, resource limits, and
+//!    seeds the IE registry;
+//! 2. [`Session::prepare`] / [`Session::prepare_program`] run parse →
+//!    safety analysis → IE sequencing → stratification → planning
+//!    exactly once, yielding a [`PreparedQuery`] / [`PreparedProgram`];
+//! 3. [`PreparedQuery::execute`] runs repeatedly against freshly
+//!    imported relations — per-relation generation counters skip the
+//!    fixpoint whenever no input relation changed;
+//! 4. [`Session::snapshot`] freezes the evaluated state into a
+//!    `Send + Sync` [`Snapshot`] for lock-free concurrent reads.
 
 use crate::database::Database;
-use crate::eval::{evaluate, EvalStats, EvalStrategy};
 use crate::error::{EngineError, Result};
+use crate::eval::{evaluate, EvalLimits, EvalStats, EvalStrategy};
 use crate::ie::{IeContext, IeFunction, IeOutput};
+use crate::prepared::{
+    parse_single_query, CompiledProgram, PreparedProgram, PreparedQuery, Snapshot,
+};
 use crate::query::run_query;
 use crate::registry::Registry;
-use crate::safety::{analyze, constant_value, SafetyContext};
-use crate::strata::stratify;
-use rustc_hash::FxHashSet;
+use crate::safety::constant_value;
 use spannerlib_core::{DocId, DocumentStore, Relation, Schema, Span, Tuple, Value};
-use spannerlib_dataframe::DataFrame;
+use spannerlib_dataframe::{DataFrame, FromRow, IntoRows};
 use spannerlog_parser::{parse_program, Query, Rule, Statement};
 use std::sync::Arc;
 
+/// Fingerprint of the last fixpoint run: which program, and the
+/// generations its input relations had when it finished. Evaluation is
+/// skipped while both still match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EvalFingerprint {
+    program_id: u64,
+    input_gens: Vec<u64>,
+}
+
+/// Configures and builds a [`Session`]: evaluation strategy, resource
+/// limits, and IE registry seeding, in one fluent pass.
+///
+/// ```
+/// # use spannerlog_engine::{Session, EvalStrategy};
+/// # use spannerlib_core::Value;
+/// let mut session = Session::builder()
+///     .strategy(EvalStrategy::SemiNaive)
+///     .max_fixpoint_rounds(10_000)
+///     .max_materialized_rows(1_000_000)
+///     .register("shout", Some(1), |args, _ctx| {
+///         let s = args[0].as_str().unwrap_or_default().to_uppercase();
+///         Ok(vec![vec![Value::str(s)]])
+///     })
+///     .build();
+/// # session.run("new S(str)").unwrap();
+/// ```
+pub struct SessionBuilder {
+    strategy: EvalStrategy,
+    limits: EvalLimits,
+    registry: Registry,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            strategy: EvalStrategy::SemiNaive,
+            limits: EvalLimits::default(),
+            registry: Registry::new(),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with builtin IE functions and semi-naive evaluation.
+    pub fn new() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Selects the fixpoint strategy (naive reproduces the paper's
+    /// implementation; see ablation A).
+    pub fn strategy(mut self, strategy: EvalStrategy) -> SessionBuilder {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Bounds the number of fixpoint rounds per evaluation (guards
+    /// runaway recursion in long-lived serving sessions).
+    pub fn max_fixpoint_rounds(mut self, rounds: usize) -> SessionBuilder {
+        self.limits.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Bounds the number of tuples one evaluation may materialize.
+    pub fn max_materialized_rows(mut self, rows: usize) -> SessionBuilder {
+        self.limits.max_rows = Some(rows);
+        self
+    }
+
+    /// Seeds the IE registry with a closure (same contract as
+    /// [`Session::register`]).
+    pub fn register<F>(mut self, name: &str, input_arity: Option<usize>, f: F) -> SessionBuilder
+    where
+        F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
+    {
+        self.registry.register_closure(name, input_arity, f);
+        self
+    }
+
+    /// Seeds the IE registry with a function object.
+    pub fn register_ie(mut self, name: &str, f: Arc<dyn IeFunction>) -> SessionBuilder {
+        self.registry.register_ie(name, f);
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Session {
+        Session {
+            db: Arc::new(Database::new()),
+            registry: self.registry,
+            rules: Vec::new(),
+            strategy: self.strategy,
+            limits: self.limits,
+            rules_gen: 0,
+            compiled: None,
+            last_eval: None,
+            last_stats: EvalStats::default(),
+        }
+    }
+}
+
 /// An embedded Spannerlog engine instance.
 pub struct Session {
-    db: Database,
+    /// Copy-on-write: snapshots share this `Arc`; the first mutation
+    /// after a snapshot clones the database once (`Arc::make_mut`), so
+    /// `Session::snapshot` itself is O(1).
+    db: Arc<Database>,
     registry: Registry,
     rules: Vec<Rule>,
     strategy: EvalStrategy,
-    dirty: bool,
+    limits: EvalLimits,
+    /// Bumped whenever the compiled program could change: rules added or
+    /// cleared, registrations, or the set of known relation names.
+    rules_gen: u64,
+    /// Cache of the current rule set's compilation, keyed by `rules_gen`.
+    compiled: Option<(u64, Arc<CompiledProgram>)>,
+    /// Fingerprint of the last fixpoint run (replaces the old global
+    /// `dirty` flag).
+    last_eval: Option<EvalFingerprint>,
     last_stats: EvalStats,
 }
 
@@ -48,31 +171,36 @@ impl Session {
     /// A fresh session with builtin IE functions and semi-naive
     /// evaluation.
     pub fn new() -> Session {
-        Session::with_strategy(EvalStrategy::SemiNaive)
+        Session::builder().build()
+    }
+
+    /// Starts configuring a session (strategy, limits, registry seeds).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
     }
 
     /// A fresh session with an explicit evaluation strategy (the naive
     /// strategy reproduces the paper's implementation; see ablation A).
     pub fn with_strategy(strategy: EvalStrategy) -> Session {
-        Session {
-            db: Database::new(),
-            registry: Registry::new(),
-            rules: Vec::new(),
-            strategy,
-            dirty: true,
-            last_stats: EvalStats::default(),
-        }
+        Session::builder().strategy(strategy).build()
     }
 
     /// Switches the evaluation strategy; forces re-evaluation.
     pub fn set_strategy(&mut self, strategy: EvalStrategy) {
         self.strategy = strategy;
-        self.dirty = true;
+        self.last_eval = None;
     }
 
     /// Statistics of the most recent fixpoint run.
     pub fn stats(&self) -> EvalStats {
         self.last_stats
+    }
+
+    /// Marks compile-relevant state (rules, registrations, relation name
+    /// set) as changed.
+    fn invalidate_program(&mut self) {
+        self.rules_gen += 1;
+        self.compiled = None;
     }
 
     // ------------------------------------------------------------------
@@ -81,28 +209,76 @@ impl Session {
 
     /// Imports a DataFrame as relation `name`, replacing any previous
     /// relation of that name (the paper's `session.import(df, name)`).
+    ///
+    /// Replacing an existing relation with data of a *different schema*
+    /// is rejected with [`EngineError::SchemaMismatch`] — dependent
+    /// rules and prepared programs were planned against the old shape.
     pub fn import_dataframe(&mut self, df: &DataFrame, name: &str) -> Result<()> {
-        self.db.put_relation(name, df.to_relation());
-        self.dirty = true;
+        self.import_relation(name, df.to_relation())
+    }
+
+    /// Imports an already-built relation (same schema rules as
+    /// [`Session::import_dataframe`]).
+    pub fn import_relation(&mut self, name: &str, relation: Relation) -> Result<()> {
+        if let Some(existing) = self.db.extensional_schema(name) {
+            if existing != relation.schema() {
+                return Err(EngineError::SchemaMismatch {
+                    relation: name.to_string(),
+                    expected: existing.to_string(),
+                    actual: relation.schema().to_string(),
+                });
+            }
+        } else {
+            // A brand-new name can resolve predicates differently, and a
+            // name that was only rule-derived until now becomes
+            // extensional — either way the compiled program's view of
+            // the EDB changes.
+            self.invalidate_program();
+        }
+        self.db_mut().put_relation(name, relation);
         Ok(())
     }
 
-    /// Imports an already-built relation.
-    pub fn import_relation(&mut self, name: &str, relation: Relation) {
-        self.db.put_relation(name, relation);
-        self.dirty = true;
+    /// Imports typed host rows as relation `name` — the symmetric
+    /// counterpart of [`Session::export_typed`]. The schema is taken
+    /// from the first row; an empty import requires the relation to
+    /// already exist (it is then cleared).
+    pub fn import_typed<R: IntoRows>(&mut self, name: &str, rows: R) -> Result<()> {
+        let rows = rows.into_rows();
+        let Some(first) = rows.first() else {
+            let Some(schema) = self.db.extensional_schema(name).cloned() else {
+                return Err(EngineError::UnknownRelation(format!(
+                    "{name} (an empty typed import needs an existing relation to take \
+                     its schema from)"
+                )));
+            };
+            return self.import_relation(name, Relation::new(schema));
+        };
+        let schema = Schema::new(first.iter().map(Value::value_type).collect::<Vec<_>>());
+        let mut relation = Relation::new(schema);
+        for row in rows {
+            relation.insert(Tuple::new(row))?;
+        }
+        self.import_relation(name, relation)
     }
 
     /// Evaluates a query string (`?R(x, "c")`) and exports the result as
     /// a DataFrame (the paper's `session.export('?R(usr, "gmail")')`).
+    ///
+    /// Thin wrapper over the prepared lifecycle: equivalent to
+    /// `self.prepare(query_src)?.execute(self)`, re-parsing the query
+    /// each call. Serving paths should prepare once instead.
     pub fn export(&mut self, query_src: &str) -> Result<DataFrame> {
-        let program = parse_program(query_src)?;
-        let [Statement::Query(q)] = &program.statements[..] else {
-            return Err(EngineError::NotAQuery(query_src.trim().to_string()));
-        };
-        let q = q.clone();
+        let query = parse_single_query(query_src)?;
         self.ensure_evaluated()?;
-        run_query(&self.db, &q)
+        run_query(&self.db, &query)
+    }
+
+    /// Like [`Session::export`], converting each row into a typed host
+    /// value via [`FromRow`]:
+    /// `session.export_typed::<(String, i64)>("?Count(d, n)")`.
+    pub fn export_typed<T: FromRow>(&mut self, query_src: &str) -> Result<Vec<T>> {
+        Ok(self.export(query_src)?.to_typed()?)
     }
 
     /// Runs a cell of Spannerlog source. Declarations, facts, and rules
@@ -114,8 +290,9 @@ impl Session {
         for statement in program.statements {
             match statement {
                 Statement::Declaration(d) => {
-                    self.db.declare(&d.name, Schema::new(d.types.clone()))?;
-                    self.dirty = true;
+                    self.db_mut()
+                        .declare(&d.name, Schema::new(d.types.clone()))?;
+                    self.invalidate_program();
                 }
                 Statement::Fact(f) => {
                     self.add_fact_values(
@@ -125,7 +302,7 @@ impl Session {
                 }
                 Statement::Rule(r) => {
                     self.rules.push(r);
-                    self.dirty = true;
+                    self.invalidate_program();
                 }
                 Statement::Query(q) => {
                     self.ensure_evaluated()?;
@@ -135,6 +312,60 @@ impl Session {
             }
         }
         Ok(outputs)
+    }
+
+    // ------------------------------------------------------------------
+    // Prepare once, execute many
+    // ------------------------------------------------------------------
+
+    /// Compiles the current rule set — parse already happened in
+    /// [`Session::run`]; this runs safety analysis (deriving IE
+    /// execution order), stratification, and planning — and returns the
+    /// artifact as a shareable [`PreparedProgram`].
+    ///
+    /// Unsafe rules and unstratifiable programs are rejected *here*,
+    /// with source positions, before any data is processed. Relations
+    /// the rules read must already be declared or imported (so the
+    /// compiler can distinguish relation atoms from IE filters); their
+    /// *content* may be re-imported freely between executions.
+    pub fn prepare_program(&mut self) -> Result<PreparedProgram> {
+        Ok(PreparedProgram {
+            inner: self.program()?,
+        })
+    }
+
+    /// Prepares one query: compiles the rules (cached per rule-set
+    /// revision) and parses `query_src` once. The returned
+    /// [`PreparedQuery`] executes repeatedly against freshly imported
+    /// data without re-parsing, re-checking, or re-planning.
+    pub fn prepare(&mut self, query_src: &str) -> Result<PreparedQuery> {
+        self.prepare_program()?.query(query_src)
+    }
+
+    /// Freezes the evaluated state into an immutable, `Send + Sync`
+    /// [`Snapshot`]. The snapshot runs prepared queries concurrently
+    /// across threads; the session remains free to mutate afterwards —
+    /// the two share no mutable state.
+    pub fn snapshot(&mut self) -> Result<Snapshot> {
+        self.ensure_evaluated()?;
+        Ok(Snapshot::new(Arc::clone(&self.db)))
+    }
+
+    /// The compiled program for the current rule set (cached until the
+    /// rules, registrations, or relation name set change).
+    fn program(&mut self) -> Result<Arc<CompiledProgram>> {
+        if let Some((gen, program)) = &self.compiled {
+            if *gen == self.rules_gen {
+                return Ok(program.clone());
+            }
+        }
+        let program = Arc::new(CompiledProgram::compile(
+            &self.rules,
+            &self.db,
+            &self.registry,
+        )?);
+        self.compiled = Some((self.rules_gen, program.clone()));
+        Ok(program)
     }
 
     // ------------------------------------------------------------------
@@ -149,25 +380,25 @@ impl Session {
         F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
     {
         self.registry.register_closure(name, input_arity, f);
-        self.dirty = true;
+        self.invalidate_program();
     }
 
     /// Registers an IE function object.
     pub fn register_ie(&mut self, name: &str, f: Arc<dyn IeFunction>) {
         self.registry.register_ie(name, f);
-        self.dirty = true;
+        self.invalidate_program();
     }
 
     /// Registers an aggregation function.
     pub fn register_aggregate(&mut self, name: &str, f: Arc<dyn crate::aggregate::AggFunction>) {
         self.registry.register_aggregate(name, f);
-        self.dirty = true;
+        self.invalidate_program();
     }
 
     /// Registers a conversion function usable inside aggregation terms.
     pub fn register_conversion(&mut self, name: &str, f: Arc<dyn crate::aggregate::Conversion>) {
         self.registry.register_conversion(name, f);
-        self.dirty = true;
+        self.invalidate_program();
     }
 
     /// The registry (read access, e.g. for direct IE invocation in tests).
@@ -181,13 +412,48 @@ impl Session {
 
     /// Declares a relation programmatically.
     pub fn declare(&mut self, name: &str, schema: Schema) -> Result<()> {
-        self.db.declare(name, schema)?;
-        self.dirty = true;
+        self.db_mut().declare(name, schema)?;
+        self.invalidate_program();
         Ok(())
     }
 
+    /// Removes a relation (facts and schema) so long-lived sessions can
+    /// evict state instead of being rebuilt. Rules referencing it will
+    /// fail to compile until it is re-declared or re-imported.
+    ///
+    /// Note: the document store is append-only — texts interned by
+    /// removed tuples stay resident (spans elsewhere may reference
+    /// them). Processes that stream unbounded distinct documents should
+    /// recycle sessions periodically; doc-store compaction is a roadmap
+    /// item.
+    pub fn remove_relation(&mut self, name: &str) -> Result<()> {
+        // Existence check before db_mut: Arc::make_mut would deep-clone
+        // a snapshot-shared database just to fail.
+        if !self.db.contains(name) {
+            return Err(EngineError::UnknownRelation(name.to_string()));
+        }
+        self.db_mut().remove(name);
+        self.invalidate_program();
+        Ok(())
+    }
+
+    /// Removes every rule (facts and registrations are kept).
+    pub fn clear_rules(&mut self) {
+        self.rules.clear();
+        self.invalidate_program();
+    }
+
+    /// Number of rules currently loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
     /// Adds one fact programmatically.
-    pub fn add_fact(&mut self, relation: &str, values: impl IntoIterator<Item = Value>) -> Result<()> {
+    pub fn add_fact(
+        &mut self,
+        relation: &str,
+        values: impl IntoIterator<Item = Value>,
+    ) -> Result<()> {
         self.add_fact_values(relation, values.into_iter().collect())
     }
 
@@ -216,8 +482,7 @@ impl Session {
                 });
             }
         }
-        self.db.insert(relation, tuple)?;
-        self.dirty = true;
+        self.db_mut().insert(relation, tuple)?;
         Ok(())
     }
 
@@ -245,7 +510,7 @@ impl Session {
 
     /// Interns a document, returning its id.
     pub fn intern(&mut self, text: &str) -> DocId {
-        self.db.docs.intern(text)
+        self.db_mut().docs.intern(text)
     }
 
     /// Creates a checked span over an interned document.
@@ -262,47 +527,62 @@ impl Session {
     // Fixpoint
     // ------------------------------------------------------------------
 
-    /// Forces evaluation now (queries call this implicitly).
+    /// Forces evaluation of the current rule set now (queries call this
+    /// implicitly).
     pub fn ensure_evaluated(&mut self) -> Result<()> {
-        if !self.dirty {
-            return Ok(());
-        }
-        self.db.clear_derived();
+        let program = self.program()?;
+        self.ensure_evaluated_with(&program)
+    }
 
-        // Predicates that resolve to relations: extensional names plus
-        // every rule head.
-        let mut relation_names: FxHashSet<String> = self
-            .db
-            .iter()
-            .map(|(name, _)| name.clone())
-            .collect();
-        for r in &self.rules {
-            relation_names.insert(r.head_predicate.clone());
+    /// Runs the fixpoint for `program` unless its fingerprint — the
+    /// program identity plus the generations of every input relation —
+    /// matches the previous run, in which case derived state is already
+    /// current and the call is O(|inputs|).
+    pub(crate) fn ensure_evaluated_with(&mut self, program: &Arc<CompiledProgram>) -> Result<()> {
+        if let Some(fp) = &self.last_eval {
+            if fp.program_id == program.id
+                && fp.input_gens.len() == program.input_relations.len()
+                && program
+                    .input_relations
+                    .iter()
+                    .zip(&fp.input_gens)
+                    .all(|(name, gen)| self.db.generation(name) == *gen)
+            {
+                return Ok(());
+            }
         }
-
-        let ctx = SafetyContext {
-            relations: &relation_names,
-            registry: &self.registry,
-        };
-        let plans = self
-            .rules
-            .iter()
-            .map(|r| analyze(r, &ctx))
-            .collect::<Result<Vec<_>>>()?;
-        let strata = stratify(plans)?;
-        self.last_stats = evaluate(&mut self.db, &strata, &self.registry, self.strategy)?;
-        self.dirty = false;
+        let db = Arc::make_mut(&mut self.db);
+        db.clear_derived();
+        self.last_eval = None;
+        self.last_stats = evaluate(
+            db,
+            &program.strata,
+            &self.registry,
+            self.strategy,
+            self.limits,
+        )?;
+        // Generations are read *after* the run: rules may derive into
+        // extensional heads, and those inserts must not look like fresh
+        // external mutations on the next call.
+        self.last_eval = Some(EvalFingerprint {
+            program_id: program.id,
+            input_gens: program
+                .input_relations
+                .iter()
+                .map(|name| self.db.generation(name))
+                .collect(),
+        });
         Ok(())
     }
 
-    /// Removes every rule (facts and registrations are kept).
-    pub fn clear_rules(&mut self) {
-        self.rules.clear();
-        self.dirty = true;
+    /// Read access to the database for prepared-query execution.
+    pub(crate) fn database(&self) -> &Database {
+        &self.db
     }
 
-    /// Number of rules currently loaded.
-    pub fn rule_count(&self) -> usize {
-        self.rules.len()
+    /// Mutable access; clones the database first if a live [`Snapshot`]
+    /// still shares it (copy-on-write).
+    fn db_mut(&mut self) -> &mut Database {
+        Arc::make_mut(&mut self.db)
     }
 }

@@ -91,10 +91,7 @@ mod tests {
             head: vec![HeadOut::Const(spannerlib_core::Value::Int(0))],
             var_names: Vec::new(),
             line: 1,
-            dependencies: deps
-                .iter()
-                .map(|(d, n)| (d.to_string(), *n))
-                .collect(),
+            dependencies: deps.iter().map(|(d, n)| (d.to_string(), *n)).collect(),
         }
     }
 
@@ -129,11 +126,7 @@ mod tests {
 
     #[test]
     fn negative_cycle_through_two_predicates_rejected() {
-        let err = stratify(vec![
-            plan("A", &[("B", true)]),
-            plan("B", &[("A", true)]),
-        ])
-        .unwrap_err();
+        let err = stratify(vec![plan("A", &[("B", true)]), plan("B", &[("A", true)])]).unwrap_err();
         assert!(matches!(err, EngineError::NotStratifiable(_)));
     }
 

@@ -229,16 +229,15 @@ fn filter_predicate_written_as_plain_atom() {
     let inner = Value::Span(session.make_span(doc, 2, 5).unwrap());
     let disjoint = Value::Span(session.make_span(doc, 6, 11).unwrap());
     session
-        .declare(
-            "Pairs",
-            Schema::new(vec![ValueType::Span, ValueType::Span]),
-        )
+        .declare("Pairs", Schema::new(vec![ValueType::Span, ValueType::Span]))
         .unwrap();
     session
         .add_fact("Pairs", [outer.clone(), inner.clone()])
         .unwrap();
     session.add_fact("Pairs", [inner, disjoint]).unwrap();
-    session.run("Nested(a, b) <- Pairs(a, b), contains(a, b)").unwrap();
+    session
+        .run("Nested(a, b) <- Pairs(a, b), contains(a, b)")
+        .unwrap();
     let rel = session.relation("Nested").unwrap();
     assert_eq!(rel.len(), 1);
 }
@@ -335,9 +334,7 @@ fn head_constants_and_boolean_queries() {
 fn zero_output_registered_filter() {
     let mut session = Session::new();
     session.register("is_long", Some(1), |args, _ctx| {
-        Ok(filter_output(
-            args[0].as_str().is_some_and(|s| s.len() > 3),
-        ))
+        Ok(filter_output(args[0].as_str().is_some_and(|s| s.len() > 3)))
     });
     session
         .run(

@@ -48,10 +48,7 @@ impl TemplateLlm {
         let words = split_ident(&name);
         let mut doc = format!("/// {}.", sentence_case(&words.join(" ")));
         if !params.is_empty() {
-            doc.push_str(&format!(
-                "\n///\n/// Arguments: {}.",
-                params.join(", ")
-            ));
+            doc.push_str(&format!("\n///\n/// Arguments: {}.", params.join(", ")));
         }
         if let Some(c_idx) = prompt.find("Callers:") {
             let callers: Vec<&str> = prompt[c_idx + 8..]
@@ -61,10 +58,7 @@ impl TemplateLlm {
                 .take(4)
                 .collect();
             if !callers.is_empty() {
-                doc.push_str(&format!(
-                    "\n///\n/// Called by: {}.",
-                    callers.join(", ")
-                ));
+                doc.push_str(&format!("\n///\n/// Called by: {}.", callers.join(", ")));
             }
         }
         Some(doc)
@@ -109,9 +103,11 @@ impl TemplateLlm {
             .filter(|s| !s.is_empty())
             .collect();
         let shout = !outputs.is_empty()
-            && outputs
-                .iter()
-                .all(|o| o.chars().filter(|c| c.is_alphabetic()).all(|c| c.is_uppercase()));
+            && outputs.iter().all(|o| {
+                o.chars()
+                    .filter(|c| c.is_alphabetic())
+                    .all(|c| c.is_uppercase())
+            });
         Some(if shout {
             input.to_uppercase()
         } else {
@@ -198,7 +194,8 @@ mod tests {
     #[test]
     fn fewshot_prompt_follows_style() {
         let llm = TemplateLlm::new();
-        let prompt = "Examples:\nInput: hi\nOutput: HI\nInput: bye\nOutput: BYE\nInput: thanks\nOutput:";
+        let prompt =
+            "Examples:\nInput: hi\nOutput: HI\nInput: bye\nOutput: BYE\nInput: thanks\nOutput:";
         assert_eq!(llm.complete(prompt), "THANKS");
     }
 

@@ -224,9 +224,9 @@ impl ContextEngine {
             .chain(pseudo_ranges.iter().copied())
             .collect();
         cues.retain(|c| {
-            !ranges.iter().any(|&(s, e)| {
-                (s < c.start || e > c.end) && s <= c.start && c.end <= e
-            })
+            !ranges
+                .iter()
+                .any(|&(s, e)| (s < c.start || e > c.end) && s <= c.start && c.end <= e)
         });
 
         let mut out = Vec::new();
@@ -333,11 +333,8 @@ mod tests {
     /// the (single-sentence) text.
     fn categories(text: &str, target: &str) -> Vec<ModifierCategory> {
         let start = text.find(target).expect("target present");
-        let assertion = engine().assert_targets(
-            text,
-            (0, text.len()),
-            &[(start, start + target.len())],
-        );
+        let assertion =
+            engine().assert_targets(text, (0, text.len()), &[(start, start + target.len())]);
         assertion[0].categories.clone()
     }
 

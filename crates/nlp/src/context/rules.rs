@@ -129,7 +129,13 @@ pub fn default_rules() -> Vec<ModifierRule> {
     ] {
         rules.push(rule(phrase, Historical, Forward, Some(10)));
     }
-    for phrase in ["in the past", "years ago", "last year", "as a child", "has resolved"] {
+    for phrase in [
+        "in the past",
+        "years ago",
+        "last year",
+        "as a child",
+        "has resolved",
+    ] {
         rules.push(rule(phrase, Historical, Backward, Some(10)));
     }
 
@@ -180,7 +186,12 @@ pub fn default_rules() -> Vec<ModifierRule> {
     ] {
         rules.push(rule(phrase, Uncertain, Forward, Some(10)));
     }
-    for phrase in ["is suspected", "was suspected", "is questionable", "not excluded"] {
+    for phrase in [
+        "is suspected",
+        "was suspected",
+        "is questionable",
+        "not excluded",
+    ] {
         rules.push(rule(phrase, Uncertain, Backward, Some(10)));
     }
 

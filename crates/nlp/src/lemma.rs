@@ -52,11 +52,22 @@ fn strip_ing(w: &str) -> Option<String> {
     // doubling: running → run
     let bytes: Vec<char> = stem.chars().collect();
     let n = bytes.len();
-    if n >= 2 && bytes[n - 1] == bytes[n - 2] && !is_vowel(bytes[n - 1]) && bytes[n - 1] != 'l' && bytes[n - 1] != 's' {
+    if n >= 2
+        && bytes[n - 1] == bytes[n - 2]
+        && !is_vowel(bytes[n - 1])
+        && bytes[n - 1] != 'l'
+        && bytes[n - 1] != 's'
+    {
         return Some(stem[..stem.len() - 1].to_string());
     }
     // e-restoration: taking → take (stem ends in single consonant after vowel)
-    if n >= 2 && !is_vowel(bytes[n - 1]) && is_vowel(bytes[n - 2]) && !stem.ends_with('w') && !stem.ends_with('x') && !stem.ends_with('y') {
+    if n >= 2
+        && !is_vowel(bytes[n - 1])
+        && is_vowel(bytes[n - 2])
+        && !stem.ends_with('w')
+        && !stem.ends_with('x')
+        && !stem.ends_with('y')
+    {
         return Some(format!("{stem}e"));
     }
     Some(stem.to_string())
@@ -76,7 +87,12 @@ fn strip_ed(w: &str) -> Option<String> {
         }
     }
     // admitted → admit
-    if n >= 2 && bytes[n - 1] == bytes[n - 2] && !is_vowel(bytes[n - 1]) && bytes[n - 1] != 'l' && bytes[n - 1] != 's' {
+    if n >= 2
+        && bytes[n - 1] == bytes[n - 2]
+        && !is_vowel(bytes[n - 1])
+        && bytes[n - 1] != 'l'
+        && bytes[n - 1] != 's'
+    {
         return Some(stem[..stem.len() - 1].to_string());
     }
     // confirmed → confirm; noted → note (e-restoration when CVC-ish)
@@ -87,7 +103,12 @@ fn strip_ed(w: &str) -> Option<String> {
 }
 
 fn strip_s(w: &str) -> Option<String> {
-    if w.len() < 3 || !w.ends_with('s') || w.ends_with("ss") || w.ends_with("us") || w.ends_with("is") {
+    if w.len() < 3
+        || !w.ends_with('s')
+        || w.ends_with("ss")
+        || w.ends_with("us")
+        || w.ends_with("is")
+    {
         return None;
     }
     // -ies → -y

@@ -21,15 +21,33 @@ pub const DETERMINERS: &[&str] = &[
 
 /// Pronouns.
 pub const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "me", "him", "us", "them", "who", "whom",
-    "which", "what", "himself", "herself", "itself", "themselves", "patient",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "me",
+    "him",
+    "us",
+    "them",
+    "who",
+    "whom",
+    "which",
+    "what",
+    "himself",
+    "herself",
+    "itself",
+    "themselves",
+    "patient",
 ];
 
 /// Prepositions.
 pub const PREPOSITIONS: &[&str] = &[
-    "of", "in", "on", "at", "by", "for", "with", "without", "from", "to", "into", "onto",
-    "over", "under", "between", "among", "through", "during", "before", "after", "about",
-    "against", "per", "via", "within",
+    "of", "in", "on", "at", "by", "for", "with", "without", "from", "to", "into", "onto", "over",
+    "under", "between", "among", "through", "during", "before", "after", "about", "against", "per",
+    "via", "within",
 ];
 
 /// Conjunctions.
@@ -40,35 +58,189 @@ pub const CONJUNCTIONS: &[&str] = &[
 
 /// Common verbs (clinical register included).
 pub const COMMON_VERBS: &[&str] = &[
-    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "do", "does",
-    "did", "will", "would", "can", "could", "shall", "should", "may", "might", "must", "denies",
-    "deny", "denied", "reports", "report", "reported", "presents", "present", "presented",
-    "tested", "tests", "test", "admitted", "admit", "admits", "discharged", "discharge",
-    "complains", "complained", "states", "stated", "exhibits", "exhibited", "shows", "showed",
-    "confirmed", "confirms", "confirm", "suspected", "suspects", "suspect", "ruled", "rules",
-    "rule", "received", "receives", "receive", "developed", "develops", "develop", "noted",
-    "notes", "note", "observed", "observes", "observe", "feels", "felt", "feel", "appears",
-    "appeared", "appear", "remains", "remained", "remain", "improved", "improves", "improve",
-    "worsened", "worsens", "worsen", "screened", "screens", "screen", "treated", "treats",
-    "treat", "exposed", "advised", "advises", "advise", "recommended", "recommends",
-    "recommend", "scheduled", "schedules", "schedule", "requires", "required", "require",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "has",
+    "have",
+    "had",
+    "do",
+    "does",
+    "did",
+    "will",
+    "would",
+    "can",
+    "could",
+    "shall",
+    "should",
+    "may",
+    "might",
+    "must",
+    "denies",
+    "deny",
+    "denied",
+    "reports",
+    "report",
+    "reported",
+    "presents",
+    "present",
+    "presented",
+    "tested",
+    "tests",
+    "test",
+    "admitted",
+    "admit",
+    "admits",
+    "discharged",
+    "discharge",
+    "complains",
+    "complained",
+    "states",
+    "stated",
+    "exhibits",
+    "exhibited",
+    "shows",
+    "showed",
+    "confirmed",
+    "confirms",
+    "confirm",
+    "suspected",
+    "suspects",
+    "suspect",
+    "ruled",
+    "rules",
+    "rule",
+    "received",
+    "receives",
+    "receive",
+    "developed",
+    "develops",
+    "develop",
+    "noted",
+    "notes",
+    "note",
+    "observed",
+    "observes",
+    "observe",
+    "feels",
+    "felt",
+    "feel",
+    "appears",
+    "appeared",
+    "appear",
+    "remains",
+    "remained",
+    "remain",
+    "improved",
+    "improves",
+    "improve",
+    "worsened",
+    "worsens",
+    "worsen",
+    "screened",
+    "screens",
+    "screen",
+    "treated",
+    "treats",
+    "treat",
+    "exposed",
+    "advised",
+    "advises",
+    "advise",
+    "recommended",
+    "recommends",
+    "recommend",
+    "scheduled",
+    "schedules",
+    "schedule",
+    "requires",
+    "required",
+    "require",
 ];
 
 /// Common adjectives (clinical register included).
 pub const COMMON_ADJECTIVES: &[&str] = &[
-    "positive", "negative", "acute", "chronic", "severe", "mild", "moderate", "stable",
-    "unstable", "normal", "abnormal", "elevated", "high", "low", "recent", "prior", "previous",
-    "current", "new", "old", "asymptomatic", "symptomatic", "afebrile", "febrile", "intact",
-    "alert", "oriented", "clear", "unremarkable", "remarkable", "significant", "likely",
-    "unlikely", "possible", "probable", "presumptive", "pending", "confirmed", "suspected",
-    "good", "poor", "well", "sick", "healthy", "ill",
+    "positive",
+    "negative",
+    "acute",
+    "chronic",
+    "severe",
+    "mild",
+    "moderate",
+    "stable",
+    "unstable",
+    "normal",
+    "abnormal",
+    "elevated",
+    "high",
+    "low",
+    "recent",
+    "prior",
+    "previous",
+    "current",
+    "new",
+    "old",
+    "asymptomatic",
+    "symptomatic",
+    "afebrile",
+    "febrile",
+    "intact",
+    "alert",
+    "oriented",
+    "clear",
+    "unremarkable",
+    "remarkable",
+    "significant",
+    "likely",
+    "unlikely",
+    "possible",
+    "probable",
+    "presumptive",
+    "pending",
+    "confirmed",
+    "suspected",
+    "good",
+    "poor",
+    "well",
+    "sick",
+    "healthy",
+    "ill",
 ];
 
 /// Common adverbs.
 pub const COMMON_ADVERBS: &[&str] = &[
-    "not", "very", "quite", "too", "also", "only", "just", "still", "already", "currently",
-    "recently", "previously", "again", "never", "always", "often", "sometimes", "rarely",
-    "here", "there", "now", "then", "today", "yesterday", "tomorrow", "daily", "twice",
+    "not",
+    "very",
+    "quite",
+    "too",
+    "also",
+    "only",
+    "just",
+    "still",
+    "already",
+    "currently",
+    "recently",
+    "previously",
+    "again",
+    "never",
+    "always",
+    "often",
+    "sometimes",
+    "rarely",
+    "here",
+    "there",
+    "now",
+    "then",
+    "today",
+    "yesterday",
+    "tomorrow",
+    "daily",
+    "twice",
 ];
 
 /// Irregular plural → singular pairs for the lemmatizer.

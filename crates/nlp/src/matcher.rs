@@ -46,10 +46,11 @@ impl PhraseMatcher {
         if tokens.is_empty() {
             return;
         }
-        self.by_first
-            .entry(tokens[0].clone())
-            .or_default()
-            .push((tokens, label.to_string(), phrase.to_string()));
+        self.by_first.entry(tokens[0].clone()).or_default().push((
+            tokens,
+            label.to_string(),
+            phrase.to_string(),
+        ));
     }
 
     /// Adds many phrases under one label.

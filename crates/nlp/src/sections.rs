@@ -116,7 +116,7 @@ pub fn detect_sections_with(text: &str, headers: &[(&str, &str)]) -> Vec<Section
 }
 
 /// The category of the section containing byte offset `pos`, if any.
-pub fn section_at<'s>(sections: &'s [Section], pos: usize) -> Option<&'s Section> {
+pub fn section_at(sections: &[Section], pos: usize) -> Option<&Section> {
     sections
         .iter()
         .find(|s| s.header_start <= pos && pos < s.body_end)
@@ -170,7 +170,10 @@ mod tests {
             "family_history"
         );
         // Position before any header.
-        assert_eq!(section_at(&sections, 0).unwrap().category, "chief_complaint");
+        assert_eq!(
+            section_at(&sections, 0).unwrap().category,
+            "chief_complaint"
+        );
     }
 
     #[test]

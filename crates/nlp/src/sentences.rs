@@ -76,7 +76,9 @@ pub fn split_sentences(text: &str) -> Vec<Sentence> {
     // Newlines followed by a bullet or header-ish char split too.
     for (i, _) in text.match_indices('\n') {
         let rest = text[i + 1..].trim_start_matches([' ', '\t']);
-        if rest.starts_with(['-', '*', '•']) || rest.starts_with(char::is_uppercase) && text[..i].ends_with(':') {
+        if rest.starts_with(['-', '*', '•'])
+            || rest.starts_with(char::is_uppercase) && text[..i].ends_with(':')
+        {
             boundaries.push(i);
         }
     }

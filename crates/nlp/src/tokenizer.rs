@@ -132,7 +132,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 
 /// Lowercased text of each token — the normalization used by the phrase
 /// matcher and ConText.
-pub fn lowered<'t>(tokens: &[Token], source: &'t str) -> Vec<String> {
+pub fn lowered(tokens: &[Token], source: &str) -> Vec<String> {
     tokens
         .iter()
         .map(|t| t.text(source).to_lowercase())

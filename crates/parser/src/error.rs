@@ -3,25 +3,74 @@
 use thiserror::Error;
 
 /// An error produced by the lexer or parser, carrying the 1-based source
-/// line and column of the offending character or token.
+/// line and column *and* the byte offset of the offending character or
+/// token, so embedding layers (e.g. `Session::prepare`) can point a
+/// caret at the exact token.
 #[derive(Debug, Error, Clone, PartialEq, Eq)]
 #[error("parse error at {line}:{col}: {msg}")]
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
-    /// 1-based column number.
+    /// 1-based column number (in characters).
     pub col: usize,
+    /// 0-based byte offset into the source text.
+    pub offset: usize,
     /// Human-readable explanation.
     pub msg: String,
 }
 
 impl ParseError {
     /// Convenience constructor.
-    pub fn new(line: usize, col: usize, msg: impl Into<String>) -> Self {
+    pub fn new(line: usize, col: usize, offset: usize, msg: impl Into<String>) -> Self {
         ParseError {
             line,
             col,
+            offset,
             msg: msg.into(),
         }
+    }
+
+    /// Renders the error with a one-line caret diagnostic pointing at the
+    /// offending token in `source` (the text that was parsed):
+    ///
+    /// ```text
+    /// parse error at 2:3: expected a statement, found ')'
+    ///   |   nonsense)
+    ///   |   ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let line_text = source
+            .lines()
+            .nth(self.line.saturating_sub(1))
+            .unwrap_or("");
+        // Column is measured in characters; pad the caret to match.
+        let pad: String = line_text
+            .chars()
+            .take(self.col.saturating_sub(1))
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        format!("{self}\n  | {line_text}\n  | {pad}^")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_points_at_column() {
+        let src = "new Texts(str,\n  nonsense)";
+        let err = ParseError::new(2, 3, 17, "expected a type");
+        let rendered = err.render(src);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1], "  |   nonsense)");
+        assert_eq!(lines[2], "  |   ^");
+    }
+
+    #[test]
+    fn caret_survives_out_of_range_positions() {
+        let err = ParseError::new(99, 99, 9999, "eof");
+        let rendered = err.render("short");
+        assert!(rendered.contains("parse error at 99:99"));
     }
 }

@@ -4,17 +4,20 @@ use crate::error::ParseError;
 use crate::token::{Spanned, Token};
 
 /// Tokenizes `source`. Comments (`#` to end of line) and whitespace are
-/// skipped; every token carries its line/column for error reporting.
+/// skipped; every token carries its line/column and byte offset for
+/// error reporting.
 pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
     let mut out = Vec::new();
     let mut chars = source.chars().peekable();
     let mut line = 1usize;
     let mut col = 1usize;
+    let mut offset = 0usize;
 
     macro_rules! bump {
         () => {{
             let c = chars.next();
             if let Some(ch) = c {
+                offset += ch.len_utf8();
                 if ch == '\n' {
                     line += 1;
                     col = 1;
@@ -27,7 +30,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
     }
 
     while let Some(&c) = chars.peek() {
-        let (tok_line, tok_col) = (line, col);
+        let (tok_line, tok_col, tok_off) = (line, col, offset);
         match c {
             ' ' | '\t' | '\r' | '\n' => {
                 bump!();
@@ -43,39 +46,44 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '(' => {
                 bump!();
-                out.push(spanned(Token::LParen, tok_line, tok_col));
+                out.push(spanned(Token::LParen, tok_line, tok_col, tok_off));
             }
             ')' => {
                 bump!();
-                out.push(spanned(Token::RParen, tok_line, tok_col));
+                out.push(spanned(Token::RParen, tok_line, tok_col, tok_off));
             }
             ',' => {
                 bump!();
-                out.push(spanned(Token::Comma, tok_line, tok_col));
+                out.push(spanned(Token::Comma, tok_line, tok_col, tok_off));
             }
             '?' => {
                 bump!();
-                out.push(spanned(Token::Question, tok_line, tok_col));
+                out.push(spanned(Token::Question, tok_line, tok_col, tok_off));
             }
             '←' => {
                 bump!();
-                out.push(spanned(Token::Implies, tok_line, tok_col));
+                out.push(spanned(Token::Implies, tok_line, tok_col, tok_off));
             }
             '↦' => {
                 bump!();
-                out.push(spanned(Token::Arrow, tok_line, tok_col));
+                out.push(spanned(Token::Arrow, tok_line, tok_col, tok_off));
             }
             '=' => {
                 bump!();
-                out.push(spanned(Token::Eq, tok_line, tok_col));
+                out.push(spanned(Token::Eq, tok_line, tok_col, tok_off));
             }
             '!' => {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(spanned(Token::Neq, tok_line, tok_col));
+                    out.push(spanned(Token::Neq, tok_line, tok_col, tok_off));
                 } else {
-                    return Err(ParseError::new(tok_line, tok_col, "expected '=' after '!'"));
+                    return Err(ParseError::new(
+                        tok_line,
+                        tok_col,
+                        tok_off,
+                        "expected '=' after '!'",
+                    ));
                 }
             }
             '<' => {
@@ -83,22 +91,22 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                 match chars.peek() {
                     Some('-') => {
                         bump!();
-                        out.push(spanned(Token::Implies, tok_line, tok_col));
+                        out.push(spanned(Token::Implies, tok_line, tok_col, tok_off));
                     }
                     Some('=') => {
                         bump!();
-                        out.push(spanned(Token::Le, tok_line, tok_col));
+                        out.push(spanned(Token::Le, tok_line, tok_col, tok_off));
                     }
-                    _ => out.push(spanned(Token::Lt, tok_line, tok_col)),
+                    _ => out.push(spanned(Token::Lt, tok_line, tok_col, tok_off)),
                 }
             }
             '>' => {
                 bump!();
                 if chars.peek() == Some(&'=') {
                     bump!();
-                    out.push(spanned(Token::Ge, tok_line, tok_col));
+                    out.push(spanned(Token::Ge, tok_line, tok_col, tok_off));
                 } else {
-                    out.push(spanned(Token::Gt, tok_line, tok_col));
+                    out.push(spanned(Token::Gt, tok_line, tok_col, tok_off));
                 }
             }
             '-' => {
@@ -106,16 +114,23 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                 match chars.peek() {
                     Some('>') => {
                         bump!();
-                        out.push(spanned(Token::Arrow, tok_line, tok_col));
+                        out.push(spanned(Token::Arrow, tok_line, tok_col, tok_off));
                     }
                     Some(c2) if c2.is_ascii_digit() => {
-                        let tok = lex_number(&mut chars, true, tok_line, tok_col, &mut line, &mut col)?;
-                        out.push(spanned(tok, tok_line, tok_col));
+                        let tok = lex_number(
+                            &mut chars,
+                            true,
+                            (tok_line, tok_col, tok_off),
+                            &mut col,
+                            &mut offset,
+                        )?;
+                        out.push(spanned(tok, tok_line, tok_col, tok_off));
                     }
                     _ => {
                         return Err(ParseError::new(
                             tok_line,
                             tok_col,
+                            tok_off,
                             "expected '>' or a digit after '-'",
                         ))
                     }
@@ -130,6 +145,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                             return Err(ParseError::new(
                                 tok_line,
                                 tok_col,
+                                tok_off,
                                 "unterminated string literal",
                             ))
                         }
@@ -156,6 +172,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                                 return Err(ParseError::new(
                                     tok_line,
                                     tok_col,
+                                    tok_off,
                                     "unterminated string literal",
                                 ))
                             }
@@ -163,15 +180,21 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                         Some(other) => s.push(other),
                     }
                 }
-                out.push(spanned(Token::Str(s), tok_line, tok_col));
+                out.push(spanned(Token::Str(s), tok_line, tok_col, tok_off));
             }
             c if c.is_ascii_digit() => {
-                let tok = lex_number(&mut chars, false, tok_line, tok_col, &mut line, &mut col)?;
-                out.push(spanned(tok, tok_line, tok_col));
+                let tok = lex_number(
+                    &mut chars,
+                    false,
+                    (tok_line, tok_col, tok_off),
+                    &mut col,
+                    &mut offset,
+                )?;
+                out.push(spanned(tok, tok_line, tok_col, tok_off));
             }
             '.' => {
                 bump!();
-                out.push(spanned(Token::Dot, tok_line, tok_col));
+                out.push(spanned(Token::Dot, tok_line, tok_col, tok_off));
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut ident = String::new();
@@ -191,12 +214,13 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                     "_" => Token::Underscore,
                     _ => Token::Ident(ident),
                 };
-                out.push(spanned(tok, tok_line, tok_col));
+                out.push(spanned(tok, tok_line, tok_col, tok_off));
             }
             other => {
                 return Err(ParseError::new(
                     tok_line,
                     tok_col,
+                    tok_off,
                     format!("unexpected character {other:?}"),
                 ))
             }
@@ -205,18 +229,23 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
     Ok(out)
 }
 
-fn spanned(token: Token, line: usize, col: usize) -> Spanned {
-    Spanned { token, line, col }
+fn spanned(token: Token, line: usize, col: usize, offset: usize) -> Spanned {
+    Spanned {
+        token,
+        line,
+        col,
+        offset,
+    }
 }
 
 fn lex_number(
     chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
     negative: bool,
-    tok_line: usize,
-    tok_col: usize,
-    line: &mut usize,
+    start: (usize, usize, usize),
     col: &mut usize,
+    offset: &mut usize,
 ) -> Result<Token, ParseError> {
+    let (tok_line, tok_col, tok_off) = start;
     let mut digits = String::new();
     if negative {
         digits.push('-');
@@ -227,6 +256,7 @@ fn lex_number(
             digits.push(c);
             chars.next();
             *col += 1;
+            *offset += 1;
         } else if c == '.' && !is_float {
             // Lookahead: only a digit after '.' makes this a float;
             // otherwise the '.' is a statement terminator.
@@ -237,6 +267,7 @@ fn lex_number(
                 digits.push('.');
                 chars.next();
                 *col += 1;
+                *offset += 1;
             } else {
                 break;
             }
@@ -244,17 +275,16 @@ fn lex_number(
             break;
         }
     }
-    let _ = line;
     if is_float {
         digits
             .parse::<f64>()
             .map(Token::Float)
-            .map_err(|e| ParseError::new(tok_line, tok_col, format!("bad float: {e}")))
+            .map_err(|e| ParseError::new(tok_line, tok_col, tok_off, format!("bad float: {e}")))
     } else {
         digits
             .parse::<i64>()
             .map(Token::Int)
-            .map_err(|e| ParseError::new(tok_line, tok_col, format!("bad integer: {e}")))
+            .map_err(|e| ParseError::new(tok_line, tok_col, tok_off, format!("bad integer: {e}")))
     }
 }
 
@@ -284,19 +314,24 @@ mod tests {
 
     #[test]
     fn arrows_ascii_and_unicode() {
-        assert_eq!(toks("<- -> ← ↦"), vec![
-            Token::Implies,
-            Token::Arrow,
-            Token::Implies,
-            Token::Arrow
-        ]);
+        assert_eq!(
+            toks("<- -> ← ↦"),
+            vec![Token::Implies, Token::Arrow, Token::Implies, Token::Arrow]
+        );
     }
 
     #[test]
     fn comparison_operators() {
         assert_eq!(
             toks("= != < <= > >="),
-            vec![Token::Eq, Token::Neq, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+            vec![
+                Token::Eq,
+                Token::Neq,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
         );
     }
 
@@ -378,14 +413,31 @@ mod tests {
     #[test]
     fn positions_tracked() {
         let ts = lex("a\n  bc").unwrap();
-        assert_eq!((ts[0].line, ts[0].col), (1, 1));
-        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+        assert_eq!((ts[0].line, ts[0].col, ts[0].offset), (1, 1, 0));
+        assert_eq!((ts[1].line, ts[1].col, ts[1].offset), (2, 3, 4));
+    }
+
+    #[test]
+    fn byte_offsets_count_multibyte_chars() {
+        // '←' is 3 bytes; the following token's offset reflects that.
+        let ts = lex("← x").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 4);
+        assert_eq!((ts[1].line, ts[1].col), (1, 3));
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = lex("abc $").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert_eq!((err.line, err.col), (1, 5));
     }
 
     #[test]
     fn unterminated_string_is_error() {
         let err = lex("\"abc").unwrap_err();
         assert!(err.msg.contains("unterminated"));
+        assert_eq!(err.offset, 0);
     }
 
     #[test]

@@ -41,17 +41,17 @@ impl P {
         self.tokens.get(self.pos + off).map(|s| &s.token)
     }
 
-    fn here(&self) -> (usize, usize) {
+    fn here(&self) -> (usize, usize, usize) {
         self.tokens
             .get(self.pos)
             .or_else(|| self.tokens.last())
-            .map(|s| (s.line, s.col))
-            .unwrap_or((1, 1))
+            .map(|s| (s.line, s.col, s.offset))
+            .unwrap_or((1, 1, 0))
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        let (line, col) = self.here();
-        ParseError::new(line, col, msg)
+        let (line, col, offset) = self.here();
+        ParseError::new(line, col, offset, msg)
     }
 
     fn bump(&mut self) -> Option<Spanned> {
@@ -77,7 +77,8 @@ impl P {
         } else {
             Err(self.err(format!(
                 "expected {what}, found {}",
-                self.peek().map_or("end of input".to_string(), |t| format!("'{t}'"))
+                self.peek()
+                    .map_or("end of input".to_string(), |t| format!("'{t}'"))
             )))
         }
     }
@@ -115,10 +116,11 @@ impl P {
         self.expect(&Token::LParen, "'('")?;
         let mut types = Vec::new();
         loop {
+            let (tline, tcol, toff) = self.here();
             let tname = self.ident("a type (str, span, int, bool, float)")?;
             let t: ValueType = tname
                 .parse()
-                .map_err(|e: String| self.err(e))?;
+                .map_err(|e: String| ParseError::new(tline, tcol, toff, e))?;
             types.push(t);
             if !self.eat(&Token::Comma) {
                 break;
@@ -140,7 +142,7 @@ impl P {
 
     /// Disambiguates facts from rules after the shared `Name(…)` prefix.
     fn fact_or_rule(&mut self) -> Result<Statement, ParseError> {
-        let (line, _) = self.here();
+        let (line, _, _) = self.here();
         let predicate = self.ident("relation name")?;
         self.expect(&Token::LParen, "'('")?;
         let head_terms = self.head_term_list()?;
@@ -387,8 +389,7 @@ mod tests {
     #[test]
     fn paper_rule_with_two_ie_atoms() {
         // T(z, v, w) <- Texts(d, t), foo(d, t) -> (z), rgx_alpha(z) -> (w, v)
-        let p =
-            program(r#"T(z, v, w) <- Texts(d, t), foo(d, t) -> (z), rgx("x", z) -> (w, v)"#);
+        let p = program(r#"T(z, v, w) <- Texts(d, t), foo(d, t) -> (z), rgx("x", z) -> (w, v)"#);
         match &p.statements[0] {
             Statement::Rule(r) => assert_eq!(r.body.len(), 3),
             other => panic!("unexpected {other:?}"),
@@ -456,10 +457,7 @@ mod tests {
                 assert!(matches!(r.body[1], BodyElem::Negated(_)));
                 assert!(matches!(
                     r.body[2],
-                    BodyElem::Comparison {
-                        op: CmpOp::Neq,
-                        ..
-                    }
+                    BodyElem::Comparison { op: CmpOp::Neq, .. }
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -502,8 +500,18 @@ mod tests {
 
     #[test]
     fn error_reports_position() {
-        let err = parse_program("new Texts(str,\n  nonsense)").unwrap_err();
+        let src = "new Texts(str,\n  nonsense)";
+        let err = parse_program(src).unwrap_err();
         assert_eq!(err.line, 2);
+        // Byte offset points at the offending token ("nonsense" is a valid
+        // ident, so the parse fails at it when it is not a type name).
+        assert_eq!(err.offset, src.find("nonsense").unwrap());
+        let rendered = err.render(src);
+        assert!(rendered.contains("  |   nonsense)"), "{rendered}");
+        assert!(
+            rendered.lines().last().unwrap().ends_with("^"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -77,7 +77,8 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token with its source position (1-based line and column).
+/// A token with its source position (1-based line and column, plus the
+/// 0-based byte offset of its first character).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     /// The token.
@@ -86,4 +87,6 @@ pub struct Spanned {
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// 0-based byte offset into the source.
+    pub offset: usize,
 }

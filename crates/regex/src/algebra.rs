@@ -105,9 +105,7 @@ impl Spanner {
         let remap: Vec<u32> = other
             .vars
             .iter()
-            .map(|v| {
-                (self.vars.iter().position(|x| x == v).expect("same var set") + 1) as u32
-            })
+            .map(|v| (self.vars.iter().position(|x| x == v).expect("same var set") + 1) as u32)
             .collect();
         let right_ast = remap_groups(&other.ast, &remap);
         let ast = Ast::alternation(vec![self.ast.clone(), right_ast]);
@@ -179,8 +177,7 @@ impl Spanner {
 /// Rewrites every `Group { index }` to `remap[index - 1]`.
 fn remap_groups(ast: &Ast, remap: &[u32]) -> Ast {
     remap_or_erase_groups(
-        ast,
-        // Identity erase-map: all indices kept.
+        ast, // Identity erase-map: all indices kept.
         remap,
     )
 }
@@ -319,7 +316,10 @@ impl SpanRelation {
             .iter()
             .map(|v| other.vars.iter().position(|w| w == v).expect("same set"))
             .collect();
-        let aligned = other.rows.iter().map(|r| perm.iter().map(|&j| r[j]).collect());
+        let aligned = other
+            .rows
+            .iter()
+            .map(|r| perm.iter().map(|&j| r[j]).collect());
         Ok(SpanRelation::from_rows(
             self.vars.clone(),
             self.rows.iter().cloned().chain(aligned),
@@ -350,7 +350,12 @@ impl SpanRelation {
     /// String-equality selection ζ=: keeps rows where the spans bound to
     /// `a` and `b` cover **equal substrings** of `text` (the operator that
     /// lifts core spanners beyond regular relations).
-    pub fn select_string_eq(&self, a: &str, b: &str, text: &str) -> Result<SpanRelation, RegexError> {
+    pub fn select_string_eq(
+        &self,
+        a: &str,
+        b: &str,
+        text: &str,
+    ) -> Result<SpanRelation, RegexError> {
         let ia = self
             .vars
             .iter()
@@ -365,10 +370,7 @@ impl SpanRelation {
             (Some((s1, e1)), Some((s2, e2))) => text[s1..e1] == text[s2..e2],
             _ => false,
         });
-        Ok(SpanRelation::from_rows(
-            self.vars.clone(),
-            rows.cloned(),
-        ))
+        Ok(SpanRelation::from_rows(self.vars.clone(), rows.cloned()))
     }
 }
 
@@ -489,17 +491,20 @@ mod tests {
             ],
         );
         let j = a.natural_join(&b);
-        assert_eq!(j.vars(), &["x".to_string(), "y".to_string(), "z".to_string()]);
-        assert_eq!(j.len(), 1);
         assert_eq!(
-            j.rows()[0],
-            vec![Some((0, 1)), Some((1, 2)), Some((5, 6))]
+            j.vars(),
+            &["x".to_string(), "y".to_string(), "z".to_string()]
         );
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.rows()[0], vec![Some((0, 1)), Some((1, 2)), Some((5, 6))]);
     }
 
     #[test]
     fn join_with_no_shared_vars_is_cross_product() {
-        let a = SpanRelation::from_rows(vec!["x".into()], vec![vec![Some((0, 1))], vec![Some((1, 2))]]);
+        let a = SpanRelation::from_rows(
+            vec!["x".into()],
+            vec![vec![Some((0, 1))], vec![Some((1, 2))]],
+        );
         let b = SpanRelation::from_rows(vec!["y".into()], vec![vec![Some((2, 3))]]);
         assert_eq!(a.natural_join(&b).len(), 2);
     }
@@ -512,17 +517,21 @@ mod tests {
         let rel = sp.evaluate(text);
         let eq = rel.select_string_eq("x", "y", text).unwrap();
         // Only x='a'@0, y='a'@3 qualifies among (x before y) pairs.
+        assert!(eq.rows().iter().all(|r| {
+            text[r[0].unwrap().0..r[0].unwrap().1] == text[r[1].unwrap().0..r[1].unwrap().1]
+        }));
         assert!(eq
             .rows()
             .iter()
-            .all(|r| { text[r[0].unwrap().0..r[0].unwrap().1] == text[r[1].unwrap().0..r[1].unwrap().1] }));
-        assert!(eq.rows().iter().any(|r| r[0] == Some((0, 1)) && r[1] == Some((3, 4))));
+            .any(|r| r[0] == Some((0, 1)) && r[1] == Some((3, 4))));
     }
 
     #[test]
     fn relation_union_aligns_by_name() {
-        let a = SpanRelation::from_rows(vec!["x".into(), "y".into()], vec![vec![Some((0, 1)), None]]);
-        let b = SpanRelation::from_rows(vec!["y".into(), "x".into()], vec![vec![None, Some((2, 3))]]);
+        let a =
+            SpanRelation::from_rows(vec!["x".into(), "y".into()], vec![vec![Some((0, 1)), None]]);
+        let b =
+            SpanRelation::from_rows(vec!["y".into(), "x".into()], vec![vec![None, Some((2, 3))]]);
         let u = a.union(&b).unwrap();
         assert_eq!(u.len(), 2);
         assert!(u.rows().contains(&vec![Some((2, 3)), None]));

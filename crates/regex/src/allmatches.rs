@@ -81,7 +81,16 @@ fn matches_from(program: &Program, text: &str, start: usize) -> Vec<AllMatch> {
         pc: program.start,
         slots: vec![None; program.slot_count],
     };
-    close(program, init, at, len, prev_char, cur_char, &mut configs, &mut seen);
+    close(
+        program,
+        init,
+        at,
+        len,
+        prev_char,
+        cur_char,
+        &mut configs,
+        &mut seen,
+    );
 
     loop {
         // Record accepting configurations at this position.
@@ -240,10 +249,7 @@ mod tests {
     fn enumerates_every_span() {
         let ms = all("a+", "aaa");
         let spans: Vec<(usize, usize)> = ms.iter().map(|m| (m.start, m.end)).collect();
-        assert_eq!(
-            spans,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
-        );
+        assert_eq!(spans, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
     }
 
     #[test]

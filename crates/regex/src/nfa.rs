@@ -137,7 +137,13 @@ impl Program {
 /// Evaluates a zero-width assertion at byte position `at` of `text`,
 /// where `prev` is the character immediately before `at` (if any) and
 /// `next` the character starting at `at` (if any).
-pub fn assertion_holds(kind: AnchorKind, at: usize, len: usize, prev: Option<char>, next: Option<char>) -> bool {
+pub fn assertion_holds(
+    kind: AnchorKind,
+    at: usize,
+    len: usize,
+    prev: Option<char>,
+    next: Option<char>,
+) -> bool {
     fn is_word(c: Option<char>) -> bool {
         c.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
     }

@@ -307,9 +307,7 @@ fn enum_set(t: &Text, ast: &Ast, pos: usize, caps: &Caps) -> FxHashSet<(usize, C
                 out.insert((end, c));
             }
         }
-        Ast::Repeat {
-            node, min, max, ..
-        } => {
+        Ast::Repeat { node, min, max, .. } => {
             // Mandatory part: exactly `min` iterations, layer by layer.
             let mut states: FxHashSet<(usize, Caps)> = FxHashSet::default();
             states.insert((pos, caps.clone()));

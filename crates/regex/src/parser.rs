@@ -286,9 +286,7 @@ impl Parser {
     fn parse_atom(&mut self) -> Result<Ast, RegexError> {
         // Spanner variable group `x{...}` takes precedence at atom position.
         if let Some(name_len) = self.peek_variable_group() {
-            let name: String = (0..name_len)
-                .map(|i| self.chars[self.pos + i].1)
-                .collect();
+            let name: String = (0..name_len).map(|i| self.chars[self.pos + i].1).collect();
             self.pos += name_len;
             self.expect('{')?;
             let index = self.next_group;
@@ -551,7 +549,11 @@ mod tests {
         ));
         assert!(matches!(
             ok("a{3,}").ast,
-            Ast::Repeat { min: 3, max: None, .. }
+            Ast::Repeat {
+                min: 3,
+                max: None,
+                ..
+            }
         ));
     }
 

@@ -107,7 +107,13 @@ pub fn search(program: &Program, text: &str, from: usize) -> Option<SearchResult
                     if cur_char == Some(*c) {
                         let slots = clist.threads[i].slots.clone();
                         add_thread(
-                            program, &mut nlist, *next, slots, next_at, text.len(), cur_char,
+                            program,
+                            &mut nlist,
+                            *next,
+                            slots,
+                            next_at,
+                            text.len(),
+                            cur_char,
                             next_char,
                         );
                     }
@@ -116,7 +122,13 @@ pub fn search(program: &Program, text: &str, from: usize) -> Option<SearchResult
                     if cur_char.is_some_and(|c| set.contains(c)) {
                         let slots = clist.threads[i].slots.clone();
                         add_thread(
-                            program, &mut nlist, *next, slots, next_at, text.len(), cur_char,
+                            program,
+                            &mut nlist,
+                            *next,
+                            slots,
+                            next_at,
+                            text.len(),
+                            cur_char,
                             next_char,
                         );
                     }
@@ -125,7 +137,13 @@ pub fn search(program: &Program, text: &str, from: usize) -> Option<SearchResult
                     if cur_char.is_some_and(|c| c != '\n') {
                         let slots = clist.threads[i].slots.clone();
                         add_thread(
-                            program, &mut nlist, *next, slots, next_at, text.len(), cur_char,
+                            program,
+                            &mut nlist,
+                            *next,
+                            slots,
+                            next_at,
+                            text.len(),
+                            cur_char,
                             next_char,
                         );
                     }

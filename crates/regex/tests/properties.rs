@@ -27,14 +27,18 @@ fn ast_strategy() -> impl Strategy<Value = Ast> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
             prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::alternation),
-            (inner.clone(), 0u32..3, prop::option::of(0u32..3), any::<bool>()).prop_map(
-                |(node, min, extra, greedy)| Ast::Repeat {
+            (
+                inner.clone(),
+                0u32..3,
+                prop::option::of(0u32..3),
+                any::<bool>()
+            )
+                .prop_map(|(node, min, extra, greedy)| Ast::Repeat {
                     node: Box::new(node),
                     min,
                     max: extra.map(|e| min + e),
                     greedy,
-                }
-            ),
+                }),
             inner.prop_map(|node| Ast::Group {
                 index: 1, // renumbered below
                 name: None,
@@ -72,8 +76,11 @@ fn pattern_strategy() -> impl Strategy<Value = String> {
 }
 
 fn text_strategy() -> impl Strategy<Value = String> {
-    prop::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c'), Just(' ')], 0..10)
-        .prop_map(|cs| cs.into_iter().collect())
+    prop::collection::vec(
+        prop_oneof![Just('a'), Just('b'), Just('c'), Just(' ')],
+        0..10,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
 }
 
 proptest! {

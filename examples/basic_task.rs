@@ -11,17 +11,17 @@ use spannerlib::Span;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: identical sentences across documents -----------------
-    let mut session = Session::new();
-
-    // Register sentence splitting as an IE function (a thin wrapper, as
-    // the paper prescribes).
-    session.register("sents", Some(1), |args, ctx| {
-        let (text, doc, base) = ctx.text_argument(&args[0])?;
-        Ok(split_sentences(&text)
-            .into_iter()
-            .map(|s| vec![Value::Span(Span::new(doc, base + s.start, base + s.end))])
-            .collect())
-    });
+    // Sentence splitting is seeded into the registry at build time (a
+    // thin wrapper over host code, as the paper prescribes).
+    let mut session = Session::builder()
+        .register("sents", Some(1), |args, ctx| {
+            let (text, doc, base) = ctx.text_argument(&args[0])?;
+            Ok(split_sentences(&text)
+                .into_iter()
+                .map(|s| vec![Value::Span(Span::new(doc, base + s.start, base + s.end))])
+                .collect())
+        })
+        .build();
 
     session.run(
         r#"
@@ -38,6 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = session.export("?Identical(d1, d2, txt)")?;
     println!("Identical sentences across documents:\n{out}\n");
     assert_eq!(out.num_rows(), 1);
+
+    // The same rows as typed host tuples instead of a stringly frame.
+    let pairs: Vec<(String, String, String)> = session.export_typed("?Identical(d1, d2, txt)")?;
+    assert_eq!(pairs.len(), 1);
+    assert_eq!(pairs[0].0, "a.txt");
 
     // --- Part 2: LLM question answering over extracted context ---------
     // The LLM is an opaque str -> str IE function (here the deterministic

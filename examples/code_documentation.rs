@@ -78,7 +78,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    let out = session.export("?Document(pos, a)")?;
+    // One compilation serves both export queries (an IDE would execute
+    // them on every cursor move, against a re-imported Cursor relation).
+    let program = session.prepare_program()?;
+    let document_query = program.query("?Document(pos, a)")?;
+    let callers_query = program.query("?CallerNames(c)")?;
+
+    let out = document_query.execute(&mut session)?;
     let answer = out.get(0, 1).unwrap();
     let answer = answer.as_str().unwrap();
     println!("Cursor is inside `compute_risk_score`; generated documentation:\n");
@@ -89,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(answer.contains("admit_patient"));
     assert!(answer.contains("weekly_report"));
 
-    let callers = session.export("?CallerNames(c)")?;
-    println!("Callers found: {}", callers.get(0, 0).unwrap());
+    let callers: Vec<(String,)> = callers_query.execute_typed(&mut session)?;
+    println!("Callers found: {}", callers[0].0);
     Ok(())
 }

@@ -17,8 +17,14 @@ use spannerlib::covid::spanner::SpannerPipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let docs = generate_corpus(100, 42);
-    println!("Generated {} synthetic clinical notes. Sample:\n", docs.len());
-    println!("--- {} (gold: {}) ---\n{}", docs[0].id, docs[0].gold, docs[0].text);
+    println!(
+        "Generated {} synthetic clinical notes. Sample:\n",
+        docs.len()
+    );
+    println!(
+        "--- {} (gold: {}) ---\n{}",
+        docs[0].id, docs[0].gold, docs[0].text
+    );
 
     // Imperative implementation.
     let native = NativePipeline::new();
@@ -43,9 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(agree, docs.len(), "implementations must agree");
 
     // Surveillance statistics: imperative fold vs aggregation rules.
+    // The ad-hoc query is prepared once and run against a Send + Sync
+    // snapshot — the evaluated state is frozen, so this is a pure read.
     let report = SurveillanceReport::build(&native_results);
     println!("{report}\n");
-    let counts = spanner.session_mut().export("?StatusCount(s, n)")?;
+    let count_query = spanner.session_mut().prepare("?StatusCount(s, n)")?;
+    let snapshot = spanner.session_mut().snapshot()?;
+    let counts = snapshot.execute(&count_query)?;
     println!("Same numbers from the Spannerlog aggregation rule\n  StatusCount(s, count(d)) <- Status(d, s):\n{counts}\n");
 
     // Table 1.

@@ -1,44 +1,71 @@
-//! Quickstart: the paper's §3.2 embedding example, end to end.
+//! Quickstart: the paper's §3.2 embedding example, end to end, driven
+//! through the prepare-once/execute-many lifecycle.
 //!
-//! Mirrors the notebook flow — build a DataFrame in host code, import it,
-//! run a Spannerlog cell with a regex IE atom, export a filtered query —
-//! and additionally reproduces the §2 worked example (`x{a+}c+y{b+}` over
-//! `acb aacccbbb`) with span outputs.
+//! Mirrors the serving flow — build a session, compile the program into
+//! a prepared query once, then execute it against freshly imported
+//! batches — and additionally reproduces the §2 worked example
+//! (`x{a+}c+y{b+}` over `acb aacccbbb`) with span outputs.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use spannerlib::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut session = Session::new();
+    // 1. Build: a session with resource limits fit for a long-lived
+    //    serving process.
+    let mut session = Session::builder()
+        .max_fixpoint_rounds(10_000)
+        .max_materialized_rows(1_000_000)
+        .build();
 
-    // %%python — build the host-side table and import it.
-    let df = DataFrame::from_rows(
-        vec!["date".into(), "text".into()],
-        vec![
-            vec![
-                Value::str("2024-01-01"),
-                Value::str("write to ann@gmail.com and bob@work.org"),
-            ],
-            vec![Value::str("2024-01-02"), Value::str("or eve@gmail.com")],
-        ],
+    // 2. Prepare: import a first batch (typed rows — no DataFrame
+    //    boilerplate), load the paper's rule, compile the query once.
+    session.import_typed(
+        "Texts",
+        vec![("2024-01-01", "write to ann@gmail.com and bob@work.org")],
     )?;
-    session.import_dataframe(&df, "Texts")?;
-    println!("Imported Texts:\n{df}\n");
-
-    // %%log — the paper's rule: extract user and domain of every email.
     session.run(
         r#"
         R(usr, dom) <- Texts(d, t), rgx_string("(\w+)@(\w+)\.\w+", t) -> (usr, dom).
     "#,
     )?;
+    let gmail_users = session.prepare(r#"?R(usr, "gmail")"#)?;
 
-    // %%python — export the gmail users.
-    let out = session.export(r#"?R(usr, "gmail")"#)?;
-    println!("?R(usr, \"gmail\"):\n{out}\n");
-    assert_eq!(out.num_rows(), 2);
+    // 3. Execute, many times: each batch re-imports Texts and reruns the
+    //    prepared query — no re-parsing, no re-planning, and the
+    //    fixpoint only runs when the input relation actually changed.
+    let batches = vec![
+        vec![("2024-01-02", "or eve@gmail.com")],
+        vec![
+            ("2024-01-03", "carol@gmail.com wrote"),
+            ("2024-01-04", "dave@work.org did not"),
+        ],
+    ];
+    for batch in batches {
+        session.import_typed("Texts", batch)?;
+        let out = gmail_users.execute(&mut session)?;
+        println!("?R(usr, \"gmail\") on this batch:\n{out}\n");
+        assert_eq!(out.num_rows(), 1);
+    }
 
-    // --- The §2 worked example, with spans -----------------------------
+    // Typed export: host tuples instead of a stringly frame.
+    let users: Vec<(String,)> = gmail_users.execute_typed(&mut session)?;
+    println!("typed export: {users:?}\n");
+
+    // A Send + Sync snapshot serves concurrent readers without locking
+    // the writer.
+    let snapshot = session.snapshot()?;
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let out = snapshot.execute(&gmail_users).unwrap();
+                assert_eq!(out.num_rows(), 1);
+            });
+        }
+    });
+    println!("snapshot served 2 concurrent readers\n");
+
+    // --- The §2 worked example, with spans (paper's four verbs) --------
     let mut session = Session::new();
     session.run(
         r#"

@@ -13,13 +13,13 @@ use spannerlib::llm::{FewShotStore, LlmModel, RagRetriever, TemplateLlm};
 use spannerlib::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut session = Session::new();
-
     let llm = TemplateLlm::new();
-    session.register("llm", Some(1), move |args, _ctx| {
-        let prompt = args[0].as_str().unwrap_or_default();
-        Ok(vec![vec![Value::str(llm.complete(prompt))]])
-    });
+    let mut session = Session::builder()
+        .register("llm", Some(1), move |args, _ctx| {
+            let prompt = args[0].as_str().unwrap_or_default();
+            Ok(vec![vec![Value::str(llm.complete(prompt))]])
+        })
+        .build();
 
     // --- Extension 1: RAG over documentation not seen in training ------
     let retriever = RagRetriever::new(
@@ -77,9 +77,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Few-shot styled answer:\n{styled}");
     let answer = styled.get(0, 1).unwrap();
     // The model follows the uppercase style of the similar examples.
-    assert_eq!(
-        answer.as_str().unwrap(),
-        "SUMMARIZE THE RADIOLOGY NOTE"
-    );
+    assert_eq!(answer.as_str().unwrap(), "SUMMARIZE THE RADIOLOGY NOTE");
     Ok(())
 }

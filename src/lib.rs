@@ -24,9 +24,53 @@
 //!    registered as an IE function ([`Session::register`]) and invoked from
 //!    rules as a callback.
 //!
-//! ## Quick start
+//! ## Quick start: builder → prepare → execute
 //!
-//! The paper's §3.2 example — extract email users/domains, keep gmail users:
+//! The serving-path lifecycle — configure a session once, compile the
+//! program once, then execute against freshly imported data as many
+//! times as traffic demands:
+//!
+//! ```
+//! use spannerlib::prelude::*;
+//!
+//! // 1. Build: strategy, resource limits, IE registry seeding.
+//! let mut session = Session::builder()
+//!     .max_fixpoint_rounds(10_000)
+//!     .max_materialized_rows(1_000_000)
+//!     .build();
+//!
+//! // 2. Load the program and compile it exactly once.
+//! session.import_typed("Texts", vec![
+//!     ("2024-01-01", "reach me at ann@gmail.com"),
+//! ]).unwrap();
+//! session.run(r#"
+//!     R(usr, dom) <- Texts(d, t),
+//!                    rgx_string("(\w+)@(\w+)\.\w+", t) -> (usr, dom).
+//! "#).unwrap();
+//! let query = session.prepare(r#"?R(usr, "gmail")"#).unwrap();
+//!
+//! // 3. Execute per batch: no re-parse, no re-plan; the fixpoint only
+//! //    reruns when an input relation actually changed.
+//! for batch in [vec![("2024-01-02", "or bob@work.org and eve@gmail.com")]] {
+//!     session.import_typed("Texts", batch).unwrap();
+//!     let out = query.execute(&mut session).unwrap();
+//!     assert_eq!(out.num_rows(), 1);
+//! }
+//!
+//! // 4. Typed export — host structs instead of stringly frames — and a
+//! //    Send + Sync snapshot for lock-free concurrent reads.
+//! let gmail_users: Vec<(String,)> = query.execute_typed(&mut session).unwrap();
+//! assert_eq!(gmail_users[0].0, "eve");
+//! let snapshot = session.snapshot().unwrap();
+//! std::thread::scope(|s| {
+//!     s.spawn(|| assert_eq!(snapshot.execute(&query).unwrap().num_rows(), 1));
+//! });
+//! ```
+//!
+//! ## The paper's four verbs
+//!
+//! The §3.2 notebook API — `import`/`run`/`export`/`register` — still
+//! works unchanged, as thin wrappers over the same lifecycle:
 //!
 //! ```
 //! use spannerlib::prelude::*;
@@ -80,11 +124,14 @@ pub use spannerlog_parser as parser;
 
 pub use spannerlib_core::{DocId, DocumentStore, Relation, Schema, Span, Tuple, Value, ValueType};
 pub use spannerlib_dataframe::DataFrame;
-pub use spannerlog_engine::Session;
+pub use spannerlog_engine::{PreparedProgram, PreparedQuery, Session, SessionBuilder, Snapshot};
 
 /// Everything a typical embedding needs, in one import.
 pub mod prelude {
     pub use crate::core::{DocumentStore, Relation, Schema, Span, Tuple, Value, ValueType};
-    pub use crate::dataframe::DataFrame;
-    pub use crate::engine::{EngineError, IeFunction, Session};
+    pub use crate::dataframe::{DataFrame, FromRow, FromValue, IntoRow, IntoRows, IntoValue};
+    pub use crate::engine::{
+        EngineError, EvalStrategy, IeFunction, PreparedProgram, PreparedQuery, Session,
+        SessionBuilder, Snapshot,
+    };
 }

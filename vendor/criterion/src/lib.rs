@@ -115,7 +115,10 @@ impl Criterion {
         };
         let rate = match throughput {
             Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
-                format!("  {:>10.1} MiB/s", *n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0))
+                format!(
+                    "  {:>10.1} MiB/s",
+                    *n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0)
+                )
             }
             Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
                 format!("  {:>10.1} elem/s", *n as f64 / (mean_ns / 1e9))
@@ -158,14 +161,14 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.render());
-        let samples = self
-            .sample_size
-            .unwrap_or(self.criterion.default_samples);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
         let throughput = self.throughput.clone();
-        self.criterion
-            .run_one(&full, throughput.as_ref(), samples, &mut |b: &mut Bencher| {
-                f(b, input)
-            });
+        self.criterion.run_one(
+            &full,
+            throughput.as_ref(),
+            samples,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -175,9 +178,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into_benchmark_id().render());
-        let samples = self
-            .sample_size
-            .unwrap_or(self.criterion.default_samples);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
         let throughput = self.throughput.clone();
         self.criterion
             .run_one(&full, throughput.as_ref(), samples, &mut f);

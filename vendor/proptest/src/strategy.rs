@@ -384,7 +384,11 @@ fn parse_string_pattern(pattern: &str) -> Vec<RegexPart> {
                 match c {
                     'd' => RegexAtom::Class(('0'..='9').collect()),
                     'w' => RegexAtom::Class(
-                        ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                        ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(['_'])
+                            .collect(),
                     ),
                     's' => RegexAtom::Class(vec![' ', '\t', '\n']),
                     other => RegexAtom::Literal(other),

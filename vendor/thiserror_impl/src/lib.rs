@@ -156,7 +156,10 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
             i += 2;
         }
         let TokenTree::Ident(vname) = &tokens[i] else {
-            return Err(format!("derive(Error): expected variant name, got {:?}", tokens[i].to_string()));
+            return Err(format!(
+                "derive(Error): expected variant name, got {:?}",
+                tokens[i].to_string()
+            ));
         };
         let vname = vname.to_string();
         i += 1;
@@ -448,7 +451,10 @@ fn render_from(name: &str, variants: &[Variant], is_struct: bool) -> String {
         let construct = match &v.fields {
             FieldsKind::Tuple(_) => format!("{path}(source)"),
             FieldsKind::Named(_) => {
-                format!("{path} {{ {}: source }}", from_field.name.as_deref().unwrap())
+                format!(
+                    "{path} {{ {}: source }}",
+                    from_field.name.as_deref().unwrap()
+                )
             }
             FieldsKind::Unit => unreachable!(),
         };
