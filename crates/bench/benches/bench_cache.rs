@@ -1,0 +1,54 @@
+//! IE-cache cold vs warm: the ISSUE 5 acceptance bench.
+//!
+//! Both arms run the same repeated-document extraction workload; each
+//! iteration bumps a `Tick` relation the program reads, so the fixpoint
+//! reruns over an unchanged corpus. The cold arm (cache disabled)
+//! re-pays every regex extraction per rerun; the warm arm replays
+//! memoized IE outputs. Expected shape: warm ≪ cold (≥ 2x).
+//!
+//! The `cache_smoke` binary runs the same workload once and records
+//! speedup and hit-rate as `BENCH_cache.json` (CI's bench-smoke step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spannerlib_bench::{cache_churn_session, cache_tick};
+use std::hint::black_box;
+
+const DOCS: usize = 8;
+const WORDS_PER_DOC: usize = 250;
+const ITERATIONS: usize = 25;
+
+fn bench_cache_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ie_cache");
+    group.sample_size(10);
+
+    group.bench_function("cold_25_reruns", |b| {
+        let mut round = 0i64;
+        b.iter(|| {
+            let (mut session, query) = cache_churn_session(DOCS, WORDS_PER_DOC, 0);
+            query.execute(&mut session).unwrap();
+            for _ in 0..ITERATIONS {
+                round += 1;
+                cache_tick(&mut session, round);
+                black_box(query.execute(&mut session).unwrap());
+            }
+        })
+    });
+
+    group.bench_function("warm_25_reruns", |b| {
+        let mut round = 0i64;
+        b.iter(|| {
+            let (mut session, query) = cache_churn_session(DOCS, WORDS_PER_DOC, 16 * 1024 * 1024);
+            query.execute(&mut session).unwrap(); // memo fill
+            for _ in 0..ITERATIONS {
+                round += 1;
+                cache_tick(&mut session, round);
+                black_box(query.execute(&mut session).unwrap());
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_cold_vs_warm);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Bench-smoke for the IE memo cache: runs the repeated-document
+//! extraction workload once with the cache disabled (cold arm) and once
+//! enabled (warm arm), and writes hit-rate and speedup to
+//! `BENCH_cache.json` (first argument overrides the output path). CI
+//! uploads the file as an artifact; the checked-in copy at the repo
+//! root records a reference run.
+//!
+//! Each iteration bumps a `Tick` relation the program reads, forcing a
+//! full fixpoint rerun over an unchanged document corpus — the serving
+//! shape where memoization pays: the cold arm re-pays regex extraction
+//! every round, the warm arm replays memoized outputs.
+
+use spannerlib_bench::{cache_churn_session, cache_tick};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DOCS: usize = 8;
+const WORDS_PER_DOC: usize = 250;
+const ITERATIONS: usize = 25;
+const REPS: usize = 10;
+const WARM_CACHE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Best-of-REPS wall-clock nanoseconds for `ITERATIONS` forced reruns.
+/// Each rep gets a fresh session so the cold arm stays cold; the warm
+/// arm's first execution (the memo fill) happens before timing starts,
+/// mirroring a serving process past its warm-up.
+fn measure(cache_bytes: usize) -> u128 {
+    (0..REPS)
+        .map(|rep| {
+            let (mut session, query) = cache_churn_session(DOCS, WORDS_PER_DOC, cache_bytes);
+            query.execute(&mut session).unwrap(); // warm-up / memo fill
+            let start = Instant::now();
+            for i in 0..ITERATIONS {
+                cache_tick(&mut session, (rep * ITERATIONS + i) as i64);
+                black_box(query.execute(&mut session).unwrap());
+            }
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("REPS > 0")
+}
+
+fn main() {
+    let mut strict = false;
+    let mut out_path = "BENCH_cache.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--strict" {
+            strict = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let cold_ns = measure(0);
+    let warm_ns = measure(WARM_CACHE_BYTES);
+
+    // One extra instrumented warm run for the hit-rate numbers.
+    let (mut session, query) = cache_churn_session(DOCS, WORDS_PER_DOC, WARM_CACHE_BYTES);
+    query.execute(&mut session).unwrap();
+    for i in 0..ITERATIONS {
+        cache_tick(&mut session, i as i64);
+        query.execute(&mut session).unwrap();
+    }
+    let stats = session.stats().cache;
+
+    let speedup = cold_ns as f64 / warm_ns as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"ie_cache_cold_vs_warm\",\n  \"docs\": {DOCS},\n  \
+         \"iterations_per_arm\": {ITERATIONS},\n  \"cold_loop_ns\": {cold_ns},\n  \
+         \"warm_loop_ns\": {warm_ns},\n  \"speedup_warm_over_cold\": {speedup:.2},\n  \
+         \"warm_hits\": {},\n  \"warm_misses\": {},\n  \"warm_hit_rate\": {:.4},\n  \
+         \"warm_evictions\": {},\n  \"warm_cache_bytes\": {}\n}}\n",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.evictions,
+        stats.bytes,
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    print!("{json}");
+
+    if speedup < 2.0 {
+        // Relative wall-clock comparisons are noisy on shared CI
+        // runners, so only `--strict` (used for reference runs) turns a
+        // losing sample into a failure; the default run records the
+        // numbers either way.
+        let msg = format!(
+            "warm-over-cold speedup {speedup:.2}x below the 2x target \
+             (cold {cold_ns} ns vs warm {warm_ns} ns)"
+        );
+        if strict {
+            panic!("{msg}");
+        }
+        eprintln!("warning: {msg}");
+    }
+}

@@ -103,7 +103,10 @@ fn main() {
                 naive_time = dt;
             } else {
                 semi_time = dt;
-                stats = (session.stats().rounds, session.stats().rule_firings);
+                stats = (
+                    session.stats().eval.rounds,
+                    session.stats().eval.rule_firings,
+                );
             }
         }
         println!(

@@ -1,0 +1,41 @@
+//! # spannerlib-cache
+//!
+//! Memoized IE evaluation and document-store lifecycle management for
+//! long-lived serving sessions.
+//!
+//! SpannerLib's embedding pays off when repeated invocations over
+//! overlapping documents do not re-pay the full spanner-evaluation cost
+//! (the expensive part — see Maturana, Riveros & Vrgoč on the complexity
+//! of evaluating document spanners). Two pressures build up in a session
+//! that serves traffic for hours:
+//!
+//! 1. **Recomputation** — every fixpoint rerun re-invokes each IE
+//!    function on each binding row, even though IE functions are
+//!    *stateless* mappings from inputs to output relations. The
+//!    [`IeMemo`] is a content-addressed memo table over
+//!    `(function, argument values, output arity)` with a byte-budgeted
+//!    LRU eviction policy and hit/miss/eviction counters
+//!    ([`CacheStats`]).
+//! 2. **Document accumulation** — the engine's `DocumentStore` interns
+//!    every text an IE function touches and never forgets it. The
+//!    [`lifecycle`] module supplies the policy ([`DocGc`]) and the
+//!    reference-counting scratchpad ([`DocRefCounts`]) the engine uses
+//!    to compact the store epoch-wise: documents referenced by no live
+//!    relation and no memo entry are tombstoned, releasing their text.
+//!
+//! The two halves cooperate: memo entries are GC *roots* (a cached
+//! output may contain spans into documents no relation currently
+//! references), and the memo's byte budget therefore also bounds how
+//! much document text the cache can pin.
+//!
+//! This crate is engine-agnostic: it depends only on the core value
+//! model, and the engine crate wires it into evaluation, the session
+//! builder, and snapshots.
+
+pub mod lifecycle;
+pub mod memo;
+pub mod stats;
+
+pub use lifecycle::{DocGc, DocRefCounts};
+pub use memo::{IeMemo, MemoKey, SharedIeMemo};
+pub use stats::CacheStats;

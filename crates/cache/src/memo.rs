@@ -1,0 +1,470 @@
+//! The content-addressed IE memo table.
+//!
+//! IE functions are stateless mappings from an input tuple to a relation
+//! of output rows, so `(function name, argument values, output arity)`
+//! fully determines the result — document texts are immutable once
+//! interned, and compaction never reuses a `DocId`, so a span argument
+//! pins its content for as long as the entry can be observed. The memo
+//! therefore caches outputs across fixpoint reruns *and* across
+//! `PreparedQuery` executions, trading a byte budget for the dominant
+//! cost of warm-path serving: re-running extraction over documents the
+//! session has already seen.
+//!
+//! Eviction is LRU over a configurable byte budget. Sizes are estimated
+//! (string payloads + enum footprints + a fixed per-entry overhead);
+//! the point is a stable bound, not an exact allocator accounting.
+
+use crate::stats::CacheStats;
+use parking_lot::Mutex;
+use rustc_hash::{FxHashMap, FxHashSet};
+use spannerlib_core::{DocId, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Cached output rows, shaped exactly like the engine's `IeOutput`.
+pub type MemoOutput = Vec<Vec<Value>>;
+
+/// The memo handle shared between a session, its evaluation runs, and
+/// its snapshots.
+pub type SharedIeMemo = Arc<Mutex<IeMemo>>;
+
+/// The content address of one IE invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// Registered function name.
+    pub function: Arc<str>,
+    /// Concrete argument values of the call.
+    pub args: Vec<Value>,
+    /// Output arity expected by the calling IE atom (functions like
+    /// `rgx` validate and shape output against it).
+    pub n_outputs: usize,
+}
+
+impl MemoKey {
+    /// Builds a key from a call site.
+    pub fn new(function: &str, args: &[Value], n_outputs: usize) -> MemoKey {
+        MemoKey {
+            function: Arc::from(function),
+            args: args.to_vec(),
+            n_outputs,
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.function.len() + self.args.iter().map(value_bytes).sum::<usize>()
+    }
+}
+
+/// Approximate resident size of one value: enum footprint plus owned
+/// string payload (spans, ints, bools, floats carry no heap payload).
+fn value_bytes(v: &Value) -> usize {
+    std::mem::size_of::<Value>()
+        + match v {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        }
+}
+
+fn output_bytes(rows: &MemoOutput) -> usize {
+    rows.iter()
+        .map(|row| row.iter().map(value_bytes).sum::<usize>())
+        .sum()
+}
+
+/// Fixed per-entry overhead charged on top of key/output payloads
+/// (hash-map slot, LRU index entry, `Arc` headers).
+const ENTRY_OVERHEAD: usize = 128;
+
+struct MemoEntry {
+    output: Arc<MemoOutput>,
+    bytes: usize,
+    tick: u64,
+    /// The map key, shared with the LRU index so recency refreshes on
+    /// the hit path never deep-clone the key.
+    key: Arc<MemoKey>,
+}
+
+/// A byte-budgeted LRU memo table for IE call results.
+///
+/// Lookups return shared `Arc` handles so hits never deep-copy output
+/// rows. The table is single-threaded by itself; wrap it in
+/// [`SharedIeMemo`] for the session/snapshot sharing pattern.
+pub struct IeMemo {
+    entries: FxHashMap<Arc<MemoKey>, MemoEntry>,
+    /// LRU index: recency tick → key. Ticks are unique, so this is a
+    /// total order; the smallest tick is the eviction victim.
+    lru: BTreeMap<u64, Arc<MemoKey>>,
+    tick: u64,
+    bytes: usize,
+    budget: usize,
+    stats: CacheStats,
+}
+
+impl IeMemo {
+    /// An empty memo with the given byte budget. A budget of zero
+    /// caches nothing (every insert is rejected as oversized), but
+    /// callers normally gate the whole cache off instead.
+    pub fn new(budget_bytes: usize) -> IeMemo {
+        IeMemo {
+            entries: FxHashMap::default(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            budget: budget_bytes,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Approximate bytes currently resident.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters, with `entries`/`bytes` reflecting the current
+    /// residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.entries.len(),
+            bytes: self.bytes,
+            ..self.stats
+        }
+    }
+
+    /// Looks up a call, counting a hit or miss and refreshing recency
+    /// on hit.
+    pub fn get(&mut self, key: &MemoKey) -> Option<Arc<MemoOutput>> {
+        let next_tick = self.tick + 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                self.tick = next_tick;
+                self.lru.remove(&entry.tick);
+                entry.tick = next_tick;
+                self.lru.insert(next_tick, entry.key.clone());
+                self.stats.hits += 1;
+                Some(entry.output.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a call result, evicting least-recently-used entries until
+    /// the budget holds. An entry larger than the whole budget is
+    /// rejected (counted in [`CacheStats::oversized`]); re-inserting an
+    /// existing key replaces it.
+    ///
+    /// `doc_bytes` resolves a document id to its text length. Every
+    /// *distinct* document a span in the key or output references is
+    /// charged in full: resident entries are GC roots that pin their
+    /// documents against compaction, so the byte budget must account
+    /// for the pinned text — a 40-byte span over a 4 KiB note costs
+    /// 4 KiB, not `size_of::<Value>()` — or span-keyed workloads could
+    /// root unbounded document memory from a "small" cache.
+    pub fn insert(
+        &mut self,
+        key: MemoKey,
+        output: Arc<MemoOutput>,
+        doc_bytes: impl Fn(DocId) -> usize,
+    ) {
+        let mut pinned_docs: FxHashSet<DocId> = FxHashSet::default();
+        let mut collect = |values: &[Value]| {
+            for v in values {
+                if let Value::Span(s) = v {
+                    pinned_docs.insert(s.doc);
+                }
+            }
+        };
+        collect(&key.args);
+        for row in output.iter() {
+            collect(row);
+        }
+        let pinned_bytes: usize = pinned_docs.into_iter().map(doc_bytes).sum();
+        let entry_bytes = key.bytes() + output_bytes(&output) + pinned_bytes + ENTRY_OVERHEAD;
+        if entry_bytes > self.budget {
+            self.stats.oversized += 1;
+            return;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.lru.remove(&old.tick);
+            self.bytes -= old.bytes;
+        }
+        self.bytes += entry_bytes;
+        self.tick += 1;
+        let key = Arc::new(key);
+        self.lru.insert(self.tick, key.clone());
+        self.entries.insert(
+            key.clone(),
+            MemoEntry {
+                output,
+                bytes: entry_bytes,
+                tick: self.tick,
+                key,
+            },
+        );
+        self.stats.insertions += 1;
+        while self.bytes > self.budget {
+            let (_, victim) = self.lru.pop_first().expect("bytes > 0 implies entries");
+            let evicted = self.entries.remove(&victim).expect("lru and map agree");
+            self.bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Drops every entry (keeps lifetime counters).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.lru.clear();
+        self.bytes = 0;
+    }
+
+    /// Drops every entry cached under `function`, returning how many
+    /// were removed. Called by the engine when a function is
+    /// (re-)registered: a new body invalidates all addresses under that
+    /// name, while entries of unrelated functions stay warm.
+    pub fn purge_function(&mut self, function: &str) -> usize {
+        let victims: Vec<Arc<MemoKey>> = self
+            .entries
+            .keys()
+            .filter(|k| k.function.as_ref() == function)
+            .cloned()
+            .collect();
+        for key in &victims {
+            if let Some(entry) = self.entries.remove(key) {
+                self.lru.remove(&entry.tick);
+                self.bytes -= entry.bytes;
+            }
+        }
+        victims.len()
+    }
+
+    /// Marks every `DocId` reachable from resident entries — span
+    /// arguments in keys and spans in cached output rows. Cached
+    /// entries are GC *roots*: compaction must not tombstone a document
+    /// a cached output still points into.
+    pub fn mark_doc_roots(&self, refs: &mut crate::DocRefCounts) {
+        for (key, entry) in &self.entries {
+            for v in &key.args {
+                refs.retain_value(v);
+            }
+            for row in entry.output.iter() {
+                for v in row {
+                    refs.retain_value(v);
+                }
+            }
+        }
+    }
+
+    /// Drops entries that reference any document for which `dead`
+    /// returns `true`. Not needed for the engine's standard compaction
+    /// (memo entries are roots there), but lets aggressive callers
+    /// reclaim memo-pinned documents first and compact second.
+    pub fn purge_docs(&mut self, dead: impl Fn(DocId) -> bool) -> usize {
+        let refs_dead = |values: &[Value]| {
+            values.iter().any(|v| match v {
+                Value::Span(s) => dead(s.doc),
+                _ => false,
+            })
+        };
+        let mut victims: Vec<Arc<MemoKey>> = Vec::new();
+        for (key, entry) in &self.entries {
+            if refs_dead(&key.args) || entry.output.iter().any(|row| refs_dead(row)) {
+                victims.push(key.clone());
+            }
+        }
+        for key in &victims {
+            if let Some(entry) = self.entries.remove(key) {
+                self.lru.remove(&entry.tick);
+                self.bytes -= entry.bytes;
+                self.stats.evictions += 1;
+            }
+        }
+        victims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DocRefCounts;
+    use spannerlib_core::{DocId, Span};
+
+    fn key(name: &str, n: i64) -> MemoKey {
+        MemoKey::new(name, &[Value::Int(n)], 1)
+    }
+
+    fn rows(n: i64) -> Arc<MemoOutput> {
+        Arc::new(vec![vec![Value::Int(n)]])
+    }
+
+    /// Insert with no interned documents in play (scalar workloads).
+    fn put(memo: &mut IeMemo, key: MemoKey, output: Arc<MemoOutput>) {
+        memo.insert(key, output, |_| 0);
+    }
+
+    #[test]
+    fn hit_returns_shared_output_and_counts() {
+        let mut memo = IeMemo::new(1 << 20);
+        assert!(memo.get(&key("f", 1)).is_none());
+        put(&mut memo, key("f", 1), rows(10));
+        let hit = memo.get(&key("f", 1)).expect("hit");
+        assert_eq!(*hit, vec![vec![Value::Int(10)]]);
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn distinct_arities_are_distinct_addresses() {
+        let mut memo = IeMemo::new(1 << 20);
+        put(&mut memo, MemoKey::new("f", &[Value::Int(1)], 1), rows(1));
+        assert!(memo.get(&MemoKey::new("f", &[Value::Int(1)], 2)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Budget fits exactly two of these entries.
+        let one = key("f", 1).bytes() + output_bytes(&rows(0)) + ENTRY_OVERHEAD;
+        let mut memo = IeMemo::new(2 * one);
+        put(&mut memo, key("f", 1), rows(1));
+        put(&mut memo, key("f", 2), rows(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(memo.get(&key("f", 1)).is_some());
+        put(&mut memo, key("f", 3), rows(3));
+        assert_eq!(memo.len(), 2);
+        assert!(memo.get(&key("f", 2)).is_none(), "victim was evicted");
+        assert!(memo.get(&key("f", 1)).is_some());
+        assert!(memo.get(&key("f", 3)).is_some());
+        assert_eq!(memo.stats().evictions, 1);
+        assert!(memo.bytes() <= memo.budget());
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_not_thrashed() {
+        let mut memo = IeMemo::new(ENTRY_OVERHEAD + 8);
+        let big = Arc::new(vec![vec![Value::str("x".repeat(1024))]]);
+        put(&mut memo, key("f", 1), big);
+        assert!(memo.is_empty());
+        assert_eq!(memo.stats().oversized, 1);
+        assert_eq!(memo.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut memo = IeMemo::new(1 << 20);
+        put(&mut memo, key("f", 1), rows(1));
+        let bytes_once = memo.bytes();
+        put(&mut memo, key("f", 1), rows(2));
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.bytes(), bytes_once);
+        assert_eq!(*memo.get(&key("f", 1)).unwrap(), vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let mut memo = IeMemo::new(1 << 20);
+        put(&mut memo, key("f", 1), rows(1));
+        memo.get(&key("f", 1));
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.bytes(), 0);
+        let stats = memo.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn doc_roots_cover_keys_and_outputs() {
+        let mut memo = IeMemo::new(1 << 20);
+        let (d1, d2) = (DocId::from_index(1), DocId::from_index(2));
+        put(
+            &mut memo,
+            MemoKey::new("f", &[Value::Span(Span::new(d1, 0, 1))], 1),
+            Arc::new(vec![vec![Value::Span(Span::new(d2, 0, 2))]]),
+        );
+        let mut refs = DocRefCounts::new();
+        memo.mark_doc_roots(&mut refs);
+        assert!(refs.is_live(d1));
+        assert!(refs.is_live(d2));
+        assert!(!refs.is_live(DocId::from_index(3)));
+    }
+
+    #[test]
+    fn span_entries_are_charged_their_pinned_document_text() {
+        // Entries root their documents against GC, so a tiny span over
+        // a big doc must cost the doc, not the span.
+        let doc = DocId::from_index(0);
+        let doc_len = 4096usize;
+        let budget = 2 * (doc_len + 512);
+        let mut memo = IeMemo::new(budget);
+        for i in 0..4 {
+            memo.insert(
+                MemoKey::new("f", &[Value::Span(Span::new(doc, i, i + 1))], 1),
+                rows(i as i64),
+                |_| doc_len,
+            );
+        }
+        assert!(
+            memo.len() <= 2,
+            "budget fits two doc-pinning entries, kept {}",
+            memo.len()
+        );
+        assert!(memo.bytes() <= memo.budget());
+        assert!(memo.stats().evictions >= 2);
+        // The same span twice pins the doc once per entry, not per value.
+        let mut single = IeMemo::new(budget);
+        single.insert(
+            MemoKey::new("g", &[Value::Span(Span::new(doc, 0, 1))], 1),
+            Arc::new(vec![vec![Value::Span(Span::new(doc, 0, 1))]]),
+            |_| doc_len,
+        );
+        assert!(single.bytes() < doc_len + 512);
+    }
+
+    #[test]
+    fn purge_function_is_name_scoped() {
+        let mut memo = IeMemo::new(1 << 20);
+        put(&mut memo, key("f", 1), rows(1));
+        put(&mut memo, key("f", 2), rows(2));
+        put(&mut memo, key("g", 1), rows(3));
+        let bytes_before = memo.bytes();
+        assert_eq!(memo.purge_function("f"), 2);
+        assert_eq!(memo.len(), 1);
+        assert!(memo.bytes() < bytes_before);
+        assert!(memo.get(&key("g", 1)).is_some(), "g stays warm");
+        assert!(memo.get(&key("f", 1)).is_none());
+        assert_eq!(memo.purge_function("absent"), 0);
+    }
+
+    #[test]
+    fn purge_docs_drops_entries_referencing_dead_docs() {
+        let mut memo = IeMemo::new(1 << 20);
+        let dead = DocId::from_index(7);
+        put(
+            &mut memo,
+            MemoKey::new("f", &[Value::Int(0)], 1),
+            Arc::new(vec![vec![Value::Span(Span::new(dead, 0, 1))]]),
+        );
+        put(&mut memo, key("f", 1), rows(1));
+        assert_eq!(memo.purge_docs(|id| id == dead), 1);
+        assert_eq!(memo.len(), 1);
+        assert!(memo.get(&key("f", 1)).is_some());
+    }
+}

@@ -36,18 +36,27 @@ pub fn register_ast_functions(session: &mut Session) {
             .as_str()
             .ok_or_else(|| ie_err("ast", "pattern must be a string"))?;
         let pattern = AstPattern::new(pattern_src).map_err(|e| ie_err("ast", e.to_string()))?;
-        let (source, doc, base) = ctx.text_argument(&args[1])?;
+        let mut arg = ctx.text_arg(&args[1])?;
+        let source = arg.shared_text();
         let root = parse_source(&source).map_err(|e| ie_err("ast", e.to_string()))?;
-        Ok(pattern
-            .find(&root)
-            .into_iter()
-            .map(|n| vec![Value::Span(Span::new(doc, base + n.start, base + n.end))])
-            .collect())
+        let mut rows = Vec::new();
+        for n in pattern.find(&root) {
+            // Lazy: interning happens only once a node span is minted.
+            let (doc, base) = arg.doc_base(ctx);
+            rows.push(vec![Value::Span(Span::new(
+                doc,
+                base + n.start,
+                base + n.end,
+            ))]);
+        }
+        Ok(rows)
     });
 
     // ast_name(decl) -> (name)
     session.register("ast_name", Some(1), |args, ctx| {
-        let (source, _doc, _base) = ctx.text_argument(&args[0])?;
+        // Scalar output: the text is read but never interned.
+        let arg = ctx.text_arg(&args[0])?;
+        let source = arg.shared_text();
         let root = parse_source(&source).map_err(|e| ie_err("ast_name", e.to_string()))?;
         // The span is expected to cover exactly one declaration; take the
         // first declaration found (depth-first).
@@ -64,7 +73,8 @@ pub fn register_ast_functions(session: &mut Session) {
 
     // ast_calls(doc) -> (caller_span, callee_name)
     session.register("ast_calls", Some(1), |args, ctx| {
-        let (source, doc, base) = ctx.text_argument(&args[0])?;
+        let mut arg = ctx.text_arg(&args[0])?;
+        let source = arg.shared_text();
         let root = parse_source(&source).map_err(|e| ie_err("ast_calls", e.to_string()))?;
         let mut rows = Vec::new();
         for func in root.find_kind(NodeKind::FuncDecl) {
@@ -72,6 +82,7 @@ pub fn register_ast_functions(session: &mut Session) {
                 let callee = call.name.clone().unwrap_or_default();
                 // Method-style callee `X.y` attributes to `y` as well.
                 let short = callee.rsplit('.').next().unwrap_or(&callee).to_string();
+                let (doc, base) = arg.doc_base(ctx);
                 rows.push(vec![
                     Value::Span(Span::new(doc, base + func.start, base + func.end)),
                     Value::str(short),

@@ -31,16 +31,44 @@ impl DocId {
     }
 }
 
+/// Summary of one [`DocumentStore::compact`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Epoch the store entered when this pass finished.
+    pub epoch: u64,
+    /// Documents tombstoned by this pass.
+    pub removed_docs: usize,
+    /// Documents still live after this pass.
+    pub kept_docs: usize,
+    /// Text bytes released by this pass.
+    pub reclaimed_bytes: usize,
+    /// Text bytes still resident after this pass.
+    pub live_bytes: usize,
+}
+
 /// An interning store of document texts.
 ///
-/// The store is append-only: documents are never removed, so `DocId`s stay
-/// valid for the lifetime of the store. Texts are held behind [`Arc<str>`]
-/// so resolving is cheap and resolved texts can outlive a borrow of the
-/// store.
+/// The store is append-only between compactions: interning never moves or
+/// reuses an id, so `DocId`s held by spans stay valid. Long-lived sessions
+/// can reclaim memory with [`DocumentStore::compact`], which *tombstones*
+/// documents no longer referenced: the slot's text is dropped (and its
+/// content-hash entry removed, so re-interning equal text mints a fresh
+/// id) but the slot itself is never reused — a stale id resolves to a loud
+/// [`CoreError::UnknownDoc`] instead of silently aliasing new content.
+/// Each pass bumps the store's **epoch**, which cache layers use to scope
+/// the validity of derived artifacts.
+///
+/// Texts are held behind [`Arc<str>`] so resolving is cheap and resolved
+/// texts can outlive a borrow of the store.
 #[derive(Debug, Default, Clone)]
 pub struct DocumentStore {
-    texts: Vec<Arc<str>>,
+    /// `None` = tombstoned by a compaction pass.
+    texts: Vec<Option<Arc<str>>>,
     by_content: FxHashMap<Arc<str>, DocId>,
+    /// Text bytes of live (non-tombstoned) documents.
+    live_bytes: usize,
+    /// Number of compaction passes this store has gone through.
+    epoch: u64,
 }
 
 impl DocumentStore {
@@ -49,14 +77,33 @@ impl DocumentStore {
         Self::default()
     }
 
-    /// Number of distinct documents interned so far.
+    /// Number of live (non-tombstoned) documents.
     pub fn len(&self) -> usize {
-        self.texts.len()
+        self.by_content.len()
     }
 
-    /// Whether the store holds no documents.
+    /// Whether the store holds no live documents.
     pub fn is_empty(&self) -> bool {
-        self.texts.is_empty()
+        self.by_content.is_empty()
+    }
+
+    /// Total text bytes of live documents — the dominant memory cost of
+    /// the store (slot and hash-map overhead is a few machine words per
+    /// document).
+    pub fn bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Number of compaction passes this store has gone through. Bumped by
+    /// every [`DocumentStore::compact`] call.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total slots ever allocated, including tombstones (monotone; equals
+    /// the next fresh id's index).
+    pub fn slots(&self) -> usize {
+        self.texts.len()
     }
 
     /// Interns `text`, returning its id. Repeated calls with equal content
@@ -65,11 +112,7 @@ impl DocumentStore {
         if let Some(&id) = self.by_content.get(text) {
             return id;
         }
-        let arc: Arc<str> = Arc::from(text);
-        let id = DocId(self.texts.len() as u32);
-        self.texts.push(arc.clone());
-        self.by_content.insert(arc, id);
-        id
+        self.push_new(Arc::from(text))
     }
 
     /// Interns an already-shared text without copying when it is new.
@@ -77,8 +120,13 @@ impl DocumentStore {
         if let Some(&id) = self.by_content.get(text.as_ref()) {
             return id;
         }
+        self.push_new(text)
+    }
+
+    fn push_new(&mut self, text: Arc<str>) -> DocId {
         let id = DocId(self.texts.len() as u32);
-        self.texts.push(text.clone());
+        self.live_bytes += text.len();
+        self.texts.push(Some(text.clone()));
         self.by_content.insert(text, id);
         id
     }
@@ -88,20 +136,60 @@ impl DocumentStore {
         self.by_content.get(text).copied()
     }
 
-    /// Resolves an id to its text.
+    /// Resolves an id to its text. Unknown *and tombstoned* ids are
+    /// errors — a compacted document is gone, not aliased.
     pub fn resolve(&self, id: DocId) -> Result<&Arc<str>, CoreError> {
         self.texts
             .get(id.0 as usize)
+            .and_then(Option::as_ref)
             .ok_or(CoreError::UnknownDoc(id.0))
     }
 
-    /// Resolves an id to its text, panicking on an unknown id.
+    /// Resolves an id to its text, panicking on an unknown or tombstoned
+    /// id.
     ///
-    /// Ids are only minted by this store's `intern*` methods, so inside one
-    /// engine instance the panic is unreachable; use [`Self::resolve`] when
-    /// handling ids of untrusted provenance.
+    /// Ids are only minted by this store's `intern*` methods and
+    /// compaction only tombstones unreferenced documents, so inside one
+    /// engine instance the panic is unreachable; use [`Self::resolve`]
+    /// when handling ids of untrusted provenance.
     pub fn text(&self, id: DocId) -> &str {
-        &self.texts[id.0 as usize]
+        self.texts[id.0 as usize]
+            .as_deref()
+            .expect("document was tombstoned by compaction")
+    }
+
+    /// Tombstones every document for which `live` returns `false`,
+    /// dropping its text and freeing its content-hash entry, and bumps
+    /// the store's epoch. Ids of surviving documents are unchanged; ids
+    /// of removed documents become permanently invalid (resolving them
+    /// errors — slots are never reused).
+    ///
+    /// The caller is responsible for passing a `live` predicate that
+    /// covers *every* id still reachable from its data structures (the
+    /// engine marks spans in all relations plus IE-memo entries).
+    pub fn compact(&mut self, live: impl Fn(DocId) -> bool) -> CompactionReport {
+        let mut removed_docs = 0;
+        let mut reclaimed_bytes = 0;
+        for (i, slot) in self.texts.iter_mut().enumerate() {
+            let id = DocId(i as u32);
+            if let Some(text) = slot {
+                if !live(id) {
+                    removed_docs += 1;
+                    reclaimed_bytes += text.len();
+                    self.by_content.remove(text.as_ref() as &str);
+                    *slot = None;
+                }
+            }
+        }
+        self.live_bytes -= reclaimed_bytes;
+        self.epoch += 1;
+        CompactionReport {
+            epoch: self.epoch,
+            removed_docs,
+            kept_docs: self.by_content.len(),
+            reclaimed_bytes,
+            live_bytes: self.live_bytes,
+        }
     }
 
     /// Creates a *checked* span over document `id`: offsets must be in
@@ -136,12 +224,13 @@ impl DocumentStore {
         Ok(&text[start..end])
     }
 
-    /// Iterates over `(id, text)` pairs in interning order.
+    /// Iterates over live `(id, text)` pairs in interning order
+    /// (tombstoned slots are skipped).
     pub fn iter(&self) -> impl Iterator<Item = (DocId, &Arc<str>)> {
         self.texts
             .iter()
             .enumerate()
-            .map(|(i, t)| (DocId(i as u32), t))
+            .filter_map(|(i, t)| Some((DocId(i as u32), t.as_ref()?)))
     }
 }
 
@@ -230,5 +319,65 @@ mod tests {
         assert_eq!(store.lookup("a"), None);
         let id = store.intern("a");
         assert_eq!(store.lookup("a"), Some(id));
+    }
+
+    #[test]
+    fn bytes_track_live_text() {
+        let mut store = DocumentStore::new();
+        assert_eq!(store.bytes(), 0);
+        store.intern("12345");
+        store.intern("678");
+        // Duplicate interning does not double-count.
+        store.intern("12345");
+        assert_eq!(store.bytes(), 8);
+    }
+
+    #[test]
+    fn compact_tombstones_dead_docs_and_bumps_epoch() {
+        let mut store = DocumentStore::new();
+        let keep = store.intern("keep me");
+        let drop = store.intern("drop me");
+        assert_eq!(store.epoch(), 0);
+
+        let report = store.compact(|id| id == keep);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.removed_docs, 1);
+        assert_eq!(report.kept_docs, 1);
+        assert_eq!(report.reclaimed_bytes, "drop me".len());
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), "keep me".len());
+
+        // Survivor resolves at its old id; the tombstone errors loudly.
+        assert_eq!(store.text(keep), "keep me");
+        assert_eq!(
+            store.resolve(drop).unwrap_err(),
+            CoreError::UnknownDoc(drop.index())
+        );
+        assert_eq!(store.lookup("drop me"), None);
+    }
+
+    #[test]
+    fn reinterning_after_compaction_mints_a_fresh_id() {
+        let mut store = DocumentStore::new();
+        let old = store.intern("text");
+        store.compact(|_| false);
+        let new = store.intern("text");
+        // The slot is never reused: old spans cannot alias new content.
+        assert_ne!(old, new);
+        assert_eq!(new.index() as usize, store.slots() - 1);
+        assert!(store.resolve(old).is_err());
+        assert_eq!(store.text(new), "text");
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut store = DocumentStore::new();
+        store.intern("a");
+        let b = store.intern("b");
+        store.intern("c");
+        store.compact(|id| id != b);
+        let texts: Vec<String> = store.iter().map(|(_, t)| t.to_string()).collect();
+        assert_eq!(texts, vec!["a".to_string(), "c".to_string()]);
     }
 }

@@ -73,6 +73,13 @@ impl Relation {
         self.tuples.contains(tuple)
     }
 
+    /// Removes one tuple. Returns `true` when it was present (used by the
+    /// engine to retract rule-derived tuples from relations that are also
+    /// extensional, keeping host-asserted facts).
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        self.tuples.remove(tuple)
+    }
+
     /// Iterates over tuples in arbitrary (hash) order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.tuples.iter()
@@ -173,6 +180,15 @@ mod tests {
         assert!(r
             .insert(Tuple::new([Value::str("a"), Value::Int(1)]))
             .is_err());
+    }
+
+    #[test]
+    fn remove_retracts_present_tuples_only() {
+        let mut r = Relation::from_tuples(int_schema(1), [t(&[1]), t(&[2])]).unwrap();
+        assert!(r.remove(&t(&[1])));
+        assert!(!r.remove(&t(&[1])));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&t(&[2])));
     }
 
     #[test]

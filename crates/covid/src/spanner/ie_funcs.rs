@@ -21,50 +21,63 @@ pub fn register_ie_functions(
     context: Arc<ContextEngine>,
 ) {
     // sents(text) -> (sentence_span)
+    //
+    // All four adapters resolve their text argument lazily: the document
+    // is only interned once a result span actually needs one, so texts
+    // with no sentences/sections/mentions never enter the doc store.
     session.register("sents", Some(1), |args, ctx| {
-        let (text, doc, base) = ctx.text_argument(&args[0])?;
-        Ok(split_sentences(&text)
-            .into_iter()
-            .map(|s| vec![Value::Span(Span::new(doc, base + s.start, base + s.end))])
-            .collect())
+        let mut arg = ctx.text_arg(&args[0])?;
+        let text = arg.shared_text();
+        let mut rows = Vec::new();
+        for s in split_sentences(&text) {
+            let (doc, base) = arg.doc_base(ctx);
+            rows.push(vec![Value::Span(Span::new(
+                doc,
+                base + s.start,
+                base + s.end,
+            ))]);
+        }
+        Ok(rows)
     });
 
     // note_sections(text) -> (section_span, category)
     session.register("note_sections", Some(1), |args, ctx| {
-        let (text, doc, base) = ctx.text_argument(&args[0])?;
-        Ok(detect_sections(&text)
-            .into_iter()
-            .map(|s| {
-                vec![
-                    Value::Span(Span::new(doc, base + s.header_start, base + s.body_end)),
-                    Value::str(s.category),
-                ]
-            })
-            .collect())
+        let mut arg = ctx.text_arg(&args[0])?;
+        let text = arg.shared_text();
+        let mut rows = Vec::new();
+        for s in detect_sections(&text) {
+            let (doc, base) = arg.doc_base(ctx);
+            rows.push(vec![
+                Value::Span(Span::new(doc, base + s.header_start, base + s.body_end)),
+                Value::str(s.category),
+            ]);
+        }
+        Ok(rows)
     });
 
     // mentions(sentence_span) -> (mention_span, label)
     let matcher = targets.clone();
     session.register("mentions", Some(1), move |args, ctx| {
-        let (text, doc, base) = ctx.text_argument(&args[0])?;
+        let mut arg = ctx.text_arg(&args[0])?;
+        let text = arg.shared_text();
         let tokens = tokenize(&text);
-        Ok(matcher
-            .find(&tokens, &text)
-            .into_iter()
-            .map(|m| {
-                vec![
-                    Value::Span(Span::new(doc, base + m.start, base + m.end)),
-                    Value::str(m.label),
-                ]
-            })
-            .collect())
+        let mut rows = Vec::new();
+        for m in matcher.find(&tokens, &text) {
+            let (doc, base) = arg.doc_base(ctx);
+            rows.push(vec![
+                Value::Span(Span::new(doc, base + m.start, base + m.end)),
+                Value::str(m.label),
+            ]);
+        }
+        Ok(rows)
     });
 
     // assertions(sentence_span) -> (mention_span, category)
     let matcher = targets;
     let engine = context;
     session.register("assertions", Some(1), move |args, ctx| {
-        let (text, doc, base) = ctx.text_argument(&args[0])?;
+        let mut arg = ctx.text_arg(&args[0])?;
+        let text = arg.shared_text();
         let tokens = tokenize(&text);
         let spans: Vec<(usize, usize)> = matcher
             .find(&tokens, &text)
@@ -74,6 +87,7 @@ pub fn register_ie_functions(
         let mut rows = Vec::new();
         for assertion in engine.assert_targets(&text, (0, text.len()), &spans) {
             for category in &assertion.categories {
+                let (doc, base) = arg.doc_base(ctx);
                 rows.push(vec![
                     Value::Span(Span::new(
                         doc,

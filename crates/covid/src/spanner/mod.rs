@@ -57,7 +57,15 @@ impl SpannerPipeline {
     /// functions, imports the policy relations, loads the rules, and
     /// prepares the export queries.
     pub fn new() -> Result<SpannerPipeline> {
-        let mut session = Session::new();
+        // Corpus batches repeat documents across classify_corpus calls
+        // in notebook-style use, so keep the IE memo on (default
+        // capacity) and let doc-store GC reclaim texts of replaced
+        // corpora once they outgrow a clinical-corpus-sized watermark.
+        let mut session = Session::builder()
+            .doc_gc(spannerlog_engine::DocGc::Threshold {
+                bytes: 32 * 1024 * 1024,
+            })
+            .build();
 
         // Target matcher from CSV.
         let targets_df = DataFrame::from_csv(TARGETS_CSV)?;

@@ -68,13 +68,14 @@ impl RgxFunction {
     }
 }
 
-/// Builds one output row from group byte-ranges.
+/// Builds one output row from group byte-ranges. `origin` is the
+/// `(doc, base)` pair span rows land in; string-returning mode ignores
+/// it (and its laziness keeps scalar extractions out of the doc store).
 fn row_from_groups(
     mode: Mode,
     groups: &[Option<(usize, usize)>],
     whole: (usize, usize),
-    doc: DocId,
-    base: usize,
+    origin: Option<(DocId, usize)>,
     text: &str,
 ) -> Result<Vec<Value>> {
     // Zero-group patterns export the whole match as a single column.
@@ -97,7 +98,10 @@ fn row_from_groups(
         .into_iter()
         .map(|(s, e)| match mode {
             Mode::FindStrings => Value::str(&text[s..e]),
-            _ => Value::Span(Span::new(doc, base + s, base + e)),
+            _ => {
+                let (doc, base) = origin.expect("span modes resolve an origin");
+                Value::Span(Span::new(doc, base + s, base + e))
+            }
         })
         .collect())
 }
@@ -113,7 +117,12 @@ impl IeFunction for RgxFunction {
             msg: format!("pattern must be a string, got {}", args[0].value_type()),
         })?;
         let re = self.compiled(pattern)?;
-        let (text, doc, base) = ctx.text_argument(&args[1])?;
+        // Lazy text resolution: string arguments are only interned when
+        // a span row actually needs a document (span modes, first
+        // match) — `rgx_string`/`rgx_is_match` and matchless scans
+        // leave the doc store untouched.
+        let mut arg = ctx.text_arg(&args[1])?;
+        let text = arg.shared_text();
 
         if self.mode == Mode::IsMatch {
             return Ok(filter_output(re.is_match(&text)));
@@ -139,19 +148,18 @@ impl IeFunction for RgxFunction {
                 for caps in re.captures_iter(&text) {
                     let whole = caps.group(0).expect("group 0 present");
                     let groups: Vec<_> = caps.explicit_groups().collect();
-                    out.push(row_from_groups(
-                        self.mode, &groups, whole, doc, base, &text,
-                    )?);
+                    let origin = (self.mode == Mode::FindSpans).then(|| arg.doc_base(ctx));
+                    out.push(row_from_groups(self.mode, &groups, whole, origin, &text)?);
                 }
             }
             Mode::AllSpans => {
                 for m in re.all_matches(&text) {
+                    let origin = Some(arg.doc_base(ctx));
                     out.push(row_from_groups(
                         self.mode,
                         &m.groups,
                         (m.start, m.end),
-                        doc,
-                        base,
+                        origin,
                         &text,
                     )?);
                 }
@@ -309,6 +317,36 @@ mod tests {
             .call(&[Value::str("a("), Value::str("x")], 1, &mut ctx)
             .unwrap_err();
         assert!(matches!(err, EngineError::IeRuntime { .. }));
+    }
+
+    #[test]
+    fn scalar_only_modes_do_not_intern_string_arguments() {
+        let mut docs = DocumentStore::new();
+        call(
+            "rgx_string",
+            &[Value::str("(a+)"), Value::str("aa scalar outputs")],
+            1,
+            &mut docs,
+        );
+        call(
+            "rgx_is_match",
+            &[Value::str("a+"), Value::str("aa filter only")],
+            0,
+            &mut docs,
+        );
+        // Span mode with zero matches: still nothing to point a span at.
+        call(
+            "rgx",
+            &[Value::str("zzz"), Value::str("no match here")],
+            1,
+            &mut docs,
+        );
+        assert!(docs.is_empty(), "no span was produced, nothing interned");
+
+        // Span mode with matches interns exactly the one argument.
+        call("rgx", &[Value::str("a+"), Value::str("aa")], 1, &mut docs);
+        assert_eq!(docs.len(), 1);
+        assert!(docs.lookup("aa").is_some());
     }
 
     #[test]

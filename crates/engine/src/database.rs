@@ -9,7 +9,7 @@
 //! `dirty` flag.
 
 use crate::error::{EngineError, Result};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use spannerlib_core::{DocumentStore, Relation, Schema, Tuple};
 
 /// The fact store of one session.
@@ -23,6 +23,13 @@ pub struct Database {
     generations: FxHashMap<String, u64>,
     /// Monotone tick backing the generation counters.
     tick: u64,
+    /// Per-tuple provenance for relations that are both extensional and
+    /// rule heads: tuples the *fixpoint* inserted (as opposed to
+    /// host-asserted facts). [`Database::clear_derived`] retracts
+    /// exactly these, so re-imports of a rule's inputs no longer leave
+    /// stale derived tuples behind. Purely derived relations need no
+    /// marks — they are dropped wholesale.
+    derived_marks: FxHashMap<String, FxHashSet<Tuple>>,
     /// Interned documents; spans in any relation point here.
     pub docs: DocumentStore,
 }
@@ -57,11 +64,13 @@ impl Database {
     }
 
     /// Inserts a whole relation under `name`, replacing any previous one
-    /// (used by `Session::import`).
+    /// (used by `Session::import`). Every tuple of the replacement is a
+    /// host-asserted fact, so stale derived marks are dropped.
     pub fn put_relation(&mut self, name: &str, relation: Relation) {
         self.extensional
             .insert(name.to_string(), relation.schema().clone());
         self.relations.insert(name.to_string(), relation);
+        self.derived_marks.remove(name);
         self.bump(name);
     }
 
@@ -96,24 +105,54 @@ impl Database {
             .unwrap_or_else(|| Relation::new(Schema::empty()))
     }
 
-    /// Inserts a tuple into a relation, creating a derived relation with
+    /// Inserts a host-asserted fact, creating a derived relation with
     /// the tuple's own schema on first insertion. Returns `true` when the
     /// tuple is new. Inserts into extensional relations bump the
     /// relation's generation; derived inserts (the fixpoint hot path) do
     /// not.
     pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
-        let new = self.insert_derived(name, tuple)?;
+        // A fact assertion overrides derived provenance: even if a rule
+        // once derived this tuple, it now survives clear_derived.
+        if let Some(marks) = self.derived_marks.get_mut(name) {
+            marks.remove(&tuple);
+        }
+        let new = self.insert_impl(name, tuple)?;
         if new && self.extensional.contains_key(name) {
             self.bump(name);
         }
         Ok(new)
     }
 
-    /// Inserts a tuple derived by the fixpoint. Identical to
-    /// [`Database::insert`] except it never bumps a generation counter —
+    /// Inserts a tuple derived by the fixpoint. Unlike
+    /// [`Database::insert`] it never bumps a generation counter —
     /// derived content is a function of the EDB and the program, so it
-    /// must not invalidate the evaluation fingerprint.
+    /// must not invalidate the evaluation fingerprint — and new tuples
+    /// landing in an *extensional* relation are marked with derived
+    /// provenance so the next [`Database::clear_derived`] retracts them.
     pub fn insert_derived(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
+        if self.extensional.contains_key(name) {
+            // Duplicates are the steady state of fixpoint rounds; skip
+            // the provenance-mark clone (and the insert) for them.
+            if self
+                .relations
+                .get(name)
+                .is_some_and(|rel| rel.contains(&tuple))
+            {
+                return Ok(false);
+            }
+            let new = self.insert_impl(name, tuple.clone())?;
+            if new {
+                self.derived_marks
+                    .entry(name.to_string())
+                    .or_default()
+                    .insert(tuple);
+            }
+            return Ok(new);
+        }
+        self.insert_impl(name, tuple)
+    }
+
+    fn insert_impl(&mut self, name: &str, tuple: Tuple) -> Result<bool> {
         if let Some(rel) = self.relations.get_mut(name) {
             return Ok(rel.insert(tuple)?);
         }
@@ -130,17 +169,28 @@ impl Database {
         Ok(true)
     }
 
-    /// Clears every *derived* relation (before re-running the fixpoint);
-    /// extensional relations and documents are preserved.
+    /// Clears every *derived* tuple (before re-running the fixpoint):
+    /// purely derived relations are dropped wholesale, and relations
+    /// that are both extensional and rule heads lose exactly the tuples
+    /// the fixpoint put there — host-asserted facts and documents are
+    /// preserved.
     pub fn clear_derived(&mut self) {
         self.relations
             .retain(|name, _| self.extensional.contains_key(name));
+        for (name, marks) in self.derived_marks.drain() {
+            if let Some(rel) = self.relations.get_mut(&name) {
+                for tuple in &marks {
+                    rel.remove(tuple);
+                }
+            }
+        }
     }
 
     /// Removes a relation entirely. Returns `true` when it existed.
     pub fn remove(&mut self, name: &str) -> bool {
         let existed = self.relations.remove(name).is_some();
         self.extensional.remove(name);
+        self.derived_marks.remove(name);
         if existed {
             self.bump(name);
         }
@@ -247,6 +297,45 @@ mod tests {
         assert!(db.remove("E"));
         assert!(db.generation("E") > g_fact);
         assert!(!db.remove("E"));
+    }
+
+    #[test]
+    fn clear_derived_is_exact_on_mixed_relations() {
+        let mut db = Database::new();
+        db.declare("E", Schema::new(vec![ValueType::Int])).unwrap();
+        db.insert("E", t(&[1])).unwrap(); // fact
+        db.insert_derived("E", t(&[2])).unwrap(); // fixpoint-derived
+        db.insert_derived("E", t(&[1])).unwrap(); // duplicate of a fact: no mark
+        db.clear_derived();
+        let rel = db.relation("E").unwrap();
+        assert!(rel.contains(&t(&[1])), "facts survive");
+        assert!(!rel.contains(&t(&[2])), "derived tuples are retracted");
+    }
+
+    #[test]
+    fn fact_assertion_overrides_derived_provenance() {
+        let mut db = Database::new();
+        db.declare("E", Schema::new(vec![ValueType::Int])).unwrap();
+        db.insert_derived("E", t(&[7])).unwrap();
+        // The host now asserts the same tuple as a fact.
+        assert!(!db.insert("E", t(&[7])).unwrap());
+        db.clear_derived();
+        assert!(db.relation("E").unwrap().contains(&t(&[7])));
+    }
+
+    #[test]
+    fn put_relation_clears_stale_marks() {
+        let mut db = Database::new();
+        db.declare("E", Schema::new(vec![ValueType::Int])).unwrap();
+        db.insert_derived("E", t(&[1])).unwrap();
+        let mut replacement = Relation::new(Schema::new(vec![ValueType::Int]));
+        replacement.insert(t(&[1])).unwrap();
+        db.put_relation("E", replacement);
+        db.clear_derived();
+        assert!(
+            db.relation("E").unwrap().contains(&t(&[1])),
+            "replacement content is all fact-provenance"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::error::{EngineError, Result};
 use crate::plan::{self, RulePlan, Step};
 use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
+use spannerlib_cache::SharedIeMemo;
 use spannerlib_core::Relation;
 
 /// Fixpoint algorithm selection.
@@ -84,19 +85,21 @@ pub struct EvalStats {
 }
 
 /// Runs all strata to fixpoint, inserting derived tuples into `db`.
+/// `cache`, when set, memoizes IE calls across rounds and runs.
 pub fn evaluate(
     db: &mut Database,
     strata: &[Vec<RulePlan>],
     registry: &Registry,
     strategy: EvalStrategy,
     limits: EvalLimits,
+    cache: Option<&SharedIeMemo>,
 ) -> Result<EvalStats> {
     let mut stats = EvalStats::default();
     for stratum in strata {
         match strategy {
-            EvalStrategy::Naive => naive_stratum(db, stratum, registry, limits, &mut stats)?,
+            EvalStrategy::Naive => naive_stratum(db, stratum, registry, limits, cache, &mut stats)?,
             EvalStrategy::SemiNaive => {
-                seminaive_stratum(db, stratum, registry, limits, &mut stats)?
+                seminaive_stratum(db, stratum, registry, limits, cache, &mut stats)?
             }
         }
     }
@@ -108,6 +111,7 @@ fn naive_stratum(
     rules: &[RulePlan],
     registry: &Registry,
     limits: EvalLimits,
+    cache: Option<&SharedIeMemo>,
     stats: &mut EvalStats,
 ) -> Result<()> {
     let no_deltas: FxHashMap<String, Relation> = FxHashMap::default();
@@ -118,7 +122,7 @@ fn naive_stratum(
             stats.rule_firings += 1;
             let derived = {
                 let (relations, docs) = db.split_mut();
-                plan::execute(rule, relations, docs, registry, None, &no_deltas)?
+                plan::execute(rule, relations, docs, registry, None, &no_deltas, cache)?
             };
             stats.tuples_derived += derived.len();
             for tuple in derived {
@@ -141,6 +145,7 @@ fn seminaive_stratum(
     rules: &[RulePlan],
     registry: &Registry,
     limits: EvalLimits,
+    cache: Option<&SharedIeMemo>,
     stats: &mut EvalStats,
 ) -> Result<()> {
     // Heads of this stratum: atoms over them are "recursive" here.
@@ -156,7 +161,7 @@ fn seminaive_stratum(
         stats.rule_firings += 1;
         let derived = {
             let (relations, docs) = db.split_mut();
-            plan::execute(rule, relations, docs, registry, None, &no_deltas)?
+            plan::execute(rule, relations, docs, registry, None, &no_deltas, cache)?
         };
         stats.tuples_derived += derived.len();
         for tuple in derived {
@@ -193,7 +198,15 @@ fn seminaive_stratum(
                 stats.rule_firings += 1;
                 let derived = {
                     let (relations, docs) = db.split_mut();
-                    plan::execute(rule, relations, docs, registry, Some(step_idx), &deltas)?
+                    plan::execute(
+                        rule,
+                        relations,
+                        docs,
+                        registry,
+                        Some(step_idx),
+                        &deltas,
+                        cache,
+                    )?
                 };
                 stats.tuples_derived += derived.len();
                 for tuple in derived {

@@ -12,6 +12,7 @@
 //! new or existing documents.
 
 use crate::error::{EngineError, Result};
+use spannerlib_cache::{MemoKey, SharedIeMemo};
 use spannerlib_core::{DocId, DocumentStore, Span, Value};
 use std::sync::Arc;
 
@@ -46,26 +47,77 @@ impl<'a> IeContext<'a> {
         Ok(self.docs.span(doc, start, end)?)
     }
 
-    /// Resolves a `str`-or-`span` value to `(text, doc, base_offset)` —
-    /// the common entry point for text-consuming IE functions like `rgx`:
-    /// a string argument is interned (so result spans can reference it),
-    /// a span argument yields its substring with its own document and
-    /// offset so result spans land in the *original* document.
-    pub fn text_argument(&mut self, v: &Value) -> Result<(String, DocId, usize)> {
+    /// Resolves a `str`-or-`span` value to a [`TextArg`] — the common
+    /// entry point for text-consuming IE functions like `rgx`. The text
+    /// is available immediately (zero-copy for string arguments, which
+    /// already share their `Arc<str>`); the backing *document* is minted
+    /// lazily by [`TextArg::doc_base`], so functions whose output
+    /// contains no spans over the text (`rgx_string`, filters, scalar
+    /// extractors) never inflate the document store.
+    pub fn text_arg(&self, v: &Value) -> Result<TextArg> {
         match v {
-            Value::Str(s) => {
-                let doc = self.docs.intern(s);
-                Ok((s.to_string(), doc, 0))
-            }
-            Value::Span(span) => {
-                let text = self.docs.span_text(span)?.to_string();
-                Ok((text, span.doc, span.start_usize()))
-            }
+            Value::Str(s) => Ok(TextArg {
+                text: s.clone(),
+                origin: None,
+            }),
+            Value::Span(span) => Ok(TextArg {
+                text: Arc::from(self.docs.span_text(span)?),
+                origin: Some((span.doc, span.start_usize())),
+            }),
             other => Err(EngineError::IeRuntime {
                 function: "<text argument>".into(),
                 msg: format!("expected str or span, got {}", other.value_type()),
             }),
         }
+    }
+
+    /// Eager variant of [`IeContext::text_arg`]: resolves to
+    /// `(text, doc, base_offset)`, interning string arguments
+    /// immediately. Prefer `text_arg` in functions that may not emit
+    /// spans over the text.
+    pub fn text_argument(&mut self, v: &Value) -> Result<(String, DocId, usize)> {
+        let mut arg = self.text_arg(v)?;
+        let (doc, base) = arg.doc_base(self);
+        Ok((arg.text().to_string(), doc, base))
+    }
+}
+
+/// A text-typed IE argument resolved by [`IeContext::text_arg`].
+///
+/// Spans produced over the text need a `(document, base offset)` pair;
+/// for a *span* argument that pair is the argument's own document, while
+/// for a *string* argument a document only exists once the text is
+/// interned. `TextArg` defers that interning to the first
+/// [`TextArg::doc_base`] call, so scalar-only extractions keep the
+/// document store untouched.
+pub struct TextArg {
+    text: Arc<str>,
+    /// `(doc, base)` — `None` until a string argument is interned.
+    origin: Option<(DocId, usize)>,
+}
+
+impl TextArg {
+    /// The argument's text content.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// A shared handle on the text (cheap clone; sidesteps borrowing
+    /// `self` while iterating matches and minting spans).
+    pub fn shared_text(&self) -> Arc<str> {
+        self.text.clone()
+    }
+
+    /// The document and base offset for spans over this text. The first
+    /// call on a string argument interns the text (sharing the existing
+    /// `Arc`); span arguments and subsequent calls are free.
+    pub fn doc_base(&mut self, ctx: &mut IeContext<'_>) -> (DocId, usize) {
+        if let Some(origin) = self.origin {
+            return origin;
+        }
+        let doc = ctx.docs.intern_arc(self.text.clone());
+        self.origin = Some((doc, 0));
+        (doc, 0)
     }
 }
 
@@ -82,11 +134,23 @@ pub trait IeFunction: Send + Sync {
     /// output (like `rgx`, whose arity is the pattern's group count) may
     /// use it for validation.
     fn call(&self, args: &[Value], n_outputs: usize, ctx: &mut IeContext<'_>) -> Result<IeOutput>;
+
+    /// Whether results may be memoized by the session's IE cache.
+    ///
+    /// Defaults to `true`: the IE contract (paper §3.3) is a *stateless*
+    /// mapping from inputs to output rows, which makes memoization
+    /// transparent. Override to `false` for functions that break the
+    /// contract on purpose (clocks, RNGs, external lookups that must
+    /// stay fresh) — or register closures via `register_uncached`.
+    fn cacheable(&self) -> bool {
+        true
+    }
 }
 
 /// Adapter turning a closure into an [`IeFunction`].
 pub struct ClosureIe<F> {
     arity: Option<usize>,
+    cacheable: bool,
     f: F,
 }
 
@@ -96,7 +160,21 @@ where
 {
     /// Wraps `f` with a fixed (or variadic, `None`) input arity.
     pub fn new(arity: Option<usize>, f: F) -> Self {
-        ClosureIe { arity, f }
+        ClosureIe {
+            arity,
+            cacheable: true,
+            f,
+        }
+    }
+
+    /// Wraps a closure whose results must never be memoized (it is not
+    /// a pure function of its arguments).
+    pub fn uncached(arity: Option<usize>, f: F) -> Self {
+        ClosureIe {
+            arity,
+            cacheable: false,
+            f,
+        }
     }
 }
 
@@ -111,6 +189,41 @@ where
     fn call(&self, args: &[Value], _n_outputs: usize, ctx: &mut IeContext<'_>) -> Result<IeOutput> {
         (self.f)(args, ctx)
     }
+
+    fn cacheable(&self) -> bool {
+        self.cacheable
+    }
+}
+
+/// Invokes `f` on one argument tuple through the session's memo table:
+/// a hit replays the cached rows without re-entering the function; a
+/// miss calls it and stores the result. Uncacheable functions and
+/// cache-off sessions fall straight through. The memo lock is never
+/// held across the user function.
+pub(crate) fn cached_ie_call(
+    f: &dyn IeFunction,
+    name: &str,
+    args: &[Value],
+    n_outputs: usize,
+    docs: &mut DocumentStore,
+    cache: Option<&SharedIeMemo>,
+) -> Result<Arc<IeOutput>> {
+    let Some(cache) = cache.filter(|_| f.cacheable()) else {
+        let mut ctx = IeContext::new(docs);
+        return Ok(Arc::new(f.call(args, n_outputs, &mut ctx)?));
+    };
+    let key = MemoKey::new(name, args, n_outputs);
+    if let Some(hit) = cache.lock().get(&key) {
+        return Ok(hit);
+    }
+    let mut ctx = IeContext::new(docs);
+    let out = Arc::new(f.call(args, n_outputs, &mut ctx)?);
+    // Entries are GC roots, so the memo charges each entry the full
+    // text of every document its spans pin.
+    cache.lock().insert(key, out.clone(), |id| {
+        docs.resolve(id).map(|t| t.len()).unwrap_or(0)
+    });
+    Ok(out)
 }
 
 /// Helper for boolean *filter* functions (zero outputs): `true` keeps the
@@ -164,6 +277,49 @@ mod tests {
         let mut docs = DocumentStore::new();
         let mut ctx = IeContext::new(&mut docs);
         assert!(ctx.text_argument(&Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn lazy_text_arg_does_not_intern_until_doc_base() {
+        let mut docs = DocumentStore::new();
+        let mut arg = {
+            let ctx = IeContext::new(&mut docs);
+            ctx.text_arg(&Value::str("scalar only")).unwrap()
+        };
+        assert_eq!(arg.text(), "scalar only");
+        assert!(docs.is_empty(), "no span requested, nothing interned");
+
+        let mut ctx = IeContext::new(&mut docs);
+        let mut arg2 = ctx.text_arg(&Value::str("scalar only")).unwrap();
+        let (doc, base) = arg2.doc_base(&mut ctx);
+        assert_eq!(base, 0);
+        assert_eq!(docs.text(doc), "scalar only");
+        assert_eq!(docs.len(), 1);
+        // Redundant: arg was dropped uninterned; doc_base is idempotent.
+        let mut ctx = IeContext::new(&mut docs);
+        let _ = arg.doc_base(&mut ctx);
+        assert_eq!(docs.len(), 1);
+    }
+
+    #[test]
+    fn lazy_text_arg_keeps_span_origin() {
+        let mut docs = DocumentStore::new();
+        let id = docs.intern("xxabcxx");
+        let span = docs.span(id, 2, 5).unwrap();
+        let mut ctx = IeContext::new(&mut docs);
+        let mut arg = ctx.text_arg(&Value::Span(span)).unwrap();
+        assert_eq!(arg.text(), "abc");
+        let (doc, base) = arg.doc_base(&mut ctx);
+        assert_eq!((doc, base), (id, 2));
+        assert_eq!(docs.len(), 1, "span arguments never intern a new doc");
+    }
+
+    #[test]
+    fn closures_default_cacheable_with_uncached_escape_hatch() {
+        let pure = ClosureIe::new(Some(0), |_: &[Value], _: &mut IeContext<'_>| Ok(vec![]));
+        let impure = ClosureIe::uncached(Some(0), |_: &[Value], _: &mut IeContext<'_>| Ok(vec![]));
+        assert!(pure.cacheable());
+        assert!(!impure.cacheable());
     }
 
     #[test]

@@ -50,7 +50,11 @@ pub mod strata;
 pub use database::Database;
 pub use error::{EngineError, Result};
 pub use eval::{EvalLimits, EvalStats, EvalStrategy};
-pub use ie::{filter_output, IeContext, IeFunction, IeOutput};
+pub use ie::{filter_output, IeContext, IeFunction, IeOutput, TextArg};
 pub use prepared::{CompiledProgram, PreparedProgram, PreparedQuery, Snapshot};
 pub use registry::Registry;
-pub use session::{Session, SessionBuilder};
+pub use session::{Session, SessionBuilder, SessionStats, DEFAULT_IE_CACHE_BYTES};
+// The cache subsystem's user-facing vocabulary, re-exported so hosts
+// configure sessions without depending on spannerlib-cache directly.
+pub use spannerlib_cache::{CacheStats, DocGc};
+pub use spannerlib_core::CompactionReport;

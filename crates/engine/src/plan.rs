@@ -8,9 +8,10 @@
 //! IE call).
 
 use crate::error::{EngineError, Result};
-use crate::ie::IeContext;
+use crate::ie::{cached_ie_call, IeContext};
 use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
+use spannerlib_cache::SharedIeMemo;
 use spannerlib_core::{DocumentStore, Relation, Tuple, Value};
 use spannerlog_parser::CmpOp;
 
@@ -113,6 +114,8 @@ type Row = Vec<Option<Value>>;
 /// Executes `plan` against the given relations, returning the derived
 /// head tuples. `delta_at`, when set, makes the scan at that step index
 /// read from `deltas` instead of `relations` (semi-naive evaluation).
+/// `cache`, when set, memoizes IE calls across rows, reruns, and
+/// executions.
 pub fn execute(
     plan: &RulePlan,
     relations: &FxHashMap<String, Relation>,
@@ -120,6 +123,7 @@ pub fn execute(
     registry: &Registry,
     delta_at: Option<usize>,
     deltas: &FxHashMap<String, Relation>,
+    cache: Option<&SharedIeMemo>,
 ) -> Result<Vec<Tuple>> {
     let n_vars = plan.var_names.len();
     let empty = Relation::new(spannerlib_core::Schema::empty());
@@ -144,7 +148,15 @@ pub fn execute(
                 outputs,
             } => {
                 let f = registry.ie(function)?.clone();
-                let mut next = Vec::new();
+                // Batch rows by their concrete argument tuple:
+                // *cacheable* IE functions are stateless, so each
+                // distinct tuple is invoked (or memo-probed) exactly
+                // once even when many binding rows agree on the inputs.
+                // Uncacheable functions keep one call per row — their
+                // whole point is that repeated calls may differ.
+                let batch = f.cacheable();
+                let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+                let mut by_args: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
                 for row in rows {
                     let args: Vec<Value> = inputs
                         .iter()
@@ -154,9 +166,21 @@ pub fn execute(
                             PTerm::Wildcard => unreachable!("safety rejects wildcard inputs"),
                         })
                         .collect();
-                    let mut ctx = IeContext::new(docs);
-                    let out_rows = f.call(&args, outputs.len(), &mut ctx)?;
-                    for out in out_rows {
+                    match by_args.get(&args).filter(|_| batch) {
+                        Some(&g) => groups[g].1.push(row),
+                        None => {
+                            if batch {
+                                by_args.insert(args.clone(), groups.len());
+                            }
+                            groups.push((args, vec![row]));
+                        }
+                    }
+                }
+                let mut next = Vec::new();
+                for (args, group_rows) in groups {
+                    let out_rows =
+                        cached_ie_call(&*f, function, &args, outputs.len(), docs, cache)?;
+                    for out in out_rows.iter() {
                         if out.len() != outputs.len() {
                             return Err(EngineError::IeOutputArity {
                                 function: function.clone(),
@@ -164,8 +188,12 @@ pub fn execute(
                                 actual: out.len(),
                             });
                         }
-                        if let Some(extended) = unify_values(&row, outputs, &out) {
-                            next.push(extended);
+                    }
+                    for row in group_rows {
+                        for out in out_rows.iter() {
+                            if let Some(extended) = unify_values(&row, outputs, out) {
+                                next.push(extended);
+                            }
                         }
                     }
                 }

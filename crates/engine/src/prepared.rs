@@ -148,12 +148,11 @@ impl PreparedProgram {
 /// data; thanks to per-relation generation counters, an unchanged EDB
 /// skips the fixpoint entirely.
 ///
-/// Caveat for relations that are **both imported and rule heads**:
-/// re-evaluation only clears purely derived relations, so tuples a rule
-/// derived into an extensional relation persist across re-imports of
-/// the rule's inputs (they are indistinguishable from facts). Keep
-/// imported inputs and derived outputs under distinct names when
-/// re-importing between executions.
+/// Relations that are **both imported and rule heads** carry per-tuple
+/// fact/derived provenance: re-evaluation retracts exactly the tuples
+/// earlier fixpoints derived, so re-importing a rule's inputs yields
+/// the same result as a fresh session — host-asserted facts survive,
+/// stale derivations do not.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     pub(crate) query: Query,
@@ -193,9 +192,26 @@ impl PreparedQuery {
 ///
 /// Obtained from [`Session::snapshot`], which runs the fixpoint first;
 /// snapshot queries are therefore pure reads.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Snapshot {
     db: Arc<Database>,
+    /// The originating session's IE memo, shared for observability:
+    /// snapshot queries are pure reads that never invoke IE functions,
+    /// but handing the memo over lets serving threads watch hit rates
+    /// via [`Snapshot::cache_stats`]. (Document rooting is the
+    /// *session's* concern — its compaction marks memo roots through
+    /// its own handle, and a snapshot's frozen store is never
+    /// compacted.)
+    cache: Option<spannerlib_cache::SharedIeMemo>,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("relations", &self.db.iter().count())
+            .field("cache_shared", &self.cache.is_some())
+            .finish()
+    }
 }
 
 // Compile-time guarantee: a Snapshot can cross and be shared between
@@ -206,8 +222,20 @@ const _: () = {
 };
 
 impl Snapshot {
-    pub(crate) fn new(db: Arc<Database>) -> Snapshot {
-        Snapshot { db }
+    pub(crate) fn new(
+        db: Arc<Database>,
+        cache: Option<spannerlib_cache::SharedIeMemo>,
+    ) -> Snapshot {
+        Snapshot { db, cache }
+    }
+
+    /// Lifetime counters of the shared IE memo (all zero when the
+    /// originating session had the cache disabled).
+    pub fn cache_stats(&self) -> spannerlib_cache::CacheStats {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().stats())
+            .unwrap_or_default()
     }
 
     /// Evaluates a query string against the frozen data.

@@ -56,6 +56,15 @@ impl Registry {
         self.register_ie(name, Arc::new(ClosureIe::new(arity, f)));
     }
 
+    /// Registers a closure whose results must never be memoized by the
+    /// session's IE cache (not a pure function of its arguments).
+    pub fn register_closure_uncached<F>(&mut self, name: &str, arity: Option<usize>, f: F)
+    where
+        F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
+    {
+        self.register_ie(name, Arc::new(ClosureIe::uncached(arity, f)));
+    }
+
     /// Looks up an IE function.
     pub fn ie(&self, name: &str) -> Result<&Arc<dyn IeFunction>> {
         self.ie

@@ -35,10 +35,28 @@ use crate::prepared::{
 use crate::query::run_query;
 use crate::registry::Registry;
 use crate::safety::constant_value;
-use spannerlib_core::{DocId, DocumentStore, Relation, Schema, Span, Tuple, Value};
+use parking_lot::Mutex;
+use spannerlib_cache::{CacheStats, DocGc, DocRefCounts, IeMemo, SharedIeMemo};
+use spannerlib_core::{
+    CompactionReport, DocId, DocumentStore, Relation, Schema, Span, Tuple, Value,
+};
 use spannerlib_dataframe::{DataFrame, FromRow, IntoRows};
 use spannerlog_parser::{parse_program, Query, Rule, Statement};
 use std::sync::Arc;
+
+/// Default byte budget of the IE memo table (see
+/// [`SessionBuilder::ie_cache_capacity`]).
+pub const DEFAULT_IE_CACHE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Statistics of a session: the most recent fixpoint run plus the
+/// lifetime counters of the IE memo table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Counters of the most recent fixpoint run.
+    pub eval: EvalStats,
+    /// Lifetime IE-cache counters (all zero when the cache is disabled).
+    pub cache: CacheStats,
+}
 
 /// Fingerprint of the last fixpoint run: which program, and the
 /// generations its input relations had when it finished. Evaluation is
@@ -70,6 +88,8 @@ pub struct SessionBuilder {
     strategy: EvalStrategy,
     limits: EvalLimits,
     registry: Registry,
+    ie_cache_capacity: usize,
+    doc_gc: DocGc,
 }
 
 impl Default for SessionBuilder {
@@ -78,6 +98,8 @@ impl Default for SessionBuilder {
             strategy: EvalStrategy::SemiNaive,
             limits: EvalLimits::default(),
             registry: Registry::new(),
+            ie_cache_capacity: DEFAULT_IE_CACHE_BYTES,
+            doc_gc: DocGc::Disabled,
         }
     }
 }
@@ -108,6 +130,35 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the byte budget of the IE memo table, which caches
+    /// `(function, arguments) → output rows` across fixpoint reruns and
+    /// prepared-query executions ([`DEFAULT_IE_CACHE_BYTES`] by
+    /// default). Pass `0` to disable cross-run memoization.
+    ///
+    /// Note that closures registered via [`SessionBuilder::register`]
+    /// are held to the stateless IE contract regardless of this
+    /// setting: within one rule firing, binding rows sharing an
+    /// argument tuple are batched into a single call even with the
+    /// cache off. A closure that is *not* a pure function of its
+    /// arguments must be registered with
+    /// [`SessionBuilder::register_uncached`], which opts it out of both
+    /// memoization and batching.
+    pub fn ie_cache_capacity(mut self, bytes: usize) -> SessionBuilder {
+        self.ie_cache_capacity = bytes;
+        self
+    }
+
+    /// Configures automatic document-store compaction. With
+    /// [`DocGc::Threshold`], `remove_relation` and replacing imports
+    /// trigger a compaction pass once live document text exceeds the
+    /// watermark, tombstoning documents referenced by no relation and
+    /// no memo entry. Default: [`DocGc::Disabled`] (compaction only via
+    /// [`Session::compact_docs`]).
+    pub fn doc_gc(mut self, policy: DocGc) -> SessionBuilder {
+        self.doc_gc = policy;
+        self
+    }
+
     /// Seeds the IE registry with a closure (same contract as
     /// [`Session::register`]).
     pub fn register<F>(mut self, name: &str, input_arity: Option<usize>, f: F) -> SessionBuilder
@@ -115,6 +166,23 @@ impl SessionBuilder {
         F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
     {
         self.registry.register_closure(name, input_arity, f);
+        self
+    }
+
+    /// Seeds the IE registry with a closure whose results must never be
+    /// memoized (not a pure function of its arguments — clocks, RNGs,
+    /// live external lookups).
+    pub fn register_uncached<F>(
+        mut self,
+        name: &str,
+        input_arity: Option<usize>,
+        f: F,
+    ) -> SessionBuilder
+    where
+        F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
+    {
+        self.registry
+            .register_closure_uncached(name, input_arity, f);
         self
     }
 
@@ -126,6 +194,8 @@ impl SessionBuilder {
 
     /// Builds the session.
     pub fn build(self) -> Session {
+        let ie_cache = (self.ie_cache_capacity > 0)
+            .then(|| Arc::new(Mutex::new(IeMemo::new(self.ie_cache_capacity))));
         Session {
             db: Arc::new(Database::new()),
             registry: self.registry,
@@ -136,6 +206,9 @@ impl SessionBuilder {
             compiled: None,
             last_eval: None,
             last_stats: EvalStats::default(),
+            ie_cache,
+            doc_gc: self.doc_gc,
+            gc_rearm_bytes: 0,
         }
     }
 }
@@ -159,6 +232,18 @@ pub struct Session {
     /// `dirty` flag).
     last_eval: Option<EvalFingerprint>,
     last_stats: EvalStats,
+    /// Memo table for IE calls (`None` = disabled). Shared with
+    /// evaluation runs and snapshots; keyed purely by call content, so
+    /// it survives program recompilation and EDB churn.
+    ie_cache: Option<SharedIeMemo>,
+    /// When to compact the document store automatically.
+    doc_gc: DocGc,
+    /// Hysteresis for the threshold policy: the next automatic pass
+    /// arms only once resident bytes exceed this. Re-derived after
+    /// every pass as `live bytes + configured threshold`, so a live set
+    /// that permanently exceeds the watermark does not degenerate into
+    /// a full no-op mark-and-sweep on every mutation.
+    gc_rearm_bytes: usize,
 }
 
 impl Default for Session {
@@ -191,9 +276,31 @@ impl Session {
         self.last_eval = None;
     }
 
-    /// Statistics of the most recent fixpoint run.
-    pub fn stats(&self) -> EvalStats {
-        self.last_stats
+    /// Statistics: the most recent fixpoint run plus the IE cache's
+    /// lifetime counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            eval: self.last_stats,
+            cache: self.cache_stats(),
+        }
+    }
+
+    /// Lifetime counters of the IE memo table (all zero when the cache
+    /// is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ie_cache
+            .as_ref()
+            .map(|c| c.lock().stats())
+            .unwrap_or_default()
+    }
+
+    /// Drops every memoized IE result (counters survive). Rarely needed
+    /// — keys are content-addressed — but useful to release memory
+    /// pinned by the cache in one step.
+    pub fn clear_ie_cache(&mut self) {
+        if let Some(cache) = &self.ie_cache {
+            cache.lock().clear();
+        }
     }
 
     /// Marks compile-relevant state (rules, registrations, relation name
@@ -236,6 +343,7 @@ impl Session {
             self.invalidate_program();
         }
         self.db_mut().put_relation(name, relation);
+        self.maybe_compact_docs();
         Ok(())
     }
 
@@ -348,7 +456,7 @@ impl Session {
     /// the two share no mutable state.
     pub fn snapshot(&mut self) -> Result<Snapshot> {
         self.ensure_evaluated()?;
-        Ok(Snapshot::new(Arc::clone(&self.db)))
+        Ok(Snapshot::new(Arc::clone(&self.db), self.ie_cache.clone()))
     }
 
     /// The compiled program for the current rule set (cached until the
@@ -374,19 +482,43 @@ impl Session {
 
     /// Registers a closure as an IE function (the paper's
     /// `session.register(foo, input=…, output=…)`). `input_arity` of
-    /// `None` means variadic.
+    /// `None` means variadic. Results are memoized by the IE cache,
+    /// which assumes the paper's stateless contract — use
+    /// [`Session::register_uncached`] for closures that are not pure
+    /// functions of their arguments.
     pub fn register<F>(&mut self, name: &str, input_arity: Option<usize>, f: F)
     where
         F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
     {
         self.registry.register_closure(name, input_arity, f);
-        self.invalidate_program();
+        self.after_registration(name);
+    }
+
+    /// Registers a closure whose results must never be memoized.
+    pub fn register_uncached<F>(&mut self, name: &str, input_arity: Option<usize>, f: F)
+    where
+        F: Fn(&[Value], &mut IeContext<'_>) -> Result<IeOutput> + Send + Sync + 'static,
+    {
+        self.registry
+            .register_closure_uncached(name, input_arity, f);
+        self.after_registration(name);
     }
 
     /// Registers an IE function object.
     pub fn register_ie(&mut self, name: &str, f: Arc<dyn IeFunction>) {
         self.registry.register_ie(name, f);
+        self.after_registration(name);
+    }
+
+    /// A (re-)registration may shadow an existing function: memoized
+    /// results under the old body are stale (entries of *other*
+    /// functions stay warm), and the compiled program may resolve
+    /// predicates differently.
+    fn after_registration(&mut self, name: &str) {
         self.invalidate_program();
+        if let Some(cache) = &self.ie_cache {
+            cache.lock().purge_function(name);
+        }
     }
 
     /// Registers an aggregation function.
@@ -421,11 +553,10 @@ impl Session {
     /// evict state instead of being rebuilt. Rules referencing it will
     /// fail to compile until it is re-declared or re-imported.
     ///
-    /// Note: the document store is append-only — texts interned by
-    /// removed tuples stay resident (spans elsewhere may reference
-    /// them). Processes that stream unbounded distinct documents should
-    /// recycle sessions periodically; doc-store compaction is a roadmap
-    /// item.
+    /// Document texts interned by removed tuples are reclaimed by
+    /// doc-store compaction: automatically under a
+    /// [`SessionBuilder::doc_gc`] threshold policy, or explicitly via
+    /// [`Session::compact_docs`].
     pub fn remove_relation(&mut self, name: &str) -> Result<()> {
         // Existence check before db_mut: Arc::make_mut would deep-clone
         // a snapshot-shared database just to fail.
@@ -434,6 +565,7 @@ impl Session {
         }
         self.db_mut().remove(name);
         self.invalidate_program();
+        self.maybe_compact_docs();
         Ok(())
     }
 
@@ -524,6 +656,61 @@ impl Session {
     }
 
     // ------------------------------------------------------------------
+    // Document lifecycle
+    // ------------------------------------------------------------------
+
+    /// Compacts the document store now: documents referenced by no span
+    /// in any relation (extensional or derived) and no resident IE-memo
+    /// entry are tombstoned and their text released. Surviving ids are
+    /// unchanged, so spans held by the host stay valid; the store's
+    /// epoch is bumped. Snapshots taken earlier keep their own frozen
+    /// store (copy-on-write).
+    ///
+    /// When everything is live the pass returns a zero report *without*
+    /// touching the store — in particular, without forcing the
+    /// copy-on-write database clone a live [`Snapshot`] would otherwise
+    /// pay — and the epoch stays put.
+    pub fn compact_docs(&mut self) -> CompactionReport {
+        let mut refs = DocRefCounts::new();
+        for (_, relation) in self.db.iter() {
+            for tuple in relation.iter() {
+                refs.retain_tuple(tuple);
+            }
+        }
+        if let Some(cache) = &self.ie_cache {
+            cache.lock().mark_doc_roots(&mut refs);
+        }
+        let docs = &self.db.docs;
+        let report = if docs.iter().all(|(id, _)| refs.is_live(id)) {
+            CompactionReport {
+                epoch: docs.epoch(),
+                removed_docs: 0,
+                kept_docs: docs.len(),
+                reclaimed_bytes: 0,
+                live_bytes: docs.bytes(),
+            }
+        } else {
+            self.db_mut().docs.compact(|id| refs.is_live(id))
+        };
+        if let DocGc::Threshold { bytes } = self.doc_gc {
+            self.gc_rearm_bytes = report.live_bytes + bytes;
+        }
+        report
+    }
+
+    /// Runs a compaction pass if the configured [`DocGc`] policy says
+    /// the store has outgrown its watermark — with hysteresis: after a
+    /// pass, the next one arms only once resident bytes grow a full
+    /// threshold past what survived. Called after eviction-shaped
+    /// mutations (`remove_relation`, replacing imports).
+    fn maybe_compact_docs(&mut self) {
+        let bytes = self.db.docs.bytes();
+        if self.doc_gc.should_compact(bytes) && bytes > self.gc_rearm_bytes {
+            self.compact_docs();
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Fixpoint
     // ------------------------------------------------------------------
 
@@ -560,6 +747,7 @@ impl Session {
             &self.registry,
             self.strategy,
             self.limits,
+            self.ie_cache.as_ref(),
         )?;
         // Generations are read *after* the run: rules may derive into
         // extensional heads, and those inserts must not look like fresh

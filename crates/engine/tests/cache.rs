@@ -1,0 +1,260 @@
+//! Integration tests for the `spannerlib_cache` subsystem: memoized IE
+//! evaluation (hit accounting, invalidation on re-registration) and the
+//! refcounted document-store lifecycle (bounded memory under long-lived
+//! churn, compaction correctness, snapshot sharing).
+
+use spannerlog_engine::{DocGc, Session};
+
+/// One synthetic "clinical note"-sized document, unique per round.
+fn churn_doc(round: usize) -> String {
+    let mut text = format!("note {round}: ");
+    for w in 0..300 {
+        text.push_str(&format!("word{round}x{w} "));
+        if w % 10 == 0 {
+            text.push_str(&format!("code-{round}-{w} "));
+        }
+    }
+    text
+}
+
+const CHURN_RULE: &str = r#"Code(d, s) <- Texts(d, t), rgx("code-[0-9]+-[0-9]+", t) -> (s)"#;
+
+/// The ROADMAP churn scenario: a long-lived session streaming distinct
+/// documents through import → execute → remove_relation. With a GC
+/// threshold configured, doc-store bytes stay bounded — compaction
+/// reclaims removed documents instead of growing without bound.
+#[test]
+fn long_lived_churn_keeps_doc_store_bounded() {
+    const MEMO_BUDGET: usize = 32 * 1024;
+    const GC_WATERMARK: usize = 64 * 1024;
+    let mut session = Session::builder()
+        .ie_cache_capacity(MEMO_BUDGET)
+        .doc_gc(DocGc::Threshold {
+            bytes: GC_WATERMARK,
+        })
+        .build();
+    session
+        .import_typed("Texts", vec![("d".to_string(), churn_doc(0))])
+        .unwrap();
+    session.run(CHURN_RULE).unwrap();
+    let query = session.prepare("?Code(d, s)").unwrap();
+
+    let mut total_text_bytes = 0usize;
+    let mut peak_bytes = 0usize;
+    for round in 0..100 {
+        let text = churn_doc(round);
+        total_text_bytes += text.len();
+        session
+            .import_typed("Texts", vec![(format!("doc-{round}"), text)])
+            .unwrap();
+        let out = query.execute(&mut session).unwrap();
+        assert!(out.num_rows() > 0, "round {round} extracted nothing");
+        session.remove_relation("Texts").unwrap();
+        peak_bytes = peak_bytes.max(session.docs().bytes());
+    }
+
+    // The stream interned far more text than the bound we assert.
+    assert!(
+        total_text_bytes > 180 * 1024,
+        "workload too small to prove anything"
+    );
+    // Bounded: watermark + one in-flight document + memo-pinned docs
+    // (the memo's byte budget also bounds what it can root).
+    let bound = GC_WATERMARK + MEMO_BUDGET + 8 * 1024;
+    assert!(
+        peak_bytes < bound,
+        "doc store peaked at {peak_bytes} bytes (bound {bound})"
+    );
+    assert!(
+        session.docs().epoch() > 0,
+        "threshold policy never ran a compaction pass"
+    );
+
+    // The derived relation still roots the final round's document —
+    // compaction is exact, not eager.
+    session.clear_ie_cache();
+    let partial = session.compact_docs();
+    assert_eq!(partial.kept_docs, 1, "Code(d, s) spans pin the last doc");
+
+    // Dropping that last root releases everything.
+    session.remove_relation("Code").unwrap();
+    let report = session.compact_docs();
+    assert_eq!(session.docs().bytes(), 0, "final report: {report:?}");
+    assert_eq!(session.docs().len(), 0);
+}
+
+/// Cold/warm accounting: re-running the fixpoint over unchanged
+/// documents serves IE calls from the memo, and the counters say so.
+#[test]
+fn warm_reruns_hit_the_memo() {
+    let mut session = Session::new();
+    session
+        .import_typed(
+            "Texts",
+            vec![
+                (
+                    "a".to_string(),
+                    "reach me at ann@work and bob@home".to_string(),
+                ),
+                ("b".to_string(), "nothing to see".to_string()),
+            ],
+        )
+        .unwrap();
+    session
+        .run(r#"Email(d, s) <- Texts(d, t), rgx_string("[a-z]+@[a-z]+", t) -> (s)"#)
+        .unwrap();
+    // A side relation the program reads, so bumping it forces reruns.
+    session.run("new Tick(int)\nTicked(x) <- Tick(x)").unwrap();
+    let query = session.prepare("?Email(d, s)").unwrap();
+
+    let cold = query.execute(&mut session).unwrap();
+    let after_cold = session.stats().cache;
+    assert!(after_cold.misses > 0);
+    assert_eq!(after_cold.hits, 0);
+
+    for i in 0..5 {
+        session.add_fact("Tick", [i64::from(i).into()]).unwrap();
+        let warm = query.execute(&mut session).unwrap();
+        assert_eq!(warm, cold);
+    }
+    let after_warm = session.stats().cache;
+    assert!(
+        after_warm.hits >= 5 * 2,
+        "five forced reruns over two documents should all hit: {after_warm:?}"
+    );
+    assert_eq!(
+        after_warm.misses, after_cold.misses,
+        "no new IE computation on warm reruns"
+    );
+}
+
+/// Re-registering a function under a cached name must invalidate its
+/// memoized results — the new body wins.
+#[test]
+fn reregistration_invalidates_memoized_results() {
+    let mut session = Session::new();
+    session.register("probe", Some(1), |args, _| Ok(vec![vec![args[0].clone()]]));
+    session
+        .run("new S(int)\nS(1)\nD(y) <- S(x), probe(x) -> (y)")
+        .unwrap();
+    let first: Vec<(i64,)> = session.export_typed("?D(y)").unwrap();
+    assert_eq!(first, vec![(1,)]);
+
+    session.register("probe", Some(1), |args, _| {
+        Ok(vec![vec![(args[0].as_int().unwrap() + 100).into()]])
+    });
+    let second: Vec<(i64,)> = session.export_typed("?D(y)").unwrap();
+    assert_eq!(second, vec![(101,)], "stale memo served the old body");
+}
+
+/// Uncached closures are re-invoked on every rerun even with the cache
+/// enabled.
+#[test]
+fn uncached_closures_bypass_the_memo() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let calls = Arc::new(AtomicUsize::new(0));
+    let seen = calls.clone();
+    let mut session = Session::builder()
+        .register_uncached("volatile", Some(1), move |args, _| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![vec![args[0].clone()]])
+        })
+        .build();
+    session
+        .run("new S(int)\nnew Tick(int)\nS(1)\nTicked(x) <- Tick(x)\nD(y) <- S(x), volatile(x) -> (y)")
+        .unwrap();
+    let query = session.prepare("?D(y)").unwrap();
+    query.execute(&mut session).unwrap();
+    let baseline = calls.load(Ordering::SeqCst);
+    session.add_fact("Tick", [1i64.into()]).unwrap();
+    query.execute(&mut session).unwrap();
+    assert!(
+        calls.load(Ordering::SeqCst) > baseline,
+        "uncached function was served from the memo"
+    );
+    assert_eq!(session.stats().cache.hits, 0);
+}
+
+/// Binding rows that share an argument tuple are deduplicated into one
+/// call for cacheable functions — but an *uncached* function is invoked
+/// once per row (its repeated calls may legitimately differ).
+#[test]
+fn shared_argument_rows_batch_only_for_cacheable_functions() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn run_with(register_uncached: bool) -> usize {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let f = move |args: &[spannerlib_core::Value],
+                      _: &mut spannerlog_engine::IeContext<'_>|
+              -> spannerlog_engine::Result<spannerlog_engine::IeOutput> {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![vec![args[0].clone()]])
+        };
+        let builder = Session::builder();
+        let mut session = if register_uncached {
+            builder.register_uncached("probe", Some(1), f).build()
+        } else {
+            builder.register("probe", Some(1), f).build()
+        };
+        // Three rows project the same argument value 7.
+        session
+            .import_typed("S", vec![(7i64, 1i64), (7, 2), (7, 3)])
+            .unwrap();
+        session.run("D(a, y) <- S(a, b), probe(a) -> (y)").unwrap();
+        session.ensure_evaluated().unwrap();
+        calls.load(Ordering::SeqCst)
+    }
+
+    assert_eq!(run_with(false), 1, "cacheable: one call per distinct tuple");
+    assert_eq!(run_with(true), 3, "uncached: one call per binding row");
+}
+
+/// Compaction keeps every id a live span references (across extensional
+/// *and* derived relations), and snapshots share the memo read-only.
+#[test]
+fn compaction_preserves_live_spans_and_snapshots_observe_stats() {
+    let mut session = Session::new();
+    session
+        .import_typed(
+            "Texts",
+            vec![
+                ("keep".to_string(), "alpha beta".to_string()),
+                ("drop".to_string(), "gamma delta".to_string()),
+            ],
+        )
+        .unwrap();
+    session
+        .run(r#"W(d, s) <- Texts(d, t), rgx("[a-z]+", t) -> (s)"#)
+        .unwrap();
+    session.ensure_evaluated().unwrap();
+    assert_eq!(session.docs().len(), 2);
+
+    // Re-import without the second text: its spans die with the next
+    // fixpoint; clearing the memo drops the last roots.
+    session
+        .import_typed(
+            "Texts",
+            vec![("keep".to_string(), "alpha beta".to_string())],
+        )
+        .unwrap();
+    session.ensure_evaluated().unwrap();
+    session.clear_ie_cache();
+    let report = session.compact_docs();
+    assert_eq!(report.removed_docs, 1);
+    assert_eq!(session.docs().len(), 1);
+
+    // Surviving spans still resolve to their text.
+    let words = session.relation("W").unwrap();
+    for tuple in words.sorted_tuples() {
+        let span = tuple[1].as_span().unwrap();
+        assert!(!session.span_text(span).unwrap().is_empty());
+    }
+
+    // Snapshots share the memo: stats observed through the snapshot
+    // match the session's.
+    let snapshot = session.snapshot().unwrap();
+    assert_eq!(snapshot.cache_stats(), session.stats().cache);
+}

@@ -153,6 +153,45 @@ fn fact_into_extensional_rule_head_retriggers_fixpoint() {
     assert_eq!(live.num_rows(), 2);
 }
 
+/// Per-tuple provenance regression: a relation that is both imported
+/// and a rule head must drop *stale derived* tuples when the rule's
+/// inputs are re-imported, while keeping host-asserted facts — exact
+/// re-import semantics, matching a fresh session per batch.
+#[test]
+fn reimport_retracts_stale_derived_tuples_from_extensional_heads() {
+    let mut session = Session::new();
+    session
+        .run(
+            r#"
+            new In(int)
+            new Out(int)
+            Out(99)
+            In(1)
+            Out(x) <- In(x)
+        "#,
+        )
+        .unwrap();
+    let query = session.prepare("?Out(x)").unwrap();
+    let first: Vec<(i64,)> = query.execute_typed(&mut session).unwrap();
+    assert_eq!(first, vec![(1,), (99,)]);
+
+    // Re-import the rule's input: Out(1) was derived from the old
+    // In(1) and must vanish; the fact Out(99) must survive.
+    session.import_typed("In", vec![(2i64,)]).unwrap();
+    let second: Vec<(i64,)> = query.execute_typed(&mut session).unwrap();
+    assert_eq!(second, vec![(2,), (99,)]);
+
+    // Repeated churn stays exact (no accumulation across batches).
+    for batch in [vec![(3i64,)], vec![(4i64,), (5,)], vec![]] {
+        session.import_typed("In", batch.clone()).unwrap();
+        let got: Vec<(i64,)> = query.execute_typed(&mut session).unwrap();
+        let mut expected: Vec<(i64,)> = batch;
+        expected.push((99,));
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+}
+
 /// Compile-time assertion: snapshots cross and are shared between
 /// threads.
 const _: () = {

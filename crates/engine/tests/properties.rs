@@ -1,6 +1,7 @@
 //! Property tests for the engine: the two evaluation strategies must be
-//! observationally equivalent on random Datalog programs, and aggregation
-//! must match a hand-rolled reference on random inputs.
+//! observationally equivalent on random Datalog programs, aggregation
+//! must match a hand-rolled reference on random inputs, and the IE memo
+//! cache must be semantically invisible (cache-on ≡ cache-off).
 
 use proptest::prelude::*;
 use spannerlib_core::Value;
@@ -18,6 +19,61 @@ fn load_graph(session: &mut Session, edges: &[(u8, u8)]) {
             .add_fact("Edge", [Value::Int(a as i64), Value::Int(b as i64)])
             .unwrap();
     }
+}
+
+/// Random short documents over a tiny alphabet, exercising matches,
+/// non-matches, and empty texts.
+fn texts_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..4, 0..24), 1..6)
+}
+
+fn render_text(codes: &[u8]) -> String {
+    codes
+        .iter()
+        .map(|c| ['a', 'b', ' ', 'x'][*c as usize])
+        .collect()
+}
+
+/// Random IE-heavy program shapes: span extraction with joins, scalar
+/// extraction with aggregation, boolean filters with negation.
+const IE_PROGRAMS: &[(&str, &[&str])] = &[
+    (
+        r#"
+        A(d, s) <- Texts(d, t), rgx("a+", t) -> (s)
+        B(d, s) <- Texts(d, t), rgx("b+", t) -> (s)
+        Pair(d, p, q) <- A(d, p), B(d, q)
+        "#,
+        &["A", "B", "Pair"],
+    ),
+    (
+        r#"
+        Tok(d, w) <- Texts(d, t), rgx_string("([ab]+)", t) -> (w)
+        Cnt(d, count(w)) <- Tok(d, w)
+        "#,
+        &["Tok", "Cnt"],
+    ),
+    (
+        r#"
+        HasX(d) <- Texts(d, t), rgx_is_match("x", t)
+        Plain(d) <- Texts(d, _), not HasX(d)
+        Mark(d, s) <- Texts(d, t), HasX(d), rgx("x", t) -> (s)
+        "#,
+        &["HasX", "Plain", "Mark"],
+    ),
+];
+
+fn import_texts(session: &mut Session, texts: &[Vec<u8>], round: usize) {
+    session
+        .import_typed(
+            "Texts",
+            texts
+                .iter()
+                .enumerate()
+                .map(|(i, codes)| (format!("d{i}"), render_text(codes)))
+                .skip(round % texts.len())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
 }
 
 proptest! {
@@ -82,6 +138,37 @@ proptest! {
             naive.relation("Dead").unwrap().sorted_tuples(),
             semi.relation("Dead").unwrap().sorted_tuples()
         );
+    }
+
+    /// The IE memo is semantically invisible: cache-on and cache-off
+    /// sessions agree tuple-for-tuple on random programs over random
+    /// documents, across re-imports that exercise warm-path replay.
+    #[test]
+    fn cache_on_and_off_agree_tuple_for_tuple(
+        texts in texts_strategy(),
+        prog in 0usize..IE_PROGRAMS.len(),
+    ) {
+        let (program, relations) = IE_PROGRAMS[prog];
+        let mut cached = Session::new();
+        let mut uncached = Session::builder().ie_cache_capacity(0).build();
+        for round in 0..3 {
+            import_texts(&mut cached, &texts, round);
+            import_texts(&mut uncached, &texts, round);
+            if round == 0 {
+                cached.run(program).unwrap();
+                uncached.run(program).unwrap();
+            }
+            for name in relations {
+                prop_assert_eq!(
+                    cached.relation(name).unwrap().sorted_tuples(),
+                    uncached.relation(name).unwrap().sorted_tuples(),
+                    "relation {} diverged on round {}", name, round
+                );
+            }
+        }
+        // The cached session actually exercised the memo.
+        let stats = cached.stats().cache;
+        prop_assert!(stats.hits + stats.misses > 0);
     }
 
     /// Aggregation: count/sum/min/max match a reference fold.

@@ -427,6 +427,6 @@ fn eval_stats_populated() {
         .unwrap();
     session.ensure_evaluated().unwrap();
     let stats = session.stats();
-    assert!(stats.rounds >= 2);
-    assert!(stats.tuples_new >= 3);
+    assert!(stats.eval.rounds >= 2);
+    assert!(stats.eval.tuples_new >= 3);
 }

@@ -103,6 +103,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`core`] | spans, documents, values, relations |
+//! | [`cache`] | IE memo table + doc-store lifecycle (GC) |
 //! | [`regex`] | the regex-formula (document spanner) engine |
 //! | [`dataframe`] | the columnar host-side table type |
 //! | [`parser`] | Spannerlog lexer/parser/AST |
@@ -112,6 +113,7 @@
 //! | [`codeast`] | minilang parser + AST pattern matcher |
 //! | [`covid`] | the §4.2 case study, both implementations |
 
+pub use spannerlib_cache as cache;
 pub use spannerlib_codeast as codeast;
 pub use spannerlib_core as core;
 pub use spannerlib_covid as covid;
@@ -124,14 +126,17 @@ pub use spannerlog_parser as parser;
 
 pub use spannerlib_core::{DocId, DocumentStore, Relation, Schema, Span, Tuple, Value, ValueType};
 pub use spannerlib_dataframe::DataFrame;
-pub use spannerlog_engine::{PreparedProgram, PreparedQuery, Session, SessionBuilder, Snapshot};
+pub use spannerlog_engine::{
+    CacheStats, DocGc, PreparedProgram, PreparedQuery, Session, SessionBuilder, SessionStats,
+    Snapshot,
+};
 
 /// Everything a typical embedding needs, in one import.
 pub mod prelude {
     pub use crate::core::{DocumentStore, Relation, Schema, Span, Tuple, Value, ValueType};
     pub use crate::dataframe::{DataFrame, FromRow, FromValue, IntoRow, IntoRows, IntoValue};
     pub use crate::engine::{
-        EngineError, EvalStrategy, IeFunction, PreparedProgram, PreparedQuery, Session,
-        SessionBuilder, Snapshot,
+        CacheStats, DocGc, EngineError, EvalStrategy, IeFunction, PreparedProgram, PreparedQuery,
+        Session, SessionBuilder, SessionStats, Snapshot,
     };
 }
