@@ -1,0 +1,34 @@
+//! Tracing overhead on the §4.2 case study: the same corpus
+//! classification at each [`TraceLevel`]. `Off` vs the untraceable
+//! shape of older revisions is gated separately by `trace_smoke`; this
+//! bench records what `Summary` bookkeeping and full `Spans` capture
+//! cost relative to each other.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spannerlib_covid::corpus::generate_corpus;
+use spannerlib_covid::spanner::SpannerPipeline;
+use spannerlog_engine::TraceLevel;
+use std::hint::black_box;
+
+fn bench_trace_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covid_trace_level");
+    group.sample_size(10);
+    let docs = generate_corpus(20, 42);
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    for (name, level) in [
+        ("off", TraceLevel::Off),
+        ("summary", TraceLevel::Summary),
+        ("spans", TraceLevel::Spans),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &docs, |b, d| {
+            b.iter(|| {
+                let mut pipeline = SpannerPipeline::with_tracing(level).unwrap();
+                pipeline.classify_corpus(black_box(d)).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_levels);
+criterion_main!(benches);

@@ -145,6 +145,16 @@ impl IeMemo {
         }
     }
 
+    /// Returns the current stats and resets the *activity* counters
+    /// (hits, misses, insertions, evictions, oversized) to zero. The
+    /// residency figures (`entries`/`bytes`) are reported as-is and
+    /// kept — they describe state, not activity.
+    pub fn take_stats(&mut self) -> CacheStats {
+        let out = self.stats();
+        self.stats = CacheStats::default();
+        out
+    }
+
     /// Looks up a call, counting a hit or miss and refreshing recency
     /// on hit.
     pub fn get(&mut self, key: &MemoKey) -> Option<Arc<MemoOutput>> {
@@ -388,6 +398,21 @@ mod tests {
         let stats = memo.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn take_stats_drains_activity_keeps_residency() {
+        let mut memo = IeMemo::new(1 << 20);
+        put(&mut memo, key("f", 1), rows(1));
+        memo.get(&key("f", 1));
+        memo.get(&key("f", 2));
+        let taken = memo.take_stats();
+        assert_eq!((taken.hits, taken.misses, taken.insertions), (1, 1, 1));
+        assert_eq!(taken.entries, 1);
+        let after = memo.stats();
+        assert_eq!((after.hits, after.misses, after.insertions), (0, 0, 0));
+        assert_eq!(after.entries, 1, "residency survives the drain");
+        assert!(after.bytes > 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use spannerlib_dataframe::DataFrame;
 use spannerlib_nlp::{
     ContextEngine, ModifierCategory, ModifierDirection, ModifierRule, PhraseMatcher,
 };
-use spannerlog_engine::{EngineError, PreparedQuery, Result, Session};
+use spannerlog_engine::{EngineError, EvalProfile, PreparedQuery, Result, Session, TraceLevel};
 use std::sync::Arc;
 
 /// The Spannerlog program (declarative orchestration).
@@ -57,6 +57,14 @@ impl SpannerPipeline {
     /// functions, imports the policy relations, loads the rules, and
     /// prepares the export queries.
     pub fn new() -> Result<SpannerPipeline> {
+        SpannerPipeline::with_tracing(TraceLevel::Off)
+    }
+
+    /// Like [`SpannerPipeline::new`], with evaluations traced at
+    /// `level` — after a [`SpannerPipeline::classify_corpus`] call,
+    /// [`SpannerPipeline::profile`] then holds the per-rule breakdown
+    /// of the fixpoint that classified the batch.
+    pub fn with_tracing(level: TraceLevel) -> Result<SpannerPipeline> {
         // Corpus batches repeat documents across classify_corpus calls
         // in notebook-style use, so keep the IE memo on (default
         // capacity) and let doc-store GC reclaim texts of replaced
@@ -65,6 +73,7 @@ impl SpannerPipeline {
             .doc_gc(spannerlog_engine::DocGc::Threshold {
                 bytes: 32 * 1024 * 1024,
             })
+            .tracing(level)
             .build();
 
         // Target matcher from CSV.
@@ -172,6 +181,13 @@ impl SpannerPipeline {
             .filter(|(r, d)| r.status == d.gold)
             .count();
         Ok(correct as f64 / docs.len() as f64)
+    }
+
+    /// Profile of the most recent evaluation (`None` unless the
+    /// pipeline was built with [`SpannerPipeline::with_tracing`] at
+    /// `Summary` or above and a corpus has been classified).
+    pub fn profile(&self) -> Option<Arc<EvalProfile>> {
+        self.session.profile()
     }
 
     /// Access to the underlying session (for ad-hoc queries in examples).

@@ -1,8 +1,72 @@
 //! Engine error type.
 
 use spannerlib_core::{CoreError, ValueType};
-use spannerlog_parser::ParseError;
+use spannerlog_parser::{caret_snippet, ParseError};
+use std::fmt;
 use thiserror::Error;
+
+/// The rule an evaluation limit is attributed to. For the row limit
+/// this is the rule whose insert crossed the bound; for the round limit
+/// — which only trips *between* rounds — it is the last rule that
+/// derived new tuples, i.e. the one still driving the fixpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitCulprit {
+    /// Head predicate of the rule.
+    pub head: String,
+    /// The rule's source text (as reconstructed by the parser).
+    pub source: String,
+    /// 1-based source line of the rule; `0` when unknown.
+    pub line: usize,
+}
+
+impl LimitCulprit {
+    /// A placeholder culprit for runs where no rule can be blamed
+    /// (e.g. an empty stratum still counts a round).
+    pub fn unknown() -> LimitCulprit {
+        LimitCulprit {
+            head: String::new(),
+            source: String::new(),
+            line: 0,
+        }
+    }
+
+    /// Whether a rule was actually attributed.
+    pub fn is_known(&self) -> bool {
+        !self.head.is_empty()
+    }
+
+    /// Renders a caret diagnostic pointing at the culprit rule's line in
+    /// `program_source` (the text the rules were parsed from), reusing
+    /// the parser's snippet machinery:
+    ///
+    /// ```text
+    ///   | Path(x, z) <- Path(x, y), Edge(y, z).
+    ///   | ^
+    /// ```
+    ///
+    /// Returns the bare culprit description when the rule is unknown or
+    /// the line is out of range of `program_source`.
+    pub fn snippet(&self, program_source: &str) -> String {
+        if !self.is_known() || self.line == 0 {
+            return self.to_string();
+        }
+        format!("{self}\n{}", caret_snippet(program_source, self.line, 1))
+    }
+}
+
+impl fmt::Display for LimitCulprit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(
+                f,
+                "while evaluating rule for {:?} (line {}): {}",
+                self.head, self.line, self.source
+            )
+        } else {
+            f.write_str("no single rule attributable")
+        }
+    }
+}
 
 /// Errors raised while loading or evaluating Spannerlog programs.
 #[derive(Debug, Error)]
@@ -58,13 +122,17 @@ pub enum EngineError {
     },
 
     /// A resource limit configured via `SessionBuilder` was exceeded
-    /// during evaluation.
-    #[error("evaluation exceeded the configured limit of {limit} {resource}")]
+    /// during evaluation. `culprit` names the rule the overrun is
+    /// attributed to (see [`LimitCulprit`]); a traced run additionally
+    /// keeps the partial per-stratum progress in its `EvalProfile`.
+    #[error("evaluation exceeded the configured limit of {limit} {resource} ({culprit})")]
     LimitExceeded {
         /// Which limit (e.g. "fixpoint rounds", "materialized rows").
         resource: &'static str,
         /// The configured bound.
         limit: usize,
+        /// The rule the overrun is attributed to.
+        culprit: Box<LimitCulprit>,
     },
 
     /// An atom used a relation with the wrong number of arguments.

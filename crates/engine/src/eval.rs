@@ -10,15 +10,22 @@
 //! Evaluation respects the session's [`EvalLimits`]: a bound on fixpoint
 //! rounds guards against runaway recursion, a bound on materialized
 //! tuples guards against blow-up — both surface as
-//! [`EngineError::LimitExceeded`].
+//! [`EngineError::LimitExceeded`], attributed to the culprit rule.
+//!
+//! Every run is threaded through a [`RunTrace`] (see `spannerlib_trace`):
+//! at `TraceLevel::Off` each call is a branch; at `Summary` per-rule and
+//! per-IE counters and wall times accumulate; at `Spans` the hierarchy
+//! execute → stratum → round → rule → join / IE batch is recorded as
+//! timed span events.
 
 use crate::database::Database;
-use crate::error::{EngineError, Result};
-use crate::plan::{self, RulePlan, Step};
+use crate::error::{EngineError, LimitCulprit, Result};
+use crate::plan::{self, ExecCtx, RulePlan, Step, TraceCtx};
 use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spannerlib_cache::SharedIeMemo;
 use spannerlib_core::Relation;
+use spannerlib_trace::{RunTrace, SpanId, SpanKind, NO_SPAN};
 
 /// Fixpoint algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,29 +48,46 @@ pub struct EvalLimits {
     pub max_rows: Option<usize>,
 }
 
+/// The rule a limit overrun is blamed on, as a boxed error payload.
+fn culprit_of(rule: Option<&RulePlan>) -> Box<LimitCulprit> {
+    Box::new(match rule {
+        Some(r) => LimitCulprit {
+            head: r.head_predicate.clone(),
+            source: r.source.clone(),
+            line: r.line,
+        },
+        None => LimitCulprit::unknown(),
+    })
+}
+
 impl EvalLimits {
-    fn check(&self, stats: &EvalStats) -> Result<()> {
+    /// The round bound trips *between* rounds, so `rule` is the last
+    /// rule that derived new tuples — the one still driving the
+    /// fixpoint.
+    fn check(&self, stats: &EvalStats, rule: Option<&RulePlan>) -> Result<()> {
         if let Some(max) = self.max_rounds {
             if stats.rounds > max {
                 return Err(EngineError::LimitExceeded {
                     resource: "fixpoint rounds",
                     limit: max,
+                    culprit: culprit_of(rule),
                 });
             }
         }
-        self.check_rows(stats)
+        self.check_rows(stats, rule)
     }
 
     /// The row bound is also checked inside the insert loops, so one
     /// round cannot materialize unboundedly far past the cap (tuples
     /// buffered while a single rule plan executes are only bounded once
-    /// that plan returns).
-    fn check_rows(&self, stats: &EvalStats) -> Result<()> {
+    /// that plan returns). `rule` is the rule whose insert crossed it.
+    fn check_rows(&self, stats: &EvalStats, rule: Option<&RulePlan>) -> Result<()> {
         if let Some(max) = self.max_rows {
             if stats.tuples_new > max {
                 return Err(EngineError::LimitExceeded {
                     resource: "materialized rows",
                     limit: max,
+                    culprit: culprit_of(rule),
                 });
             }
         }
@@ -84,56 +108,173 @@ pub struct EvalStats {
     pub tuples_new: usize,
 }
 
+/// Everything one evaluation run needs besides the database, the
+/// program, and the trace collector.
+pub struct EvalCtx<'a> {
+    /// IE / aggregate / conversion registry.
+    pub registry: &'a Registry,
+    /// Fixpoint algorithm.
+    pub strategy: EvalStrategy,
+    /// Resource limits.
+    pub limits: EvalLimits,
+    /// IE memo table, when enabled.
+    pub cache: Option<&'a SharedIeMemo>,
+}
+
+/// The trace scope of one stratum: the run collector plus the stratum's
+/// index, span, and per-rule profiling handles.
+struct StratumScope<'a, 'b> {
+    trace: &'a mut RunTrace,
+    stratum: usize,
+    rule_ids: &'b [usize],
+    span: SpanId,
+}
+
 /// Runs all strata to fixpoint, inserting derived tuples into `db`.
-/// `cache`, when set, memoizes IE calls across rounds and runs.
+/// `ctx.cache`, when set, memoizes IE calls across rounds and runs.
+/// Progress is reported through `trace` (free when tracing is off); on
+/// a limit abort the trace keeps the partial per-stratum progress.
 pub fn evaluate(
     db: &mut Database,
     strata: &[Vec<RulePlan>],
-    registry: &Registry,
-    strategy: EvalStrategy,
-    limits: EvalLimits,
-    cache: Option<&SharedIeMemo>,
+    ctx: &EvalCtx<'_>,
+    trace: &mut RunTrace,
 ) -> Result<EvalStats> {
     let mut stats = EvalStats::default();
-    for stratum in strata {
-        match strategy {
-            EvalStrategy::Naive => naive_stratum(db, stratum, registry, limits, cache, &mut stats)?,
-            EvalStrategy::SemiNaive => {
-                seminaive_stratum(db, stratum, registry, limits, cache, &mut stats)?
+    let root = trace.open(NO_SPAN, SpanKind::Execute, || {
+        format!("evaluate ({} strata)", strata.len())
+    });
+    for (si, stratum) in strata.iter().enumerate() {
+        let rule_ids: Vec<usize> = stratum
+            .iter()
+            .map(|r| trace.register_rule(si, &r.head_predicate, &r.source, r.line as u32))
+            .collect();
+        let t0 = trace.now_ns();
+        let span = trace.open(root, SpanKind::Stratum, || {
+            format!("stratum {si} ({} rules)", stratum.len())
+        });
+        let mut scope = StratumScope {
+            trace,
+            stratum: si,
+            rule_ids: &rule_ids,
+            span,
+        };
+        let result = match ctx.strategy {
+            EvalStrategy::Naive => naive_stratum(db, stratum, ctx, &mut stats, &mut scope),
+            EvalStrategy::SemiNaive => seminaive_stratum(db, stratum, ctx, &mut stats, &mut scope),
+        };
+        trace.stratum_done(si, t0);
+        trace.close(span);
+        result?;
+    }
+    trace.close(root);
+    Ok(stats)
+}
+
+/// Callback invoked for each genuinely new tuple a rule firing inserts.
+type OnNewTuple<'a> = &'a mut dyn FnMut(&mut Database, &spannerlib_core::Tuple) -> Result<()>;
+
+/// Executes one rule plan and inserts its derivations, reporting the
+/// firing to the trace (also on the limit-abort path, so an aborted run
+/// still profiles the culprit's partial work). Returns whether any
+/// tuple was new.
+fn fire_rule(
+    db: &mut Database,
+    rule: &RulePlan,
+    exec: &ExecCtx<'_>,
+    limits: EvalLimits,
+    stats: &mut EvalStats,
+    tr: &mut TraceCtx<'_>,
+    // Called once per genuinely new tuple (semi-naive delta seeding);
+    // `None` skips the tuple clone the callback would need.
+    mut on_new: Option<OnNewTuple<'_>>,
+) -> Result<bool> {
+    stats.rule_firings += 1;
+    let t0 = tr.trace.now_ns();
+    let derived = {
+        let (relations, docs) = db.split_mut();
+        plan::execute(rule, relations, docs, exec, tr)
+    };
+    let derived = match derived {
+        Ok(d) => d,
+        Err(e) => {
+            tr.trace.rule_fired(tr.rule, 0, 0, t0);
+            return Err(e);
+        }
+    };
+    stats.tuples_derived += derived.len();
+    let derived_n = derived.len() as u64;
+    let mut new_n = 0u64;
+    let mut limit_err = None;
+    for tuple in derived {
+        let inserted = match &mut on_new {
+            Some(f) => {
+                let inserted = db.insert_derived(&rule.head_predicate, tuple.clone())?;
+                if inserted {
+                    f(db, &tuple)?;
+                }
+                inserted
+            }
+            None => db.insert_derived(&rule.head_predicate, tuple)?,
+        };
+        if inserted {
+            stats.tuples_new += 1;
+            new_n += 1;
+            if let Err(e) = limits.check_rows(stats, Some(rule)) {
+                limit_err = Some(e);
+                break;
             }
         }
     }
-    Ok(stats)
+    tr.trace.rule_fired(tr.rule, derived_n, new_n, t0);
+    match limit_err {
+        Some(e) => Err(e),
+        None => Ok(new_n > 0),
+    }
 }
 
 fn naive_stratum(
     db: &mut Database,
     rules: &[RulePlan],
-    registry: &Registry,
-    limits: EvalLimits,
-    cache: Option<&SharedIeMemo>,
+    ctx: &EvalCtx<'_>,
     stats: &mut EvalStats,
+    scope: &mut StratumScope<'_, '_>,
 ) -> Result<()> {
     let no_deltas: FxHashMap<String, Relation> = FxHashMap::default();
+    let exec = ExecCtx {
+        registry: ctx.registry,
+        delta_at: None,
+        deltas: &no_deltas,
+        cache: ctx.cache,
+    };
+    // Last rule to derive a new tuple — the round-limit culprit.
+    let mut driver: Option<usize> = None;
     loop {
         stats.rounds += 1;
+        scope.trace.round(scope.stratum);
+        let rounds = stats.rounds;
+        let round_span = scope
+            .trace
+            .open(scope.span, SpanKind::Round, || format!("round {rounds}"));
         let mut changed = false;
-        for rule in rules {
-            stats.rule_firings += 1;
-            let derived = {
-                let (relations, docs) = db.split_mut();
-                plan::execute(rule, relations, docs, registry, None, &no_deltas, cache)?
+        for (ri, rule) in rules.iter().enumerate() {
+            let rule_span = scope
+                .trace
+                .open(round_span, SpanKind::Rule, || rule.source.clone());
+            let mut tr = TraceCtx {
+                trace: &mut *scope.trace,
+                rule: scope.rule_ids[ri],
+                parent: rule_span,
             };
-            stats.tuples_derived += derived.len();
-            for tuple in derived {
-                if db.insert_derived(&rule.head_predicate, tuple)? {
-                    stats.tuples_new += 1;
-                    changed = true;
-                    limits.check_rows(stats)?;
-                }
+            let fired = fire_rule(db, rule, &exec, ctx.limits, stats, &mut tr, None);
+            scope.trace.close(rule_span);
+            if fired? {
+                changed = true;
+                driver = Some(ri);
             }
         }
-        limits.check(stats)?;
+        scope.trace.close(round_span);
+        ctx.limits.check(stats, driver.map(|ri| &rules[ri]))?;
         if !changed {
             return Ok(());
         }
@@ -143,10 +284,9 @@ fn naive_stratum(
 fn seminaive_stratum(
     db: &mut Database,
     rules: &[RulePlan],
-    registry: &Registry,
-    limits: EvalLimits,
-    cache: Option<&SharedIeMemo>,
+    ctx: &EvalCtx<'_>,
     stats: &mut EvalStats,
+    scope: &mut StratumScope<'_, '_>,
 ) -> Result<()> {
     // Heads of this stratum: atoms over them are "recursive" here.
     let heads: FxHashSet<&str> = rules.iter().map(|r| r.head_predicate.as_str()).collect();
@@ -156,35 +296,57 @@ fn seminaive_stratum(
     // facts). New tuples seed the deltas.
     let mut deltas: FxHashMap<String, Relation> = FxHashMap::default();
     let no_deltas: FxHashMap<String, Relation> = FxHashMap::default();
+    let mut driver: Option<usize> = None;
     stats.rounds += 1;
-    for rule in rules {
-        stats.rule_firings += 1;
-        let derived = {
-            let (relations, docs) = db.split_mut();
-            plan::execute(rule, relations, docs, registry, None, &no_deltas, cache)?
+    scope.trace.round(scope.stratum);
+    let round_span = scope
+        .trace
+        .open(scope.span, SpanKind::Round, || "round 1".to_string());
+    for (ri, rule) in rules.iter().enumerate() {
+        let exec = ExecCtx {
+            registry: ctx.registry,
+            delta_at: None,
+            deltas: &no_deltas,
+            cache: ctx.cache,
         };
-        stats.tuples_derived += derived.len();
-        for tuple in derived {
-            if db.insert_derived(&rule.head_predicate, tuple.clone())? {
-                stats.tuples_new += 1;
-                limits.check_rows(stats)?;
-                let rel = db.relation(&rule.head_predicate)?;
-                deltas
-                    .entry(rule.head_predicate.clone())
-                    .or_insert_with(|| Relation::new(rel.schema().clone()))
-                    .insert(tuple)?;
-            }
+        let rule_span = scope
+            .trace
+            .open(round_span, SpanKind::Rule, || rule.source.clone());
+        let mut tr = TraceCtx {
+            trace: &mut *scope.trace,
+            rule: scope.rule_ids[ri],
+            parent: rule_span,
+        };
+        let head = rule.head_predicate.clone();
+        let mut seed = |db: &mut Database, tuple: &spannerlib_core::Tuple| {
+            let rel = db.relation(&head)?;
+            deltas
+                .entry(head.clone())
+                .or_insert_with(|| Relation::new(rel.schema().clone()))
+                .insert(tuple.clone())?;
+            Ok(())
+        };
+        let fired = fire_rule(db, rule, &exec, ctx.limits, stats, &mut tr, Some(&mut seed));
+        scope.trace.close(rule_span);
+        if fired? {
+            driver = Some(ri);
         }
     }
-    limits.check(stats)?;
+    scope.trace.close(round_span);
+    ctx.limits.check(stats, driver.map(|ri| &rules[ri]))?;
 
     // Subsequent rounds: for each rule and each scan step over a
     // recursive predicate, run the variant with that step reading the
     // delta. Rules without recursive scans fired completely in round 1.
     while deltas.values().any(|d| !d.is_empty()) {
         stats.rounds += 1;
+        scope.trace.round(scope.stratum);
+        let rounds = stats.rounds;
+        let round_span = scope
+            .trace
+            .open(scope.span, SpanKind::Round, || format!("round {rounds}"));
         let mut next_deltas: FxHashMap<String, Relation> = FxHashMap::default();
-        for rule in rules {
+        for (ri, rule) in rules.iter().enumerate() {
             let recursive_steps: Vec<usize> = rule
                 .steps
                 .iter()
@@ -195,34 +357,38 @@ fn seminaive_stratum(
                 })
                 .collect();
             for step_idx in recursive_steps {
-                stats.rule_firings += 1;
-                let derived = {
-                    let (relations, docs) = db.split_mut();
-                    plan::execute(
-                        rule,
-                        relations,
-                        docs,
-                        registry,
-                        Some(step_idx),
-                        &deltas,
-                        cache,
-                    )?
+                let exec = ExecCtx {
+                    registry: ctx.registry,
+                    delta_at: Some(step_idx),
+                    deltas: &deltas,
+                    cache: ctx.cache,
                 };
-                stats.tuples_derived += derived.len();
-                for tuple in derived {
-                    if db.insert_derived(&rule.head_predicate, tuple.clone())? {
-                        stats.tuples_new += 1;
-                        limits.check_rows(stats)?;
-                        let rel = db.relation(&rule.head_predicate)?;
-                        next_deltas
-                            .entry(rule.head_predicate.clone())
-                            .or_insert_with(|| Relation::new(rel.schema().clone()))
-                            .insert(tuple)?;
-                    }
+                let rule_span = scope
+                    .trace
+                    .open(round_span, SpanKind::Rule, || rule.source.clone());
+                let mut tr = TraceCtx {
+                    trace: &mut *scope.trace,
+                    rule: scope.rule_ids[ri],
+                    parent: rule_span,
+                };
+                let head = rule.head_predicate.clone();
+                let mut seed = |db: &mut Database, tuple: &spannerlib_core::Tuple| {
+                    let rel = db.relation(&head)?;
+                    next_deltas
+                        .entry(head.clone())
+                        .or_insert_with(|| Relation::new(rel.schema().clone()))
+                        .insert(tuple.clone())?;
+                    Ok(())
+                };
+                let fired = fire_rule(db, rule, &exec, ctx.limits, stats, &mut tr, Some(&mut seed));
+                scope.trace.close(rule_span);
+                if fired? {
+                    driver = Some(ri);
                 }
             }
         }
-        limits.check(stats)?;
+        scope.trace.close(round_span);
+        ctx.limits.check(stats, driver.map(|ri| &rules[ri]))?;
         deltas = next_deltas;
     }
     Ok(())

@@ -200,6 +200,10 @@ where
 /// miss calls it and stores the result. Uncacheable functions and
 /// cache-off sessions fall straight through. The memo lock is never
 /// held across the user function.
+///
+/// The second return value reports the memo outcome for tracing:
+/// `Some(true)` hit, `Some(false)` miss, `None` when the call bypassed
+/// the memo entirely.
 pub(crate) fn cached_ie_call(
     f: &dyn IeFunction,
     name: &str,
@@ -207,14 +211,14 @@ pub(crate) fn cached_ie_call(
     n_outputs: usize,
     docs: &mut DocumentStore,
     cache: Option<&SharedIeMemo>,
-) -> Result<Arc<IeOutput>> {
+) -> Result<(Arc<IeOutput>, Option<bool>)> {
     let Some(cache) = cache.filter(|_| f.cacheable()) else {
         let mut ctx = IeContext::new(docs);
-        return Ok(Arc::new(f.call(args, n_outputs, &mut ctx)?));
+        return Ok((Arc::new(f.call(args, n_outputs, &mut ctx)?), None));
     };
     let key = MemoKey::new(name, args, n_outputs);
     if let Some(hit) = cache.lock().get(&key) {
-        return Ok(hit);
+        return Ok((hit, Some(true)));
     }
     let mut ctx = IeContext::new(docs);
     let out = Arc::new(f.call(args, n_outputs, &mut ctx)?);
@@ -223,7 +227,7 @@ pub(crate) fn cached_ie_call(
     cache.lock().insert(key, out.clone(), |id| {
         docs.resolve(id).map(|t| t.len()).unwrap_or(0)
     });
-    Ok(out)
+    Ok((out, Some(false)))
 }
 
 /// Helper for boolean *filter* functions (zero outputs): `true` keeps the

@@ -48,7 +48,7 @@ pub mod session;
 pub mod strata;
 
 pub use database::Database;
-pub use error::{EngineError, Result};
+pub use error::{EngineError, LimitCulprit, Result};
 pub use eval::{EvalLimits, EvalStats, EvalStrategy};
 pub use ie::{filter_output, IeContext, IeFunction, IeOutput, TextArg};
 pub use prepared::{CompiledProgram, PreparedProgram, PreparedQuery, Snapshot};
@@ -58,3 +58,9 @@ pub use session::{Session, SessionBuilder, SessionStats, DEFAULT_IE_CACHE_BYTES}
 // configure sessions without depending on spannerlib-cache directly.
 pub use spannerlib_cache::{CacheStats, DocGc};
 pub use spannerlib_core::CompactionReport;
+// Observability vocabulary from the trace crate, re-exported so hosts
+// configure tracing and consume profiles without a direct dependency.
+pub use spannerlib_trace::{
+    EvalProfile, IeFunctionProfile, NullTracer, RingTracer, RuleProfile, SpanEvent, SpanKind,
+    StratumProfile, TraceLevel, Tracer,
+};

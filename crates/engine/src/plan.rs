@@ -13,6 +13,7 @@ use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spannerlib_cache::SharedIeMemo;
 use spannerlib_core::{DocumentStore, Relation, Tuple, Value};
+use spannerlib_trace::{RunTrace, SpanId, SpanKind};
 use spannerlog_parser::CmpOp;
 
 /// A term resolved against the rule's variable table.
@@ -94,6 +95,9 @@ pub struct RulePlan {
     pub var_names: Vec<String>,
     /// Source line of the rule.
     pub line: usize,
+    /// The rule's source text as reconstructed by the parser
+    /// (diagnostics: limit attribution, trace labels).
+    pub source: String,
     /// `(predicate, through_negation_or_aggregation)` dependencies for
     /// stratification.
     pub dependencies: Vec<(String, bool)>,
@@ -111,19 +115,43 @@ impl RulePlan {
 /// A binding row: `None` = variable not yet bound.
 type Row = Vec<Option<Value>>;
 
+/// The execution environment of [`execute`], bundled so the signature
+/// stays within clippy's argument budget as instrumentation grew.
+pub struct ExecCtx<'a> {
+    /// IE / aggregate / conversion registry.
+    pub registry: &'a Registry,
+    /// Step index whose scan reads from `deltas` instead of `relations`
+    /// (semi-naive evaluation); `None` for a full evaluation.
+    pub delta_at: Option<usize>,
+    /// Per-round deltas of recursive predicates.
+    pub deltas: &'a FxHashMap<String, Relation>,
+    /// IE memo table, when enabled.
+    pub cache: Option<&'a SharedIeMemo>,
+}
+
+/// Where one [`execute`] call reports its trace data: the run's
+/// collector, the rule's profiling handle, and the enclosing rule span.
+pub struct TraceCtx<'a> {
+    /// The evaluation run's collector.
+    pub trace: &'a mut RunTrace,
+    /// Handle from `RunTrace::register_rule` for the executing rule.
+    pub rule: usize,
+    /// The rule span join/IE-batch spans nest under.
+    pub parent: SpanId,
+}
+
 /// Executes `plan` against the given relations, returning the derived
-/// head tuples. `delta_at`, when set, makes the scan at that step index
-/// read from `deltas` instead of `relations` (semi-naive evaluation).
-/// `cache`, when set, memoizes IE calls across rows, reruns, and
-/// executions.
+/// head tuples. `ctx.delta_at`, when set, makes the scan at that step
+/// index read from `ctx.deltas` instead of `relations` (semi-naive
+/// evaluation). `ctx.cache`, when set, memoizes IE calls across rows,
+/// reruns, and executions. Join and IE-batch work is reported through
+/// `tr` (every call is a no-op when tracing is off).
 pub fn execute(
     plan: &RulePlan,
     relations: &FxHashMap<String, Relation>,
     docs: &mut DocumentStore,
-    registry: &Registry,
-    delta_at: Option<usize>,
-    deltas: &FxHashMap<String, Relation>,
-    cache: Option<&SharedIeMemo>,
+    ctx: &ExecCtx<'_>,
+    tr: &mut TraceCtx<'_>,
 ) -> Result<Vec<Tuple>> {
     let n_vars = plan.var_names.len();
     let empty = Relation::new(spannerlib_core::Schema::empty());
@@ -135,19 +163,25 @@ pub fn execute(
         }
         match step {
             Step::Scan { relation, terms } => {
-                let rel = if delta_at == Some(i) {
-                    deltas.get(relation.as_str()).unwrap_or(&empty)
+                let rel = if ctx.delta_at == Some(i) {
+                    ctx.deltas.get(relation.as_str()).unwrap_or(&empty)
                 } else {
                     relations.get(relation.as_str()).unwrap_or(&empty)
                 };
-                rows = scan_join(rows, rel, terms, relation)?;
+                tr.trace.join_scanned(tr.rule, rel.len() as u64);
+                let span = tr
+                    .trace
+                    .open(tr.parent, SpanKind::Join, || format!("scan {relation}"));
+                let joined = scan_join(rows, rel, terms, relation);
+                tr.trace.close(span);
+                rows = joined?;
             }
             Step::Ie {
                 function,
                 inputs,
                 outputs,
             } => {
-                let f = registry.ie(function)?.clone();
+                let f = ctx.registry.ie(function)?.clone();
                 // Batch rows by their concrete argument tuple:
                 // *cacheable* IE functions are stateless, so each
                 // distinct tuple is invoked (or memo-probed) exactly
@@ -176,10 +210,17 @@ pub fn execute(
                         }
                     }
                 }
+                let span = tr.trace.open(tr.parent, SpanKind::IeBatch, || {
+                    format!("{function} ×{}", groups.len())
+                });
                 let mut next = Vec::new();
                 for (args, group_rows) in groups {
-                    let out_rows =
-                        cached_ie_call(&*f, function, &args, outputs.len(), docs, cache)?;
+                    // Error paths may leak `span`; RunTrace::finish
+                    // closes leaked spans at the abort timestamp.
+                    let t0 = tr.trace.now_ns();
+                    let (out_rows, memo_hit) =
+                        cached_ie_call(&*f, function, &args, outputs.len(), docs, ctx.cache)?;
+                    tr.trace.ie_call(function, memo_hit, t0);
                     for out in out_rows.iter() {
                         if out.len() != outputs.len() {
                             return Err(EngineError::IeOutputArity {
@@ -197,6 +238,7 @@ pub fn execute(
                         }
                     }
                 }
+                tr.trace.close(span);
                 rows = dedupe(next);
             }
             Step::Negation { relation, terms } => {
@@ -220,7 +262,7 @@ pub fn execute(
         }
     }
 
-    project_head(plan, rows, docs, registry)
+    project_head(plan, rows, docs, ctx.registry)
 }
 
 fn term_value<'r>(t: &'r PTerm, row: &'r Row) -> &'r Value {

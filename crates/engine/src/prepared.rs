@@ -203,6 +203,9 @@ pub struct Snapshot {
     /// its own handle, and a snapshot's frozen store is never
     /// compacted.)
     cache: Option<spannerlib_cache::SharedIeMemo>,
+    /// Profile of the fixpoint run that produced the frozen state
+    /// (`None` when the session evaluated with tracing off).
+    profile: Option<Arc<spannerlib_trace::EvalProfile>>,
 }
 
 impl std::fmt::Debug for Snapshot {
@@ -210,6 +213,7 @@ impl std::fmt::Debug for Snapshot {
         f.debug_struct("Snapshot")
             .field("relations", &self.db.iter().count())
             .field("cache_shared", &self.cache.is_some())
+            .field("profiled", &self.profile.is_some())
             .finish()
     }
 }
@@ -225,8 +229,9 @@ impl Snapshot {
     pub(crate) fn new(
         db: Arc<Database>,
         cache: Option<spannerlib_cache::SharedIeMemo>,
+        profile: Option<Arc<spannerlib_trace::EvalProfile>>,
     ) -> Snapshot {
-        Snapshot { db, cache }
+        Snapshot { db, cache, profile }
     }
 
     /// Lifetime counters of the shared IE memo (all zero when the
@@ -236,6 +241,14 @@ impl Snapshot {
             .as_ref()
             .map(|c| c.lock().stats())
             .unwrap_or_default()
+    }
+
+    /// Profile of the evaluation that produced this snapshot's derived
+    /// state — `None` when the session traced at `TraceLevel::Off` (see
+    /// `SessionBuilder::tracing`). Snapshot queries themselves are pure
+    /// reads and add nothing to it.
+    pub fn profile(&self) -> Option<Arc<spannerlib_trace::EvalProfile>> {
+        self.profile.clone()
     }
 
     /// Evaluates a query string against the frozen data.

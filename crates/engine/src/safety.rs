@@ -321,6 +321,7 @@ pub fn analyze(rule: &Rule, ctx: &SafetyContext<'_>) -> Result<RulePlan> {
         head,
         var_names,
         line: rule.line,
+        source: rule.to_string(),
         dependencies,
     })
 }

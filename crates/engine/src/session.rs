@@ -27,7 +27,7 @@
 
 use crate::database::Database;
 use crate::error::{EngineError, Result};
-use crate::eval::{evaluate, EvalLimits, EvalStats, EvalStrategy};
+use crate::eval::{evaluate, EvalCtx, EvalLimits, EvalStats, EvalStrategy};
 use crate::ie::{IeContext, IeFunction, IeOutput};
 use crate::prepared::{
     parse_single_query, CompiledProgram, PreparedProgram, PreparedQuery, Snapshot,
@@ -41,6 +41,7 @@ use spannerlib_core::{
     CompactionReport, DocId, DocumentStore, Relation, Schema, Span, Tuple, Value,
 };
 use spannerlib_dataframe::{DataFrame, FromRow, IntoRows};
+use spannerlib_trace::{EvalProfile, RunTrace, TraceLevel, Tracer};
 use spannerlog_parser::{parse_program, Query, Rule, Statement};
 use std::sync::Arc;
 
@@ -90,6 +91,9 @@ pub struct SessionBuilder {
     registry: Registry,
     ie_cache_capacity: usize,
     doc_gc: DocGc,
+    trace_level: TraceLevel,
+    tracer: Option<Arc<dyn Tracer>>,
+    trace_buffer_bytes: usize,
 }
 
 impl Default for SessionBuilder {
@@ -100,6 +104,9 @@ impl Default for SessionBuilder {
             registry: Registry::new(),
             ie_cache_capacity: DEFAULT_IE_CACHE_BYTES,
             doc_gc: DocGc::Disabled,
+            trace_level: TraceLevel::Off,
+            tracer: None,
+            trace_buffer_bytes: 0,
         }
     }
 }
@@ -159,6 +166,38 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets how much each evaluation records ([`TraceLevel::Off`] by
+    /// default): `Summary` produces an [`EvalProfile`] (per-rule and
+    /// per-IE-function counters and wall times, read via
+    /// [`Session::profile`]); `Spans` additionally records hierarchical
+    /// timed span events into a byte-bounded ring buffer. At `Off` the
+    /// evaluation hot path pays only a branch per instrumentation site.
+    pub fn tracing(mut self, level: TraceLevel) -> SessionBuilder {
+        self.trace_level = level;
+        self
+    }
+
+    /// Attaches a long-lived [`Tracer`] sink: after every evaluation the
+    /// session feeds it the run's span events and [`EvalProfile`]. The
+    /// effective level of each run is the *maximum* of the builder's
+    /// [`SessionBuilder::tracing`] level and the tracer's own
+    /// [`Tracer::level`], so attaching e.g. a
+    /// `RingTracer::new(TraceLevel::Spans, …)` turns recording on by
+    /// itself.
+    pub fn tracer(mut self, tracer: Arc<dyn Tracer>) -> SessionBuilder {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Byte budget of the per-run span ring buffer (`0`, the default,
+    /// selects `spannerlib_trace::DEFAULT_SPAN_BUFFER_BYTES`). Only
+    /// relevant at [`TraceLevel::Spans`]; when the buffer fills, the
+    /// *oldest* spans of the run are dropped first.
+    pub fn trace_buffer_bytes(mut self, bytes: usize) -> SessionBuilder {
+        self.trace_buffer_bytes = bytes;
+        self
+    }
+
     /// Seeds the IE registry with a closure (same contract as
     /// [`Session::register`]).
     pub fn register<F>(mut self, name: &str, input_arity: Option<usize>, f: F) -> SessionBuilder
@@ -209,6 +248,10 @@ impl SessionBuilder {
             ie_cache,
             doc_gc: self.doc_gc,
             gc_rearm_bytes: 0,
+            trace_level: self.trace_level,
+            tracer: self.tracer,
+            trace_buffer_bytes: self.trace_buffer_bytes,
+            last_profile: None,
         }
     }
 }
@@ -244,6 +287,15 @@ pub struct Session {
     /// that permanently exceeds the watermark does not degenerate into
     /// a full no-op mark-and-sweep on every mutation.
     gc_rearm_bytes: usize,
+    /// The session's own trace level knob ([`SessionBuilder::tracing`]).
+    trace_level: TraceLevel,
+    /// Optional long-lived telemetry sink; may raise the effective level.
+    tracer: Option<Arc<dyn Tracer>>,
+    /// Span ring-buffer budget per run (`0` = library default).
+    trace_buffer_bytes: usize,
+    /// Profile of the most recent fixpoint run (including aborted ones);
+    /// `None` until a run happens with tracing at `Summary` or above.
+    last_profile: Option<Arc<EvalProfile>>,
 }
 
 impl Default for Session {
@@ -276,12 +328,58 @@ impl Session {
         self.last_eval = None;
     }
 
-    /// Statistics: the most recent fixpoint run plus the IE cache's
-    /// lifetime counters.
+    /// Statistics of the session, without resetting anything. The two
+    /// halves deliberately cover different windows:
+    ///
+    /// * `eval` describes only the **most recent** fixpoint run (all
+    ///   zero if evaluation was skipped because nothing changed);
+    /// * `cache` is **cumulative over the session's lifetime** (the memo
+    ///   table outlives individual runs by design).
+    ///
+    /// Use [`Session::take_stats`] for a read that also resets both
+    /// windows, e.g. to meter individual requests in a serving loop.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             eval: self.last_stats,
             cache: self.cache_stats(),
+        }
+    }
+
+    /// Returns the current [`SessionStats`] and resets both halves in
+    /// the same call: the eval counters go back to zero and the IE
+    /// cache's lifetime counters restart (resident `entries`/`bytes`
+    /// are *kept* — they describe state, not activity). Two consecutive
+    /// `take_stats` calls with no evaluation in between therefore
+    /// return activity counters of zero.
+    pub fn take_stats(&mut self) -> SessionStats {
+        SessionStats {
+            eval: std::mem::take(&mut self.last_stats),
+            cache: self
+                .ie_cache
+                .as_ref()
+                .map(|c| c.lock().take_stats())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Profile of the most recent fixpoint run — per-rule wall times,
+    /// firings, tuple counts, join rows scanned, and per-IE-function
+    /// call/memo/latency statistics. `None` until a run happens with
+    /// tracing enabled (see [`SessionBuilder::tracing`]). An aborted run
+    /// (limit exceeded) still leaves its partial profile here, with
+    /// [`EvalProfile::error`] set. Skipped evaluations (unchanged
+    /// inputs) keep the previous profile.
+    pub fn profile(&self) -> Option<Arc<EvalProfile>> {
+        self.last_profile.clone()
+    }
+
+    /// Changes the trace level of subsequent evaluations and forces the
+    /// next query to re-evaluate (so a freshly enabled level yields a
+    /// profile without requiring an input mutation).
+    pub fn set_tracing(&mut self, level: TraceLevel) {
+        if self.trace_level != level {
+            self.trace_level = level;
+            self.last_eval = None;
         }
     }
 
@@ -456,7 +554,11 @@ impl Session {
     /// the two share no mutable state.
     pub fn snapshot(&mut self) -> Result<Snapshot> {
         self.ensure_evaluated()?;
-        Ok(Snapshot::new(Arc::clone(&self.db), self.ie_cache.clone()))
+        Ok(Snapshot::new(
+            Arc::clone(&self.db),
+            self.ie_cache.clone(),
+            self.last_profile.clone(),
+        ))
     }
 
     /// The compiled program for the current rule set (cached until the
@@ -738,17 +840,35 @@ impl Session {
                 return Ok(());
             }
         }
+        let level = self.effective_trace_level();
+        let mut trace = RunTrace::new(level, self.trace_buffer_bytes);
         let db = Arc::make_mut(&mut self.db);
         db.clear_derived();
         self.last_eval = None;
-        self.last_stats = evaluate(
+        let result = evaluate(
             db,
             &program.strata,
-            &self.registry,
-            self.strategy,
-            self.limits,
-            self.ie_cache.as_ref(),
-        )?;
+            &EvalCtx {
+                registry: &self.registry,
+                strategy: self.strategy,
+                limits: self.limits,
+                cache: self.ie_cache.as_ref(),
+            },
+            &mut trace,
+        );
+        // Capture the profile before propagating errors: an aborted run
+        // leaves its partial per-stratum progress in `profile()`.
+        if let Some(profile) = trace.finish(result.as_ref().err().map(|e| e.to_string())) {
+            let profile = Arc::new(profile);
+            if let Some(tracer) = &self.tracer {
+                for span in &profile.spans {
+                    tracer.record_span(span);
+                }
+                tracer.record_profile(&profile);
+            }
+            self.last_profile = Some(profile);
+        }
+        self.last_stats = result?;
         // Generations are read *after* the run: rules may derive into
         // extensional heads, and those inserts must not look like fresh
         // external mutations on the next call.
@@ -761,6 +881,15 @@ impl Session {
                 .collect(),
         });
         Ok(())
+    }
+
+    /// The level evaluations actually record at: the builder knob or
+    /// the attached tracer's request, whichever is higher.
+    fn effective_trace_level(&self) -> TraceLevel {
+        match &self.tracer {
+            Some(t) => self.trace_level.max(t.level()),
+            None => self.trace_level,
+        }
     }
 
     /// Read access to the database for prepared-query execution.

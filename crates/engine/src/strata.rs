@@ -91,6 +91,7 @@ mod tests {
             head: vec![HeadOut::Const(spannerlib_core::Value::Int(0))],
             var_names: Vec::new(),
             line: 1,
+            source: format!("{head}() <- …."),
             dependencies: deps.iter().map(|(d, n)| (d.to_string(), *n)).collect(),
         }
     }

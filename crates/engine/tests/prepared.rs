@@ -351,7 +351,8 @@ fn limits_abort_runaway_evaluation() {
         capped_rounds.export("?Path(x, y)").unwrap_err(),
         EngineError::LimitExceeded {
             resource: "fixpoint rounds",
-            limit: 2
+            limit: 2,
+            ..
         }
     ));
 
@@ -361,7 +362,8 @@ fn limits_abort_runaway_evaluation() {
         capped_rows.export("?Path(x, y)").unwrap_err(),
         EngineError::LimitExceeded {
             resource: "materialized rows",
-            limit: 5
+            limit: 5,
+            ..
         }
     ));
 

@@ -1,0 +1,342 @@
+//! Observability integration tests: `EvalProfile` agreement with
+//! `EvalStats`, partial profiles and culprit attribution on aborted
+//! runs, tracer sinks, stats draining, span-buffer budgets, and the
+//! property that tracing never changes query results.
+
+use proptest::prelude::*;
+use spannerlib_trace::{SpanKind, TraceLevel, NO_SPAN};
+use spannerlog_engine::{EngineError, EvalStats, EvalStrategy, RingTracer, Session};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Transitive closure over a six-node chain: two strata worth of work
+/// packed into one, with recursion deep enough to need several rounds.
+const TC_PROGRAM: &str = "new Edge(int, int)
+Edge(1, 2) Edge(2, 3) Edge(3, 4) Edge(4, 5) Edge(5, 6) Edge(6, 7)
+Path(x, y) <- Edge(x, y)
+Path(x, z) <- Path(x, y), Edge(y, z)";
+
+/// A single IE-bearing rule over one document.
+const EMAIL_PROGRAM: &str = r#"new Texts(str)
+Texts("reach ann@gmail.com or bob@work.org")
+R(usr, dom) <- Texts(t), rgx_string("(\w+)@(\w+)\.\w+", t) -> (usr, dom)."#;
+
+fn traced_session(level: TraceLevel) -> Session {
+    Session::builder().tracing(level).build()
+}
+
+#[test]
+fn profile_counters_agree_with_eval_stats() {
+    let mut session = traced_session(TraceLevel::Summary);
+    session.run(TC_PROGRAM).unwrap();
+    assert_eq!(session.export("?Path(x, y)").unwrap().num_rows(), 21);
+
+    let profile = session.profile().expect("Summary level yields a profile");
+    let eval: EvalStats = session.stats().eval;
+    assert_eq!(profile.rounds, eval.rounds as u64);
+    assert_eq!(profile.rule_firings, eval.rule_firings as u64);
+    assert_eq!(profile.tuples_derived, eval.tuples_derived as u64);
+    assert_eq!(profile.tuples_new, eval.tuples_new as u64);
+    assert_eq!(profile.error, None);
+    assert_eq!(profile.level, TraceLevel::Summary);
+    assert!(profile.spans.is_empty(), "no span events below Spans");
+
+    // The per-rule breakdown sums back to the totals.
+    let rules: Vec<_> = profile.strata.iter().flat_map(|s| &s.rules).collect();
+    assert_eq!(rules.len(), 2);
+    assert_eq!(
+        rules.iter().map(|r| r.firings).sum::<u64>(),
+        profile.rule_firings
+    );
+    assert_eq!(
+        rules.iter().map(|r| r.tuples_new).sum::<u64>(),
+        profile.tuples_new
+    );
+    assert_eq!(
+        profile.strata.iter().map(|s| s.rounds).sum::<u64>(),
+        profile.rounds
+    );
+    assert!(rules.iter().all(|r| r.head == "Path" && r.line > 0));
+    assert!(rules.iter().any(|r| r.join_rows_scanned > 0));
+    assert!(rules.iter().any(|r| r.source.contains("Path")));
+}
+
+#[test]
+fn spans_level_records_a_well_formed_tree() {
+    let mut session = traced_session(TraceLevel::Spans);
+    session.run(TC_PROGRAM).unwrap();
+    session.export("?Path(x, y)").unwrap();
+
+    let profile = session.profile().unwrap();
+    assert!(!profile.spans.is_empty());
+    assert_eq!(profile.spans_dropped, 0);
+
+    // Exactly one root (the Execute span); every other parent resolves.
+    let ids: std::collections::HashSet<_> = profile.spans.iter().map(|s| s.id).collect();
+    let roots: Vec<_> = profile
+        .spans
+        .iter()
+        .filter(|s| s.parent == NO_SPAN)
+        .collect();
+    assert_eq!(roots.len(), 1);
+    assert_eq!(roots[0].kind, SpanKind::Execute);
+    for span in &profile.spans {
+        assert!(span.parent == NO_SPAN || ids.contains(&span.parent));
+    }
+    for kind in [SpanKind::Stratum, SpanKind::Round, SpanKind::Rule] {
+        assert!(
+            profile.spans.iter().any(|s| s.kind == kind),
+            "missing {kind:?} spans"
+        );
+    }
+    // Sorted by start time, and rule spans carry the rule source.
+    assert!(profile
+        .spans
+        .windows(2)
+        .all(|w| w[0].start_ns <= w[1].start_ns));
+    assert!(profile
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Rule)
+        .all(|s| s.label.contains("Path")));
+}
+
+#[test]
+fn ie_profile_counts_calls_memo_hits_and_latency() {
+    // Naive evaluation re-fires the rule until fixpoint, so the second
+    // round repeats the same IE call and hits the memo.
+    let mut session = Session::builder()
+        .strategy(EvalStrategy::Naive)
+        .tracing(TraceLevel::Summary)
+        .build();
+    session.run(EMAIL_PROGRAM).unwrap();
+    assert_eq!(session.export("?R(usr, dom)").unwrap().num_rows(), 2);
+
+    let profile = session.profile().unwrap();
+    let ie = profile
+        .ie_functions
+        .iter()
+        .find(|f| f.name == "rgx_string")
+        .expect("rgx_string profiled");
+    assert_eq!(ie.calls, 2);
+    assert_eq!(ie.memo_hits, 1);
+    assert_eq!(ie.memo_misses, 1);
+    assert_eq!(ie.calls, ie.memo_hits + ie.memo_misses);
+    assert_eq!(ie.latency.count, ie.calls);
+
+    // The span level adds IE-batch spans for the same run.
+    session.set_tracing(TraceLevel::Spans);
+    session.export("?R(usr, dom)").unwrap();
+    let profile = session.profile().unwrap();
+    assert!(profile
+        .spans
+        .iter()
+        .any(|s| s.kind == SpanKind::IeBatch && s.label.starts_with("rgx_string")));
+}
+
+#[test]
+fn round_limit_abort_names_the_driving_rule_and_keeps_partial_profile() {
+    let mut session = Session::builder()
+        .max_fixpoint_rounds(2)
+        .tracing(TraceLevel::Summary)
+        .build();
+    session.run(TC_PROGRAM).unwrap();
+    let err = session.export("?Path(x, y)").unwrap_err();
+
+    let EngineError::LimitExceeded {
+        resource, culprit, ..
+    } = &err
+    else {
+        panic!("expected LimitExceeded, got {err:?}");
+    };
+    assert_eq!(*resource, "fixpoint rounds");
+    assert!(culprit.is_known());
+    assert_eq!(culprit.head, "Path");
+    assert!(culprit.line > 0);
+    let message = err.to_string();
+    assert!(message.contains("fixpoint rounds"), "{message}");
+    assert!(message.contains("\"Path\""), "{message}");
+
+    // The caret snippet points into the program source.
+    let snippet = culprit.snippet(TC_PROGRAM);
+    assert!(snippet.contains("  | "), "{snippet}");
+    assert!(snippet.contains('^'), "{snippet}");
+    assert!(snippet.contains("Path"), "{snippet}");
+
+    // Partial progress survives the abort.
+    let profile = session.profile().expect("aborted run keeps its profile");
+    let error = profile.error.as_deref().unwrap();
+    assert!(error.contains("fixpoint rounds"), "{error}");
+    assert!(profile.rounds >= 2);
+    assert!(profile.strata[0].rules.iter().any(|r| r.firings > 0));
+    assert!(profile.render().contains("aborted"));
+}
+
+#[test]
+fn row_limit_abort_names_the_inserting_rule() {
+    let mut session = Session::builder()
+        .max_materialized_rows(5)
+        .tracing(TraceLevel::Summary)
+        .build();
+    session.run(TC_PROGRAM).unwrap();
+    let err = session.export("?Path(x, y)").unwrap_err();
+    let EngineError::LimitExceeded {
+        resource, culprit, ..
+    } = &err
+    else {
+        panic!("expected LimitExceeded, got {err:?}");
+    };
+    assert_eq!(*resource, "materialized rows");
+    assert!(culprit.is_known());
+    assert_eq!(culprit.head, "Path");
+    assert!(session.profile().is_some());
+}
+
+#[test]
+fn tracing_off_yields_no_profile_and_set_tracing_forces_one() {
+    let mut session = Session::new();
+    session.run(TC_PROGRAM).unwrap();
+    session.export("?Path(x, y)").unwrap();
+    assert!(session.profile().is_none(), "Off is the default");
+    assert!(session.snapshot().unwrap().profile().is_none());
+
+    // Enabling tracing re-evaluates even though inputs are unchanged.
+    session.set_tracing(TraceLevel::Summary);
+    session.export("?Path(x, y)").unwrap();
+    assert!(session.profile().is_some());
+}
+
+#[test]
+fn snapshot_carries_the_producing_runs_profile() {
+    let mut session = traced_session(TraceLevel::Summary);
+    session.run(TC_PROGRAM).unwrap();
+    let snapshot = session.snapshot().unwrap();
+    let profile = snapshot.profile().expect("snapshot inherits the profile");
+    assert_eq!(profile, session.profile().unwrap());
+    assert!(profile.rule_firings > 0);
+    assert!(format!("{snapshot:?}").contains("profiled: true"));
+}
+
+#[test]
+fn span_buffer_budget_bounds_resident_spans_under_churn() {
+    let budget = 2 * 1024;
+    let mut session = Session::builder()
+        .tracing(TraceLevel::Spans)
+        .trace_buffer_bytes(budget)
+        .build();
+    session.run(TC_PROGRAM).unwrap();
+    session.export("?Path(x, y)").unwrap();
+
+    let profile = session.profile().unwrap();
+    assert!(
+        profile.spans_dropped > 0,
+        "a deep recursion overflows a {budget}-byte ring"
+    );
+    let resident: usize = profile.spans.iter().map(|s| s.bytes()).sum();
+    assert!(
+        resident <= budget,
+        "resident {resident} bytes exceed the {budget}-byte budget"
+    );
+    // Eviction drops oldest-first, so the survivors are the tail.
+    assert!(!profile.spans.is_empty());
+}
+
+#[test]
+fn take_stats_drains_activity_but_keeps_residency() {
+    let mut session = Session::new();
+    session.run(EMAIL_PROGRAM).unwrap();
+    session.export("?R(usr, dom)").unwrap();
+
+    let first = session.take_stats();
+    assert!(first.eval.rule_firings > 0);
+    assert!(first.cache.insertions > 0);
+
+    let after = session.stats();
+    assert_eq!(after.eval, EvalStats::default());
+    assert_eq!(
+        (after.cache.hits, after.cache.misses, after.cache.insertions),
+        (0, 0, 0)
+    );
+    assert_eq!(
+        after.cache.entries, first.cache.entries,
+        "residency is state, not activity"
+    );
+    // A second drain with no evaluation in between is all zero activity.
+    assert_eq!(session.take_stats().eval, EvalStats::default());
+}
+
+#[test]
+fn ring_tracer_attached_to_an_untraced_session_turns_recording_on() {
+    let tracer = Arc::new(RingTracer::new(TraceLevel::Spans, 64 * 1024));
+    let mut session = Session::builder().tracer(tracer.clone()).build();
+    session.run(EMAIL_PROGRAM).unwrap();
+    session.export("?R(usr, dom)").unwrap();
+
+    // The tracer's requested level won: spans were recorded and the
+    // profile was aggregated into the metrics registry.
+    assert!(!tracer.spans().is_empty());
+    let metrics = tracer.metrics();
+    assert_eq!(metrics.counter("evals").get(), 1);
+    assert_eq!(metrics.counter("evals_aborted").get(), 0);
+    assert!(metrics.counter("rule_firings").get() > 0);
+    assert!(metrics.counter("ie.rgx_string.calls").get() > 0);
+    assert_eq!(metrics.histogram("eval_ns").snapshot().count, 1);
+
+    // Mutating the input re-evaluates and keeps aggregating.
+    session.run(r#"Texts("also eve@mail.net")"#).unwrap();
+    session.export("?R(usr, dom)").unwrap();
+    assert_eq!(metrics.counter("evals").get(), 2);
+}
+
+#[test]
+fn profile_renders_a_table_and_exports_json_lines() {
+    let mut session = traced_session(TraceLevel::Spans);
+    session.run(TC_PROGRAM).unwrap();
+    session.export("?Path(x, y)").unwrap();
+    let profile = session.profile().unwrap();
+
+    let table = profile.render();
+    assert!(table.contains("Path"), "{table}");
+    assert!(table.contains("stratum"), "{table}");
+
+    let json = profile.to_json_lines();
+    assert!(json.lines().count() >= 1 + 2 + profile.spans.len());
+    for line in json.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    assert!(json.contains(r#""type":"profile""#));
+    assert!(json.contains(r#""type":"rule""#));
+    assert!(json.contains(r#""type":"span""#));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tracing is observation only: for random edge sets, the derived
+    /// relation is identical with tracing off and at full span capture,
+    /// under both evaluation strategies.
+    #[test]
+    fn tracing_level_never_changes_results(
+        edges in prop::collection::vec((0..6i64, 0..6i64), 1..12),
+        seminaive in any::<bool>(),
+    ) {
+        let mut facts = String::new();
+        for (a, b) in &edges {
+            write!(facts, "Edge({a}, {b}) ").unwrap();
+        }
+        let program = format!(
+            "new Edge(int, int)\n{facts}\nPath(x, y) <- Edge(x, y)\nPath(x, z) <- Path(x, y), Edge(y, z)"
+        );
+        let strategy = if seminaive { EvalStrategy::SemiNaive } else { EvalStrategy::Naive };
+        let run = |level: TraceLevel| -> Vec<(i64, i64)> {
+            let mut session = Session::builder().strategy(strategy).tracing(level).build();
+            session.run(&program).unwrap();
+            let mut rows: Vec<(i64, i64)> = session.export_typed("?Path(x, y)").unwrap();
+            rows.sort_unstable();
+            rows
+        };
+        let baseline = run(TraceLevel::Off);
+        prop_assert_eq!(&baseline, &run(TraceLevel::Summary));
+        prop_assert_eq!(&baseline, &run(TraceLevel::Spans));
+    }
+}

@@ -39,18 +39,30 @@ impl ParseError {
     ///   |   ^
     /// ```
     pub fn render(&self, source: &str) -> String {
-        let line_text = source
-            .lines()
-            .nth(self.line.saturating_sub(1))
-            .unwrap_or("");
-        // Column is measured in characters; pad the caret to match.
-        let pad: String = line_text
-            .chars()
-            .take(self.col.saturating_sub(1))
-            .map(|c| if c == '\t' { '\t' } else { ' ' })
-            .collect();
-        format!("{self}\n  | {line_text}\n  | {pad}^")
+        format!("{self}\n{}", caret_snippet(source, self.line, self.col))
     }
+}
+
+/// Renders a two-line caret diagnostic pointing at (`line`, `col`) —
+/// both 1-based, `col` in characters — of `source`:
+///
+/// ```text
+///   |   nonsense)
+///   |   ^
+/// ```
+///
+/// Shared by [`ParseError::render`] and the engine's runtime
+/// diagnostics (e.g. pointing at the rule that exceeded an evaluation
+/// limit). Out-of-range positions degrade to an empty source line.
+pub fn caret_snippet(source: &str, line: usize, col: usize) -> String {
+    let line_text = source.lines().nth(line.saturating_sub(1)).unwrap_or("");
+    // Column is measured in characters; pad the caret to match.
+    let pad: String = line_text
+        .chars()
+        .take(col.saturating_sub(1))
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    format!("  | {line_text}\n  | {pad}^")
 }
 
 #[cfg(test)]
@@ -72,5 +84,11 @@ mod tests {
         let err = ParseError::new(99, 99, 9999, "eof");
         let rendered = err.render("short");
         assert!(rendered.contains("parse error at 99:99"));
+    }
+
+    #[test]
+    fn caret_snippet_is_reusable_standalone() {
+        let snippet = caret_snippet("a\nbcd\ne", 2, 2);
+        assert_eq!(snippet, "  | bcd\n  |  ^");
     }
 }

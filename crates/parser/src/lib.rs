@@ -42,5 +42,5 @@ pub use ast::{
     Atom, BodyElem, CmpOp, Constant, Declaration, Fact, HeadTerm, IeAtom, Program, Query, Rule,
     Statement, Term,
 };
-pub use error::ParseError;
+pub use error::{caret_snippet, ParseError};
 pub use parser::parse_program;

@@ -1,0 +1,60 @@
+//! # spannerlib_trace
+//!
+//! Structured tracing, metrics, and per-rule profiling for the
+//! Spannerlog engine — the measurement substrate behind
+//! `Session::profile()` and the `trace_smoke` / `bench_trace` tooling.
+//!
+//! The crate is deliberately **zero-dependency** (std only) and splits
+//! into four layers:
+//!
+//! - **Vocabulary** ([`TraceLevel`], [`SpanKind`], [`SpanEvent`]): what
+//!   gets recorded. Levels are ordered `Off < Summary < Spans`; spans
+//!   form the hierarchy execute → stratum → round → rule → join /
+//!   IE batch.
+//! - **Collection** ([`RunTrace`], [`SpanRing`]): a single-threaded
+//!   collector the engine threads through one fixpoint evaluation, and
+//!   the byte-bounded ring buffer its span events land in. Every
+//!   `RunTrace` method is a no-op at `Off`, so the untraced hot path
+//!   pays only a branch.
+//! - **Reporting** ([`EvalProfile`] with [`EvalProfile::render`] and
+//!   [`EvalProfile::to_json_lines`]): the per-run report — per-rule
+//!   wall time, firings, tuple and join-row counts, per-IE-function
+//!   call / memo-hit / latency statistics.
+//! - **Sinks** ([`Tracer`], [`NullTracer`], [`RingTracer`],
+//!   [`MetricsRegistry`]): long-lived, thread-safe receivers that
+//!   aggregate profiles across runs into counters, gauges, and
+//!   fixed-bucket latency [`Histogram`]s with p50/p90/p99.
+//!
+//! ```
+//! use spannerlib_trace::{RunTrace, SpanKind, TraceLevel, NO_SPAN};
+//!
+//! // The engine drives a RunTrace through one evaluation…
+//! let mut trace = RunTrace::new(TraceLevel::Spans, 0);
+//! let root = trace.open(NO_SPAN, SpanKind::Execute, || "eval".into());
+//! let rule = trace.register_rule(0, "Out", "Out(x) <- In(x).", 1);
+//! trace.round(0);
+//! let t0 = trace.now_ns();
+//! trace.rule_fired(rule, 12, 9, t0);
+//! trace.close(root);
+//!
+//! // …and finishing it yields the run's EvalProfile.
+//! let profile = trace.finish(None).expect("tracing was on");
+//! assert_eq!(profile.tuples_new, 9);
+//! assert!(profile.render().contains("Out(x) <- In(x)."));
+//! ```
+
+mod metrics;
+mod profile;
+mod ring;
+mod run;
+mod span;
+mod tracer;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use profile::{fmt_ns, EvalProfile, IeFunctionProfile, RuleProfile, StratumProfile};
+pub use ring::SpanRing;
+pub use run::{RunTrace, DEFAULT_SPAN_BUFFER_BYTES};
+pub use span::{SpanEvent, SpanId, SpanKind, TraceLevel, NO_SPAN};
+pub use tracer::{NullTracer, RingTracer, Tracer};

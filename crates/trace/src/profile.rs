@@ -1,0 +1,443 @@
+//! `EvalProfile`: the per-evaluation report — Spannerlog's
+//! "EXPLAIN ANALYZE" — with a human-readable table renderer and a
+//! JSON-lines exporter for offline analysis.
+
+use crate::metrics::HistogramSnapshot;
+use crate::span::{SpanEvent, TraceLevel};
+use std::fmt::Write as _;
+
+/// The profile of one fixpoint evaluation: totals, per-stratum and
+/// per-rule breakdowns, per-IE-function call statistics, and (at
+/// [`TraceLevel::Spans`]) the recorded span events.
+///
+/// Obtain one from `Session::profile()` / `Snapshot::profile()` after
+/// evaluating with tracing at [`TraceLevel::Summary`] or above.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalProfile {
+    /// The level the run was traced at.
+    pub level: TraceLevel,
+    /// Total evaluation wall time, in nanoseconds.
+    pub total_ns: u64,
+    /// Fixpoint rounds across all strata.
+    pub rounds: u64,
+    /// Rule-plan executions across all strata and rounds.
+    pub rule_firings: u64,
+    /// Tuples produced by rule heads (before deduplication).
+    pub tuples_derived: u64,
+    /// Tuples actually new to their relation.
+    pub tuples_new: u64,
+    /// Set when the run aborted (e.g. a limit was exceeded): the
+    /// profile then reflects the *partial* progress up to the abort.
+    pub error: Option<String>,
+    /// Per-stratum breakdown, in execution order.
+    pub strata: Vec<StratumProfile>,
+    /// Per-IE-function call statistics, sorted by name.
+    pub ie_functions: Vec<IeFunctionProfile>,
+    /// Recorded span events (empty below [`TraceLevel::Spans`]).
+    pub spans: Vec<SpanEvent>,
+    /// Span events dropped by the ring buffer's byte budget.
+    pub spans_dropped: u64,
+}
+
+/// One stratum's share of an [`EvalProfile`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StratumProfile {
+    /// Position in the stratification (0-based).
+    pub index: usize,
+    /// Fixpoint rounds this stratum ran.
+    pub rounds: u64,
+    /// Wall time spent in this stratum, in nanoseconds.
+    pub total_ns: u64,
+    /// Per-rule breakdown, in plan order.
+    pub rules: Vec<RuleProfile>,
+}
+
+/// One rule's share of an [`EvalProfile`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleProfile {
+    /// Head predicate name.
+    pub head: String,
+    /// The rule's source text (as reconstructed by the parser).
+    pub source: String,
+    /// 1-based source line of the rule.
+    pub line: u32,
+    /// Times the rule plan executed (once per round it participated in).
+    pub firings: u64,
+    /// Tuples its head produced (before deduplication).
+    pub tuples_derived: u64,
+    /// Tuples actually new to the head relation.
+    pub tuples_new: u64,
+    /// Rows scanned by this rule's join steps.
+    pub join_rows_scanned: u64,
+    /// Wall time across all firings, in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// One IE function's call statistics within an [`EvalProfile`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IeFunctionProfile {
+    /// Registered function name.
+    pub name: String,
+    /// Distinct-argument invocations requested by the evaluation.
+    pub calls: u64,
+    /// Calls answered from the IE memo cache.
+    pub memo_hits: u64,
+    /// Calls that executed the function (memo miss or uncacheable).
+    pub memo_misses: u64,
+    /// Latency distribution of the calls, in nanoseconds.
+    pub latency: HistogramSnapshot,
+}
+
+/// Formats nanoseconds compactly: `17ns`, `3.4µs`, `1.2ms`, `5.0s`.
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Pads `s` to `w` columns, left-aligned.
+fn pad(s: &str, w: usize) -> String {
+    format!("{s:<w$}")
+}
+
+/// Pads `s` to `w` columns, right-aligned.
+fn rpad(s: &str, w: usize) -> String {
+    format!("{s:>w$}")
+}
+
+impl EvalProfile {
+    /// Renders the profile as a fixed-width table — per-rule rows
+    /// grouped by stratum, followed by per-IE-function rows.
+    ///
+    /// ```
+    /// use spannerlib_trace::{EvalProfile, RuleProfile, StratumProfile};
+    /// let profile = EvalProfile {
+    ///     rounds: 2,
+    ///     rule_firings: 2,
+    ///     strata: vec![StratumProfile {
+    ///         index: 0,
+    ///         rounds: 2,
+    ///         total_ns: 1_500,
+    ///         rules: vec![RuleProfile {
+    ///             head: "A".into(),
+    ///             source: "A(x) <- B(x).".into(),
+    ///             line: 1,
+    ///             firings: 2,
+    ///             tuples_derived: 10,
+    ///             tuples_new: 7,
+    ///             join_rows_scanned: 10,
+    ///             total_ns: 1_000,
+    ///         }],
+    ///     }],
+    ///     ..EvalProfile::default()
+    /// };
+    /// let table = profile.render();
+    /// assert!(table.contains("A(x) <- B(x)."));
+    /// assert!(table.contains("firings"));
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "evaluation: {} | {} strata, {} rounds, {} firings, {} derived ({} new)",
+            fmt_ns(self.total_ns),
+            self.strata.len(),
+            self.rounds,
+            self.rule_firings,
+            self.tuples_derived,
+            self.tuples_new,
+        );
+        if let Some(err) = &self.error {
+            let _ = writeln!(out, "aborted: {err} (profile shows partial progress)");
+        }
+        if !self.strata.is_empty() {
+            let rule_w = self
+                .strata
+                .iter()
+                .flat_map(|s| s.rules.iter())
+                .map(|r| r.source.len().min(60))
+                .chain(["rule".len()])
+                .max()
+                .unwrap_or(4);
+            let _ = writeln!(
+                out,
+                "{} {} {} {} {} {} {}",
+                pad("stratum", 8),
+                pad("rule", rule_w),
+                rpad("firings", 8),
+                rpad("derived", 8),
+                rpad("new", 8),
+                rpad("scanned", 9),
+                rpad("time", 9),
+            );
+            for stratum in &self.strata {
+                for (i, rule) in stratum.rules.iter().enumerate() {
+                    let tag = if i == 0 {
+                        format!("{} ({}r)", stratum.index, stratum.rounds)
+                    } else {
+                        String::new()
+                    };
+                    let mut src = rule.source.clone();
+                    if src.len() > 60 {
+                        src.truncate(59);
+                        src.push('…');
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{} {} {} {} {} {} {}",
+                        pad(&tag, 8),
+                        pad(&src, rule_w),
+                        rpad(&rule.firings.to_string(), 8),
+                        rpad(&rule.tuples_derived.to_string(), 8),
+                        rpad(&rule.tuples_new.to_string(), 8),
+                        rpad(&rule.join_rows_scanned.to_string(), 9),
+                        rpad(&fmt_ns(rule.total_ns), 9),
+                    );
+                }
+            }
+        }
+        if !self.ie_functions.is_empty() {
+            let name_w = self
+                .ie_functions
+                .iter()
+                .map(|f| f.name.len())
+                .chain(["ie function".len()])
+                .max()
+                .unwrap_or(11);
+            let _ = writeln!(
+                out,
+                "{} {} {} {} {} {} {}",
+                pad("ie function", name_w),
+                rpad("calls", 8),
+                rpad("hits", 8),
+                rpad("misses", 8),
+                rpad("p50", 9),
+                rpad("p99", 9),
+                rpad("total", 9),
+            );
+            for f in &self.ie_functions {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {} {} {} {}",
+                    pad(&f.name, name_w),
+                    rpad(&f.calls.to_string(), 8),
+                    rpad(&f.memo_hits.to_string(), 8),
+                    rpad(&f.memo_misses.to_string(), 8),
+                    rpad(&fmt_ns(f.latency.p50()), 9),
+                    rpad(&fmt_ns(f.latency.p99()), 9),
+                    rpad(&fmt_ns(f.latency.sum), 9),
+                );
+            }
+        }
+        if !self.spans.is_empty() || self.spans_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "spans: {} recorded, {} dropped",
+                self.spans.len(),
+                self.spans_dropped
+            );
+        }
+        out
+    }
+
+    /// Exports the profile as JSON lines: one `profile` record, then
+    /// one record per rule, IE function, and span. Each line is a
+    /// self-contained JSON object with a `"type"` discriminator, so
+    /// the output streams into `jq`/pandas without a wrapping array.
+    ///
+    /// ```
+    /// use spannerlib_trace::EvalProfile;
+    /// let lines = EvalProfile::default().to_json_lines();
+    /// assert!(lines.starts_with("{\"type\":\"profile\""));
+    /// assert_eq!(lines.trim_end().lines().count(), 1);
+    /// ```
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"profile\",\"level\":{},\"total_ns\":{},\"rounds\":{},\
+             \"rule_firings\":{},\"tuples_derived\":{},\"tuples_new\":{},\
+             \"strata\":{},\"spans_dropped\":{},\"error\":{}}}",
+            json_str(self.level.name()),
+            self.total_ns,
+            self.rounds,
+            self.rule_firings,
+            self.tuples_derived,
+            self.tuples_new,
+            self.strata.len(),
+            self.spans_dropped,
+            match &self.error {
+                Some(e) => json_str(e),
+                None => "null".to_string(),
+            },
+        );
+        for stratum in &self.strata {
+            for rule in &stratum.rules {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"rule\",\"stratum\":{},\"stratum_rounds\":{},\
+                     \"head\":{},\"source\":{},\"line\":{},\"firings\":{},\
+                     \"tuples_derived\":{},\"tuples_new\":{},\
+                     \"join_rows_scanned\":{},\"total_ns\":{}}}",
+                    stratum.index,
+                    stratum.rounds,
+                    json_str(&rule.head),
+                    json_str(&rule.source),
+                    rule.line,
+                    rule.firings,
+                    rule.tuples_derived,
+                    rule.tuples_new,
+                    rule.join_rows_scanned,
+                    rule.total_ns,
+                );
+            }
+        }
+        for f in &self.ie_functions {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"ie\",\"name\":{},\"calls\":{},\"memo_hits\":{},\
+                 \"memo_misses\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\
+                 \"max_ns\":{},\"total_ns\":{}}}",
+                json_str(&f.name),
+                f.calls,
+                f.memo_hits,
+                f.memo_misses,
+                f.latency.p50(),
+                f.latency.p90(),
+                f.latency.p99(),
+                f.latency.max,
+                f.latency.sum,
+            );
+        }
+        for span in &self.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"kind\":{},\
+                 \"label\":{},\"start_ns\":{},\"duration_ns\":{}}}",
+                span.id,
+                span.parent,
+                json_str(span.kind.name()),
+                json_str(&span.label),
+                span.start_ns,
+                span.duration_ns,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanKind, NO_SPAN};
+
+    fn sample() -> EvalProfile {
+        let mut latency = HistogramSnapshot::default();
+        latency.record(500);
+        latency.record(2_000);
+        EvalProfile {
+            level: TraceLevel::Spans,
+            total_ns: 5_000,
+            rounds: 3,
+            rule_firings: 4,
+            tuples_derived: 20,
+            tuples_new: 12,
+            error: None,
+            strata: vec![StratumProfile {
+                index: 0,
+                rounds: 3,
+                total_ns: 4_000,
+                rules: vec![RuleProfile {
+                    head: "Out".into(),
+                    source: "Out(x) <- In(x), f(x) -> (y).".into(),
+                    line: 3,
+                    firings: 4,
+                    tuples_derived: 20,
+                    tuples_new: 12,
+                    join_rows_scanned: 40,
+                    total_ns: 3_500,
+                }],
+            }],
+            ie_functions: vec![IeFunctionProfile {
+                name: "f".into(),
+                calls: 2,
+                memo_hits: 1,
+                memo_misses: 1,
+                latency,
+            }],
+            spans: vec![SpanEvent {
+                id: 1,
+                parent: NO_SPAN,
+                kind: SpanKind::Execute,
+                label: "eval \"with quotes\"".into(),
+                start_ns: 0,
+                duration_ns: 5_000,
+            }],
+            spans_dropped: 2,
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let table = sample().render();
+        assert!(table.contains("Out(x) <- In(x), f(x) -> (y)."));
+        assert!(table.contains("ie function"));
+        assert!(table.contains("spans: 1 recorded, 2 dropped"));
+    }
+
+    #[test]
+    fn render_reports_aborts() {
+        let mut p = sample();
+        p.error = Some("limit exceeded".into());
+        assert!(p.render().contains("aborted: limit exceeded"));
+    }
+
+    #[test]
+    fn json_lines_are_one_record_per_entity() {
+        let lines: Vec<String> = sample()
+            .to_json_lines()
+            .trim_end()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"type\":\"profile\""));
+        assert!(lines[1].contains("\"type\":\"rule\""));
+        assert!(lines[2].contains("\"type\":\"ie\""));
+        assert!(lines[3].contains("\"type\":\"span\""));
+        // Quotes in labels must be escaped.
+        assert!(lines[3].contains("eval \\\"with quotes\\\""));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(3_400), "3.4µs");
+        assert_eq!(fmt_ns(1_200_000), "1.2ms");
+        assert_eq!(fmt_ns(5_000_000_000), "5.00s");
+    }
+}

@@ -1,0 +1,156 @@
+//! A byte-budgeted ring buffer for span events.
+
+use crate::span::SpanEvent;
+use std::collections::VecDeque;
+
+/// A bounded collector of [`SpanEvent`]s: memory is capped by a byte
+/// budget, and once the budget is full the *oldest* events are dropped
+/// first — a flight recorder, not an unbounded log.
+///
+/// ```
+/// use spannerlib_trace::{SpanEvent, SpanKind, SpanRing, NO_SPAN};
+/// let ev = |id: u64| SpanEvent {
+///     id, parent: NO_SPAN, kind: SpanKind::Round,
+///     label: "x".repeat(64), start_ns: 0, duration_ns: 1,
+/// };
+/// let mut ring = SpanRing::new(4 * ev(0).bytes());
+/// for id in 0..100 { ring.push(ev(id)); }
+/// assert!(ring.bytes() <= ring.budget());
+/// assert_eq!(ring.dropped(), 96);
+/// // The survivors are the most recent events.
+/// assert_eq!(ring.iter().next().unwrap().id, 96);
+/// ```
+#[derive(Debug)]
+pub struct SpanRing {
+    events: VecDeque<SpanEvent>,
+    bytes: usize,
+    budget: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// An empty ring bounded by `budget_bytes`. A zero budget records
+    /// nothing (every push is counted as dropped).
+    pub fn new(budget_bytes: usize) -> SpanRing {
+        SpanRing {
+            events: VecDeque::new(),
+            bytes: 0,
+            budget: budget_bytes,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest events until the budget
+    /// holds. An event alone larger than the whole budget is dropped.
+    pub fn push(&mut self, event: SpanEvent) {
+        let size = event.bytes();
+        if size > self.budget {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push_back(event);
+        self.bytes += size;
+        while self.bytes > self.budget {
+            let victim = self.events.pop_front().expect("bytes > 0 implies events");
+            self.bytes -= victim.bytes();
+            self.dropped += 1;
+        }
+    }
+
+    /// Oldest-to-newest iteration over the resident events.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter()
+    }
+
+    /// Removes and returns every resident event, oldest first. The
+    /// dropped counter survives.
+    pub fn drain(&mut self) -> Vec<SpanEvent> {
+        self.bytes = 0;
+        self.events.drain(..).collect()
+    }
+
+    /// Number of resident events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are resident.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Approximate resident bytes (events + labels).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Events dropped so far — pushed while full (oldest evicted) or
+    /// individually oversized.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanKind, NO_SPAN};
+
+    fn ev(id: u64, label_len: usize) -> SpanEvent {
+        SpanEvent {
+            id,
+            parent: NO_SPAN,
+            kind: SpanKind::Rule,
+            label: "y".repeat(label_len),
+            start_ns: id,
+            duration_ns: 1,
+        }
+    }
+
+    #[test]
+    fn budget_is_a_hard_bound_under_churn() {
+        let budget = 10 * ev(0, 32).bytes();
+        let mut ring = SpanRing::new(budget);
+        for id in 0..10_000 {
+            ring.push(ev(id, (id % 64) as usize));
+            assert!(ring.bytes() <= budget, "budget violated at push {id}");
+        }
+        assert!(ring.dropped() > 0);
+        assert!(!ring.is_empty());
+        // Events survive newest-first from the tail.
+        let last = ring.iter().last().unwrap();
+        assert_eq!(last.id, 9_999);
+    }
+
+    #[test]
+    fn oversized_events_are_dropped_not_wedged() {
+        let mut ring = SpanRing::new(64);
+        ring.push(ev(1, 4096));
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_counter() {
+        let mut ring = SpanRing::new(usize::MAX);
+        ring.push(ev(1, 4));
+        ring.push(ev(2, 4));
+        let out = ring.drain();
+        assert_eq!(out.len(), 2);
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.bytes(), 0);
+    }
+
+    #[test]
+    fn zero_budget_records_nothing() {
+        let mut ring = SpanRing::new(0);
+        ring.push(ev(1, 0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+}

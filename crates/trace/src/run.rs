@@ -1,0 +1,425 @@
+//! `RunTrace`: the single-threaded collector the engine threads through
+//! one fixpoint evaluation. It accumulates per-rule / per-stratum /
+//! per-IE counters and (at [`TraceLevel::Spans`]) timed span events,
+//! and is folded into an [`EvalProfile`] when the run finishes.
+
+use crate::profile::{EvalProfile, IeFunctionProfile, RuleProfile, StratumProfile};
+use crate::ring::SpanRing;
+use crate::span::{SpanEvent, SpanId, SpanKind, TraceLevel, NO_SPAN};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Default byte budget for the per-run span ring buffer (256 KiB —
+/// roughly a few thousand spans).
+pub const DEFAULT_SPAN_BUFFER_BYTES: usize = 256 * 1024;
+
+/// A span opened but not yet closed.
+#[derive(Debug)]
+struct OpenSpan {
+    id: SpanId,
+    parent: SpanId,
+    kind: SpanKind,
+    label: String,
+    start_ns: u64,
+}
+
+/// Per-stratum accumulator.
+#[derive(Debug, Default)]
+struct StratumAcc {
+    rounds: u64,
+    total_ns: u64,
+    /// Indices into `RunTrace::rules` for the rules of this stratum.
+    rules: Vec<usize>,
+}
+
+/// The mutable trace state of one evaluation run.
+///
+/// All methods are no-ops when the level is [`TraceLevel::Off`], so the
+/// engine can call them unconditionally; the off-path cost is a branch.
+/// Durations are measured by taking a timestamp with [`RunTrace::now_ns`]
+/// before the work and passing it back to the recording call, which
+/// computes the elapsed time itself:
+///
+/// ```
+/// use spannerlib_trace::{RunTrace, TraceLevel};
+/// let mut trace = RunTrace::new(TraceLevel::Summary, 0);
+/// let rule = trace.register_rule(0, "Out", "Out(x) <- In(x).", 1);
+/// trace.round(0);
+/// let t0 = trace.now_ns();
+/// // ... execute the rule plan ...
+/// trace.rule_fired(rule, 10, 7, t0);
+/// let profile = trace.finish(None).unwrap();
+/// assert_eq!(profile.rule_firings, 1);
+/// assert_eq!(profile.strata[0].rules[0].tuples_new, 7);
+/// ```
+#[derive(Debug)]
+pub struct RunTrace {
+    level: TraceLevel,
+    epoch: Instant,
+    next_span: SpanId,
+    open: Vec<OpenSpan>,
+    ring: SpanRing,
+    strata: Vec<StratumAcc>,
+    rules: Vec<RuleProfile>,
+    ie: BTreeMap<String, IeFunctionProfile>,
+    totals: EvalTotals,
+}
+
+#[derive(Debug, Default)]
+struct EvalTotals {
+    rounds: u64,
+    rule_firings: u64,
+    tuples_derived: u64,
+    tuples_new: u64,
+}
+
+impl RunTrace {
+    /// A collector for one run at `level`. `span_budget_bytes` bounds
+    /// the span ring buffer; `0` selects [`DEFAULT_SPAN_BUFFER_BYTES`].
+    /// Below [`TraceLevel::Spans`] no ring memory is reserved.
+    pub fn new(level: TraceLevel, span_budget_bytes: usize) -> RunTrace {
+        let budget = if !level.records_spans() {
+            0
+        } else if span_budget_bytes == 0 {
+            DEFAULT_SPAN_BUFFER_BYTES
+        } else {
+            span_budget_bytes
+        };
+        RunTrace {
+            level,
+            epoch: Instant::now(),
+            next_span: NO_SPAN,
+            open: Vec::new(),
+            ring: SpanRing::new(budget),
+            strata: Vec::new(),
+            rules: Vec::new(),
+            ie: BTreeMap::new(),
+            totals: EvalTotals::default(),
+        }
+    }
+
+    /// A collector that records nothing ([`TraceLevel::Off`]).
+    pub fn disabled() -> RunTrace {
+        RunTrace::new(TraceLevel::Off, 0)
+    }
+
+    /// The level this run records at.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Whether any profiling is happening (level ≥ `Summary`).
+    pub fn enabled(&self) -> bool {
+        self.level.summarizes()
+    }
+
+    /// Nanoseconds since this run's epoch; `0` when disabled, so the
+    /// off-path never touches the clock.
+    pub fn now_ns(&self) -> u64 {
+        if self.enabled() {
+            self.epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Registers one rule of `stratum` for profiling and returns its
+    /// handle for [`RunTrace::rule_fired`] / [`RunTrace::join_scanned`].
+    /// Returns `0` when disabled (all recording calls then no-op).
+    pub fn register_rule(&mut self, stratum: usize, head: &str, source: &str, line: u32) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        while self.strata.len() <= stratum {
+            let index = self.strata.len();
+            self.strata.push(StratumAcc::default());
+            self.strata[index].rules = Vec::new();
+        }
+        let id = self.rules.len();
+        self.rules.push(RuleProfile {
+            head: head.to_string(),
+            source: source.to_string(),
+            line,
+            ..RuleProfile::default()
+        });
+        self.strata[stratum].rules.push(id);
+        id
+    }
+
+    /// Counts one fixpoint round of `stratum`.
+    pub fn round(&mut self, stratum: usize) {
+        if !self.enabled() {
+            return;
+        }
+        self.totals.rounds += 1;
+        if let Some(acc) = self.strata.get_mut(stratum) {
+            acc.rounds += 1;
+        }
+    }
+
+    /// Records one firing of rule `rule` (a handle from
+    /// [`RunTrace::register_rule`]): `derived` head tuples produced,
+    /// `new` of them actually new, timed from `t0` (a
+    /// [`RunTrace::now_ns`] timestamp taken before the firing).
+    pub fn rule_fired(&mut self, rule: usize, derived: u64, new: u64, t0: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let dur = self.now_ns().saturating_sub(t0);
+        self.totals.rule_firings += 1;
+        self.totals.tuples_derived += derived;
+        self.totals.tuples_new += new;
+        if let Some(r) = self.rules.get_mut(rule) {
+            r.firings += 1;
+            r.tuples_derived += derived;
+            r.tuples_new += new;
+            r.total_ns += dur;
+        }
+    }
+
+    /// Charges `rows` scanned by a join step to rule `rule`.
+    pub fn join_scanned(&mut self, rule: usize, rows: u64) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(r) = self.rules.get_mut(rule) {
+            r.join_rows_scanned += rows;
+        }
+    }
+
+    /// Records one IE-function invocation: `memo_hit` is `Some(true)`
+    /// for a cache hit, `Some(false)` for a miss, `None` when the call
+    /// bypassed the memo (uncacheable or no cache configured); timed
+    /// from `t0`.
+    pub fn ie_call(&mut self, function: &str, memo_hit: Option<bool>, t0: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let dur = self.now_ns().saturating_sub(t0);
+        let entry = self
+            .ie
+            .entry(function.to_string())
+            .or_insert_with(|| IeFunctionProfile {
+                name: function.to_string(),
+                ..IeFunctionProfile::default()
+            });
+        entry.calls += 1;
+        match memo_hit {
+            Some(true) => entry.memo_hits += 1,
+            Some(false) | None => entry.memo_misses += 1,
+        }
+        entry.latency.record(dur);
+    }
+
+    /// Charges wall time from `t0` to `stratum` (call when the stratum
+    /// reaches fixpoint or the run aborts inside it).
+    pub fn stratum_done(&mut self, stratum: usize, t0: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let dur = self.now_ns().saturating_sub(t0);
+        if let Some(acc) = self.strata.get_mut(stratum) {
+            acc.total_ns += dur;
+        }
+    }
+
+    /// Opens a span under `parent` ([`NO_SPAN`] for the root). The
+    /// label closure only runs when spans are recorded, so the off- and
+    /// summary-paths never format strings. Returns [`NO_SPAN`] when
+    /// spans are off — safe to pass to [`RunTrace::close`] and as a
+    /// `parent`.
+    pub fn open(
+        &mut self,
+        parent: SpanId,
+        kind: SpanKind,
+        label: impl FnOnce() -> String,
+    ) -> SpanId {
+        if !self.level.records_spans() {
+            return NO_SPAN;
+        }
+        self.next_span += 1;
+        let id = self.next_span;
+        let start_ns = self.now_ns();
+        self.open.push(OpenSpan {
+            id,
+            parent,
+            kind,
+            label: label(),
+            start_ns,
+        });
+        id
+    }
+
+    /// Closes span `id`, recording its event in the ring buffer.
+    /// Closing [`NO_SPAN`] or an unknown id is a no-op.
+    pub fn close(&mut self, id: SpanId) {
+        if id == NO_SPAN {
+            return;
+        }
+        // Spans close in stack order in practice, so scan from the end.
+        let Some(pos) = self.open.iter().rposition(|s| s.id == id) else {
+            return;
+        };
+        let span = self.open.swap_remove(pos);
+        let end = self.now_ns();
+        self.ring.push(SpanEvent {
+            id: span.id,
+            parent: span.parent,
+            kind: span.kind,
+            label: span.label,
+            start_ns: span.start_ns,
+            duration_ns: end.saturating_sub(span.start_ns),
+        });
+    }
+
+    /// Ends the run and assembles the [`EvalProfile`] — `None` when
+    /// disabled. `error` marks an aborted run (the profile then shows
+    /// the partial progress); any spans still open (unwound by the
+    /// abort) are closed at the finish timestamp.
+    pub fn finish(mut self, error: Option<String>) -> Option<EvalProfile> {
+        if !self.enabled() {
+            return None;
+        }
+        let total_ns = self.now_ns();
+        // Close leaked spans innermost-first so parents outlive children.
+        while let Some(span) = self.open.pop() {
+            self.ring.push(SpanEvent {
+                id: span.id,
+                parent: span.parent,
+                kind: span.kind,
+                label: span.label,
+                start_ns: span.start_ns,
+                duration_ns: total_ns.saturating_sub(span.start_ns),
+            });
+        }
+        let spans_dropped = self.ring.dropped();
+        let mut spans = self.ring.drain();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        let rules = self.rules;
+        let strata = self
+            .strata
+            .into_iter()
+            .enumerate()
+            .map(|(index, acc)| StratumProfile {
+                index,
+                rounds: acc.rounds,
+                total_ns: acc.total_ns,
+                rules: acc.rules.iter().map(|&i| rules[i].clone()).collect(),
+            })
+            .collect();
+        Some(EvalProfile {
+            level: self.level,
+            total_ns,
+            rounds: self.totals.rounds,
+            rule_firings: self.totals.rule_firings,
+            tuples_derived: self.totals.tuples_derived,
+            tuples_new: self.totals.tuples_new,
+            error,
+            strata,
+            ie_functions: self.ie.into_values().collect(),
+            spans,
+            spans_dropped,
+        })
+    }
+}
+
+impl Default for RunTrace {
+    fn default() -> Self {
+        RunTrace::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_run_is_free_and_yields_no_profile() {
+        let mut trace = RunTrace::disabled();
+        assert!(!trace.enabled());
+        assert_eq!(trace.now_ns(), 0);
+        let rule = trace.register_rule(0, "A", "A(x) <- B(x).", 1);
+        trace.round(0);
+        trace.rule_fired(rule, 5, 5, 0);
+        trace.ie_call("f", Some(true), 0);
+        let id = trace.open(NO_SPAN, SpanKind::Execute, || unreachable!());
+        assert_eq!(id, NO_SPAN);
+        trace.close(id);
+        assert!(trace.finish(None).is_none());
+    }
+
+    #[test]
+    fn summary_run_accumulates_per_rule_and_per_ie() {
+        let mut trace = RunTrace::new(TraceLevel::Summary, 0);
+        let r0 = trace.register_rule(0, "A", "A(x) <- B(x).", 1);
+        let r1 = trace.register_rule(1, "C", "C(x) <- A(x).", 2);
+        trace.round(0);
+        trace.round(0);
+        trace.round(1);
+        trace.rule_fired(r0, 10, 6, trace.now_ns());
+        trace.rule_fired(r0, 4, 0, trace.now_ns());
+        trace.rule_fired(r1, 6, 6, trace.now_ns());
+        trace.join_scanned(r0, 14);
+        trace.ie_call("f", Some(false), trace.now_ns());
+        trace.ie_call("f", Some(true), trace.now_ns());
+        trace.ie_call("g", None, trace.now_ns());
+        let p = trace.finish(None).unwrap();
+        assert_eq!(p.rounds, 3);
+        assert_eq!(p.rule_firings, 3);
+        assert_eq!(p.tuples_derived, 20);
+        assert_eq!(p.tuples_new, 12);
+        assert_eq!(p.strata.len(), 2);
+        assert_eq!(p.strata[0].rounds, 2);
+        assert_eq!(p.strata[0].rules[0].firings, 2);
+        assert_eq!(p.strata[0].rules[0].join_rows_scanned, 14);
+        assert_eq!(p.strata[1].rules[0].head, "C");
+        assert_eq!(p.ie_functions.len(), 2);
+        let f = &p.ie_functions[0];
+        assert_eq!(
+            (f.name.as_str(), f.calls, f.memo_hits, f.memo_misses),
+            ("f", 2, 1, 1)
+        );
+        // Summary level records no span events.
+        assert!(p.spans.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_leaked_spans_close_on_finish() {
+        let mut trace = RunTrace::new(TraceLevel::Spans, 0);
+        let root = trace.open(NO_SPAN, SpanKind::Execute, || "eval".into());
+        let stratum = trace.open(root, SpanKind::Stratum, || "stratum 0".into());
+        let round = trace.open(stratum, SpanKind::Round, || "round 1".into());
+        trace.close(round);
+        // `stratum` and `root` leak (as on an abort path).
+        let p = trace.finish(Some("boom".into())).unwrap();
+        assert_eq!(p.spans.len(), 3);
+        assert_eq!(p.error.as_deref(), Some("boom"));
+        let root_ev = p
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Execute)
+            .unwrap();
+        let stratum_ev = p
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Stratum)
+            .unwrap();
+        let round_ev = p.spans.iter().find(|s| s.kind == SpanKind::Round).unwrap();
+        assert_eq!(stratum_ev.parent, root_ev.id);
+        assert_eq!(round_ev.parent, stratum_ev.id);
+        assert!(root_ev.duration_ns >= stratum_ev.duration_ns);
+    }
+
+    #[test]
+    fn span_budget_bounds_memory() {
+        let mut trace = RunTrace::new(TraceLevel::Spans, 2_048);
+        for i in 0..1_000 {
+            let id = trace.open(NO_SPAN, SpanKind::Round, || format!("round {i}"));
+            trace.close(id);
+        }
+        let p = trace.finish(None).unwrap();
+        assert!(p.spans_dropped > 0);
+        let resident: usize = p.spans.iter().map(|s| s.bytes()).sum();
+        assert!(resident <= 2_048);
+    }
+}

@@ -1,0 +1,221 @@
+//! The `Tracer` sink trait and its two stock implementations: the
+//! zero-cost [`NullTracer`] and the in-memory [`RingTracer`] flight
+//! recorder with an attached metrics registry.
+
+use crate::metrics::MetricsRegistry;
+use crate::profile::EvalProfile;
+use crate::ring::SpanRing;
+use crate::span::{SpanEvent, TraceLevel};
+use std::sync::{Mutex, MutexGuard};
+
+/// A sink for evaluation telemetry, shared across runs (and threads).
+///
+/// The engine collects each run into an `EvalProfile` and then feeds
+/// the tracer: every recorded span via [`Tracer::record_span`], then
+/// the profile via [`Tracer::record_profile`]. Implementations decide
+/// what to keep — a ring buffer, a metrics backend, a log file.
+///
+/// [`Tracer::level`] is a *request*: a session traces each run at the
+/// maximum of its own configured level and the tracer's, so attaching
+/// a `Spans`-level tracer to an otherwise untraced session turns
+/// recording on.
+pub trait Tracer: Send + Sync {
+    /// The minimum level this sink wants runs recorded at.
+    fn level(&self) -> TraceLevel;
+
+    /// Receives one closed span event (only for runs at
+    /// [`TraceLevel::Spans`]).
+    fn record_span(&self, event: &SpanEvent) {
+        let _ = event;
+    }
+
+    /// Receives the finished profile of one evaluation run.
+    fn record_profile(&self, profile: &EvalProfile) {
+        let _ = profile;
+    }
+}
+
+/// A tracer that requests nothing and discards everything.
+///
+/// ```
+/// use spannerlib_trace::{NullTracer, Tracer, TraceLevel};
+/// assert_eq!(NullTracer.level(), TraceLevel::Off);
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn level(&self) -> TraceLevel {
+        TraceLevel::Off
+    }
+}
+
+/// Std-mutex lock that shrugs off poisoning (telemetry must never
+/// propagate a panic).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// An in-memory tracer: keeps the most recent spans across *all* runs
+/// in a byte-bounded [`SpanRing`], and aggregates run profiles into a
+/// [`MetricsRegistry`] (counters for evals / rounds / tuples,
+/// histograms for evaluation and per-IE-function latency).
+///
+/// ```
+/// use spannerlib_trace::{EvalProfile, RingTracer, TraceLevel, Tracer};
+/// let tracer = RingTracer::new(TraceLevel::Summary, 64 * 1024);
+/// tracer.record_profile(&EvalProfile { rounds: 4, ..EvalProfile::default() });
+/// assert_eq!(tracer.metrics().counter("evals").get(), 1);
+/// assert_eq!(tracer.metrics().counter("rounds").get(), 4);
+/// ```
+#[derive(Debug)]
+pub struct RingTracer {
+    level: TraceLevel,
+    ring: Mutex<SpanRing>,
+    metrics: MetricsRegistry,
+}
+
+impl RingTracer {
+    /// A tracer requesting `level`, keeping at most `span_budget_bytes`
+    /// of span events.
+    pub fn new(level: TraceLevel, span_budget_bytes: usize) -> RingTracer {
+        RingTracer {
+            level,
+            ring: Mutex::new(SpanRing::new(span_budget_bytes)),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The cross-run metrics registry fed by [`Tracer::record_profile`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A copy of the resident span events, oldest first.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        lock(&self.ring).iter().cloned().collect()
+    }
+
+    /// Removes and returns the resident span events, oldest first.
+    pub fn take_spans(&self) -> Vec<SpanEvent> {
+        lock(&self.ring).drain()
+    }
+
+    /// Span events dropped by the byte budget so far.
+    pub fn spans_dropped(&self) -> u64 {
+        lock(&self.ring).dropped()
+    }
+}
+
+impl Tracer for RingTracer {
+    fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    fn record_span(&self, event: &SpanEvent) {
+        lock(&self.ring).push(event.clone());
+    }
+
+    fn record_profile(&self, profile: &EvalProfile) {
+        self.metrics.counter("evals").inc();
+        self.metrics.counter("rounds").add(profile.rounds);
+        self.metrics
+            .counter("rule_firings")
+            .add(profile.rule_firings);
+        self.metrics
+            .counter("tuples_derived")
+            .add(profile.tuples_derived);
+        self.metrics.counter("tuples_new").add(profile.tuples_new);
+        if profile.error.is_some() {
+            self.metrics.counter("evals_aborted").inc();
+        }
+        self.metrics.histogram("eval_ns").record(profile.total_ns);
+        for f in &profile.ie_functions {
+            self.metrics
+                .counter(&format!("ie.{}.calls", f.name))
+                .add(f.calls);
+            self.metrics
+                .counter(&format!("ie.{}.memo_hits", f.name))
+                .add(f.memo_hits);
+            self.metrics
+                .counter(&format!("ie.{}.memo_misses", f.name))
+                .add(f.memo_misses);
+            self.metrics
+                .histogram(&format!("ie.{}.latency_ns", f.name))
+                .merge(&f.latency);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+    use crate::profile::IeFunctionProfile;
+    use crate::span::{SpanKind, NO_SPAN};
+
+    #[test]
+    fn ring_tracer_aggregates_profiles_into_metrics() {
+        let tracer = RingTracer::new(TraceLevel::Spans, 4 * 1024);
+        let mut latency = HistogramSnapshot::default();
+        latency.record(1_000);
+        let profile = EvalProfile {
+            rounds: 2,
+            rule_firings: 3,
+            tuples_derived: 10,
+            tuples_new: 7,
+            total_ns: 5_000,
+            error: Some("limit".into()),
+            ie_functions: vec![IeFunctionProfile {
+                name: "f".into(),
+                calls: 4,
+                memo_hits: 3,
+                memo_misses: 1,
+                latency,
+            }],
+            ..EvalProfile::default()
+        };
+        tracer.record_profile(&profile);
+        tracer.record_profile(&profile);
+        let m = tracer.metrics();
+        assert_eq!(m.counter("evals").get(), 2);
+        assert_eq!(m.counter("evals_aborted").get(), 2);
+        assert_eq!(m.counter("tuples_new").get(), 14);
+        assert_eq!(m.counter("ie.f.calls").get(), 8);
+        assert_eq!(m.histogram("eval_ns").snapshot().count, 2);
+        assert_eq!(m.histogram("ie.f.latency_ns").snapshot().count, 2);
+    }
+
+    #[test]
+    fn ring_tracer_keeps_spans_across_runs() {
+        let tracer = RingTracer::new(TraceLevel::Spans, 64 * 1024);
+        for id in 1..=3 {
+            tracer.record_span(&SpanEvent {
+                id,
+                parent: NO_SPAN,
+                kind: SpanKind::Rule,
+                label: format!("rule {id}"),
+                start_ns: id,
+                duration_ns: 1,
+            });
+        }
+        assert_eq!(tracer.spans().len(), 3);
+        assert_eq!(tracer.take_spans().len(), 3);
+        assert!(tracer.spans().is_empty());
+    }
+
+    #[test]
+    fn null_tracer_accepts_everything() {
+        let t = NullTracer;
+        t.record_profile(&EvalProfile::default());
+        t.record_span(&SpanEvent {
+            id: 1,
+            parent: NO_SPAN,
+            kind: SpanKind::Execute,
+            label: String::new(),
+            start_ns: 0,
+            duration_ns: 0,
+        });
+        assert_eq!(t.level(), TraceLevel::Off);
+    }
+}

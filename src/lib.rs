@@ -112,6 +112,7 @@
 //! | [`llm`] | deterministic LLM mock, TF-IDF RAG, few-shot store |
 //! | [`codeast`] | minilang parser + AST pattern matcher |
 //! | [`covid`] | the §4.2 case study, both implementations |
+//! | [`trace`] | structured tracing, metrics, per-rule profiling |
 
 pub use spannerlib_cache as cache;
 pub use spannerlib_codeast as codeast;
@@ -121,14 +122,15 @@ pub use spannerlib_dataframe as dataframe;
 pub use spannerlib_llm as llm;
 pub use spannerlib_nlp as nlp;
 pub use spannerlib_regex as regex;
+pub use spannerlib_trace as trace;
 pub use spannerlog_engine as engine;
 pub use spannerlog_parser as parser;
 
 pub use spannerlib_core::{DocId, DocumentStore, Relation, Schema, Span, Tuple, Value, ValueType};
 pub use spannerlib_dataframe::DataFrame;
 pub use spannerlog_engine::{
-    CacheStats, DocGc, PreparedProgram, PreparedQuery, Session, SessionBuilder, SessionStats,
-    Snapshot,
+    CacheStats, DocGc, EvalProfile, PreparedProgram, PreparedQuery, RingTracer, Session,
+    SessionBuilder, SessionStats, Snapshot, TraceLevel, Tracer,
 };
 
 /// Everything a typical embedding needs, in one import.
@@ -136,7 +138,7 @@ pub mod prelude {
     pub use crate::core::{DocumentStore, Relation, Schema, Span, Tuple, Value, ValueType};
     pub use crate::dataframe::{DataFrame, FromRow, FromValue, IntoRow, IntoRows, IntoValue};
     pub use crate::engine::{
-        CacheStats, DocGc, EngineError, EvalStrategy, IeFunction, PreparedProgram, PreparedQuery,
-        Session, SessionBuilder, SessionStats, Snapshot,
+        CacheStats, DocGc, EngineError, EvalProfile, EvalStrategy, IeFunction, PreparedProgram,
+        PreparedQuery, Session, SessionBuilder, SessionStats, Snapshot, TraceLevel,
     };
 }
