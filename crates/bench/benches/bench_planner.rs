@@ -1,0 +1,81 @@
+//! Ablation: the cost-based query planner and the regex literal
+//! prefilter, each measured on/off on the workload it targets.
+//!
+//! * `planner_join/*` — join ordering: textual order materializes a
+//!   quadratic `A ⋈ B` intermediate, cost order starts from the 5-row
+//!   relation.
+//! * `planner_tc/*` — index reuse: transitive closure of a chain graph,
+//!   where planner-on rebuilds the `Edge` hash index once instead of
+//!   every fixpoint round.
+//! * `prefilter_rgx/*` — literal prefiltering at the library level: a
+//!   never-matching literal-prefixed pattern over realistic text.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spannerlib_bench::{
+    chain_graph, email_document, load_edges, load_join_workload, JOIN_PROGRAM, RARE_PATTERN,
+    TC_PROGRAM,
+};
+use spannerlib_regex::Regex;
+use spannerlog_engine::Session;
+use std::hint::black_box;
+
+// Evaluation is lazy: reading `head` is what forces the fixpoint.
+fn run_fresh(planner: bool, load: impl Fn(&mut Session), program: &str, head: &str) {
+    let mut session = Session::builder().planner(planner).build();
+    load(&mut session);
+    session.run(black_box(program)).unwrap();
+    black_box(session.relation(head).unwrap().len());
+}
+
+fn bench_join_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_join");
+    group.sample_size(20);
+    for on in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &on,
+            |b, &on| b.iter(|| run_fresh(on, |s| load_join_workload(s, 1_000), JOIN_PROGRAM, "Q")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_index_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_tc");
+    group.sample_size(20);
+    let chain = chain_graph(128);
+    for on in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &on,
+            |b, &on| b.iter(|| run_fresh(on, |s| load_edges(s, &chain), TC_PROGRAM, "Path")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_prefilter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefilter_rgx");
+    let re = Regex::new(RARE_PATTERN).unwrap();
+    let doc = email_document(8_000, 99);
+    for on in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &on,
+            |b, &on| {
+                spannerlib_regex::prefilter::set_enabled(on);
+                b.iter(|| re.find_iter(black_box(&doc)).count());
+                spannerlib_regex::prefilter::set_enabled(true);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join_ordering,
+    bench_index_reuse,
+    bench_prefilter
+);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Bench-smoke for the cost-based query planner: times four workloads
+//! with the planner + regex prefilter ON against the same workloads
+//! with both OFF, prints the planner-annotated `EvalProfile` of the
+//! join workload, and writes the speedups to `BENCH_planner.json`
+//! (first argument overrides the output path). CI uploads the file as
+//! an artifact; the checked-in copy at the repo root records a
+//! reference run.
+//!
+//! The arms:
+//!
+//! * **join** — `Q(x, z) <- A(x, y), B(y, z), C(z)`: textual order
+//!   materializes a quadratic `A ⋈ B` intermediate; cost order starts
+//!   from the 5-row `C`. A structural win, not a noise-level one.
+//! * **tc** — transitive closure of a chain graph: planner-on reuses
+//!   the `Edge` hash index across fixpoint rounds instead of
+//!   rebuilding it every round.
+//! * **rgx** — a literal-prefixed pattern over documents that never
+//!   contain the literal: the prefilter answers each search with one
+//!   `str::find`, the bare PikeVM scans every byte. Also structural.
+//! * **covid** — the §4.2 clinical pipeline end to end; the planner
+//!   must at minimum not slow it down.
+//!
+//! `--strict` (used for reference runs and CI) gates the structural
+//! arms at ≥ 1.2x and the end-to-end arms at ≥ 0.8x (planner-on no
+//! slower than planner-off, with generous shared-runner headroom).
+
+use spannerlib_bench::{
+    chain_graph, load_edges, load_join_workload, rare_pattern_session, JOIN_PROGRAM, RARE_PATTERN,
+    TC_PROGRAM,
+};
+use spannerlib_covid::corpus::generate_corpus;
+use spannerlib_covid::spanner::SpannerPipeline;
+use spannerlog_engine::{Session, TraceLevel};
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPS: usize = 8;
+const JOIN_ROWS: usize = 2_000;
+const CHAIN_LEN: usize = 192;
+const RGX_DOCS: usize = 24;
+const RGX_WORDS: usize = 2_000;
+const COVID_DOCS: usize = 30;
+
+/// Best-of-REPS wall-clock nanoseconds for `work` on a fresh session
+/// produced by `setup`. Fact loading stays outside the timed region —
+/// the planner only affects evaluation.
+fn measure<S>(setup: impl Fn() -> S, work: impl Fn(&mut S)) -> u128 {
+    (0..REPS)
+        .map(|_| {
+            let mut state = setup();
+            let start = Instant::now();
+            work(&mut state);
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("REPS > 0")
+}
+
+/// Times `program` on a session prepared by `load`, with the planner
+/// and the regex prefilter both toggled by `on`. Evaluation is lazy, so
+/// the timed region reads the `head` relation to force the fixpoint.
+/// The prefilter switch is process-global, so it is restored before
+/// returning.
+fn measure_engine(on: bool, load: impl Fn(&mut Session), program: &str, head: &str) -> u128 {
+    spannerlib_regex::prefilter::set_enabled(on);
+    let ns = measure(
+        || {
+            let mut session = Session::builder().planner(on).build();
+            load(&mut session);
+            session
+        },
+        |session| {
+            session.run(black_box(program)).unwrap();
+            black_box(session.relation(head).unwrap().len());
+        },
+    );
+    spannerlib_regex::prefilter::set_enabled(true);
+    ns
+}
+
+fn main() {
+    let mut strict = false;
+    let mut out_path = "BENCH_planner.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--strict" {
+            strict = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let rgx_program = format!(r#"Hit(d, s) <- Texts(d, t), rgx("{RARE_PATTERN}", t) -> (s)"#);
+    let chain = chain_graph(CHAIN_LEN);
+    let corpus = generate_corpus(COVID_DOCS, 42);
+
+    let join_on_ns = measure_engine(
+        true,
+        |s| load_join_workload(s, JOIN_ROWS),
+        JOIN_PROGRAM,
+        "Q",
+    );
+    let join_off_ns = measure_engine(
+        false,
+        |s| load_join_workload(s, JOIN_ROWS),
+        JOIN_PROGRAM,
+        "Q",
+    );
+    let tc_on_ns = measure_engine(true, |s| load_edges(s, &chain), TC_PROGRAM, "Path");
+    let tc_off_ns = measure_engine(false, |s| load_edges(s, &chain), TC_PROGRAM, "Path");
+
+    spannerlib_regex::prefilter::set_enabled(true);
+    let rgx_on_ns = measure(
+        || rare_pattern_session(RGX_DOCS, RGX_WORDS, true),
+        |session| {
+            session.run(black_box(rgx_program.as_str())).unwrap();
+            black_box(session.relation("Hit").unwrap().len());
+        },
+    );
+    spannerlib_regex::prefilter::set_enabled(false);
+    let rgx_off_ns = measure(
+        || rare_pattern_session(RGX_DOCS, RGX_WORDS, false),
+        |session| {
+            session.run(black_box(rgx_program.as_str())).unwrap();
+            black_box(session.relation("Hit").unwrap().len());
+        },
+    );
+    spannerlib_regex::prefilter::set_enabled(true);
+
+    let covid_on_ns = measure(
+        || SpannerPipeline::with_config(TraceLevel::Off, true).expect("pipeline builds"),
+        |pipeline| {
+            black_box(
+                pipeline
+                    .classify_corpus(&corpus)
+                    .expect("corpus classifies"),
+            );
+        },
+    );
+    spannerlib_regex::prefilter::set_enabled(false);
+    let covid_off_ns = measure(
+        || SpannerPipeline::with_config(TraceLevel::Off, false).expect("pipeline builds"),
+        |pipeline| {
+            black_box(
+                pipeline
+                    .classify_corpus(&corpus)
+                    .expect("corpus classifies"),
+            );
+        },
+    );
+    spannerlib_regex::prefilter::set_enabled(true);
+
+    // One traced run of the join workload for the printed plan lines
+    // and the planner counters that land in the JSON.
+    let mut traced = Session::builder().tracing(TraceLevel::Summary).build();
+    load_join_workload(&mut traced, JOIN_ROWS);
+    traced.run(JOIN_PROGRAM).unwrap();
+    traced.relation("Q").unwrap();
+    let profile = traced.profile().expect("summary tracing yields a profile");
+    println!("{}", profile.render());
+
+    let join_speedup = join_off_ns as f64 / join_on_ns as f64;
+    let tc_speedup = tc_off_ns as f64 / tc_on_ns as f64;
+    let rgx_speedup = rgx_off_ns as f64 / rgx_on_ns as f64;
+    let covid_speedup = covid_off_ns as f64 / covid_on_ns as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"planner_on_vs_off\",\n  \"reps_per_arm\": {REPS},\n  \
+         \"join_rows\": {JOIN_ROWS},\n  \"join_on_ns\": {join_on_ns},\n  \
+         \"join_off_ns\": {join_off_ns},\n  \"join_speedup\": {join_speedup:.3},\n  \
+         \"tc_chain_len\": {CHAIN_LEN},\n  \"tc_on_ns\": {tc_on_ns},\n  \
+         \"tc_off_ns\": {tc_off_ns},\n  \"tc_speedup\": {tc_speedup:.3},\n  \
+         \"rgx_docs\": {RGX_DOCS},\n  \"rgx_on_ns\": {rgx_on_ns},\n  \
+         \"rgx_off_ns\": {rgx_off_ns},\n  \"rgx_speedup\": {rgx_speedup:.3},\n  \
+         \"covid_docs\": {COVID_DOCS},\n  \"covid_on_ns\": {covid_on_ns},\n  \
+         \"covid_off_ns\": {covid_off_ns},\n  \"covid_speedup\": {covid_speedup:.3},\n  \
+         \"join_indexes_built\": {},\n  \"join_indexes_reused\": {}\n}}\n",
+        profile.index_builds, profile.index_hits,
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    print!("{json}");
+
+    // Structural arms carry a large margin (an asymptotic difference,
+    // not a constant factor), so they are gated at the acceptance bar;
+    // end-to-end arms only assert "no slower" with noise headroom.
+    let mut failures = Vec::new();
+    for (arm, speedup, floor) in [
+        ("join", join_speedup, 1.2),
+        ("rgx", rgx_speedup, 1.2),
+        ("tc", tc_speedup, 0.8),
+        ("covid", covid_speedup, 0.8),
+    ] {
+        if speedup < floor {
+            failures.push(format!(
+                "planner-on {arm} speedup {speedup:.3}x below the {floor}x gate"
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        let msg = failures.join("; ");
+        if strict {
+            panic!("{msg}");
+        }
+        eprintln!("warning: {msg}");
+    }
+}

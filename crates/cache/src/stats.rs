@@ -51,4 +51,27 @@ mod tests {
         };
         assert_eq!(stats.hit_rate(), 0.75);
     }
+
+    #[test]
+    fn hit_rate_stays_finite_and_bounded() {
+        // Degenerate and saturated counters must never yield NaN/∞ or
+        // leave [0, 1] — serving dashboards divide by this blindly.
+        let cases = [
+            CacheStats::default(),
+            CacheStats {
+                misses: 17,
+                ..CacheStats::default()
+            },
+            CacheStats {
+                hits: u64::MAX / 2,
+                misses: u64::MAX / 2,
+                ..CacheStats::default()
+            },
+        ];
+        for stats in cases {
+            let rate = stats.hit_rate();
+            assert!(rate.is_finite(), "{stats:?}");
+            assert!((0.0..=1.0).contains(&rate), "{stats:?} → {rate}");
+        }
+    }
 }

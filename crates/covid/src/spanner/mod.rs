@@ -65,6 +65,15 @@ impl SpannerPipeline {
     /// [`SpannerPipeline::profile`] then holds the per-rule breakdown
     /// of the fixpoint that classified the batch.
     pub fn with_tracing(level: TraceLevel) -> Result<SpannerPipeline> {
+        SpannerPipeline::with_config(level, true)
+    }
+
+    /// Full-control constructor: tracing at `level`, and the cost-based
+    /// query planner toggled by `planner` — the ablation knob used by
+    /// `planner_smoke`/`bench_planner` to price the planner on the
+    /// clinical workload. Production callers want the defaults
+    /// ([`SpannerPipeline::new`]).
+    pub fn with_config(level: TraceLevel, planner: bool) -> Result<SpannerPipeline> {
         // Corpus batches repeat documents across classify_corpus calls
         // in notebook-style use, so keep the IE memo on (default
         // capacity) and let doc-store GC reclaim texts of replaced
@@ -74,6 +83,7 @@ impl SpannerPipeline {
                 bytes: 32 * 1024 * 1024,
             })
             .tracing(level)
+            .planner(planner)
             .build();
 
         // Target matcher from CSV.

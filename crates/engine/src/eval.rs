@@ -20,12 +20,14 @@
 
 use crate::database::Database;
 use crate::error::{EngineError, LimitCulprit, Result};
+use crate::optimizer::IndexCache;
 use crate::plan::{self, ExecCtx, RulePlan, Step, TraceCtx};
 use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spannerlib_cache::SharedIeMemo;
 use spannerlib_core::Relation;
 use spannerlib_trace::{RunTrace, SpanId, SpanKind, NO_SPAN};
+use std::cell::RefCell;
 
 /// Fixpoint algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -119,6 +121,9 @@ pub struct EvalCtx<'a> {
     pub limits: EvalLimits,
     /// IE memo table, when enabled.
     pub cache: Option<&'a SharedIeMemo>,
+    /// Cost-based step ordering + scan-index reuse
+    /// (`SessionBuilder::planner`; on by default).
+    pub planner: bool,
 }
 
 /// The trace scope of one stratum: the run collector plus the stratum's
@@ -128,6 +133,8 @@ struct StratumScope<'a, 'b> {
     stratum: usize,
     rule_ids: &'b [usize],
     span: SpanId,
+    /// Evaluation-wide scan-index cache (`None` with the planner off).
+    indexes: Option<&'b RefCell<IndexCache>>,
 }
 
 /// Runs all strata to fixpoint, inserting derived tuples into `db`.
@@ -141,6 +148,12 @@ pub fn evaluate(
     trace: &mut RunTrace,
 ) -> Result<EvalStats> {
     let mut stats = EvalStats::default();
+    // One scan-index cache per evaluation run: relations only grow
+    // while a run executes (derived state was cleared before it), so
+    // indexes keyed by (relation, row count, key columns) stay valid
+    // across fixpoint rounds, rules, and strata.
+    let index_cache = RefCell::new(IndexCache::default());
+    let indexes = ctx.planner.then_some(&index_cache);
     let root = trace.open(NO_SPAN, SpanKind::Execute, || {
         format!("evaluate ({} strata)", strata.len())
     });
@@ -158,6 +171,7 @@ pub fn evaluate(
             stratum: si,
             rule_ids: &rule_ids,
             span,
+            indexes,
         };
         let result = match ctx.strategy {
             EvalStrategy::Naive => naive_stratum(db, stratum, ctx, &mut stats, &mut scope),
@@ -165,9 +179,15 @@ pub fn evaluate(
         };
         trace.stratum_done(si, t0);
         trace.close(span);
-        result?;
+        if let Err(e) = result {
+            let ic = index_cache.borrow();
+            trace.index_cache(ic.hits, ic.builds);
+            return Err(e);
+        }
     }
     trace.close(root);
+    let ic = index_cache.borrow();
+    trace.index_cache(ic.hits, ic.builds);
     Ok(stats)
 }
 
@@ -246,6 +266,8 @@ fn naive_stratum(
         delta_at: None,
         deltas: &no_deltas,
         cache: ctx.cache,
+        planner: ctx.planner,
+        indexes: scope.indexes,
     };
     // Last rule to derive a new tuple — the round-limit culprit.
     let mut driver: Option<usize> = None;
@@ -308,6 +330,8 @@ fn seminaive_stratum(
             delta_at: None,
             deltas: &no_deltas,
             cache: ctx.cache,
+            planner: ctx.planner,
+            indexes: scope.indexes,
         };
         let rule_span = scope
             .trace
@@ -362,6 +386,8 @@ fn seminaive_stratum(
                     delta_at: Some(step_idx),
                     deltas: &deltas,
                     cache: ctx.cache,
+                    planner: ctx.planner,
+                    indexes: scope.indexes,
                 };
                 let rule_span = scope
                     .trace

@@ -39,6 +39,7 @@ pub mod database;
 pub mod error;
 pub mod eval;
 pub mod ie;
+pub mod optimizer;
 pub mod plan;
 pub mod prepared;
 pub mod query;

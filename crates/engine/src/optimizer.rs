@@ -1,0 +1,291 @@
+//! Cost-based step ordering and per-execution index reuse.
+//!
+//! Safety analysis ([`crate::safety`]) emits each rule body as a
+//! *correct* pipeline — every step's variables are bound by the time it
+//! runs — but in textual atom order. This module adds the planner on
+//! top of that invariant:
+//!
+//! * [`annotate`] runs once per rule at compile time (from
+//!   `CompiledProgram::compile`) and records, per step, which variables
+//!   it **needs** bound, which it can **bind**, and whether it is an
+//!   ordering **barrier** (an uncacheable IE call: invoked once per
+//!   binding row, so its observable behaviour depends on its position).
+//! * [`order_steps`] runs per rule firing, when relation cardinalities
+//!   are known, and greedily picks the cheapest runnable step: filters
+//!   first, then IE calls whose inputs are bound, then scans by
+//!   estimated fan-out (relation size discounted per bound join
+//!   column). Barriers are never crossed in either direction.
+//! * [`IndexCache`] keeps the hash indexes [`crate::plan`] builds for
+//!   scan joins alive for the whole evaluation run, keyed by
+//!   `(relation, row count, key columns)`. Within one run relations
+//!   only grow (their extensional generation is fixed and derived
+//!   inserts are append-only), so the row count is a faithful
+//!   within-run generation: fixpoint rounds and sibling rules reuse
+//!   identical indexes instead of rebuilding them.
+//!
+//! Any permutation respecting the `needs ⊆ bound` invariant and the
+//! barriers is observationally equivalent: scans, negations, and
+//! comparisons are pure, joins commute, and the head projection works
+//! on set semantics. The `planner_on_off_agree` property test
+//! (`crates/engine/tests/properties.rs`) pins that equivalence.
+
+use crate::plan::{PTerm, RulePlan, Step};
+use crate::registry::Registry;
+use rustc_hash::FxHashMap;
+use spannerlib_core::{Tuple, Value};
+use std::rc::Rc;
+
+/// Per-step scheduling metadata (see [`annotate`]).
+#[derive(Debug, Clone, Default)]
+pub struct StepMeta {
+    /// Variables that must already be bound for the step to run.
+    pub needs: Vec<usize>,
+    /// Variables the step can bind.
+    pub binds: Vec<usize>,
+    /// Whether the step pins the relative order of everything around it
+    /// (uncacheable IE calls — one invocation per row, order-sensitive).
+    pub barrier: bool,
+}
+
+/// Compile-time planner annotation of one rule, stored on
+/// [`RulePlan::opt`].
+#[derive(Debug, Clone, Default)]
+pub struct RuleOpt {
+    /// One entry per plan step, in plan order.
+    pub steps: Vec<StepMeta>,
+}
+
+fn term_vars(terms: &[PTerm], out: &mut Vec<usize>) {
+    for t in terms {
+        if let PTerm::Var(v) = t {
+            if !out.contains(v) {
+                out.push(*v);
+            }
+        }
+    }
+}
+
+/// Computes and stores the scheduling metadata for `plan`. Called once
+/// from `CompiledProgram::compile`; plans without the annotation (e.g.
+/// hand-built) simply execute in textual order.
+pub fn annotate(plan: &mut RulePlan, registry: &Registry) {
+    let steps = plan
+        .steps
+        .iter()
+        .map(|step| {
+            let mut meta = StepMeta::default();
+            match step {
+                Step::Scan { terms, .. } => term_vars(terms, &mut meta.binds),
+                Step::Ie {
+                    function,
+                    inputs,
+                    outputs,
+                } => {
+                    term_vars(inputs, &mut meta.needs);
+                    term_vars(outputs, &mut meta.binds);
+                    // Unknown functions stay conservative barriers; the
+                    // execute-time registry lookup reports the error.
+                    meta.barrier = registry
+                        .ie(function)
+                        .map(|f| !f.cacheable())
+                        .unwrap_or(true);
+                }
+                Step::Negation { terms, .. } => term_vars(terms, &mut meta.needs),
+                Step::Compare { left, op: _, right } => {
+                    term_vars(std::slice::from_ref(left), &mut meta.needs);
+                    term_vars(std::slice::from_ref(right), &mut meta.needs);
+                }
+            }
+            meta
+        })
+        .collect();
+    plan.opt = Some(RuleOpt { steps });
+}
+
+/// Assumed output rows per input row of a cacheable IE call — a handful
+/// of matches per document. Scans estimating a larger fan-out run after
+/// the IE call; smaller ones run before it.
+const IE_FANOUT: usize = 4;
+
+/// Estimated cost of running `step` next given the currently bound
+/// variables: the approximate number of result rows per input row.
+fn step_cost(
+    step: &Step,
+    index: usize,
+    bound: &[bool],
+    scan_rows: &mut dyn FnMut(usize) -> usize,
+) -> usize {
+    match step {
+        // Pure filters can only shrink the row set.
+        Step::Compare { .. } => 0,
+        Step::Negation { .. } => 1,
+        Step::Ie { .. } => IE_FANOUT,
+        Step::Scan { terms, .. } => {
+            let n = scan_rows(index);
+            // Each bound join column is assumed ~8x selective.
+            let k = terms
+                .iter()
+                .filter(|t| match t {
+                    PTerm::Const(_) => true,
+                    PTerm::Var(v) => bound.get(*v).copied().unwrap_or(false),
+                    PTerm::Wildcard => false,
+                })
+                .count();
+            if k == 0 {
+                n
+            } else {
+                (n >> (3 * k).min(63)).max(1)
+            }
+        }
+    }
+}
+
+/// Greedily orders the steps of `plan` by estimated cost, returning a
+/// permutation of the original step indices. `scan_rows(i)` reports the
+/// (delta-aware) cardinality of the relation scanned by step `i`.
+///
+/// Steps become *runnable* once their needed variables are bound;
+/// uncacheable IE calls split the body into segments that are ordered
+/// independently, so nothing migrates across them. The permutation
+/// always exists: the textual order itself satisfies the binding
+/// invariant, so the lowest unscheduled original index is runnable at
+/// every point (ties prefer it, keeping the choice deterministic).
+pub fn order_steps(
+    plan: &RulePlan,
+    opt: &RuleOpt,
+    mut scan_rows: impl FnMut(usize) -> usize,
+) -> Vec<usize> {
+    let n = plan.steps.len();
+    if n <= 1 || opt.steps.len() != n {
+        return (0..n).collect();
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut bound = vec![false; plan.var_names.len()];
+    let mut emitted = vec![false; n];
+    // Segment boundaries: barriers pin themselves and fence both sides.
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo..n).find(|&i| opt.steps[i].barrier).unwrap_or(n);
+        // Order the pure segment [lo, hi).
+        while order.len() < hi {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, &done) in emitted.iter().enumerate().take(hi).skip(lo) {
+                if done {
+                    continue;
+                }
+                let meta = &opt.steps[i];
+                if !meta.needs.iter().all(|&v| bound.get(v) == Some(&true)) {
+                    continue;
+                }
+                let cost = step_cost(&plan.steps[i], i, &bound, &mut scan_rows);
+                if best.is_none_or(|(c, _)| cost < c) {
+                    best = Some((cost, i));
+                }
+            }
+            // Unreachable for safety-produced plans; bail out to textual
+            // order for anything malformed (execute reports the error).
+            let Some((_, pick)) = best else {
+                return (0..n).collect();
+            };
+            emitted[pick] = true;
+            for &v in &opt.steps[pick].binds {
+                if let Some(b) = bound.get_mut(v) {
+                    *b = true;
+                }
+            }
+            order.push(pick);
+        }
+        // Emit the barrier itself in place.
+        if hi < n {
+            emitted[hi] = true;
+            for &v in &opt.steps[hi].binds {
+                if let Some(b) = bound.get_mut(v) {
+                    *b = true;
+                }
+            }
+            order.push(hi);
+        }
+        lo = hi + 1;
+    }
+    order
+}
+
+/// Renders a chosen order as a one-line plan description for the trace,
+/// e.g. `Docs[3] ⋈ rgx → Mentions[1200]` with estimated input
+/// cardinalities. `moved` marks steps that left their textual position.
+pub fn describe(
+    plan: &RulePlan,
+    order: &[usize],
+    mut scan_rows: impl FnMut(usize) -> usize,
+) -> String {
+    let parts: Vec<String> = order
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| {
+            let moved = pos != i;
+            let tag = |s: String| if moved { format!("{s}*") } else { s };
+            match &plan.steps[i] {
+                Step::Scan { relation, .. } => tag(format!("{relation}[{}]", scan_rows(i))),
+                Step::Ie { function, .. } => tag(format!("{function}()")),
+                Step::Negation { relation, .. } => tag(format!("!{relation}")),
+                Step::Compare { .. } => tag("cmp".to_string()),
+            }
+        })
+        .collect();
+    parts.join(" ⋈ ")
+}
+
+/// An owned hash index over one relation, keyed by a fixed set of
+/// columns. Shared via `Rc` between the cache and the borrowing scan.
+#[derive(Debug)]
+pub struct TupleIndex {
+    /// Arity of the indexed tuples (uniform per relation). Checked
+    /// against the scan's term count on reuse so an arity-mismatched
+    /// plan errors exactly like the uncached path.
+    pub arity: usize,
+    /// Key projection → tuples with that projection.
+    pub map: FxHashMap<Vec<Value>, Vec<Tuple>>,
+}
+
+/// Per-evaluation cache of scan-join indexes (see module docs for why
+/// the row count is a sound within-run generation stand-in).
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    entries: FxHashMap<(String, usize, Vec<usize>), Rc<TupleIndex>>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Indexes built (cache misses).
+    pub builds: u64,
+}
+
+impl IndexCache {
+    /// Returns the cached index for `(relation, rows, key_cols)`.
+    pub fn lookup(
+        &mut self,
+        relation: &str,
+        rows: usize,
+        key_cols: &[usize],
+    ) -> Option<Rc<TupleIndex>> {
+        let found = self
+            .entries
+            .get(&(relation.to_string(), rows, key_cols.to_vec()))
+            .cloned();
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Stores a freshly built index.
+    pub fn store(
+        &mut self,
+        relation: &str,
+        rows: usize,
+        key_cols: Vec<usize>,
+        index: Rc<TupleIndex>,
+    ) {
+        self.builds += 1;
+        self.entries
+            .insert((relation.to_string(), rows, key_cols), index);
+    }
+}

@@ -9,12 +9,15 @@
 
 use crate::error::{EngineError, Result};
 use crate::ie::{cached_ie_call, IeContext};
+use crate::optimizer::{self, IndexCache, RuleOpt, TupleIndex};
 use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spannerlib_cache::SharedIeMemo;
 use spannerlib_core::{DocumentStore, Relation, Tuple, Value};
 use spannerlib_trace::{RunTrace, SpanId, SpanKind};
 use spannerlog_parser::CmpOp;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A term resolved against the rule's variable table.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +104,10 @@ pub struct RulePlan {
     /// `(predicate, through_negation_or_aggregation)` dependencies for
     /// stratification.
     pub dependencies: Vec<(String, bool)>,
+    /// Planner annotation ([`crate::optimizer::annotate`]), filled at
+    /// compile time. `None` (e.g. for hand-built plans) executes the
+    /// steps in textual order.
+    pub opt: Option<RuleOpt>,
 }
 
 impl RulePlan {
@@ -127,6 +134,11 @@ pub struct ExecCtx<'a> {
     pub deltas: &'a FxHashMap<String, Relation>,
     /// IE memo table, when enabled.
     pub cache: Option<&'a SharedIeMemo>,
+    /// Whether the cost-based planner reorders annotated rule bodies.
+    pub planner: bool,
+    /// Evaluation-wide scan-index cache (planner on); `None` falls back
+    /// to building a fresh borrowed index per scan.
+    pub indexes: Option<&'a RefCell<IndexCache>>,
 }
 
 /// Where one [`execute`] call reports its trace data: the run's
@@ -153,17 +165,44 @@ pub fn execute(
     ctx: &ExecCtx<'_>,
     tr: &mut TraceCtx<'_>,
 ) -> Result<Vec<Tuple>> {
+    validate_var_indexes(plan)?;
     let n_vars = plan.var_names.len();
     let empty = Relation::new(spannerlib_core::Schema::empty());
     let mut rows: Vec<Row> = vec![vec![None; n_vars]];
 
-    for (i, step) in plan.steps.iter().enumerate() {
+    // Delta-aware cardinality of the relation scanned by step `i` —
+    // the planner's cost input and the trace's estimate column.
+    let scan_rows = |i: usize| -> usize {
+        let Some(Step::Scan { relation, .. }) = plan.steps.get(i) else {
+            return 0;
+        };
+        let map = if ctx.delta_at == Some(i) {
+            ctx.deltas
+        } else {
+            relations
+        };
+        map.get(relation.as_str()).map_or(0, Relation::len)
+    };
+
+    let order: Vec<usize> = match plan.opt.as_ref().filter(|_| ctx.planner) {
+        Some(opt) => {
+            let order = optimizer::order_steps(plan, opt, scan_rows);
+            tr.trace
+                .plan_chosen(tr.rule, || optimizer::describe(plan, &order, scan_rows));
+            order
+        }
+        None => (0..plan.steps.len()).collect(),
+    };
+
+    for &i in &order {
+        let step = &plan.steps[i];
         if rows.is_empty() {
             return Ok(Vec::new());
         }
         match step {
             Step::Scan { relation, terms } => {
-                let rel = if ctx.delta_at == Some(i) {
+                let is_delta = ctx.delta_at == Some(i);
+                let rel = if is_delta {
                     ctx.deltas.get(relation.as_str()).unwrap_or(&empty)
                 } else {
                     relations.get(relation.as_str()).unwrap_or(&empty)
@@ -172,7 +211,14 @@ pub fn execute(
                 let span = tr
                     .trace
                     .open(tr.parent, SpanKind::Join, || format!("scan {relation}"));
-                let joined = scan_join(rows, rel, terms, relation);
+                // Deltas share their relation's name but mutate between
+                // rounds, so only full-relation scans hit the cache.
+                let joined = match ctx.indexes.filter(|_| !is_delta) {
+                    Some(cache) => {
+                        scan_join_indexed(plan, rows, rel, terms, relation, &mut cache.borrow_mut())
+                    }
+                    None => scan_join(plan, rows, rel, terms, relation),
+                };
                 tr.trace.close(span);
                 rows = joined?;
             }
@@ -192,14 +238,27 @@ pub fn execute(
                 let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
                 let mut by_args: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
                 for row in rows {
-                    let args: Vec<Value> = inputs
-                        .iter()
-                        .map(|t| match t {
-                            PTerm::Var(v) => row[*v].clone().expect("safety: inputs bound"),
+                    let mut args: Vec<Value> = Vec::with_capacity(inputs.len());
+                    for t in inputs {
+                        args.push(match t {
+                            PTerm::Var(v) => row[*v].clone().ok_or_else(|| {
+                                internal(
+                                    plan,
+                                    format!(
+                                        "input {} of IE function {function:?} is unbound",
+                                        var_name(plan, *v)
+                                    ),
+                                )
+                            })?,
                             PTerm::Const(c) => c.clone(),
-                            PTerm::Wildcard => unreachable!("safety rejects wildcard inputs"),
-                        })
-                        .collect();
+                            PTerm::Wildcard => {
+                                return Err(internal(
+                                    plan,
+                                    format!("wildcard input to IE function {function:?}"),
+                                ))
+                            }
+                        });
+                    }
                     match by_args.get(&args).filter(|_| batch) {
                         Some(&g) => groups[g].1.push(row),
                         None => {
@@ -249,8 +308,8 @@ pub fn execute(
                 let mut filtered = Vec::with_capacity(rows.len());
                 for row in rows {
                     let keep = {
-                        let a = term_value(left, &row);
-                        let b = term_value(right, &row);
+                        let a = term_value(left, &row, plan)?;
+                        let b = term_value(right, &row, plan)?;
                         compare(a, b, *op)?
                     };
                     if keep {
@@ -265,11 +324,86 @@ pub fn execute(
     project_head(plan, rows, docs, ctx.registry)
 }
 
-fn term_value<'r>(t: &'r PTerm, row: &'r Row) -> &'r Value {
+/// A structured "the plan violated a binding invariant" error — the
+/// degradation path for malformed plans that safety analysis would
+/// never produce.
+fn internal(plan: &RulePlan, detail: String) -> EngineError {
+    EngineError::Internal {
+        rule: if plan.source.is_empty() {
+            plan.head_predicate.clone()
+        } else {
+            plan.source.clone()
+        },
+        detail,
+    }
+}
+
+/// Variable name for diagnostics; tolerates out-of-range indexes.
+fn var_name(plan: &RulePlan, v: usize) -> String {
+    match plan.var_names.get(v) {
+        Some(name) => format!("{name:?}"),
+        None => format!("#{v}"),
+    }
+}
+
+/// One cheap pass over the plan so every raw `row[v]` index below is in
+/// range: a malformed plan (variable index past the variable table)
+/// degrades to [`EngineError::Internal`] instead of an index panic.
+fn validate_var_indexes(plan: &RulePlan) -> Result<()> {
+    let n = plan.var_names.len();
+    let check = |terms: &[PTerm]| -> Result<()> {
+        for t in terms {
+            if let PTerm::Var(v) = t {
+                if *v >= n {
+                    return Err(internal(
+                        plan,
+                        format!("variable index {v} out of range ({n} variables)"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+    for step in &plan.steps {
+        match step {
+            Step::Scan { terms, .. } | Step::Negation { terms, .. } => check(terms)?,
+            Step::Ie {
+                inputs, outputs, ..
+            } => {
+                check(inputs)?;
+                check(outputs)?;
+            }
+            Step::Compare { left, op: _, right } => {
+                check(std::slice::from_ref(left))?;
+                check(std::slice::from_ref(right))?;
+            }
+        }
+    }
+    for h in &plan.head {
+        let v = match h {
+            HeadOut::Var(v) | HeadOut::Aggregate { var: v, .. } => *v,
+            HeadOut::Const(_) => continue,
+        };
+        if v >= n {
+            return Err(internal(
+                plan,
+                format!("head variable index {v} out of range ({n} variables)"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn term_value<'r>(t: &'r PTerm, row: &'r Row, plan: &RulePlan) -> Result<&'r Value> {
     match t {
-        PTerm::Var(v) => row[*v].as_ref().expect("safety: comparison vars bound"),
-        PTerm::Const(c) => c,
-        PTerm::Wildcard => unreachable!("safety rejects wildcard comparison operands"),
+        PTerm::Var(v) => row[*v].as_ref().ok_or_else(|| {
+            internal(
+                plan,
+                format!("comparison operand {} is unbound", var_name(plan, *v)),
+            )
+        }),
+        PTerm::Const(c) => Ok(c),
+        PTerm::Wildcard => Err(internal(plan, "wildcard comparison operand".to_string())),
     }
 }
 
@@ -309,17 +443,14 @@ fn compare(a: &Value, b: &Value, op: CmpOp) -> Result<bool> {
 /// join key; remaining variable columns bind new variables (repeated new
 /// variables unify left-to-right). The bound-variable set is uniform
 /// across rows at any step, so it is read off the first row.
-fn scan_join(rows: Vec<Row>, rel: &Relation, terms: &[PTerm], relation: &str) -> Result<Vec<Row>> {
-    let bound: Vec<bool> = rows[0].iter().map(Option::is_some).collect();
-
-    let mut key_cols: Vec<usize> = Vec::new();
-    for (c, t) in terms.iter().enumerate() {
-        match t {
-            PTerm::Const(_) => key_cols.push(c),
-            PTerm::Var(v) if bound[*v] => key_cols.push(c),
-            _ => {}
-        }
-    }
+fn scan_join(
+    plan: &RulePlan,
+    rows: Vec<Row>,
+    rel: &Relation,
+    terms: &[PTerm],
+    relation: &str,
+) -> Result<Vec<Row>> {
+    let key_cols = join_key_cols(&rows[0], terms);
 
     // Build an index over relation tuples keyed by the join columns.
     let mut index: FxHashMap<Vec<&Value>, Vec<&Tuple>> = FxHashMap::default();
@@ -344,15 +475,119 @@ fn scan_join(rows: Vec<Row>, rel: &Relation, terms: &[PTerm], relation: &str) ->
 
     let mut out = Vec::new();
     for row in &rows {
-        let key: Vec<&Value> = key_cols
-            .iter()
-            .map(|&c| match &terms[c] {
+        let mut key: Vec<&Value> = Vec::with_capacity(key_cols.len());
+        for &c in &key_cols {
+            key.push(match &terms[c] {
                 PTerm::Const(v) => v,
-                PTerm::Var(v) => row[*v].as_ref().expect("key col is bound"),
-                PTerm::Wildcard => unreachable!("wildcards are not key columns"),
-            })
-            .collect();
+                PTerm::Var(v) => row[*v]
+                    .as_ref()
+                    .ok_or_else(|| join_key_unbound(plan, relation, &terms[c]))?,
+                PTerm::Wildcard => return Err(join_key_unbound(plan, relation, &terms[c])),
+            });
+        }
         let Some(candidates) = index.get(&key) else {
+            continue;
+        };
+        for tuple in candidates {
+            if let Some(extended) = unify_values(row, terms, tuple.values()) {
+                out.push(extended);
+            }
+        }
+    }
+    Ok(dedupe(out))
+}
+
+/// The join-key columns of a scan: constants plus already-bound
+/// variables. The bound-variable set is uniform across rows at any
+/// step, so it is read off `first`.
+fn join_key_cols(first: &Row, terms: &[PTerm]) -> Vec<usize> {
+    let mut key_cols: Vec<usize> = Vec::new();
+    for (c, t) in terms.iter().enumerate() {
+        match t {
+            PTerm::Const(_) => key_cols.push(c),
+            PTerm::Var(v) if first[*v].is_some() => key_cols.push(c),
+            _ => {}
+        }
+    }
+    key_cols
+}
+
+fn join_key_unbound(plan: &RulePlan, relation: &str, t: &PTerm) -> EngineError {
+    let what = match t {
+        PTerm::Var(v) => format!("variable {}", var_name(plan, *v)),
+        _ => "wildcard".to_string(),
+    };
+    internal(
+        plan,
+        format!("join key {what} of scan over {relation:?} is unbound"),
+    )
+}
+
+/// [`scan_join`] against the per-evaluation [`IndexCache`]: the index
+/// is owned (keys cloned, `Arc`-backed values so clones are cheap) and
+/// keyed by `(relation, row count, key columns)`, making it reusable
+/// across fixpoint rounds and sibling rules — including rules that
+/// filter the same columns with *different* constants, since constants
+/// participate as ordinary key columns.
+fn scan_join_indexed(
+    plan: &RulePlan,
+    rows: Vec<Row>,
+    rel: &Relation,
+    terms: &[PTerm],
+    relation: &str,
+    cache: &mut IndexCache,
+) -> Result<Vec<Row>> {
+    if rel.is_empty() {
+        return Ok(Vec::new());
+    }
+    let key_cols = join_key_cols(&rows[0], terms);
+
+    let index: Rc<TupleIndex> = match cache.lookup(relation, rel.len(), &key_cols) {
+        Some(ix) => ix,
+        None => {
+            let mut map: FxHashMap<Vec<Value>, Vec<Tuple>> = FxHashMap::default();
+            for tuple in rel.iter() {
+                if tuple.arity() != terms.len() {
+                    return Err(EngineError::Arity {
+                        relation: relation.to_string(),
+                        expected: terms.len(),
+                        actual: tuple.arity(),
+                    });
+                }
+                let key: Vec<Value> = key_cols.iter().map(|&c| tuple[c].clone()).collect();
+                map.entry(key).or_default().push(tuple.clone());
+            }
+            let ix = Rc::new(TupleIndex {
+                arity: terms.len(),
+                map,
+            });
+            cache.store(relation, rel.len(), key_cols.clone(), ix.clone());
+            ix
+        }
+    };
+    // A cache hit with a different term count is the arity-mismatch
+    // case the build path reports; surface the same error.
+    if index.arity != terms.len() {
+        return Err(EngineError::Arity {
+            relation: relation.to_string(),
+            expected: terms.len(),
+            actual: index.arity,
+        });
+    }
+
+    let mut out = Vec::new();
+    for row in &rows {
+        let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+        for &c in &key_cols {
+            key.push(match &terms[c] {
+                PTerm::Const(v) => v.clone(),
+                PTerm::Var(v) => row[*v]
+                    .clone()
+                    .ok_or_else(|| join_key_unbound(plan, relation, &terms[c]))?,
+                PTerm::Wildcard => return Err(join_key_unbound(plan, relation, &terms[c])),
+            });
+        }
+        let Some(candidates) = index.map.get(&key) else {
             continue;
         };
         for tuple in candidates {
@@ -419,17 +654,32 @@ fn project_head(
     docs: &mut DocumentStore,
     registry: &Registry,
 ) -> Result<Vec<Tuple>> {
-    let var_value =
-        |row: &Row, v: usize| -> Value { row[v].clone().expect("safety: head vars bound") };
+    let var_value = |row: &Row, v: usize| -> Result<Value> {
+        row[v].clone().ok_or_else(|| {
+            internal(
+                plan,
+                format!("head variable {} is unbound", var_name(plan, v)),
+            )
+        })
+    };
 
     if !plan.has_aggregation() {
         let mut out = Vec::with_capacity(rows.len());
         for row in rows {
-            out.push(Tuple::new(plan.head.iter().map(|h| match h {
-                HeadOut::Var(v) => var_value(&row, *v),
-                HeadOut::Const(c) => c.clone(),
-                HeadOut::Aggregate { .. } => unreachable!("no aggregation"),
-            })));
+            let mut values = Vec::with_capacity(plan.head.len());
+            for h in &plan.head {
+                values.push(match h {
+                    HeadOut::Var(v) => var_value(&row, *v)?,
+                    HeadOut::Const(c) => c.clone(),
+                    HeadOut::Aggregate { .. } => {
+                        return Err(internal(
+                            plan,
+                            "aggregate head column outside the group-by path".to_string(),
+                        ))
+                    }
+                });
+            }
+            out.push(Tuple::new(values));
         }
         return Ok(out);
     }
@@ -450,16 +700,18 @@ fn project_head(
     let mut seen: FxHashSet<(Vec<Value>, Vec<Value>)> = FxHashSet::default();
     let mut group_order: Vec<Vec<Value>> = Vec::new();
     for row in &rows {
-        let key: Vec<Value> = plan
-            .head
+        let mut key: Vec<Value> = Vec::with_capacity(plan.head.len());
+        for h in &plan.head {
+            match h {
+                HeadOut::Var(v) => key.push(var_value(row, *v)?),
+                HeadOut::Const(c) => key.push(c.clone()),
+                HeadOut::Aggregate { .. } => {}
+            }
+        }
+        let aggs: Vec<Value> = agg_vars
             .iter()
-            .filter_map(|h| match h {
-                HeadOut::Var(v) => Some(var_value(row, *v)),
-                HeadOut::Const(c) => Some(c.clone()),
-                HeadOut::Aggregate { .. } => None,
-            })
-            .collect();
-        let aggs: Vec<Value> = agg_vars.iter().map(|&v| var_value(row, v)).collect();
+            .map(|&v| var_value(row, v))
+            .collect::<Result<_>>()?;
         if seen.insert((key.clone(), aggs.clone())) {
             if !groups.contains_key(&key) {
                 group_order.push(key.clone());
@@ -477,7 +729,10 @@ fn project_head(
         for h in &plan.head {
             match h {
                 HeadOut::Var(_) | HeadOut::Const(_) => {
-                    tuple.push(key_iter.next().expect("key arity").clone());
+                    let v = key_iter.next().ok_or_else(|| {
+                        internal(plan, "group key shorter than head projection".to_string())
+                    })?;
+                    tuple.push(v.clone());
                 }
                 HeadOut::Aggregate {
                     func, conversions, ..

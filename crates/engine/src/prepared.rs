@@ -69,10 +69,15 @@ impl CompiledProgram {
             relations: &relation_names,
             registry,
         };
-        let plans = rules
+        let mut plans = rules
             .iter()
             .map(|r| analyze(r, &ctx))
             .collect::<Result<Vec<_>>>()?;
+        // Planner annotation: per-step binding/barrier metadata, so the
+        // execute-time cost ordering pays no analysis per firing.
+        for plan in &mut plans {
+            crate::optimizer::annotate(plan, registry);
+        }
 
         // Every predicate a rule depends on is a fingerprint input —
         // including rule heads. Derived inserts bypass the generation

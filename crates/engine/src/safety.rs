@@ -323,6 +323,8 @@ pub fn analyze(rule: &Rule, ctx: &SafetyContext<'_>) -> Result<RulePlan> {
         line: rule.line,
         source: rule.to_string(),
         dependencies,
+        // Filled by `optimizer::annotate` during program compilation.
+        opt: None,
     })
 }
 

@@ -94,6 +94,7 @@ pub struct SessionBuilder {
     trace_level: TraceLevel,
     tracer: Option<Arc<dyn Tracer>>,
     trace_buffer_bytes: usize,
+    planner: bool,
 }
 
 impl Default for SessionBuilder {
@@ -107,6 +108,7 @@ impl Default for SessionBuilder {
             trace_level: TraceLevel::Off,
             tracer: None,
             trace_buffer_bytes: 0,
+            planner: true,
         }
     }
 }
@@ -189,6 +191,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Toggles the cost-based query planner (on by default): per-firing
+    /// join reordering by estimated cardinality and reuse of scan-join
+    /// hash indexes across fixpoint rounds and rules. Planner-on and
+    /// planner-off evaluations derive identical relations (property-
+    /// tested); turning it off is an escape hatch for benchmarking
+    /// (`planner_smoke` runs the A/B) or for debugging plans in textual
+    /// atom order.
+    pub fn planner(mut self, enabled: bool) -> SessionBuilder {
+        self.planner = enabled;
+        self
+    }
+
     /// Byte budget of the per-run span ring buffer (`0`, the default,
     /// selects `spannerlib_trace::DEFAULT_SPAN_BUFFER_BYTES`). Only
     /// relevant at [`TraceLevel::Spans`]; when the buffer fills, the
@@ -252,6 +266,7 @@ impl SessionBuilder {
             tracer: self.tracer,
             trace_buffer_bytes: self.trace_buffer_bytes,
             last_profile: None,
+            planner: self.planner,
         }
     }
 }
@@ -296,6 +311,8 @@ pub struct Session {
     /// Profile of the most recent fixpoint run (including aborted ones);
     /// `None` until a run happens with tracing at `Summary` or above.
     last_profile: Option<Arc<EvalProfile>>,
+    /// Cost-based planner toggle ([`SessionBuilder::planner`]).
+    planner: bool,
 }
 
 impl Default for Session {
@@ -845,6 +862,9 @@ impl Session {
         let db = Arc::make_mut(&mut self.db);
         db.clear_derived();
         self.last_eval = None;
+        // The regex prefilter counters are process-wide; deltas around
+        // the run attribute its share to this profile.
+        let prefilter_before = spannerlib_regex::prefilter::stats();
         let result = evaluate(
             db,
             &program.strata,
@@ -853,12 +873,16 @@ impl Session {
                 strategy: self.strategy,
                 limits: self.limits,
                 cache: self.ie_cache.as_ref(),
+                planner: self.planner,
             },
             &mut trace,
         );
         // Capture the profile before propagating errors: an aborted run
         // leaves its partial per-stratum progress in `profile()`.
-        if let Some(profile) = trace.finish(result.as_ref().err().map(|e| e.to_string())) {
+        if let Some(mut profile) = trace.finish(result.as_ref().err().map(|e| e.to_string())) {
+            let prefilter_after = spannerlib_regex::prefilter::stats();
+            profile.prefilter_searches = prefilter_after.searches - prefilter_before.searches;
+            profile.prefilter_pruned = prefilter_after.pruned - prefilter_before.pruned;
             let profile = Arc::new(profile);
             if let Some(tracer) = &self.tracer {
                 for span in &profile.spans {

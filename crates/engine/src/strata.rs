@@ -93,6 +93,7 @@ mod tests {
             line: 1,
             source: format!("{head}() <- …."),
             dependencies: deps.iter().map(|(d, n)| (d.to_string(), *n)).collect(),
+            opt: None,
         }
     }
 

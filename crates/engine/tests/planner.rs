@@ -1,0 +1,239 @@
+//! Cost-based planner integration tests: step ordering by estimated
+//! cardinality, index reuse across fixpoint rounds, trace surfacing of
+//! plan choices, and the structured-error degradation path for malformed
+//! plans (which safety analysis never produces, but `plan::execute` must
+//! reject instead of panicking).
+
+use rustc_hash::FxHashMap;
+use spannerlib_core::{DocumentStore, Relation, Value};
+use spannerlib_trace::{RunTrace, TraceLevel, NO_SPAN};
+use spannerlog_engine::plan::{self, ExecCtx, HeadOut, PTerm, RulePlan, Step, TraceCtx};
+use spannerlog_engine::{optimizer, EngineError, Registry, Session};
+
+/// A hand-built (unannotated) plan skeleton for malformed-plan tests.
+fn bare_plan(steps: Vec<Step>, head: Vec<HeadOut>, var_names: &[&str]) -> RulePlan {
+    RulePlan {
+        head_predicate: "Broken".into(),
+        steps,
+        head,
+        var_names: var_names.iter().map(|s| s.to_string()).collect(),
+        line: 1,
+        source: "Broken(x) <- ...".into(),
+        dependencies: Vec::new(),
+        opt: None,
+    }
+}
+
+/// Runs a plan against an empty database and returns its error.
+fn run_expect_err(plan: &RulePlan) -> EngineError {
+    let registry = Registry::new();
+    let relations: FxHashMap<String, Relation> = FxHashMap::default();
+    let deltas: FxHashMap<String, Relation> = FxHashMap::default();
+    let mut docs = DocumentStore::new();
+    let ctx = ExecCtx {
+        registry: &registry,
+        delta_at: None,
+        deltas: &deltas,
+        cache: None,
+        planner: true,
+        indexes: None,
+    };
+    let mut trace = RunTrace::disabled();
+    let mut tr = TraceCtx {
+        trace: &mut trace,
+        rule: 0,
+        parent: NO_SPAN,
+    };
+    plan::execute(plan, &relations, &mut docs, &ctx, &mut tr)
+        .expect_err("malformed plan must error, not panic")
+}
+
+fn assert_internal(err: EngineError, detail_fragment: &str) {
+    let EngineError::Internal { rule, detail } = err else {
+        panic!("expected EngineError::Internal, got {err:?}");
+    };
+    assert_eq!(rule, "Broken(x) <- ...");
+    assert!(
+        detail.contains(detail_fragment),
+        "detail {detail:?} missing {detail_fragment:?}"
+    );
+    // The rendered message names the rule for the user.
+    let msg = EngineError::Internal { rule, detail }.to_string();
+    assert!(msg.contains("internal planner error"), "{msg}");
+    assert!(msg.contains("Broken"), "{msg}");
+}
+
+#[test]
+fn out_of_range_var_index_is_an_internal_error() {
+    // Var(5) with only one declared variable: every row-binding access
+    // would index out of bounds; validation must catch it up front.
+    let plan = bare_plan(
+        vec![Step::Scan {
+            relation: "R".into(),
+            terms: vec![PTerm::Var(5)],
+        }],
+        vec![HeadOut::Var(0)],
+        &["x"],
+    );
+    assert_internal(run_expect_err(&plan), "out of range");
+}
+
+#[test]
+fn out_of_range_head_var_is_an_internal_error() {
+    let plan = bare_plan(vec![], vec![HeadOut::Var(3)], &["x"]);
+    assert_internal(run_expect_err(&plan), "out of range");
+}
+
+#[test]
+fn unbound_head_var_is_an_internal_error() {
+    // No step binds x, but the head projects it.
+    let plan = bare_plan(vec![], vec![HeadOut::Var(0)], &["x"]);
+    assert_internal(run_expect_err(&plan), "unbound");
+}
+
+#[test]
+fn unbound_ie_input_is_an_internal_error() {
+    // Safety would order a producer before the IE call; a plan that
+    // feeds an unbound variable must degrade to a structured error.
+    let plan = bare_plan(
+        vec![Step::Ie {
+            function: "rgx".into(),
+            inputs: vec![PTerm::Var(0), PTerm::Var(1)],
+            outputs: vec![],
+        }],
+        vec![HeadOut::Const(Value::Int(1))],
+        &["p", "t"],
+    );
+    assert_internal(run_expect_err(&plan), "unbound");
+}
+
+#[test]
+fn unbound_compare_operand_is_an_internal_error() {
+    let plan = bare_plan(
+        vec![Step::Compare {
+            left: PTerm::Var(0),
+            op: spannerlog_parser::CmpOp::Lt,
+            right: PTerm::Const(Value::Int(3)),
+        }],
+        vec![HeadOut::Const(Value::Int(1))],
+        &["x"],
+    );
+    assert_internal(run_expect_err(&plan), "unbound");
+}
+
+#[test]
+fn order_steps_moves_selective_scan_first() {
+    // Big(x, y) ⋈ Small(y, z): textual order scans Big unkeyed (1000
+    // rows); cost order starts from Small (4 rows) so the Big probe is
+    // keyed on y.
+    let mut plan = bare_plan(
+        vec![
+            Step::Scan {
+                relation: "Big".into(),
+                terms: vec![PTerm::Var(0), PTerm::Var(1)],
+            },
+            Step::Scan {
+                relation: "Small".into(),
+                terms: vec![PTerm::Var(1), PTerm::Var(2)],
+            },
+        ],
+        vec![HeadOut::Var(0), HeadOut::Var(2)],
+        &["x", "y", "z"],
+    );
+    let registry = Registry::new();
+    optimizer::annotate(&mut plan, &registry);
+    let opt = plan.opt.clone().unwrap();
+    let sizes = |i: usize| if i == 0 { 1000 } else { 4 };
+    assert_eq!(optimizer::order_steps(&plan, &opt, sizes), vec![1, 0]);
+    // With the sizes reversed the textual order already wins.
+    let sizes = |i: usize| if i == 0 { 4 } else { 1000 };
+    assert_eq!(optimizer::order_steps(&plan, &opt, sizes), vec![0, 1]);
+    let label = optimizer::describe(&plan, &[1, 0], |i| if i == 0 { 1000 } else { 4 });
+    assert_eq!(label, "Small[4]* ⋈ Big[1000]*");
+}
+
+#[test]
+fn filters_run_before_scans_once_runnable() {
+    // Scan(x) then compare x < 3 then scan joining on x: the compare
+    // should run immediately after its producer, ahead of the second
+    // scan.
+    let mut plan = bare_plan(
+        vec![
+            Step::Scan {
+                relation: "A".into(),
+                terms: vec![PTerm::Var(0)],
+            },
+            Step::Scan {
+                relation: "B".into(),
+                terms: vec![PTerm::Var(0), PTerm::Var(1)],
+            },
+            Step::Compare {
+                left: PTerm::Var(0),
+                op: spannerlog_parser::CmpOp::Lt,
+                right: PTerm::Const(Value::Int(3)),
+            },
+        ],
+        vec![HeadOut::Var(1)],
+        &["x", "y"],
+    );
+    let registry = Registry::new();
+    optimizer::annotate(&mut plan, &registry);
+    let opt = plan.opt.clone().unwrap();
+    assert_eq!(
+        optimizer::order_steps(&plan, &opt, |_| 100),
+        vec![0, 2, 1],
+        "the comparison must be hoisted ahead of the second scan"
+    );
+}
+
+#[test]
+fn planner_session_reuses_indexes_and_reports_plans() {
+    let program = "new Edge(int, int)
+Edge(1, 2) Edge(2, 3) Edge(3, 4) Edge(4, 5) Edge(5, 6)
+Path(x, y) <- Edge(x, y)
+Path(x, z) <- Path(x, y), Edge(y, z)";
+    let mut on = Session::builder().tracing(TraceLevel::Summary).build();
+    on.run(program).unwrap();
+    let rows_on = on.relation("Path").unwrap().sorted_tuples();
+    let profile = on.profile().expect("summary tracing yields a profile");
+    assert!(profile.index_builds > 0, "planner builds scan indexes");
+    assert!(
+        profile.index_hits > 0,
+        "fixpoint rounds must reuse the Edge index (builds={}, hits={})",
+        profile.index_builds,
+        profile.index_hits
+    );
+    let table = profile.render();
+    assert!(table.contains("plan:"), "per-rule plan lines:\n{table}");
+    assert!(table.contains("indexes built"), "planner summary:\n{table}");
+
+    // Planner off: same relation, no planner activity in the profile.
+    let mut off = Session::builder()
+        .planner(false)
+        .tracing(TraceLevel::Summary)
+        .build();
+    off.run(program).unwrap();
+    assert_eq!(rows_on, off.relation("Path").unwrap().sorted_tuples());
+    let profile = off.profile().unwrap();
+    assert_eq!((profile.index_builds, profile.index_hits), (0, 0));
+    assert!(!profile.render().contains("plan:"));
+}
+
+#[test]
+fn prefilter_counters_reach_the_profile() {
+    // A literal-prefixed pattern over non-matching documents: every
+    // search is prefilter-pruned, and the deltas land in the profile.
+    let program = r#"new Texts(str)
+Texts("nothing to see") Texts("still nothing")
+Hit(s) <- Texts(t), rgx("zebra+", t) -> (s)"#;
+    let mut session = Session::builder().tracing(TraceLevel::Summary).build();
+    session.run(program).unwrap();
+    session.export("?Hit(s)").unwrap();
+    let profile = session.profile().unwrap();
+    assert!(
+        profile.prefilter_searches > 0,
+        "rgx must route through the prefilter"
+    );
+    assert!(profile.prefilter_pruned > 0);
+    assert!(profile.render().contains("prefilter:"));
+}

@@ -173,6 +173,33 @@ fn round_limit_abort_names_the_driving_rule_and_keeps_partial_profile() {
 }
 
 #[test]
+fn limit_snippet_survives_non_ascii_sources() {
+    // Multi-byte predicate names before and on the culprit line: the
+    // snippet must still excerpt the right line with the caret under it.
+    let program = "new Kanté(int, int)
+Kanté(1, 2) Kanté(2, 3) Kanté(3, 4) Kanté(4, 5)
+Pfäd(x, y) <- Kanté(x, y)
+Pfäd(x, z) <- Pfäd(x, y), Kanté(y, z)";
+    let mut session = Session::builder()
+        .max_fixpoint_rounds(2)
+        .tracing(TraceLevel::Summary)
+        .build();
+    session.run(program).unwrap();
+    let err = session.export("?Pfäd(x, y)").unwrap_err();
+    let EngineError::LimitExceeded { culprit, .. } = &err else {
+        panic!("expected LimitExceeded, got {err:?}");
+    };
+    assert_eq!(culprit.head, "Pfäd");
+    let snippet = culprit.snippet(program);
+    let caret_line = snippet
+        .lines()
+        .find(|l| l.starts_with("  | Pfäd"))
+        .unwrap_or_else(|| panic!("no excerpted source line in {snippet:?}"));
+    assert!(caret_line.contains("<-"), "{snippet}");
+    assert!(snippet.lines().last().unwrap().ends_with('^'), "{snippet}");
+}
+
+#[test]
 fn row_limit_abort_names_the_inserting_rule() {
     let mut session = Session::builder()
         .max_materialized_rows(5)

@@ -91,4 +91,26 @@ mod tests {
         let snippet = caret_snippet("a\nbcd\ne", 2, 2);
         assert_eq!(snippet, "  | bcd\n  |  ^");
     }
+
+    #[test]
+    fn caret_counts_characters_not_bytes() {
+        // `ë` and `é` are two bytes each: a byte-counted pad would push
+        // the caret past the target. Column 6 is the `é`.
+        let snippet = caret_snippet("Tëst(é)", 1, 6);
+        assert_eq!(snippet, "  | Tëst(é)\n  |      ^");
+    }
+
+    #[test]
+    fn parse_error_columns_are_char_based_after_non_ascii() {
+        // A multi-byte ident and string literal precede the offending
+        // `©` (character 13, byte 15): the reported column must be the
+        // character count, while `offset` stays the byte position.
+        let src = "Tëst(\"héé\", ©)";
+        let err = crate::parse_program(src).unwrap_err();
+        assert_eq!((err.line, err.col, err.offset), (1, 13, 15));
+        let rendered = err.render(src);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1], "  | Tëst(\"héé\", ©)");
+        assert_eq!(lines[2], format!("  | {}^", " ".repeat(12)));
+    }
 }

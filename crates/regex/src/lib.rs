@@ -30,8 +30,10 @@
 //! Internals: patterns parse to an [`ast::Ast`], compile to a Thompson NFA
 //! with capture slots ([`nfa::Program`]), and execute on a Pike VM
 //! ([`pikevm`]) or an all-configurations simulator ([`allmatches`]). A
-//! brute-force backtracking [`oracle`] ships with the crate as the
-//! reference semantics for tests.
+//! literal [`prefilter`] extracted from the AST lets the scanning entry
+//! points launch the VM only at candidate offsets. A brute-force
+//! backtracking [`oracle`] ships with the crate as the reference
+//! semantics for tests.
 
 pub mod algebra;
 pub mod allmatches;
@@ -43,9 +45,11 @@ pub mod nfa;
 pub mod oracle;
 pub mod parser;
 pub mod pikevm;
+pub mod prefilter;
 pub mod regex;
 
 pub use crate::regex::{Captures, Match, Regex};
 pub use algebra::{SpanRelation, Spanner};
 pub use allmatches::AllMatch;
 pub use error::RegexError;
+pub use prefilter::{Prefilter, PrefilterStats};

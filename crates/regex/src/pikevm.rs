@@ -61,6 +61,21 @@ impl ThreadList {
 ///
 /// Returns the leftmost-first match at or after `from`, or `None`.
 pub fn search(program: &Program, text: &str, from: usize) -> Option<SearchResult> {
+    search_impl(program, text, from, false)
+}
+
+/// Executes `program` over `text` with the match **anchored** at byte `at`:
+/// only matches starting exactly at `at` are found, with the same Perl
+/// priority among them as [`search`] would apply.
+///
+/// The prefilter uses this to launch the VM only at candidate offsets; it
+/// returns as soon as the thread list drains, so a failed launch costs
+/// `O(m)` in the pattern rather than `O(n · m)` in the text.
+pub fn search_anchored(program: &Program, text: &str, at: usize) -> Option<SearchResult> {
+    search_impl(program, text, at, true)
+}
+
+fn search_impl(program: &Program, text: &str, from: usize, anchored: bool) -> Option<SearchResult> {
     debug_assert!(text.is_char_boundary(from));
     let mut clist = ThreadList::new(program.len());
     let mut nlist = ThreadList::new(program.len());
@@ -81,7 +96,8 @@ pub fn search(program: &Program, text: &str, from: usize) -> Option<SearchResult
     loop {
         // Seed a new scan start unless a match was already found (leftmost
         // priority: existing threads started earlier, so they come first).
-        if matched.is_none() {
+        // Anchored runs seed once, at `from` only.
+        if matched.is_none() && (!anchored || at == from) {
             let slots = Rc::new(vec![None; program.slot_count]);
             add_thread(
                 program,
@@ -94,7 +110,9 @@ pub fn search(program: &Program, text: &str, from: usize) -> Option<SearchResult
                 cur_char,
             );
         }
-        if clist.threads.is_empty() && matched.is_some() {
+        // An empty thread list means done when no new seeds can revive it:
+        // after a match in the unanchored case, always in the anchored one.
+        if clist.threads.is_empty() && (matched.is_some() || anchored) {
             break;
         }
 
@@ -168,7 +186,7 @@ pub fn search(program: &Program, text: &str, from: usize) -> Option<SearchResult
         prev_char = cur_char;
         cur_char = next_char;
         at = next_at;
-        if clist.threads.is_empty() && matched.is_some() {
+        if clist.threads.is_empty() && (matched.is_some() || anchored) {
             break;
         }
     }
@@ -334,6 +352,37 @@ mod tests {
         assert_eq!(find("é+", "caféé!"), Some((3, 7)));
         let g = groups("x{é+}", "caféé!");
         assert_eq!(g[1], Some((3, 7)));
+    }
+
+    #[test]
+    fn anchored_search_only_matches_at_the_given_offset() {
+        let program = compile(&parse("ab+").unwrap()).unwrap();
+        // Unanchored finds the match at 2; anchored at 0 does not.
+        assert!(search(&program, "xxabby", 0).is_some());
+        assert_eq!(search_anchored(&program, "xxabby", 0), None);
+        let r = search_anchored(&program, "xxabby", 2).unwrap();
+        assert_eq!(r.group(0), Some((2, 5)));
+    }
+
+    #[test]
+    fn anchored_search_keeps_priority_and_assertions() {
+        // Greedy priority at the anchor point matches the unanchored run.
+        let program = compile(&parse("a+").unwrap()).unwrap();
+        let r = search_anchored(&program, "xaaay", 1).unwrap();
+        assert_eq!(r.group(0), Some((1, 4)));
+        // Assertions are evaluated relative to the real text, not the
+        // anchor: `^` fails mid-text even when anchored there.
+        let program = compile(&parse("^a").unwrap()).unwrap();
+        assert_eq!(search_anchored(&program, "ba", 1), None);
+        let program = compile(&parse(r"\ba").unwrap()).unwrap();
+        assert!(search_anchored(&program, "b a", 2).is_some());
+    }
+
+    #[test]
+    fn anchored_empty_match() {
+        let program = compile(&parse("a*").unwrap()).unwrap();
+        let r = search_anchored(&program, "bbb", 1).unwrap();
+        assert_eq!(r.group(0), Some((1, 1)));
     }
 
     #[test]

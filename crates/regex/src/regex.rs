@@ -6,6 +6,7 @@ use crate::error::RegexError;
 use crate::nfa::Program;
 use crate::parser::{parse, ParsedPattern};
 use crate::pikevm;
+use crate::prefilter::{self, Prefilter};
 
 /// A compiled regex formula.
 ///
@@ -19,6 +20,9 @@ pub struct Regex {
     pattern: String,
     parsed: ParsedPattern,
     program: Program,
+    /// Literal obligation extracted at compile time; lets the scanning
+    /// entry points skip VM launches (see [`crate::prefilter`]).
+    prefilter: Option<Prefilter>,
 }
 
 /// A single match: the byte range of group 0.
@@ -82,10 +86,12 @@ impl Regex {
     pub fn new(pattern: &str) -> Result<Regex, RegexError> {
         let parsed = parse(pattern)?;
         let program = compile(&parsed)?;
+        let prefilter = Prefilter::build(&parsed.ast);
         Ok(Regex {
             pattern: pattern.to_string(),
             parsed,
             program,
+            prefilter,
         })
     }
 
@@ -114,9 +120,24 @@ impl Regex {
         &self.program
     }
 
+    /// The literal prefilter extracted from the pattern, if any (used by
+    /// tests and benchmark reporting).
+    pub fn prefilter(&self) -> Option<&Prefilter> {
+        self.prefilter.as_ref()
+    }
+
+    /// Single scan entry point: routes through the prefilter when one
+    /// exists and prefiltering is globally enabled.
+    fn search_at(&self, text: &str, start: usize) -> Option<pikevm::SearchResult> {
+        match self.prefilter.as_ref().filter(|_| prefilter::enabled()) {
+            Some(pf) => pf.search(&self.program, text, start),
+            None => pikevm::search(&self.program, text, start),
+        }
+    }
+
     /// Whether the pattern matches anywhere in `text`.
     pub fn is_match(&self, text: &str) -> bool {
-        pikevm::search(&self.program, text, 0).is_some()
+        self.search_at(text, 0).is_some()
     }
 
     /// Leftmost-first match, if any.
@@ -126,7 +147,7 @@ impl Regex {
 
     /// Leftmost-first match at or after byte `start`.
     pub fn find_at(&self, text: &str, start: usize) -> Option<Match> {
-        pikevm::search(&self.program, text, start).map(|r| {
+        self.search_at(text, start).map(|r| {
             let (s, e) = r.group(0).expect("group 0 set");
             Match { start: s, end: e }
         })
@@ -139,7 +160,7 @@ impl Regex {
 
     /// Leftmost-first captures at or after byte `start`.
     pub fn captures_at(&self, text: &str, start: usize) -> Option<Captures> {
-        pikevm::search(&self.program, text, start).map(|r| Captures {
+        self.search_at(text, start).map(|r| Captures {
             groups: (0..=self.group_count()).map(|k| r.group(k)).collect(),
         })
     }

@@ -142,6 +142,35 @@ proptest! {
         }
     }
 
+    /// The literal prefilter must be transparent: for every pattern that
+    /// gets one, prefiltered search equals the raw Pike VM search at every
+    /// start offset, and the prefiltered scan still equals the
+    /// backtracking oracle.
+    #[test]
+    fn prefilter_is_transparent(
+        pattern in pattern_strategy(),
+        text in text_strategy(),
+    ) {
+        let re = Regex::new(&pattern).expect("generated pattern parses");
+        if let Some(pf) = re.prefilter() {
+            for from in (0..=text.len()).filter(|&i| text.is_char_boundary(i)) {
+                let plain = spannerlib_regex::pikevm::search(re.program(), &text, from);
+                let fast = pf.search(re.program(), &text, from);
+                prop_assert_eq!(
+                    fast, plain,
+                    "prefilter diverged: pattern {:?} text {:?} from {}",
+                    pattern, text, from
+                );
+            }
+            let expected: Vec<_> = oracle_find_iter(re.parsed(), &text)
+                .into_iter()
+                .map(|m| (m.start, m.end))
+                .collect();
+            let actual: Vec<_> = re.find_iter(&text).map(|m| (m.start, m.end)).collect();
+            prop_assert_eq!(actual, expected, "pattern {:?} text {:?}", pattern, text);
+        }
+    }
+
     /// Pretty-printing a parsed pattern and re-parsing it reaches a fixed
     /// point after one iteration.
     #[test]

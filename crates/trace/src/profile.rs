@@ -37,6 +37,16 @@ pub struct EvalProfile {
     pub spans: Vec<SpanEvent>,
     /// Span events dropped by the ring buffer's byte budget.
     pub spans_dropped: u64,
+    /// Scan-join index lookups answered by the planner's per-run index
+    /// cache (zero with the planner off).
+    pub index_hits: u64,
+    /// Scan-join indexes the run actually built (cache misses).
+    pub index_builds: u64,
+    /// Regex searches that consulted a literal prefilter.
+    pub prefilter_searches: u64,
+    /// Prefiltered searches resolved to "no match" without running the
+    /// regex VM at all.
+    pub prefilter_pruned: u64,
 }
 
 /// One stratum's share of an [`EvalProfile`].
@@ -71,6 +81,11 @@ pub struct RuleProfile {
     pub join_rows_scanned: u64,
     /// Wall time across all firings, in nanoseconds.
     pub total_ns: u64,
+    /// The step order the planner chose for the rule's first firing,
+    /// with estimated input cardinalities (empty when the planner is
+    /// off or the run was untraced). Steps that moved relative to the
+    /// textual body are starred.
+    pub plan: String,
 }
 
 /// One IE function's call statistics within an [`EvalProfile`].
@@ -151,6 +166,7 @@ impl EvalProfile {
     ///             tuples_new: 7,
     ///             join_rows_scanned: 10,
     ///             total_ns: 1_000,
+    ///             ..RuleProfile::default()
     ///         }],
     ///     }],
     ///     ..EvalProfile::default()
@@ -217,8 +233,26 @@ impl EvalProfile {
                         rpad(&rule.join_rows_scanned.to_string(), 9),
                         rpad(&fmt_ns(rule.total_ns), 9),
                     );
+                    if !rule.plan.is_empty() {
+                        let _ = writeln!(out, "{} plan: {}", pad("", 8), rule.plan);
+                    }
                 }
             }
+        }
+        if self.index_hits + self.index_builds > 0 || self.prefilter_searches > 0 {
+            let rate = match (self.prefilter_pruned * 100).checked_div(self.prefilter_searches) {
+                Some(pct) => format!(" ({pct}%)"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "planner: {} indexes built, {} reused | prefilter: {} searches, {} pruned{}",
+                self.index_builds,
+                self.index_hits,
+                self.prefilter_searches,
+                self.prefilter_pruned,
+                rate,
+            );
         }
         if !self.ie_functions.is_empty() {
             let name_w = self
@@ -240,6 +274,16 @@ impl EvalProfile {
                 rpad("total", 9),
             );
             for f in &self.ie_functions {
+                // Latency cells of an empty histogram are undefined, not
+                // 0ns: quantiles have no samples and the sum timed
+                // nothing. Render all of them as `-`.
+                let cell = |ns: u64| -> String {
+                    if f.latency.count == 0 {
+                        "-".to_string()
+                    } else {
+                        fmt_ns(ns)
+                    }
+                };
                 let _ = writeln!(
                     out,
                     "{} {} {} {} {} {} {}",
@@ -247,9 +291,9 @@ impl EvalProfile {
                     rpad(&f.calls.to_string(), 8),
                     rpad(&f.memo_hits.to_string(), 8),
                     rpad(&f.memo_misses.to_string(), 8),
-                    rpad(&fmt_ns(f.latency.p50()), 9),
-                    rpad(&fmt_ns(f.latency.p99()), 9),
-                    rpad(&fmt_ns(f.latency.sum), 9),
+                    rpad(&cell(f.latency.p50()), 9),
+                    rpad(&cell(f.latency.p99()), 9),
+                    rpad(&cell(f.latency.sum), 9),
                 );
             }
         }
@@ -281,7 +325,9 @@ impl EvalProfile {
             out,
             "{{\"type\":\"profile\",\"level\":{},\"total_ns\":{},\"rounds\":{},\
              \"rule_firings\":{},\"tuples_derived\":{},\"tuples_new\":{},\
-             \"strata\":{},\"spans_dropped\":{},\"error\":{}}}",
+             \"strata\":{},\"spans_dropped\":{},\"index_hits\":{},\
+             \"index_builds\":{},\"prefilter_searches\":{},\
+             \"prefilter_pruned\":{},\"error\":{}}}",
             json_str(self.level.name()),
             self.total_ns,
             self.rounds,
@@ -290,6 +336,10 @@ impl EvalProfile {
             self.tuples_new,
             self.strata.len(),
             self.spans_dropped,
+            self.index_hits,
+            self.index_builds,
+            self.prefilter_searches,
+            self.prefilter_pruned,
             match &self.error {
                 Some(e) => json_str(e),
                 None => "null".to_string(),
@@ -302,7 +352,7 @@ impl EvalProfile {
                     "{{\"type\":\"rule\",\"stratum\":{},\"stratum_rounds\":{},\
                      \"head\":{},\"source\":{},\"line\":{},\"firings\":{},\
                      \"tuples_derived\":{},\"tuples_new\":{},\
-                     \"join_rows_scanned\":{},\"total_ns\":{}}}",
+                     \"join_rows_scanned\":{},\"total_ns\":{},\"plan\":{}}}",
                     stratum.index,
                     stratum.rounds,
                     json_str(&rule.head),
@@ -313,6 +363,7 @@ impl EvalProfile {
                     rule.tuples_new,
                     rule.join_rows_scanned,
                     rule.total_ns,
+                    json_str(&rule.plan),
                 );
             }
         }
@@ -380,6 +431,7 @@ mod tests {
                     tuples_new: 12,
                     join_rows_scanned: 40,
                     total_ns: 3_500,
+                    plan: "In[10] ⋈ f()".into(),
                 }],
             }],
             ie_functions: vec![IeFunctionProfile {
@@ -398,6 +450,10 @@ mod tests {
                 duration_ns: 5_000,
             }],
             spans_dropped: 2,
+            index_hits: 6,
+            index_builds: 2,
+            prefilter_searches: 10,
+            prefilter_pruned: 4,
         }
     }
 
@@ -407,6 +463,34 @@ mod tests {
         assert!(table.contains("Out(x) <- In(x), f(x) -> (y)."));
         assert!(table.contains("ie function"));
         assert!(table.contains("spans: 1 recorded, 2 dropped"));
+        assert!(table.contains("plan: In[10] ⋈ f()"));
+        assert!(table.contains("planner: 2 indexes built, 6 reused"));
+        assert!(table.contains("prefilter: 10 searches, 4 pruned (40%)"));
+    }
+
+    #[test]
+    fn render_dashes_empty_latency_quantiles() {
+        // An IE function registered but never timed (e.g. an aborted
+        // run) has an empty histogram: its quantiles are undefined and
+        // must render as `-`, not `0ns`.
+        let mut p = sample();
+        p.ie_functions[0].latency = HistogramSnapshot::default();
+        let table = p.render();
+        let ie_row = table.lines().find(|l| l.starts_with('f')).unwrap();
+        assert!(ie_row.contains('-'), "expected dashes in: {ie_row}");
+        assert!(!ie_row.contains("0ns"), "expected no 0ns in: {ie_row}");
+        // Non-empty histograms keep real quantiles.
+        assert!(sample().render().contains("µs"));
+    }
+
+    #[test]
+    fn render_skips_planner_line_when_planner_off() {
+        let mut p = sample();
+        p.index_hits = 0;
+        p.index_builds = 0;
+        p.prefilter_searches = 0;
+        p.prefilter_pruned = 0;
+        assert!(!p.render().contains("planner:"));
     }
 
     #[test]

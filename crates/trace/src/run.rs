@@ -71,6 +71,8 @@ struct EvalTotals {
     rule_firings: u64,
     tuples_derived: u64,
     tuples_new: u64,
+    index_hits: u64,
+    index_builds: u64,
 }
 
 impl RunTrace {
@@ -185,6 +187,33 @@ impl RunTrace {
         if let Some(r) = self.rules.get_mut(rule) {
             r.join_rows_scanned += rows;
         }
+    }
+
+    /// Records the step order the planner chose for rule `rule`. Only
+    /// the *first* firing's plan is kept — it is the one computed with
+    /// full relation cardinalities; later semi-naive delta variants
+    /// re-plan against near-empty deltas and would overwrite it with a
+    /// degenerate picture. The label closure only runs when the plan is
+    /// actually recorded.
+    pub fn plan_chosen(&mut self, rule: usize, label: impl FnOnce() -> String) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(r) = self.rules.get_mut(rule) {
+            if r.plan.is_empty() {
+                r.plan = label();
+            }
+        }
+    }
+
+    /// Accumulates the run's scan-index cache totals (hits = lookups
+    /// answered from cache, builds = indexes constructed).
+    pub fn index_cache(&mut self, hits: u64, builds: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.totals.index_hits += hits;
+        self.totals.index_builds += builds;
     }
 
     /// Records one IE-function invocation: `memo_hit` is `Some(true)`
@@ -319,6 +348,12 @@ impl RunTrace {
             ie_functions: self.ie.into_values().collect(),
             spans,
             spans_dropped,
+            index_hits: self.totals.index_hits,
+            index_builds: self.totals.index_builds,
+            // Filled by the session from the regex crate's process-wide
+            // prefilter counters (the trace crate never sees regexes).
+            prefilter_searches: 0,
+            prefilter_pruned: 0,
         })
     }
 }
@@ -342,6 +377,8 @@ mod tests {
         trace.round(0);
         trace.rule_fired(rule, 5, 5, 0);
         trace.ie_call("f", Some(true), 0);
+        trace.plan_chosen(rule, || unreachable!());
+        trace.index_cache(3, 1);
         let id = trace.open(NO_SPAN, SpanKind::Execute, || unreachable!());
         assert_eq!(id, NO_SPAN);
         trace.close(id);
@@ -381,6 +418,20 @@ mod tests {
         );
         // Summary level records no span events.
         assert!(p.spans.is_empty());
+    }
+
+    #[test]
+    fn plan_chosen_keeps_first_and_index_totals_accumulate() {
+        let mut trace = RunTrace::new(TraceLevel::Summary, 0);
+        let r = trace.register_rule(0, "A", "A(x) <- B(x).", 1);
+        trace.plan_chosen(r, || "B[5]".into());
+        // A semi-naive delta re-plan must not overwrite the full plan.
+        trace.plan_chosen(r, || "B[0]".into());
+        trace.index_cache(3, 1);
+        trace.index_cache(2, 0);
+        let p = trace.finish(None).unwrap();
+        assert_eq!(p.strata[0].rules[0].plan, "B[5]");
+        assert_eq!((p.index_hits, p.index_builds), (5, 1));
     }
 
     #[test]
