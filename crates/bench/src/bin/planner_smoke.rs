@@ -127,7 +127,7 @@ fn main() {
     spannerlib_regex::prefilter::set_enabled(true);
 
     let covid_on_ns = measure(
-        || SpannerPipeline::with_config(TraceLevel::Off, true).expect("pipeline builds"),
+        || SpannerPipeline::with_config(TraceLevel::Off, true, None).expect("pipeline builds"),
         |pipeline| {
             black_box(
                 pipeline
@@ -138,7 +138,7 @@ fn main() {
     );
     spannerlib_regex::prefilter::set_enabled(false);
     let covid_off_ns = measure(
-        || SpannerPipeline::with_config(TraceLevel::Off, false).expect("pipeline builds"),
+        || SpannerPipeline::with_config(TraceLevel::Off, false, None).expect("pipeline builds"),
         |pipeline| {
             black_box(
                 pipeline

@@ -65,26 +65,36 @@ impl SpannerPipeline {
     /// [`SpannerPipeline::profile`] then holds the per-rule breakdown
     /// of the fixpoint that classified the batch.
     pub fn with_tracing(level: TraceLevel) -> Result<SpannerPipeline> {
-        SpannerPipeline::with_config(level, true)
+        SpannerPipeline::with_config(level, true, None)
     }
 
-    /// Full-control constructor: tracing at `level`, and the cost-based
-    /// query planner toggled by `planner` — the ablation knob used by
-    /// `planner_smoke`/`bench_planner` to price the planner on the
-    /// clinical workload. Production callers want the defaults
+    /// Full-control constructor: tracing at `level`, the cost-based
+    /// query planner toggled by `planner`, and evaluation `parallelism`
+    /// (`None` keeps the session default of one worker per core;
+    /// `Some(0)`/`Some(1)` pin serial) — the ablation knobs used by
+    /// `planner_smoke`/`parallel_smoke` and the benches to price the
+    /// planner and the shard-parallel evaluator on the clinical
+    /// workload. Production callers want the defaults
     /// ([`SpannerPipeline::new`]).
-    pub fn with_config(level: TraceLevel, planner: bool) -> Result<SpannerPipeline> {
+    pub fn with_config(
+        level: TraceLevel,
+        planner: bool,
+        parallelism: Option<usize>,
+    ) -> Result<SpannerPipeline> {
         // Corpus batches repeat documents across classify_corpus calls
         // in notebook-style use, so keep the IE memo on (default
         // capacity) and let doc-store GC reclaim texts of replaced
         // corpora once they outgrow a clinical-corpus-sized watermark.
-        let mut session = Session::builder()
+        let mut builder = Session::builder()
             .doc_gc(spannerlog_engine::DocGc::Threshold {
                 bytes: 32 * 1024 * 1024,
             })
             .tracing(level)
-            .planner(planner)
-            .build();
+            .planner(planner);
+        if let Some(workers) = parallelism {
+            builder = builder.parallelism(workers);
+        }
+        let mut session = builder.build();
 
         // Target matcher from CSV.
         let targets_df = DataFrame::from_csv(TARGETS_CSV)?;

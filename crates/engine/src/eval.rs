@@ -20,14 +20,17 @@
 
 use crate::database::Database;
 use crate::error::{EngineError, LimitCulprit, Result};
+use crate::ie::{DocsHandle, SharedDocs};
 use crate::optimizer::IndexCache;
-use crate::plan::{self, ExecCtx, RulePlan, Step, TraceCtx};
+use crate::plan::{self, ExecCtx, ParExec, ParTally, RulePlan, Step, TraceCtx};
 use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spannerlib_cache::SharedIeMemo;
 use spannerlib_core::Relation;
+use spannerlib_par::ThreadPool;
 use spannerlib_trace::{RunTrace, SpanId, SpanKind, NO_SPAN};
 use std::cell::RefCell;
+use std::sync::atomic::Ordering;
 
 /// Fixpoint algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,6 +127,9 @@ pub struct EvalCtx<'a> {
     /// Cost-based step ordering + scan-index reuse
     /// (`SessionBuilder::planner`; on by default).
     pub planner: bool,
+    /// Worker pool for split-correct parallel evaluation
+    /// (`SessionBuilder::parallelism`); `None` runs fully serial.
+    pub pool: Option<&'a ThreadPool>,
 }
 
 /// The trace scope of one stratum: the run collector plus the stratum's
@@ -135,19 +141,80 @@ struct StratumScope<'a, 'b> {
     span: SpanId,
     /// Evaluation-wide scan-index cache (`None` with the planner off).
     indexes: Option<&'b RefCell<IndexCache>>,
+    /// Parallel-execution environment (`None` runs fully serial).
+    par: Option<ParExec<'b>>,
+    /// Shared evaluation-wide counters.
+    tally: &'b ParTally,
+}
+
+/// Whether the compile-time split-correctness analysis cleared `rule`
+/// for shard-parallel execution.
+fn rule_is_parallel(rule: &RulePlan) -> bool {
+    rule.opt.as_ref().is_some_and(|o| o.split.is_parallel())
 }
 
 /// Runs all strata to fixpoint, inserting derived tuples into `db`.
 /// `ctx.cache`, when set, memoizes IE calls across rounds and runs.
 /// Progress is reported through `trace` (free when tracing is off); on
 /// a limit abort the trace keeps the partial per-stratum progress.
+///
+/// With a pool configured and at least one split-correct rule, the
+/// documents move behind a [`SharedDocs`] lock for the duration of the
+/// run so shard workers can resolve and intern concurrently, and move
+/// back afterwards. If a worker task panics, the panic propagates and
+/// the store is *not* restored — the session is considered poisoned
+/// (see the threading contract in `crate::session`).
 pub fn evaluate(
     db: &mut Database,
     strata: &[Vec<RulePlan>],
     ctx: &EvalCtx<'_>,
     trace: &mut RunTrace,
 ) -> Result<EvalStats> {
+    let any_parallel = strata.iter().flatten().any(rule_is_parallel);
+    match ctx.pool.filter(|_| any_parallel) {
+        Some(pool) => {
+            let shared = SharedDocs::new(std::mem::take(&mut db.docs));
+            let par = ParExec {
+                pool,
+                docs: &shared,
+            };
+            let result = evaluate_impl(db, strata, ctx, trace, Some(par));
+            db.docs = shared.into_inner();
+            result
+        }
+        None => evaluate_impl(db, strata, ctx, trace, None),
+    }
+}
+
+/// [`evaluate`] proper, after the document-store mode (exclusive vs
+/// shared) has been fixed for the run.
+fn evaluate_impl(
+    db: &mut Database,
+    strata: &[Vec<RulePlan>],
+    ctx: &EvalCtx<'_>,
+    trace: &mut RunTrace,
+    par: Option<ParExec<'_>>,
+) -> Result<EvalStats> {
     let mut stats = EvalStats::default();
+    let tally = ParTally::default();
+    let stolen_before = par.map_or(0, |p| p.pool.stats().stolen);
+    // Folds the run's parallel counters into the trace — on both the
+    // success and the abort path, like the index-cache counters.
+    let par_summary = |trace: &mut RunTrace, tally: &ParTally| {
+        let Some(p) = par else { return };
+        let serial_rules = strata
+            .iter()
+            .flatten()
+            .filter(|r| !rule_is_parallel(r))
+            .count() as u64;
+        trace.parallel_summary(
+            p.pool.workers() as u64,
+            tally.shard_tasks.load(Ordering::Relaxed),
+            tally.ie_batches.load(Ordering::Relaxed),
+            p.pool.stats().stolen.saturating_sub(stolen_before),
+            serial_rules,
+        );
+    };
     // One scan-index cache per evaluation run: relations only grow
     // while a run executes (derived state was cleared before it), so
     // indexes keyed by (relation, row count, key columns) stay valid
@@ -172,6 +239,8 @@ pub fn evaluate(
             rule_ids: &rule_ids,
             span,
             indexes,
+            par,
+            tally: &tally,
         };
         let result = match ctx.strategy {
             EvalStrategy::Naive => naive_stratum(db, stratum, ctx, &mut stats, &mut scope),
@@ -182,12 +251,14 @@ pub fn evaluate(
         if let Err(e) = result {
             let ic = index_cache.borrow();
             trace.index_cache(ic.hits, ic.builds);
+            par_summary(trace, &tally);
             return Err(e);
         }
     }
     trace.close(root);
     let ic = index_cache.borrow();
     trace.index_cache(ic.hits, ic.builds);
+    par_summary(trace, &tally);
     Ok(stats)
 }
 
@@ -213,7 +284,13 @@ fn fire_rule(
     let t0 = tr.trace.now_ns();
     let derived = {
         let (relations, docs) = db.split_mut();
-        plan::execute(rule, relations, docs, exec, tr)
+        // On the parallel path the live store sits behind the shared
+        // lock (`db.docs` is empty until `evaluate` restores it).
+        let mut handle = match exec.par {
+            Some(p) => DocsHandle::Shared(p.docs),
+            None => DocsHandle::Exclusive(docs),
+        };
+        plan::execute_with(rule, relations, &mut handle, exec, tr)
     };
     let derived = match derived {
         Ok(d) => d,
@@ -268,6 +345,8 @@ fn naive_stratum(
         cache: ctx.cache,
         planner: ctx.planner,
         indexes: scope.indexes,
+        par: scope.par,
+        tally: scope.tally,
     };
     // Last rule to derive a new tuple — the round-limit culprit.
     let mut driver: Option<usize> = None;
@@ -332,6 +411,8 @@ fn seminaive_stratum(
             cache: ctx.cache,
             planner: ctx.planner,
             indexes: scope.indexes,
+            par: scope.par,
+            tally: scope.tally,
         };
         let rule_span = scope
             .trace
@@ -388,6 +469,8 @@ fn seminaive_stratum(
                     cache: ctx.cache,
                     planner: ctx.planner,
                     indexes: scope.indexes,
+                    par: scope.par,
+                    tally: scope.tally,
                 };
                 let rule_span = scope
                     .trace

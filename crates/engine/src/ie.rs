@@ -12,39 +12,105 @@
 //! new or existing documents.
 
 use crate::error::{EngineError, Result};
+use parking_lot::RwLock;
 use spannerlib_cache::{MemoKey, SharedIeMemo};
 use spannerlib_core::{DocId, DocumentStore, Span, Value};
 use std::sync::Arc;
 
+/// A document store shared across shard workers during a parallel
+/// evaluation. Readers (span resolution, text lookup) take the lock
+/// shared; interning new documents takes it exclusively. Interning is
+/// content-addressed and therefore idempotent, so two workers racing to
+/// intern the same text converge on one id.
+pub type SharedDocs = RwLock<DocumentStore>;
+
+/// Uniform access to the session's document store from both evaluation
+/// modes: the serial path owns the store exclusively (no locking), while
+/// shard workers on the parallel path share it behind a [`SharedDocs`]
+/// lock. All IE plumbing routes through this handle so the two paths
+/// run the same code.
+pub enum DocsHandle<'a> {
+    /// Serial evaluation: the caller holds the store exclusively, and
+    /// every access is a direct (lock-free) borrow.
+    Exclusive(&'a mut DocumentStore),
+    /// Parallel evaluation: shard workers share the store; each access
+    /// takes the read or write lock for its own duration only.
+    Shared(&'a SharedDocs),
+}
+
+impl DocsHandle<'_> {
+    /// Runs `f` with shared (read) access to the store.
+    pub fn with_store<R>(&self, f: impl FnOnce(&DocumentStore) -> R) -> R {
+        match self {
+            DocsHandle::Exclusive(d) => f(d),
+            DocsHandle::Shared(l) => f(&l.read()),
+        }
+    }
+
+    /// Runs `f` with exclusive (write) access to the store.
+    pub fn with_store_mut<R>(&mut self, f: impl FnOnce(&mut DocumentStore) -> R) -> R {
+        match self {
+            DocsHandle::Exclusive(d) => f(d),
+            DocsHandle::Shared(l) => f(&mut l.write()),
+        }
+    }
+
+    /// A shorter-lived handle on the same store — the handle analogue
+    /// of reborrowing a `&mut`.
+    pub fn reborrow(&mut self) -> DocsHandle<'_> {
+        match self {
+            DocsHandle::Exclusive(d) => DocsHandle::Exclusive(d),
+            DocsHandle::Shared(l) => DocsHandle::Shared(l),
+        }
+    }
+}
+
 /// Execution context handed to every IE call.
 pub struct IeContext<'a> {
-    docs: &'a mut DocumentStore,
+    docs: DocsHandle<'a>,
 }
 
 impl<'a> IeContext<'a> {
-    /// Wraps a document store.
+    /// Wraps an exclusively held document store (the serial path).
     pub fn new(docs: &'a mut DocumentStore) -> Self {
+        IeContext {
+            docs: DocsHandle::Exclusive(docs),
+        }
+    }
+
+    /// Wraps a document store shared across shard workers; each store
+    /// access locks for its own duration only.
+    pub fn shared(docs: &'a SharedDocs) -> Self {
+        IeContext {
+            docs: DocsHandle::Shared(docs),
+        }
+    }
+
+    /// Wraps an existing handle (either mode).
+    pub(crate) fn from_handle(docs: DocsHandle<'a>) -> Self {
         IeContext { docs }
     }
 
     /// Resolves a span to its substring.
     pub fn span_text(&self, span: &Span) -> Result<String> {
-        Ok(self.docs.span_text(span)?.to_string())
+        Ok(self
+            .docs
+            .with_store(|d| d.span_text(span).map(|s| s.to_string()))?)
     }
 
     /// Resolves a document id to its full text.
     pub fn doc_text(&self, id: DocId) -> Result<Arc<str>> {
-        Ok(self.docs.resolve(id)?.clone())
+        Ok(self.docs.with_store(|d| d.resolve(id).cloned())?)
     }
 
     /// Interns a text, returning its document id (idempotent).
     pub fn intern(&mut self, text: &str) -> DocId {
-        self.docs.intern(text)
+        self.docs.with_store_mut(|d| d.intern(text))
     }
 
     /// Creates a checked span over an interned document.
     pub fn make_span(&self, doc: DocId, start: usize, end: usize) -> Result<Span> {
-        Ok(self.docs.span(doc, start, end)?)
+        Ok(self.docs.with_store(|d| d.span(doc, start, end))?)
     }
 
     /// Resolves a `str`-or-`span` value to a [`TextArg`] — the common
@@ -61,7 +127,9 @@ impl<'a> IeContext<'a> {
                 origin: None,
             }),
             Value::Span(span) => Ok(TextArg {
-                text: Arc::from(self.docs.span_text(span)?),
+                text: self
+                    .docs
+                    .with_store(|d| d.span_text(span).map(Arc::<str>::from))?,
                 origin: Some((span.doc, span.start_usize())),
             }),
             other => Err(EngineError::IeRuntime {
@@ -115,7 +183,7 @@ impl TextArg {
         if let Some(origin) = self.origin {
             return origin;
         }
-        let doc = ctx.docs.intern_arc(self.text.clone());
+        let doc = ctx.docs.with_store_mut(|d| d.intern_arc(self.text.clone()));
         self.origin = Some((doc, 0));
         (doc, 0)
     }
@@ -204,28 +272,34 @@ where
 /// The second return value reports the memo outcome for tracing:
 /// `Some(true)` hit, `Some(false)` miss, `None` when the call bypassed
 /// the memo entirely.
+///
+/// Lock order on the shared path: the memo lock is taken first and the
+/// docs lock (inside the byte-charging closure) second; nothing in the
+/// engine takes them in the opposite order.
 pub(crate) fn cached_ie_call(
     f: &dyn IeFunction,
     name: &str,
     args: &[Value],
     n_outputs: usize,
-    docs: &mut DocumentStore,
+    docs: &mut DocsHandle<'_>,
     cache: Option<&SharedIeMemo>,
 ) -> Result<(Arc<IeOutput>, Option<bool>)> {
     let Some(cache) = cache.filter(|_| f.cacheable()) else {
-        let mut ctx = IeContext::new(docs);
+        let mut ctx = IeContext::from_handle(docs.reborrow());
         return Ok((Arc::new(f.call(args, n_outputs, &mut ctx)?), None));
     };
     let key = MemoKey::new(name, args, n_outputs);
     if let Some(hit) = cache.lock().get(&key) {
         return Ok((hit, Some(true)));
     }
-    let mut ctx = IeContext::new(docs);
-    let out = Arc::new(f.call(args, n_outputs, &mut ctx)?);
+    let out = {
+        let mut ctx = IeContext::from_handle(docs.reborrow());
+        Arc::new(f.call(args, n_outputs, &mut ctx)?)
+    };
     // Entries are GC roots, so the memo charges each entry the full
     // text of every document its spans pin.
     cache.lock().insert(key, out.clone(), |id| {
-        docs.resolve(id).map(|t| t.len()).unwrap_or(0)
+        docs.with_store(|d| d.resolve(id).map(|t| t.len()).unwrap_or(0))
     });
     Ok((out, Some(false)))
 }

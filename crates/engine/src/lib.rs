@@ -51,8 +51,11 @@ pub mod strata;
 pub use database::Database;
 pub use error::{EngineError, LimitCulprit, Result};
 pub use eval::{EvalLimits, EvalStats, EvalStrategy};
-pub use ie::{filter_output, IeContext, IeFunction, IeOutput, TextArg};
-pub use prepared::{CompiledProgram, PreparedProgram, PreparedQuery, Snapshot};
+pub use ie::{filter_output, DocsHandle, IeContext, IeFunction, IeOutput, SharedDocs, TextArg};
+pub use optimizer::SplitClass;
+pub use prepared::{
+    CompiledProgram, PreparedProgram, PreparedQuery, ShardPlan, ShardRule, Snapshot,
+};
 pub use registry::Registry;
 pub use session::{Session, SessionBuilder, SessionStats, DEFAULT_IE_CACHE_BYTES};
 // The cache subsystem's user-facing vocabulary, re-exported so hosts

@@ -53,6 +53,51 @@ pub struct StepMeta {
 pub struct RuleOpt {
     /// One entry per plan step, in plan order.
     pub steps: Vec<StepMeta>,
+    /// Split-correctness verdict: may the rule's firings be sharded by
+    /// document and evaluated on worker threads?
+    pub split: SplitClass,
+}
+
+/// Compile-time split-correctness classification of one rule (after
+/// Doleschal et al.: a program split that evaluates each document
+/// independently is *split-correct* when the per-document unions equal
+/// the whole-corpus result).
+///
+/// The analysis is conservative: a rule is `Parallel` only when every
+/// IE call is rooted at a single scan variable (the *document
+/// variable*), so partitioning binding rows by that variable's document
+/// provably commutes with the remaining steps. Everything else —
+/// aggregation (which folds across documents), uncacheable IE calls
+/// (order-sensitive), cross-document joins feeding IE — falls back to
+/// the serial path with a human-readable reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitClass {
+    /// Shard-parallel: binding rows may be partitioned on `doc_var`
+    /// (a plan variable index) and evaluated per shard.
+    Parallel {
+        /// Index of the document variable the shards partition on.
+        doc_var: usize,
+    },
+    /// Serial fallback, with the reason the analysis rejected sharding.
+    Serial {
+        /// Human-readable rejection reason (surfaced by `ShardPlan`).
+        reason: &'static str,
+    },
+}
+
+impl Default for SplitClass {
+    fn default() -> Self {
+        SplitClass::Serial {
+            reason: "unclassified",
+        }
+    }
+}
+
+impl SplitClass {
+    /// Whether the rule may run shard-parallel.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, SplitClass::Parallel { .. })
+    }
 }
 
 fn term_vars(terms: &[PTerm], out: &mut Vec<usize>) {
@@ -69,7 +114,7 @@ fn term_vars(terms: &[PTerm], out: &mut Vec<usize>) {
 /// from `CompiledProgram::compile`; plans without the annotation (e.g.
 /// hand-built) simply execute in textual order.
 pub fn annotate(plan: &mut RulePlan, registry: &Registry) {
-    let steps = plan
+    let steps: Vec<StepMeta> = plan
         .steps
         .iter()
         .map(|step| {
@@ -99,7 +144,116 @@ pub fn annotate(plan: &mut RulePlan, registry: &Registry) {
             meta
         })
         .collect();
-    plan.opt = Some(RuleOpt { steps });
+    let split = classify(plan, &steps);
+    plan.opt = Some(RuleOpt { steps, split });
+}
+
+/// Split-correctness analysis (see [`SplitClass`]). Walks the body in
+/// textual order tracing each variable back to the scan that *roots*
+/// it: scans root their own variables, IE outputs inherit the root of
+/// the IE inputs. A rule shards cleanly iff every IE call is fed from
+/// exactly one root — that root's first IE input variable becomes the
+/// document variable the shards partition on.
+fn classify(plan: &RulePlan, metas: &[StepMeta]) -> SplitClass {
+    if plan.has_aggregation() {
+        return SplitClass::Serial {
+            reason: "aggregation folds across documents",
+        };
+    }
+    if metas.iter().any(|m| m.barrier) {
+        return SplitClass::Serial {
+            reason: "order-sensitive (uncacheable) IE call",
+        };
+    }
+    if !plan.steps.iter().any(|s| matches!(s, Step::Ie { .. })) {
+        return SplitClass::Serial {
+            reason: "no IE step to parallelize",
+        };
+    }
+    // For each variable: the index of the scan step that (transitively)
+    // produced it, or `None` while unbound.
+    let mut var_root: Vec<Option<usize>> = vec![None; plan.var_names.len()];
+    let mut ie_root: Option<usize> = None;
+    let mut doc_var: Option<usize> = None;
+    for (i, step) in plan.steps.iter().enumerate() {
+        match step {
+            Step::Scan { terms, .. } => {
+                for t in terms {
+                    if let PTerm::Var(v) = t {
+                        if let Some(slot) = var_root.get_mut(*v) {
+                            if slot.is_none() {
+                                *slot = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            Step::Ie {
+                inputs, outputs, ..
+            } => {
+                let mut roots: Vec<usize> = Vec::new();
+                let mut first_var: Option<usize> = None;
+                for t in inputs {
+                    if let PTerm::Var(v) = t {
+                        first_var.get_or_insert(*v);
+                        match var_root.get(*v).copied().flatten() {
+                            Some(r) => {
+                                if !roots.contains(&r) {
+                                    roots.push(r);
+                                }
+                            }
+                            None => {
+                                return SplitClass::Serial {
+                                    reason: "IE input not rooted at a scan",
+                                }
+                            }
+                        }
+                    }
+                }
+                let root = match roots[..] {
+                    [] => {
+                        return SplitClass::Serial {
+                            reason: "IE call with constant-only inputs",
+                        }
+                    }
+                    [r] => r,
+                    _ => {
+                        return SplitClass::Serial {
+                            reason: "cross-document join feeds an IE call",
+                        }
+                    }
+                };
+                match ie_root {
+                    None => {
+                        ie_root = Some(root);
+                        doc_var = first_var;
+                    }
+                    Some(r) if r != root => {
+                        return SplitClass::Serial {
+                            reason: "IE calls rooted at different scans",
+                        }
+                    }
+                    Some(_) => {}
+                }
+                for t in outputs {
+                    if let PTerm::Var(v) = t {
+                        if let Some(slot) = var_root.get_mut(*v) {
+                            if slot.is_none() {
+                                *slot = Some(root);
+                            }
+                        }
+                    }
+                }
+            }
+            Step::Negation { .. } | Step::Compare { .. } => {}
+        }
+    }
+    match doc_var {
+        Some(doc_var) => SplitClass::Parallel { doc_var },
+        None => SplitClass::Serial {
+            reason: "IE call with constant-only inputs",
+        },
+    }
 }
 
 /// Assumed output rows per input row of a cacheable IE call — a handful

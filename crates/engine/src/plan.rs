@@ -8,16 +8,20 @@
 //! IE call).
 
 use crate::error::{EngineError, Result};
-use crate::ie::{cached_ie_call, IeContext};
-use crate::optimizer::{self, IndexCache, RuleOpt, TupleIndex};
+use crate::ie::{cached_ie_call, DocsHandle, IeContext, IeFunction, IeOutput, SharedDocs};
+use crate::optimizer::{self, IndexCache, RuleOpt, SplitClass, TupleIndex};
 use crate::registry::Registry;
 use rustc_hash::{FxHashMap, FxHashSet};
-use spannerlib_cache::SharedIeMemo;
+use spannerlib_cache::{MemoKey, SharedIeMemo};
 use spannerlib_core::{DocumentStore, Relation, Tuple, Value};
-use spannerlib_trace::{RunTrace, SpanId, SpanKind};
+use spannerlib_par::ThreadPool;
+use spannerlib_trace::{RunTrace, SpanId, SpanKind, NO_SPAN};
 use spannerlog_parser::CmpOp;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A term resolved against the rule's variable table.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +126,31 @@ impl RulePlan {
 /// A binding row: `None` = variable not yet bound.
 type Row = Vec<Option<Value>>;
 
+/// Evaluation-wide counters that shard workers race on during parallel
+/// firings — relaxed atomics, folded into the (single-threaded) trace
+/// once per rule firing. Cheap enough to keep on the serial path too,
+/// so both paths run identical accounting code.
+#[derive(Debug, Default)]
+pub struct ParTally {
+    /// Relation rows scanned by join steps.
+    pub rows_scanned: AtomicU64,
+    /// IE batch steps executed (per shard on the parallel path).
+    pub ie_batches: AtomicU64,
+    /// Shard tasks spawned for split-correct rule firings.
+    pub shard_tasks: AtomicU64,
+}
+
+/// The parallel-execution environment: present when the session built a
+/// worker pool and moved the document store behind the shared lock for
+/// the duration of the evaluation.
+#[derive(Clone, Copy)]
+pub struct ParExec<'a> {
+    /// The session's work-stealing pool.
+    pub pool: &'a ThreadPool,
+    /// The document store, shared across shard workers.
+    pub docs: &'a SharedDocs,
+}
+
 /// The execution environment of [`execute`], bundled so the signature
 /// stays within clippy's argument budget as instrumentation grew.
 pub struct ExecCtx<'a> {
@@ -137,8 +166,14 @@ pub struct ExecCtx<'a> {
     /// Whether the cost-based planner reorders annotated rule bodies.
     pub planner: bool,
     /// Evaluation-wide scan-index cache (planner on); `None` falls back
-    /// to building a fresh borrowed index per scan.
+    /// to building a fresh borrowed index per scan. Single-threaded by
+    /// design — shard workers always run with `None`.
     pub indexes: Option<&'a RefCell<IndexCache>>,
+    /// Parallel-execution environment; `None` pins every firing to the
+    /// serial path.
+    pub par: Option<ParExec<'a>>,
+    /// Shared evaluation-wide counters.
+    pub tally: &'a ParTally,
 }
 
 /// Where one [`execute`] call reports its trace data: the run's
@@ -165,10 +200,28 @@ pub fn execute(
     ctx: &ExecCtx<'_>,
     tr: &mut TraceCtx<'_>,
 ) -> Result<Vec<Tuple>> {
+    let mut handle = DocsHandle::Exclusive(docs);
+    execute_with(plan, relations, &mut handle, ctx, tr)
+}
+
+/// [`execute`] over a [`DocsHandle`], so the evaluator can run the same
+/// code whether the document store is held exclusively (serial) or
+/// shared behind a lock (parallel). When `ctx.par` is set and the rule
+/// was classified split-correct, the binding rows are partitioned on
+/// the rule's document variable after the serial prefix binds it, and
+/// the remaining steps run shard-parallel on the pool; shard results
+/// merge back in shard index order (stable document order), so the
+/// derived tuple *set* is identical to the serial path's.
+pub fn execute_with(
+    plan: &RulePlan,
+    relations: &FxHashMap<String, Relation>,
+    docs: &mut DocsHandle<'_>,
+    ctx: &ExecCtx<'_>,
+    tr: &mut TraceCtx<'_>,
+) -> Result<Vec<Tuple>> {
     validate_var_indexes(plan)?;
     let n_vars = plan.var_names.len();
-    let empty = Relation::new(spannerlib_core::Schema::empty());
-    let mut rows: Vec<Row> = vec![vec![None; n_vars]];
+    let rows: Vec<Row> = vec![vec![None; n_vars]];
 
     // Delta-aware cardinality of the relation scanned by step `i` —
     // the planner's cost input and the trace's estimate column.
@@ -194,7 +247,67 @@ pub fn execute(
         None => (0..plan.steps.len()).collect(),
     };
 
-    for &i in &order {
+    let scanned_before = ctx.tally.rows_scanned.load(Ordering::Relaxed);
+    let split = plan.opt.as_ref().map(|o| o.split).unwrap_or_default();
+    let result = match (ctx.par, split) {
+        (Some(par), SplitClass::Parallel { doc_var }) => {
+            // Serial prefix: run steps in order until the document
+            // variable is bound, then shard the surviving rows.
+            let opt = plan.opt.as_ref().expect("split verdict implies annotation");
+            let mut bound = vec![false; n_vars];
+            let mut split_at = order.len();
+            for (pos, &i) in order.iter().enumerate() {
+                for &v in &opt.steps[i].binds {
+                    if let Some(b) = bound.get_mut(v) {
+                        *b = true;
+                    }
+                }
+                if bound.get(doc_var) == Some(&true) {
+                    split_at = pos + 1;
+                    break;
+                }
+            }
+            run_steps(plan, &order[..split_at], rows, relations, docs, ctx, tr).and_then(|seeded| {
+                run_sharded(
+                    plan,
+                    &order[split_at..],
+                    seeded,
+                    relations,
+                    ctx,
+                    tr,
+                    ShardExec { par, doc_var },
+                )
+            })
+        }
+        _ => run_steps(plan, &order, rows, relations, docs, ctx, tr),
+    };
+    // Rows scanned flow through the shared tally (shard workers race on
+    // it) and fold into the trace once per firing.
+    tr.trace.join_scanned(
+        tr.rule,
+        ctx.tally
+            .rows_scanned
+            .load(Ordering::Relaxed)
+            .saturating_sub(scanned_before),
+    );
+    project_head(plan, result?, docs, ctx.registry)
+}
+
+/// Runs the pipeline steps selected by `order` over `rows`. This is the
+/// single-threaded core both paths share: the serial path passes the
+/// full order, the parallel path passes the prefix (exclusively) and
+/// then the suffix once per shard (with `ctx.par = None`).
+fn run_steps(
+    plan: &RulePlan,
+    order: &[usize],
+    mut rows: Vec<Row>,
+    relations: &FxHashMap<String, Relation>,
+    docs: &mut DocsHandle<'_>,
+    ctx: &ExecCtx<'_>,
+    tr: &mut TraceCtx<'_>,
+) -> Result<Vec<Row>> {
+    let empty = Relation::new(spannerlib_core::Schema::empty());
+    for &i in order {
         let step = &plan.steps[i];
         if rows.is_empty() {
             return Ok(Vec::new());
@@ -207,7 +320,9 @@ pub fn execute(
                 } else {
                     relations.get(relation.as_str()).unwrap_or(&empty)
                 };
-                tr.trace.join_scanned(tr.rule, rel.len() as u64);
+                ctx.tally
+                    .rows_scanned
+                    .fetch_add(rel.len() as u64, Ordering::Relaxed);
                 let span = tr
                     .trace
                     .open(tr.parent, SpanKind::Join, || format!("scan {relation}"));
@@ -269,34 +384,42 @@ pub fn execute(
                         }
                     }
                 }
+                ctx.tally.ie_batches.fetch_add(1, Ordering::Relaxed);
                 let span = tr.trace.open(tr.parent, SpanKind::IeBatch, || {
                     format!("{function} ×{}", groups.len())
                 });
-                let mut next = Vec::new();
-                for (args, group_rows) in groups {
-                    // Error paths may leak `span`; RunTrace::finish
-                    // closes leaked spans at the abort timestamp.
-                    let t0 = tr.trace.now_ns();
-                    let (out_rows, memo_hit) =
-                        cached_ie_call(&*f, function, &args, outputs.len(), docs, ctx.cache)?;
-                    tr.trace.ie_call(function, memo_hit, t0);
-                    for out in out_rows.iter() {
-                        if out.len() != outputs.len() {
-                            return Err(EngineError::IeOutputArity {
-                                function: function.clone(),
-                                expected: outputs.len(),
-                                actual: out.len(),
-                            });
-                        }
+                // Error paths may leak `span`; RunTrace::finish (and,
+                // on shard forks, merge_fork) closes leaked spans at
+                // the abort timestamp.
+                let next = match ctx.par.filter(|_| batch && groups.len() >= 2) {
+                    Some(par) => {
+                        ie_groups_parallel(function, &*f, outputs, groups, par, ctx.cache, tr)?
                     }
-                    for row in group_rows {
-                        for out in out_rows.iter() {
-                            if let Some(extended) = unify_values(&row, outputs, out) {
-                                next.push(extended);
+                    None => {
+                        let mut next = Vec::new();
+                        for (args, group_rows) in groups {
+                            let t0 = tr.trace.now_ns();
+                            let (out_rows, memo_hit) = cached_ie_call(
+                                &*f,
+                                function,
+                                &args,
+                                outputs.len(),
+                                docs,
+                                ctx.cache,
+                            )?;
+                            tr.trace.ie_call(function, memo_hit, t0);
+                            check_output_arity(function, outputs.len(), &out_rows)?;
+                            for row in group_rows {
+                                for out in out_rows.iter() {
+                                    if let Some(extended) = unify_values(&row, outputs, out) {
+                                        next.push(extended);
+                                    }
+                                }
                             }
                         }
+                        next
                     }
-                }
+                };
                 tr.trace.close(span);
                 rows = dedupe(next);
             }
@@ -320,8 +443,289 @@ pub fn execute(
             }
         }
     }
+    Ok(rows)
+}
 
-    project_head(plan, rows, docs, ctx.registry)
+/// Rejects IE outputs whose arity disagrees with the calling atom.
+fn check_output_arity(function: &str, expected: usize, out_rows: &IeOutput) -> Result<()> {
+    for out in out_rows.iter() {
+        if out.len() != expected {
+            return Err(EngineError::IeOutputArity {
+                function: function.to_string(),
+                expected,
+                actual: out.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates the distinct argument groups of one cacheable IE batch on
+/// the pool: one memo probe for the whole batch, misses computed
+/// concurrently (each worker locking the shared store only around
+/// individual accesses), one memo insert for all results, and a serial
+/// unify pass in group order so error precedence and row order match
+/// the serial path exactly.
+fn ie_groups_parallel(
+    function: &str,
+    f: &dyn IeFunction,
+    outputs: &[PTerm],
+    groups: Vec<(Vec<Value>, Vec<Row>)>,
+    par: ParExec<'_>,
+    cache: Option<&SharedIeMemo>,
+    tr: &mut TraceCtx<'_>,
+) -> Result<Vec<Row>> {
+    type Slot = Option<(Result<Arc<IeOutput>>, Option<bool>, u64)>;
+    let n_outputs = outputs.len();
+    let keys: Option<Vec<MemoKey>> = cache.map(|_| {
+        groups
+            .iter()
+            .map(|(args, _)| MemoKey::new(function, args, n_outputs))
+            .collect()
+    });
+    let mut slots: Vec<Slot> = match (cache, &keys) {
+        (Some(c), Some(keys)) => c
+            .lock()
+            .get_batch(keys)
+            .into_iter()
+            .map(|hit| hit.map(|out| (Ok(out), Some(true), 0)))
+            .collect(),
+        _ => (0..groups.len()).map(|_| None).collect(),
+    };
+    let memoized = cache.is_some();
+    let mut misses: Vec<(&mut Slot, &Vec<Value>)> = slots
+        .iter_mut()
+        .zip(&groups)
+        .filter(|(slot, _)| slot.is_none())
+        .map(|(slot, (args, _))| (slot, args))
+        .collect();
+    if !misses.is_empty() {
+        // Coarse tasks: one per ~equal share of the misses, at most two
+        // per worker — per-call spawning would swamp cheap IE calls in
+        // scheduling cost.
+        let chunk = misses
+            .len()
+            .div_ceil(par.pool.workers().saturating_mul(2).max(1));
+        par.pool.scope(|s| {
+            for chunk in misses.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for (slot, args) in chunk {
+                        let t0 = Instant::now();
+                        let mut ie_ctx = IeContext::shared(par.docs);
+                        let res = f.call(args, n_outputs, &mut ie_ctx).map(Arc::new);
+                        let memo_hit = if memoized { Some(false) } else { None };
+                        **slot = Some((res, memo_hit, t0.elapsed().as_nanos() as u64));
+                    }
+                });
+            }
+        });
+    }
+    if let (Some(c), Some(keys)) = (cache, keys) {
+        // Memo lock first, docs lock (inside the byte-charging closure)
+        // second — the same order as `cached_ie_call`.
+        let computed = keys
+            .into_iter()
+            .zip(&slots)
+            .filter_map(|(k, slot)| match slot {
+                Some((Ok(out), Some(false), _)) => Some((k, out.clone())),
+                _ => None,
+            });
+        c.lock().insert_batch(computed, |id| {
+            par.docs.read().resolve(id).map(|t| t.len()).unwrap_or(0)
+        });
+    }
+    let mut next = Vec::new();
+    for ((_args, group_rows), slot) in groups.into_iter().zip(slots) {
+        let (res, memo_hit, dur_ns) = slot.expect("pool scope computed every group");
+        tr.trace.ie_call_ns(function, memo_hit, dur_ns);
+        let out_rows = res?;
+        check_output_arity(function, n_outputs, &out_rows)?;
+        for row in group_rows {
+            for out in out_rows.iter() {
+                if let Some(extended) = unify_values(&row, outputs, out) {
+                    next.push(extended);
+                }
+            }
+        }
+    }
+    Ok(next)
+}
+
+/// The shard decision bundle handed to [`run_sharded`], keeping its
+/// signature within clippy's argument budget.
+struct ShardExec<'a> {
+    par: ParExec<'a>,
+    doc_var: usize,
+}
+
+/// Runs the post-split suffix of a split-correct rule shard-parallel:
+/// partitions `rows` on the document variable, forks a trace per shard,
+/// evaluates each shard on the pool (sharing the locked document
+/// store), and merges results and traces back in shard index order.
+/// The first shard error (in that stable order) wins, matching the
+/// serial path's error determinism.
+fn run_sharded(
+    plan: &RulePlan,
+    suffix: &[usize],
+    rows: Vec<Row>,
+    relations: &FxHashMap<String, Relation>,
+    ctx: &ExecCtx<'_>,
+    tr: &mut TraceCtx<'_>,
+    shard: ShardExec<'_>,
+) -> Result<Vec<Row>> {
+    let ShardExec { par, doc_var } = shard;
+    if suffix.is_empty() {
+        return Ok(rows);
+    }
+    let mut bins = partition_rows(
+        rows,
+        doc_var,
+        par.docs,
+        par.pool.workers().saturating_mul(2),
+    );
+    if bins.len() <= 1 {
+        let rows = bins.pop().unwrap_or_default();
+        let mut handle = DocsHandle::Shared(par.docs);
+        return run_steps(plan, suffix, rows, relations, &mut handle, ctx, tr);
+    }
+    ctx.tally
+        .shard_tasks
+        .fetch_add(bins.len() as u64, Ordering::Relaxed);
+    // Shard tasks must not capture `ctx` itself: its index-cache handle
+    // is single-threaded by design (`RefCell`), so the relevant fields
+    // are rebundled per shard with `indexes: None, par: None`.
+    let registry = ctx.registry;
+    let delta_at = ctx.delta_at;
+    let deltas = ctx.deltas;
+    let cache = ctx.cache;
+    let planner = ctx.planner;
+    let tally = ctx.tally;
+    let mut slots: Vec<Option<(Result<Vec<Row>>, RunTrace)>> =
+        (0..bins.len()).map(|_| None).collect();
+    par.pool.scope(|s| {
+        for (i, (slot, bin)) in slots.iter_mut().zip(bins).enumerate() {
+            let mut fork = tr.trace.fork();
+            s.spawn(move || {
+                let span = fork.open(NO_SPAN, SpanKind::Shard, || {
+                    format!("shard {i} ({} rows)", bin.len())
+                });
+                let shard_ctx = ExecCtx {
+                    registry,
+                    delta_at,
+                    deltas,
+                    cache,
+                    planner,
+                    indexes: None,
+                    par: None,
+                    tally,
+                };
+                let mut shard_tr = TraceCtx {
+                    trace: &mut fork,
+                    rule: 0,
+                    parent: span,
+                };
+                let res = run_steps(
+                    plan,
+                    suffix,
+                    bin,
+                    relations,
+                    &mut DocsHandle::Shared(par.docs),
+                    &shard_ctx,
+                    &mut shard_tr,
+                );
+                fork.close(span);
+                *slot = Some((res, fork));
+            });
+        }
+    });
+    let mut merged: Vec<Row> = Vec::new();
+    let mut first_err: Option<EngineError> = None;
+    for slot in slots {
+        let (res, fork) = slot.expect("pool scope ran every shard task");
+        tr.trace.merge_fork(tr.rule, tr.parent, fork);
+        match res {
+            Ok(rows) if first_err.is_none() => merged.extend(rows),
+            Err(e) if first_err.is_none() => first_err = Some(e),
+            _ => {}
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(dedupe(merged)),
+    }
+}
+
+/// Partitions binding rows on the document variable for shard-parallel
+/// execution. When every row binds the variable to a span, the store's
+/// balanced byte-weight shards drive the split (stable document-id
+/// order); any other value mix falls back to greedy weight-balanced
+/// binning keyed on the value itself, so rows over the same document
+/// always land in the same shard.
+fn partition_rows(
+    rows: Vec<Row>,
+    doc_var: usize,
+    docs: &SharedDocs,
+    target: usize,
+) -> Vec<Vec<Row>> {
+    if target <= 1 || rows.len() <= 1 {
+        return vec![rows];
+    }
+    let all_spans = rows
+        .iter()
+        .all(|r| matches!(r.get(doc_var), Some(Some(Value::Span(_)))));
+    if all_spans {
+        let shards = docs.read().shards(target);
+        if shards.len() > 1 {
+            let mut bins: Vec<Vec<Row>> = (0..shards.len()).map(|_| Vec::new()).collect();
+            for row in rows {
+                let Some(Value::Span(span)) = &row[doc_var] else {
+                    unreachable!("all_spans checked above");
+                };
+                let slot = shards
+                    .iter()
+                    .position(|s| s.contains(span.doc))
+                    .unwrap_or(0);
+                bins[slot].push(row);
+            }
+            bins.retain(|b| !b.is_empty());
+            return bins;
+        }
+        // A store too small to split (e.g. one huge document) falls
+        // through to value-keyed binning over the span values.
+    }
+    // Group rows by the document variable's value, then greedily pack
+    // each group into the lightest bin (deterministic: groups keep
+    // first-appearance order, ties prefer the lowest bin index).
+    let mut group_of: FxHashMap<Option<Value>, usize> = FxHashMap::default();
+    let mut groups: Vec<(u64, Vec<Row>)> = Vec::new();
+    for row in rows {
+        let key = row.get(doc_var).cloned().flatten();
+        let g = match group_of.get(&key) {
+            Some(&g) => g,
+            None => {
+                let weight = match &key {
+                    Some(Value::Str(s)) => s.len() as u64,
+                    Some(Value::Span(s)) => s.len() as u64,
+                    _ => 1,
+                }
+                .max(1);
+                group_of.insert(key, groups.len());
+                groups.push((weight, Vec::new()));
+                groups.len() - 1
+            }
+        };
+        groups[g].1.push(row);
+    }
+    let n = target.min(groups.len());
+    let mut bins: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+    let mut weights = vec![0u64; n];
+    for (w, group_rows) in groups {
+        let lightest = (0..n).min_by_key(|&i| (weights[i], i)).expect("n >= 1");
+        weights[lightest] += w;
+        bins[lightest].extend(group_rows);
+    }
+    bins.retain(|b| !b.is_empty());
+    bins
 }
 
 /// A structured "the plan violated a binding invariant" error — the
@@ -651,7 +1055,7 @@ fn dedupe(rows: Vec<Row>) -> Vec<Row> {
 fn project_head(
     plan: &RulePlan,
     rows: Vec<Row>,
-    docs: &mut DocumentStore,
+    docs: &mut DocsHandle<'_>,
     registry: &Registry,
 ) -> Result<Vec<Tuple>> {
     let var_value = |row: &Row, v: usize| -> Result<Value> {
@@ -743,7 +1147,7 @@ fn project_head(
                     // outermost-first as written.
                     for conv_name in conversions.iter().rev() {
                         let conv = registry.conversion(conv_name)?;
-                        let ctx = IeContext::new(docs);
+                        let ctx = IeContext::from_handle(docs.reborrow());
                         values = values
                             .iter()
                             .map(|v| conv.convert(v, &ctx))

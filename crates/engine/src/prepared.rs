@@ -12,6 +12,7 @@
 
 use crate::database::Database;
 use crate::error::{EngineError, Result};
+use crate::optimizer::SplitClass;
 use crate::plan::RulePlan;
 use crate::query::run_query;
 use crate::registry::Registry;
@@ -47,7 +48,55 @@ pub struct CompiledProgram {
     /// Extensional relations the program reads (sorted): the only
     /// relations whose mutation can change derived content.
     pub(crate) input_relations: Vec<String>,
+    /// Per-rule split-correctness verdicts, for introspection.
+    pub(crate) shard_plan: ShardPlan,
 }
+
+/// One rule's split-correctness verdict, as recorded on a
+/// [`CompiledProgram`]'s [`ShardPlan`].
+#[derive(Debug, Clone)]
+pub struct ShardRule {
+    /// Head predicate of the rule.
+    pub head: String,
+    /// The rule's source text.
+    pub source: String,
+    /// Whether the rule may run shard-parallel.
+    pub parallel: bool,
+    /// For parallel rules: the name of the document variable the shards
+    /// partition on.
+    pub doc_var: Option<String>,
+    /// For serial rules: why the analysis rejected sharding.
+    pub reason: Option<&'static str>,
+}
+
+/// The compile-time shard plan of a program: which rules the
+/// split-correctness analysis cleared for document-parallel execution
+/// and which fall back to the serial path (with reasons). Purely
+/// informational — evaluation consults the per-rule verdicts directly.
+#[derive(Debug, Clone, Default)]
+pub struct ShardPlan {
+    /// One verdict per compiled rule, in stratum order.
+    pub rules: Vec<ShardRule>,
+}
+
+impl ShardPlan {
+    /// Number of rules cleared for shard-parallel execution.
+    pub fn parallel_rules(&self) -> usize {
+        self.rules.iter().filter(|r| r.parallel).count()
+    }
+
+    /// Number of rules pinned to the serial path.
+    pub fn serial_rules(&self) -> usize {
+        self.rules.len() - self.parallel_rules()
+    }
+}
+
+// Compile-time guarantee: shard plans cross threads with the programs
+// that carry them.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardPlan>()
+};
 
 impl CompiledProgram {
     /// Compiles `rules` against the relation names known to `db` and the
@@ -97,10 +146,35 @@ impl CompiledProgram {
             .collect();
         input_relations.sort_unstable();
 
+        let strata = stratify(plans)?;
+        let shard_plan = ShardPlan {
+            rules: strata
+                .iter()
+                .flatten()
+                .map(|plan| {
+                    let split = plan.opt.as_ref().map(|o| o.split).unwrap_or_default();
+                    let (doc_var, reason) = match split {
+                        SplitClass::Parallel { doc_var } => {
+                            (plan.var_names.get(doc_var).cloned(), None)
+                        }
+                        SplitClass::Serial { reason } => (None, Some(reason)),
+                    };
+                    ShardRule {
+                        head: plan.head_predicate.clone(),
+                        source: plan.source.clone(),
+                        parallel: split.is_parallel(),
+                        doc_var,
+                        reason,
+                    }
+                })
+                .collect(),
+        };
+
         Ok(CompiledProgram {
             id: NEXT_PROGRAM_ID.fetch_add(1, Ordering::Relaxed),
-            strata: stratify(plans)?,
+            strata,
             input_relations,
+            shard_plan,
         })
     }
 
@@ -117,6 +191,12 @@ impl CompiledProgram {
     /// The extensional relations this program reads, sorted by name.
     pub fn input_relations(&self) -> &[String] {
         &self.input_relations
+    }
+
+    /// The compile-time shard plan: which rules the split-correctness
+    /// analysis cleared for document-parallel execution.
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.shard_plan
     }
 }
 

@@ -24,6 +24,25 @@
 //!    fixpoint whenever no input relation changed;
 //! 4. [`Session::snapshot`] freezes the evaluated state into a
 //!    `Send + Sync` [`Snapshot`] for lock-free concurrent reads.
+//!
+//! # Threading contract
+//!
+//! One thread drives a session at a time; concurrency enters at two
+//! deliberate seams. *Reads* scale through [`Session::snapshot`], which
+//! freezes an evaluated database into a `Send + Sync` [`Snapshot`].
+//! *Evaluation* scales through [`SessionBuilder::parallelism`]: rules
+//! the compile-time split-correctness analysis clears (see
+//! `CompiledProgram::shard_plan`) shard their firings by document
+//! across an internal work-stealing pool (`spannerlib_par`), with the
+//! document store behind a read-write lock and the IE memo behind its
+//! usual mutex for the duration of the run. Parallel and serial runs
+//! derive identical tuple *sets* (property-tested). Registered IE
+//! functions must therefore be `Send + Sync` (the trait already
+//! requires it) and must tolerate concurrent invocation on distinct
+//! argument tuples. If an IE function panics on a worker thread, the
+//! panic propagates to the driving thread after sibling shards drain,
+//! and the session's document store may be left empty — treat a session
+//! that panicked mid-evaluation as poisoned and discard it.
 
 use crate::database::Database;
 use crate::error::{EngineError, Result};
@@ -95,6 +114,7 @@ pub struct SessionBuilder {
     tracer: Option<Arc<dyn Tracer>>,
     trace_buffer_bytes: usize,
     planner: bool,
+    parallelism: Option<usize>,
 }
 
 impl Default for SessionBuilder {
@@ -109,6 +129,7 @@ impl Default for SessionBuilder {
             tracer: None,
             trace_buffer_bytes: 0,
             planner: true,
+            parallelism: None,
         }
     }
 }
@@ -203,6 +224,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the number of worker threads for split-correct parallel
+    /// evaluation (default: the machine's available parallelism). Rule
+    /// firings the compile-time analysis clears as split-correct are
+    /// sharded by document across this many workers; `0` or `1` pins
+    /// every evaluation to the serial path. The pool is built lazily,
+    /// on the first evaluation of a program with at least one
+    /// split-correct rule; parallel and serial evaluation derive
+    /// identical tuple sets (property-tested). See the module docs'
+    /// threading contract.
+    pub fn parallelism(mut self, workers: usize) -> SessionBuilder {
+        self.parallelism = Some(workers);
+        self
+    }
+
     /// Byte budget of the per-run span ring buffer (`0`, the default,
     /// selects `spannerlib_trace::DEFAULT_SPAN_BUFFER_BYTES`). Only
     /// relevant at [`TraceLevel::Spans`]; when the buffer fills, the
@@ -267,6 +302,10 @@ impl SessionBuilder {
             trace_buffer_bytes: self.trace_buffer_bytes,
             last_profile: None,
             planner: self.planner,
+            parallelism: self
+                .parallelism
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+            pool: None,
         }
     }
 }
@@ -313,6 +352,12 @@ pub struct Session {
     last_profile: Option<Arc<EvalProfile>>,
     /// Cost-based planner toggle ([`SessionBuilder::planner`]).
     planner: bool,
+    /// Worker count for split-correct parallel evaluation
+    /// ([`SessionBuilder::parallelism`]); `0`/`1` = serial.
+    parallelism: usize,
+    /// Lazily built work-stealing pool — `Some` after the first
+    /// evaluation that had a split-correct rule to shard.
+    pool: Option<spannerlib_par::ThreadPool>,
 }
 
 impl Default for Session {
@@ -859,6 +904,14 @@ impl Session {
         }
         let level = self.effective_trace_level();
         let mut trace = RunTrace::new(level, self.trace_buffer_bytes);
+        // The pool is built lazily: sessions whose programs never clear
+        // the split-correctness analysis (or with parallelism 0/1)
+        // never spawn a thread.
+        let wants_par = self.parallelism >= 2 && program.shard_plan.parallel_rules() > 0;
+        if wants_par && self.pool.is_none() {
+            self.pool = Some(spannerlib_par::ThreadPool::new(self.parallelism));
+        }
+        let pool = self.pool.as_ref().filter(|_| wants_par);
         let db = Arc::make_mut(&mut self.db);
         db.clear_derived();
         self.last_eval = None;
@@ -874,6 +927,7 @@ impl Session {
                 limits: self.limits,
                 cache: self.ie_cache.as_ref(),
                 planner: self.planner,
+                pool,
             },
             &mut trace,
         );

@@ -7,7 +7,7 @@
 use rustc_hash::FxHashMap;
 use spannerlib_core::{DocumentStore, Relation, Value};
 use spannerlib_trace::{RunTrace, TraceLevel, NO_SPAN};
-use spannerlog_engine::plan::{self, ExecCtx, HeadOut, PTerm, RulePlan, Step, TraceCtx};
+use spannerlog_engine::plan::{self, ExecCtx, HeadOut, PTerm, ParTally, RulePlan, Step, TraceCtx};
 use spannerlog_engine::{optimizer, EngineError, Registry, Session};
 
 /// A hand-built (unannotated) plan skeleton for malformed-plan tests.
@@ -30,6 +30,7 @@ fn run_expect_err(plan: &RulePlan) -> EngineError {
     let relations: FxHashMap<String, Relation> = FxHashMap::default();
     let deltas: FxHashMap<String, Relation> = FxHashMap::default();
     let mut docs = DocumentStore::new();
+    let tally = ParTally::default();
     let ctx = ExecCtx {
         registry: &registry,
         delta_at: None,
@@ -37,6 +38,8 @@ fn run_expect_err(plan: &RulePlan) -> EngineError {
         cache: None,
         planner: true,
         indexes: None,
+        par: None,
+        tally: &tally,
     };
     let mut trace = RunTrace::disabled();
     let mut tr = TraceCtx {

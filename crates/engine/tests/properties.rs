@@ -250,6 +250,61 @@ proptest! {
         }
     }
 
+    /// Split-correct parallel evaluation is semantically invisible:
+    /// `parallelism(k)` agrees tuple-for-tuple with a pinned-serial
+    /// session on random IE programs over random documents, for several
+    /// worker counts (including ones exceeding the document count).
+    /// Spans canonicalize by resolved text and offsets: shard execution
+    /// may intern documents under different ids.
+    #[test]
+    fn parallelism_is_semantically_invisible(
+        texts in texts_strategy(),
+        prog in 0usize..IE_PROGRAMS.len(),
+    ) {
+        let (program, relations) = IE_PROGRAMS[prog];
+        let run = |workers: usize| {
+            let mut session = Session::builder().parallelism(workers).build();
+            import_texts(&mut session, &texts, 0);
+            session.run(program).unwrap();
+            session
+        };
+        let canonical = |session: &mut Session, name: &str| -> Vec<Vec<String>> {
+            let mut rows: Vec<Vec<String>> = session
+                .relation(name)
+                .unwrap()
+                .sorted_tuples()
+                .iter()
+                .map(|t| {
+                    t.values()
+                        .iter()
+                        .map(|v| match v {
+                            Value::Span(s) => format!(
+                                "{:?}[{}..{}]",
+                                session.span_text(s).unwrap(),
+                                s.start,
+                                s.end
+                            ),
+                            other => format!("{other:?}"),
+                        })
+                        .collect()
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        let mut serial = run(0);
+        for workers in [2usize, 4, 7] {
+            let mut parallel = run(workers);
+            for name in relations {
+                prop_assert_eq!(
+                    canonical(&mut serial, name),
+                    canonical(&mut parallel, name),
+                    "relation {} diverged at parallelism({})", name, workers
+                );
+            }
+        }
+    }
+
     /// Aggregation: count/sum/min/max match a reference fold.
     #[test]
     fn aggregates_match_reference(values in prop::collection::vec((0u8..5, -20i64..20), 1..30)) {

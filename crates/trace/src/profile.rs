@@ -47,6 +47,17 @@ pub struct EvalProfile {
     /// Prefiltered searches resolved to "no match" without running the
     /// regex VM at all.
     pub prefilter_pruned: u64,
+    /// Worker threads the run's pool had available (zero = the run was
+    /// fully serial and the `par:` line is omitted).
+    pub par_workers: u64,
+    /// Shard tasks executed by split-correct parallel rule firings.
+    pub par_shards: u64,
+    /// IE-call batches executed across the run's rule firings.
+    pub par_ie_batches: u64,
+    /// Tasks that migrated between worker queues (work stealing).
+    pub par_stolen: u64,
+    /// Rules the split-correctness analysis forced onto the serial path.
+    pub par_serial_rules: u64,
 }
 
 /// One stratum's share of an [`EvalProfile`].
@@ -254,6 +265,17 @@ impl EvalProfile {
                 rate,
             );
         }
+        if self.par_workers > 0 {
+            let _ = writeln!(
+                out,
+                "par: {} workers | {} shard tasks ({} stolen), {} ie batches | {} serial-fallback rules",
+                self.par_workers,
+                self.par_shards,
+                self.par_stolen,
+                self.par_ie_batches,
+                self.par_serial_rules,
+            );
+        }
         if !self.ie_functions.is_empty() {
             let name_w = self
                 .ie_functions
@@ -327,7 +349,9 @@ impl EvalProfile {
              \"rule_firings\":{},\"tuples_derived\":{},\"tuples_new\":{},\
              \"strata\":{},\"spans_dropped\":{},\"index_hits\":{},\
              \"index_builds\":{},\"prefilter_searches\":{},\
-             \"prefilter_pruned\":{},\"error\":{}}}",
+             \"prefilter_pruned\":{},\"par_workers\":{},\"par_shards\":{},\
+             \"par_ie_batches\":{},\"par_stolen\":{},\
+             \"par_serial_rules\":{},\"error\":{}}}",
             json_str(self.level.name()),
             self.total_ns,
             self.rounds,
@@ -340,6 +364,11 @@ impl EvalProfile {
             self.index_builds,
             self.prefilter_searches,
             self.prefilter_pruned,
+            self.par_workers,
+            self.par_shards,
+            self.par_ie_batches,
+            self.par_stolen,
+            self.par_serial_rules,
             match &self.error {
                 Some(e) => json_str(e),
                 None => "null".to_string(),
@@ -454,6 +483,11 @@ mod tests {
             index_builds: 2,
             prefilter_searches: 10,
             prefilter_pruned: 4,
+            par_workers: 4,
+            par_shards: 8,
+            par_ie_batches: 3,
+            par_stolen: 2,
+            par_serial_rules: 1,
         }
     }
 
@@ -466,6 +500,18 @@ mod tests {
         assert!(table.contains("plan: In[10] ⋈ f()"));
         assert!(table.contains("planner: 2 indexes built, 6 reused"));
         assert!(table.contains("prefilter: 10 searches, 4 pruned (40%)"));
+        assert!(table.contains(
+            "par: 4 workers | 8 shard tasks (2 stolen), 3 ie batches | 1 serial-fallback rules"
+        ));
+    }
+
+    #[test]
+    fn render_skips_par_line_for_serial_runs() {
+        let mut p = sample();
+        p.par_workers = 0;
+        assert!(!p.render().contains("par:"));
+        // But the JSON keeps the fields for uniform downstream parsing.
+        assert!(p.to_json_lines().contains("\"par_workers\":0"));
     }
 
     #[test]

@@ -94,6 +94,12 @@ impl SpanRing {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Folds drops observed elsewhere (a per-shard fork ring) into this
+    /// ring's counter, so merged traces report a complete total.
+    pub fn add_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,11 @@ struct EvalTotals {
     tuples_new: u64,
     index_hits: u64,
     index_builds: u64,
+    par_workers: u64,
+    par_shards: u64,
+    par_ie_batches: u64,
+    par_stolen: u64,
+    par_serial_rules: u64,
 }
 
 impl RunTrace {
@@ -225,6 +230,15 @@ impl RunTrace {
             return;
         }
         let dur = self.now_ns().saturating_sub(t0);
+        self.ie_call_ns(function, memo_hit, dur);
+    }
+
+    /// Like [`RunTrace::ie_call`] but with a pre-measured duration — for
+    /// calls timed on a worker thread and recorded serially afterwards.
+    pub fn ie_call_ns(&mut self, function: &str, memo_hit: Option<bool>, dur_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
         let entry = self
             .ie
             .entry(function.to_string())
@@ -237,7 +251,112 @@ impl RunTrace {
             Some(true) => entry.memo_hits += 1,
             Some(false) | None => entry.memo_misses += 1,
         }
-        entry.latency.record(dur);
+        entry.latency.record(dur_ns);
+    }
+
+    /// Accumulates one parallel-evaluation summary: pool `workers` (kept
+    /// as a max — the pool does not change size mid-run), shard tasks
+    /// executed, off-thread IE batches, tasks stolen between workers,
+    /// and rules the split-correctness analysis kept serial (a property
+    /// of the program, kept as a max rather than summed per run).
+    pub fn parallel_summary(
+        &mut self,
+        workers: u64,
+        shards: u64,
+        ie_batches: u64,
+        stolen: u64,
+        serial_rules: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.totals.par_workers = self.totals.par_workers.max(workers);
+        self.totals.par_shards += shards;
+        self.totals.par_ie_batches += ie_batches;
+        self.totals.par_stolen += stolen;
+        self.totals.par_serial_rules = self.totals.par_serial_rules.max(serial_rules);
+    }
+
+    /// A detached collector for one worker-thread shard of a parallel
+    /// rule firing. The fork shares this run's level and epoch (so its
+    /// timestamps land on the same axis) but owns all of its state;
+    /// slot `0` is its single anonymous rule accumulator, which
+    /// [`RunTrace::merge_fork`] folds back into a real rule. Forks get a
+    /// small private span ring — shards are short-lived and merged
+    /// eagerly, so they never need the full run budget.
+    pub fn fork(&self) -> RunTrace {
+        let budget = if self.level.records_spans() {
+            64 * 1024
+        } else {
+            0
+        };
+        RunTrace {
+            level: self.level,
+            epoch: self.epoch,
+            next_span: NO_SPAN,
+            open: Vec::new(),
+            ring: SpanRing::new(budget),
+            strata: Vec::new(),
+            rules: vec![RuleProfile::default()],
+            ie: BTreeMap::new(),
+            totals: EvalTotals::default(),
+        }
+    }
+
+    /// Folds a shard fork back into this run: the fork's anonymous rule
+    /// counters are charged to rule `rule`, its IE profiles merge into
+    /// this run's, and its span events are renumbered into this run's id
+    /// space with their roots re-parented under `parent`. Call serially
+    /// (after the parallel scope), in a deterministic shard order.
+    pub fn merge_fork(&mut self, rule: usize, parent: SpanId, mut fork: RunTrace) {
+        if !self.enabled() {
+            return;
+        }
+        // Close anything the shard left open (e.g. its error path).
+        let end = fork.now_ns();
+        while let Some(span) = fork.open.pop() {
+            fork.ring.push(SpanEvent {
+                id: span.id,
+                parent: span.parent,
+                kind: span.kind,
+                label: span.label,
+                start_ns: span.start_ns,
+                duration_ns: end.saturating_sub(span.start_ns),
+            });
+        }
+        let shard_rule = &fork.rules[0];
+        self.totals.rule_firings += fork.totals.rule_firings;
+        self.totals.tuples_derived += fork.totals.tuples_derived;
+        self.totals.tuples_new += fork.totals.tuples_new;
+        if let Some(r) = self.rules.get_mut(rule) {
+            r.firings += shard_rule.firings;
+            r.tuples_derived += shard_rule.tuples_derived;
+            r.tuples_new += shard_rule.tuples_new;
+            r.join_rows_scanned += shard_rule.join_rows_scanned;
+            r.total_ns += shard_rule.total_ns;
+        }
+        for (name, profile) in std::mem::take(&mut fork.ie) {
+            let entry = self.ie.entry(name).or_insert_with(|| IeFunctionProfile {
+                name: profile.name.clone(),
+                ..IeFunctionProfile::default()
+            });
+            entry.calls += profile.calls;
+            entry.memo_hits += profile.memo_hits;
+            entry.memo_misses += profile.memo_misses;
+            entry.latency.merge(&profile.latency);
+        }
+        let offset = self.next_span;
+        for mut event in fork.ring.drain() {
+            event.id += offset;
+            event.parent = if event.parent == NO_SPAN {
+                parent
+            } else {
+                event.parent + offset
+            };
+            self.ring.push(event);
+        }
+        self.ring.add_dropped(fork.ring.dropped());
+        self.next_span += fork.next_span;
     }
 
     /// Charges wall time from `t0` to `stratum` (call when the stratum
@@ -354,6 +473,11 @@ impl RunTrace {
             // prefilter counters (the trace crate never sees regexes).
             prefilter_searches: 0,
             prefilter_pruned: 0,
+            par_workers: self.totals.par_workers,
+            par_shards: self.totals.par_shards,
+            par_ie_batches: self.totals.par_ie_batches,
+            par_stolen: self.totals.par_stolen,
+            par_serial_rules: self.totals.par_serial_rules,
         })
     }
 }
@@ -459,6 +583,61 @@ mod tests {
         assert_eq!(stratum_ev.parent, root_ev.id);
         assert_eq!(round_ev.parent, stratum_ev.id);
         assert!(root_ev.duration_ns >= stratum_ev.duration_ns);
+    }
+
+    #[test]
+    fn fork_merges_counters_ie_and_spans_back() {
+        let mut trace = RunTrace::new(TraceLevel::Spans, 0);
+        let r = trace.register_rule(0, "A", "A(x) <- B(x).", 1);
+        let root = trace.open(NO_SPAN, SpanKind::Rule, || "A".into());
+        trace.join_scanned(r, 5);
+        trace.ie_call("f", Some(true), trace.now_ns());
+
+        let mut fork = trace.fork();
+        let shard = fork.open(NO_SPAN, SpanKind::Shard, || "shard 0".into());
+        let batch = fork.open(shard, SpanKind::IeBatch, || "f".into());
+        fork.close(batch);
+        fork.close(shard);
+        fork.join_scanned(0, 7);
+        fork.ie_call_ns("f", Some(false), 123);
+        fork.ie_call_ns("g", None, 456);
+
+        trace.merge_fork(r, root, fork);
+        trace.close(root);
+        let p = trace.finish(None).unwrap();
+        assert_eq!(p.strata[0].rules[0].join_rows_scanned, 12);
+        let f = p.ie_functions.iter().find(|i| i.name == "f").unwrap();
+        assert_eq!((f.calls, f.memo_hits, f.memo_misses), (2, 1, 1));
+        assert!(p.ie_functions.iter().any(|i| i.name == "g"));
+        // Fork spans are renumbered into the parent id space and the
+        // shard root hangs off the rule span.
+        assert_eq!(p.spans.len(), 3);
+        let rule_ev = p.spans.iter().find(|s| s.kind == SpanKind::Rule).unwrap();
+        let shard_ev = p.spans.iter().find(|s| s.kind == SpanKind::Shard).unwrap();
+        let batch_ev = p
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::IeBatch)
+            .unwrap();
+        assert_eq!(shard_ev.parent, rule_ev.id);
+        assert_eq!(batch_ev.parent, shard_ev.id);
+        let mut ids: Vec<_> = p.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "merged span ids must stay unique");
+    }
+
+    #[test]
+    fn parallel_summary_accumulates_and_reaches_the_profile() {
+        let mut trace = RunTrace::new(TraceLevel::Summary, 0);
+        trace.parallel_summary(4, 6, 2, 1, 3);
+        trace.parallel_summary(4, 2, 1, 0, 3);
+        let p = trace.finish(None).unwrap();
+        assert_eq!(p.par_workers, 4);
+        assert_eq!(p.par_shards, 8);
+        assert_eq!(p.par_ie_batches, 3);
+        assert_eq!(p.par_stolen, 1);
+        assert_eq!(p.par_serial_rules, 3);
     }
 
     #[test]

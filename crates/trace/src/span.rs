@@ -69,6 +69,9 @@ pub enum SpanKind {
     /// One batched IE-function step inside a rule firing (all distinct
     /// argument tuples of one `f(…) -> (…)` atom).
     IeBatch,
+    /// One document shard of a split-correct parallel rule firing,
+    /// executed on a worker thread and merged back deterministically.
+    Shard,
 }
 
 impl SpanKind {
@@ -81,6 +84,7 @@ impl SpanKind {
             SpanKind::Rule => "rule",
             SpanKind::Join => "join",
             SpanKind::IeBatch => "ie_batch",
+            SpanKind::Shard => "shard",
         }
     }
 }
