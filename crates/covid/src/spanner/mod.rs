@@ -214,6 +214,16 @@ impl SpannerPipeline {
     pub fn session_mut(&mut self) -> &mut Session {
         &mut self.session
     }
+
+    /// Consumes the pipeline, yielding its fully configured session —
+    /// IE functions registered, policy tables imported, rules loaded.
+    /// This is the seed for serving front ends (`spannerd`) that take
+    /// ownership of the session and drive it over the wire; the
+    /// pipeline's prepared queries are dropped, re-prepare by name
+    /// (e.g. `?Status(d, s)`) on the serving side.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
 }
 
 fn parse_modifier_rule(row: &[Value]) -> Result<ModifierRule> {

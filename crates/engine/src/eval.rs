@@ -51,6 +51,45 @@ pub struct EvalLimits {
     pub max_rounds: Option<usize>,
     /// Maximum newly materialized tuples across the whole run.
     pub max_rows: Option<usize>,
+    /// Wall-clock budget in milliseconds for the whole run (checked
+    /// between fixpoint rounds and before each IE batch).
+    pub max_millis: Option<u64>,
+}
+
+/// The wall-clock budget of one evaluation run
+/// ([`EvalLimits::max_millis`]), anchored when the run starts. Checked
+/// once per fixpoint round and once per IE batch — the two places an
+/// evaluation can sink unbounded time — so an overrun surfaces as
+/// [`EngineError::LimitExceeded`] naming the rule that was executing,
+/// not as a hung serving request.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalDeadline {
+    at: std::time::Instant,
+    limit_ms: u64,
+}
+
+impl EvalDeadline {
+    /// The deadline for `limits`, anchored at now; `None` when no
+    /// wall-clock limit is configured.
+    pub(crate) fn start(limits: &EvalLimits) -> Option<EvalDeadline> {
+        limits.max_millis.map(|ms| EvalDeadline {
+            at: std::time::Instant::now() + std::time::Duration::from_millis(ms),
+            limit_ms: ms,
+        })
+    }
+
+    /// Errors with the wall-clock [`EngineError::LimitExceeded`]
+    /// (blaming `rule`) once the budget is spent.
+    pub(crate) fn check(&self, rule: Option<&RulePlan>) -> Result<()> {
+        if std::time::Instant::now() >= self.at {
+            return Err(EngineError::LimitExceeded {
+                resource: "eval wall-clock millis",
+                limit: self.limit_ms as usize,
+                culprit: culprit_of(rule),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// The rule a limit overrun is blamed on, as a boxed error payload.
@@ -145,6 +184,25 @@ struct StratumScope<'a, 'b> {
     par: Option<ParExec<'b>>,
     /// Shared evaluation-wide counters.
     tally: &'b ParTally,
+    /// Wall-clock budget of the run (`None` = unlimited).
+    deadline: Option<EvalDeadline>,
+}
+
+impl StratumScope<'_, '_> {
+    /// Checks the round-level limits: counters first, then the
+    /// wall-clock budget, both blaming the driving rule.
+    fn check_round(
+        &self,
+        limits: &EvalLimits,
+        stats: &EvalStats,
+        rule: Option<&RulePlan>,
+    ) -> Result<()> {
+        limits.check(stats, rule)?;
+        match self.deadline {
+            Some(d) => d.check(rule),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Whether the compile-time split-correctness analysis cleared `rule`
@@ -197,6 +255,7 @@ fn evaluate_impl(
 ) -> Result<EvalStats> {
     let mut stats = EvalStats::default();
     let tally = ParTally::default();
+    let deadline = EvalDeadline::start(&ctx.limits);
     let stolen_before = par.map_or(0, |p| p.pool.stats().stolen);
     // Folds the run's parallel counters into the trace — on both the
     // success and the abort path, like the index-cache counters.
@@ -241,6 +300,7 @@ fn evaluate_impl(
             indexes,
             par,
             tally: &tally,
+            deadline,
         };
         let result = match ctx.strategy {
             EvalStrategy::Naive => naive_stratum(db, stratum, ctx, &mut stats, &mut scope),
@@ -347,6 +407,7 @@ fn naive_stratum(
         indexes: scope.indexes,
         par: scope.par,
         tally: scope.tally,
+        deadline: scope.deadline,
     };
     // Last rule to derive a new tuple — the round-limit culprit.
     let mut driver: Option<usize> = None;
@@ -375,7 +436,7 @@ fn naive_stratum(
             }
         }
         scope.trace.close(round_span);
-        ctx.limits.check(stats, driver.map(|ri| &rules[ri]))?;
+        scope.check_round(&ctx.limits, stats, driver.map(|ri| &rules[ri]))?;
         if !changed {
             return Ok(());
         }
@@ -413,6 +474,7 @@ fn seminaive_stratum(
             indexes: scope.indexes,
             par: scope.par,
             tally: scope.tally,
+            deadline: scope.deadline,
         };
         let rule_span = scope
             .trace
@@ -438,7 +500,7 @@ fn seminaive_stratum(
         }
     }
     scope.trace.close(round_span);
-    ctx.limits.check(stats, driver.map(|ri| &rules[ri]))?;
+    scope.check_round(&ctx.limits, stats, driver.map(|ri| &rules[ri]))?;
 
     // Subsequent rounds: for each rule and each scan step over a
     // recursive predicate, run the variant with that step reading the
@@ -471,6 +533,7 @@ fn seminaive_stratum(
                     indexes: scope.indexes,
                     par: scope.par,
                     tally: scope.tally,
+                    deadline: scope.deadline,
                 };
                 let rule_span = scope
                     .trace
@@ -497,7 +560,7 @@ fn seminaive_stratum(
             }
         }
         scope.trace.close(round_span);
-        ctx.limits.check(stats, driver.map(|ri| &rules[ri]))?;
+        scope.check_round(&ctx.limits, stats, driver.map(|ri| &rules[ri]))?;
         deltas = next_deltas;
     }
     Ok(())

@@ -174,6 +174,9 @@ pub struct ExecCtx<'a> {
     pub par: Option<ParExec<'a>>,
     /// Shared evaluation-wide counters.
     pub tally: &'a ParTally,
+    /// Wall-clock budget of the run (`EvalLimits::max_millis`), checked
+    /// before each IE batch; `None` = unlimited.
+    pub deadline: Option<crate::eval::EvalDeadline>,
 }
 
 /// Where one [`execute`] call reports its trace data: the run's
@@ -342,6 +345,12 @@ fn run_steps(
                 inputs,
                 outputs,
             } => {
+                // IE calls are where evaluation sinks open-ended time
+                // (user code, regex scans), so the wall-clock budget is
+                // re-checked at every batch boundary.
+                if let Some(d) = ctx.deadline {
+                    d.check(Some(plan))?;
+                }
                 let f = ctx.registry.ie(function)?.clone();
                 // Batch rows by their concrete argument tuple:
                 // *cacheable* IE functions are stateless, so each
@@ -600,6 +609,7 @@ fn run_sharded(
     let cache = ctx.cache;
     let planner = ctx.planner;
     let tally = ctx.tally;
+    let deadline = ctx.deadline;
     let mut slots: Vec<Option<(Result<Vec<Row>>, RunTrace)>> =
         (0..bins.len()).map(|_| None).collect();
     par.pool.scope(|s| {
@@ -618,6 +628,7 @@ fn run_sharded(
                     indexes: None,
                     par: None,
                     tally,
+                    deadline,
                 };
                 let mut shard_tr = TraceCtx {
                     trace: &mut fork,

@@ -291,6 +291,8 @@ pub struct Snapshot {
     /// Profile of the fixpoint run that produced the frozen state
     /// (`None` when the session evaluated with tracing off).
     profile: Option<Arc<spannerlib_trace::EvalProfile>>,
+    /// Evaluation fingerprint hash; see [`Snapshot::fingerprint`].
+    fingerprint: u64,
 }
 
 impl std::fmt::Debug for Snapshot {
@@ -315,8 +317,26 @@ impl Snapshot {
         db: Arc<Database>,
         cache: Option<spannerlib_cache::SharedIeMemo>,
         profile: Option<Arc<spannerlib_trace::EvalProfile>>,
+        fingerprint: u64,
     ) -> Snapshot {
-        Snapshot { db, cache, profile }
+        Snapshot {
+            db,
+            cache,
+            profile,
+            fingerprint,
+        }
+    }
+
+    /// Hash of the evaluation fingerprint behind this snapshot: the
+    /// compiled program's identity plus the generation of every
+    /// relation it reads. Two snapshots of the same session carry equal
+    /// fingerprints iff no read relation changed (and the rules did not
+    /// recompile) between them, which makes the value usable as an
+    /// `ETag`-style version token for serving caches. Process-local:
+    /// program ids are allocated per process, so the hash is not
+    /// meaningful across restarts and must not be persisted.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Lifetime counters of the shared IE memo (all zero when the

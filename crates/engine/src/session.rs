@@ -160,6 +160,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Bounds the wall-clock time of one evaluation, in milliseconds.
+    /// The budget is anchored when the fixpoint starts and checked once
+    /// per fixpoint round and once per IE batch; an overrun surfaces as
+    /// [`EngineError::LimitExceeded`] naming the rule that was executing
+    /// (resource `"eval wall-clock millis"`). This is the primitive
+    /// per-request deadlines in a serving front end build on — see
+    /// [`Session::set_max_eval_millis`] for adjusting the budget between
+    /// runs.
+    pub fn max_eval_millis(mut self, millis: u64) -> SessionBuilder {
+        self.limits.max_millis = Some(millis);
+        self
+    }
+
     /// Sets the byte budget of the IE memo table, which caches
     /// `(function, arguments) → output rows` across fixpoint reruns and
     /// prepared-query executions ([`DEFAULT_IE_CACHE_BYTES`] by
@@ -293,6 +306,7 @@ impl SessionBuilder {
             rules_gen: 0,
             compiled: None,
             last_eval: None,
+            last_fingerprint: 0,
             last_stats: EvalStats::default(),
             ie_cache,
             doc_gc: self.doc_gc,
@@ -328,6 +342,11 @@ pub struct Session {
     /// Fingerprint of the last fixpoint run (replaces the old global
     /// `dirty` flag).
     last_eval: Option<EvalFingerprint>,
+    /// Hash of `last_eval`, exposed through [`Snapshot::fingerprint`]
+    /// for ETag-style version headers. Stable while evaluation is
+    /// skipped; changes whenever a read relation's generation moved or
+    /// the program recompiled.
+    last_fingerprint: u64,
     last_stats: EvalStats,
     /// Memo table for IE calls (`None` = disabled). Shared with
     /// evaluation runs and snapshots; keyed purely by call content, so
@@ -388,6 +407,24 @@ impl Session {
     pub fn set_strategy(&mut self, strategy: EvalStrategy) {
         self.strategy = strategy;
         self.last_eval = None;
+    }
+
+    /// Adjusts the wall-clock budget of *subsequent* evaluations (see
+    /// [`SessionBuilder::max_eval_millis`]); `None` removes the limit.
+    /// Serving front ends call this per request to turn a client
+    /// deadline into an evaluation budget. Does not force
+    /// re-evaluation: limits gate how long a run may take, not what it
+    /// derives.
+    pub fn set_max_eval_millis(&mut self, millis: Option<u64>) {
+        self.limits.max_millis = millis;
+    }
+
+    /// Adjusts the materialized-row budget of subsequent evaluations
+    /// (see [`SessionBuilder::max_materialized_rows`]); `None` removes
+    /// the limit. Like [`Session::set_max_eval_millis`], never forces
+    /// re-evaluation.
+    pub fn set_max_materialized_rows(&mut self, rows: Option<usize>) {
+        self.limits.max_rows = rows;
     }
 
     /// Statistics of the session, without resetting anything. The two
@@ -620,6 +657,7 @@ impl Session {
             Arc::clone(&self.db),
             self.ie_cache.clone(),
             self.last_profile.clone(),
+            self.last_fingerprint,
         ))
     }
 
@@ -950,13 +988,21 @@ impl Session {
         // Generations are read *after* the run: rules may derive into
         // extensional heads, and those inserts must not look like fresh
         // external mutations on the next call.
+        let input_gens: Vec<u64> = program
+            .input_relations
+            .iter()
+            .map(|name| self.db.generation(name))
+            .collect();
+        {
+            use std::hash::{Hash, Hasher};
+            let mut h = rustc_hash::FxHasher::default();
+            program.id.hash(&mut h);
+            input_gens.hash(&mut h);
+            self.last_fingerprint = h.finish();
+        }
         self.last_eval = Some(EvalFingerprint {
             program_id: program.id,
-            input_gens: program
-                .input_relations
-                .iter()
-                .map(|name| self.db.generation(name))
-                .collect(),
+            input_gens,
         });
         Ok(())
     }

@@ -40,6 +40,7 @@ fn run_expect_err(plan: &RulePlan) -> EngineError {
         indexes: None,
         par: None,
         tally: &tally,
+        deadline: None,
     };
     let mut trace = RunTrace::disabled();
     let mut tr = TraceCtx {

@@ -458,6 +458,83 @@ fn typed_import_empty_and_replacement() {
     assert_eq!(session.export("?N(x)").unwrap().num_rows(), 0);
 }
 
+/// `Snapshot::fingerprint()` is a content identity for serving-layer
+/// validators (ETags): stable across no-op snapshots and mutations of
+/// relations the program never reads, changed by input churn and by
+/// recompilation.
+#[test]
+fn snapshot_fingerprint_tracks_read_relations_only() {
+    let mut session = Session::new();
+    session
+        .run("new S(int)\nnew Unrelated(int)\nS(1)\nP(x) <- S(x)")
+        .unwrap();
+    let fp1 = session.snapshot().unwrap().fingerprint();
+    // Stable across no-op snapshots.
+    assert_eq!(session.snapshot().unwrap().fingerprint(), fp1);
+    // A mutation the program does not read leaves it unchanged.
+    session.add_fact("Unrelated", [Value::Int(7)]).unwrap();
+    assert_eq!(session.snapshot().unwrap().fingerprint(), fp1);
+    // Churning an input relation moves it.
+    session.add_fact("S", [Value::Int(2)]).unwrap();
+    let fp2 = session.snapshot().unwrap().fingerprint();
+    assert_ne!(fp2, fp1);
+    // A recompile moves it even with inputs untouched.
+    session.run("Q(x) <- S(x)").unwrap();
+    let fp3 = session.snapshot().unwrap().fingerprint();
+    assert_ne!(fp3, fp2);
+}
+
+/// Serving-shaped churn: one writer keeps importing and publishing new
+/// snapshots while reader threads execute against whichever snapshot is
+/// current. Every observation must be internally consistent (a snapshot
+/// of `n` inputs always yields exactly `n * n` join rows).
+#[test]
+fn writer_churn_under_concurrent_snapshot_readers() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::RwLock;
+
+    let mut session = Session::new();
+    session.run("new V(int)\nD(x, y) <- V(x), V(y)").unwrap();
+    session.import_typed("V", vec![(0i64,)]).unwrap();
+    let query = session.prepare("?D(x, y)").unwrap();
+    let published: RwLock<Arc<(usize, Snapshot)>> =
+        RwLock::new(Arc::new((1, session.snapshot().unwrap())));
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let published = &published;
+                let stop = &stop;
+                let query = &query;
+                scope.spawn(move || {
+                    let mut executions = 0usize;
+                    while !stop.load(Ordering::SeqCst) {
+                        let current = published.read().unwrap().clone();
+                        let (n, snapshot) = &*current;
+                        let frame = snapshot.execute(query).unwrap();
+                        assert_eq!(frame.num_rows(), n * n, "torn snapshot at n={n}");
+                        executions += 1;
+                    }
+                    executions
+                })
+            })
+            .collect();
+
+        // The writer churns imports and republishes; readers are never
+        // blocked and never observe a half-applied import.
+        for n in 2..=20usize {
+            let rows: Vec<(i64,)> = (0..n as i64).map(|i| (i,)).collect();
+            session.import_typed("V", rows).unwrap();
+            let snapshot = session.snapshot().unwrap();
+            *published.write().unwrap() = Arc::new((n, snapshot));
+        }
+        stop.store(true, Ordering::SeqCst);
+        let total: usize = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers must have made progress");
+    });
+}
+
 /// A prepared program hands out many queries over one compilation.
 #[test]
 fn prepared_program_serves_multiple_queries() {

@@ -1,0 +1,165 @@
+//! A minimal blocking HTTP/1.1 client with keep-alive — enough to
+//! drive spannerd from examples, integration tests, and the serving
+//! bench without external dependencies.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A keep-alive connection to one server. Reconnects transparently if
+/// the server closed the previous connection.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body as text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.body)
+    }
+}
+
+impl Client {
+    /// A client for `addr` (connects lazily).
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, conn: None }
+    }
+
+    /// Sends `body` as a POST with `Content-Type: application/json`.
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<ClientResponse> {
+        self.request("POST", path, &[], Some(&body.render()))
+    }
+
+    /// Sends a GET.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, &[], None)
+    }
+
+    /// Sends one request with extra headers, reusing the connection
+    /// when possible (one transparent retry on a broken keep-alive
+    /// connection).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let had_conn = self.conn.is_some();
+        match self.attempt(method, path, headers, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if had_conn => {
+                // The server may have closed the idle connection
+                // between requests; retry once on a fresh one.
+                let _ = e;
+                self.conn = None;
+                self.attempt(method, path, headers, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: spannerd\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        let body = body.unwrap_or("");
+        if !body.is_empty() || method == "POST" {
+            head.push_str("Content-Type: application/json\r\n");
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        let stream = conn.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        let resp = read_response(conn)?;
+        if resp
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        {
+            self.conn = None;
+        }
+        Ok(resp)
+    }
+}
+
+/// Reads one response (status line, headers, `Content-Length` body).
+fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let mut header_line = String::new();
+        reader.read_line(&mut header_line)?;
+        let trimmed = header_line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}

@@ -1,0 +1,55 @@
+//! Server configuration.
+
+/// Tunables for [`crate::Server`]. All admission-control knobs are
+/// per-request ceilings: a request may ask for *less* (`deadline_ms`,
+/// `max_rows` in the `/execute` body) but never for more.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7171`; port `0` picks an ephemeral
+    /// port (read it back from [`crate::Server::local_addr`]).
+    pub addr: String,
+    /// Connection-handler threads (the writer thread is extra). `0`
+    /// means one per available core. Each keep-alive connection
+    /// occupies a worker for its lifetime, so this also bounds the
+    /// number of concurrently connected clients — size it to the
+    /// expected client count, not the core count, when clients hold
+    /// connections open.
+    pub workers: usize,
+    /// Largest accepted request body; beyond it the request is refused
+    /// with 413 before evaluation starts.
+    pub max_body_bytes: usize,
+    /// Deadline applied to `/execute` requests that do not set
+    /// `deadline_ms` themselves; `None` means no default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Hard ceiling on the wall-clock budget of any single evaluation,
+    /// regardless of what deadlines the waiting requests carry.
+    pub max_eval_millis: Option<u64>,
+    /// Row-materialization budget enforced during evaluation (maps to
+    /// [`spannerlog_engine::SessionBuilder::max_materialized_rows`]);
+    /// overruns surface as HTTP 429 naming the culprit rule.
+    pub max_materialized_rows: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            max_body_bytes: 4 * 1024 * 1024,
+            default_deadline_ms: Some(30_000),
+            max_eval_millis: Some(60_000),
+            max_materialized_rows: Some(10_000_000),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective worker count (resolving `0` to the core count).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The wire error shape and the engine-error → HTTP mapping.
+
+use crate::json::Json;
+use spannerlog_engine::EngineError;
+
+/// A structured API error: an HTTP status plus the JSON body spannerd
+/// returns for it. Evaluation-limit overruns carry the culprit rule
+/// (head, line, and source text) so a client can see *which rule* blew
+/// the budget without reading server logs.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable kind (`"deadline"`, `"limit"`, …).
+    pub kind: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Head predicate of the culprit rule, when one is attributable.
+    pub rule: Option<String>,
+    /// 1-based source line of the culprit rule.
+    pub line: Option<usize>,
+    /// Source text of the culprit rule.
+    pub source: Option<String>,
+}
+
+impl ApiError {
+    /// A plain error with no culprit rule.
+    pub fn new(status: u16, kind: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            kind,
+            message: message.into(),
+            rule: None,
+            line: None,
+            source: None,
+        }
+    }
+
+    /// 400 with kind `"bad_request"`.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError::new(400, "bad_request", message)
+    }
+
+    /// 503 for a request whose deadline expired before (or while)
+    /// evaluation could serve it.
+    pub fn deadline(message: impl Into<String>) -> ApiError {
+        ApiError::new(503, "deadline", message)
+    }
+
+    /// Maps an engine failure to its HTTP shape:
+    ///
+    /// * wall-clock limit → 503 `deadline` (the request ran out of
+    ///   time; retrying later, or with a larger budget, may succeed),
+    /// * row/round limits → 429 `limit` (the query is too expensive as
+    ///   admitted; retrying unchanged cannot succeed),
+    /// * everything else (parse errors, unknown relations, unsafe
+    ///   rules, …) → 400 `bad_request`.
+    pub fn from_engine(err: &EngineError) -> ApiError {
+        match err {
+            EngineError::LimitExceeded {
+                resource, culprit, ..
+            } => {
+                let wall_clock = *resource == "eval wall-clock millis";
+                let mut api = ApiError::new(
+                    if wall_clock { 503 } else { 429 },
+                    if wall_clock { "deadline" } else { "limit" },
+                    err.to_string(),
+                );
+                if culprit.is_known() {
+                    api.rule = Some(culprit.head.clone());
+                    api.line = Some(culprit.line);
+                    api.source = Some(culprit.source.clone());
+                }
+                api
+            }
+            other => ApiError::bad_request(other.to_string()),
+        }
+    }
+
+    /// Renders the JSON body:
+    /// `{"error":{"status":…,"kind":…,"message":…[,"rule":…,"line":…,"source":…]}}`.
+    pub fn body(&self) -> String {
+        let mut members = vec![
+            ("status".to_string(), Json::Int(i64::from(self.status))),
+            ("kind".to_string(), Json::str(self.kind)),
+            ("message".to_string(), Json::str(&self.message)),
+        ];
+        if let Some(rule) = &self.rule {
+            members.push(("rule".into(), Json::str(rule)));
+        }
+        if let Some(line) = self.line {
+            members.push(("line".into(), Json::Int(line as i64)));
+        }
+        if let Some(source) = &self.source {
+            members.push(("source".into(), Json::str(source)));
+        }
+        Json::Obj(vec![("error".into(), Json::Obj(members))]).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spannerlog_engine::LimitCulprit;
+
+    fn limit_err(resource: &'static str) -> EngineError {
+        EngineError::LimitExceeded {
+            resource,
+            limit: 7,
+            culprit: Box::new(LimitCulprit {
+                head: "Blow".into(),
+                source: "Blow(x) <- Blow(y), add(y, 1) -> (x)".into(),
+                line: 3,
+            }),
+        }
+    }
+
+    #[test]
+    fn wall_clock_limits_are_503_and_row_limits_429() {
+        let deadline = ApiError::from_engine(&limit_err("eval wall-clock millis"));
+        assert_eq!((deadline.status, deadline.kind), (503, "deadline"));
+        let rows = ApiError::from_engine(&limit_err("materialized rows"));
+        assert_eq!((rows.status, rows.kind), (429, "limit"));
+        assert_eq!(rows.rule.as_deref(), Some("Blow"));
+        let body = rows.body();
+        let parsed = Json::parse(&body).unwrap();
+        let err = parsed.get("error").unwrap();
+        assert_eq!(err.get("status").unwrap(), &Json::Int(429));
+        assert_eq!(err.get("rule").unwrap().as_str(), Some("Blow"));
+        assert_eq!(err.get("line").unwrap(), &Json::Int(3));
+    }
+
+    #[test]
+    fn other_engine_errors_are_400() {
+        let e = ApiError::from_engine(&EngineError::UnknownRelation("Nope".into()));
+        assert_eq!((e.status, e.kind), (400, "bad_request"));
+        assert!(e.rule.is_none());
+    }
+}

@@ -1,0 +1,400 @@
+//! A vendored HTTP/1.1 subset: request parsing and response writing
+//! over any `BufRead`/`Write` pair.
+//!
+//! Scope is exactly what spannerd's JSON API needs — no TLS, no
+//! multipart, no trailers. Bodies require `Content-Length`; chunked
+//! transfer coding is rejected with 411 (`Length Required`), matching
+//! the admission-control stance that a request's cost must be knowable
+//! before it is read. Connections are keep-alive by default (HTTP/1.1
+//! semantics); [`Request::wants_close`] reports the client's choice.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Total bytes allowed for the request line plus all headers.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// How many consecutive socket-timeout ticks a *partially received*
+/// request may survive before the connection is dropped. With spannerd's
+/// 250 ms read timeout this bounds a stalled client to ~10 s, which also
+/// bounds how long a draining server waits on it.
+const MAX_STALL_TICKS: usize = 40;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `POST`.
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_str(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
+    }
+}
+
+/// Outcome of one [`read_request`] attempt on a keep-alive connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed (or broke) the connection between requests.
+    Closed,
+    /// The socket read timed out with no bytes of a next request seen —
+    /// an idle keep-alive tick; the caller decides whether to keep
+    /// waiting (still accepting) or to close (draining).
+    IdleTick,
+    /// A malformed or over-limit request. The connection must be closed
+    /// after writing the error response (framing may be corrupt).
+    Bad {
+        /// Suggested HTTP status (400 / 408 / 411 / 413 / 431).
+        status: u16,
+        /// Human-readable reason, for the JSON error body.
+        message: String,
+    },
+}
+
+fn bad(status: u16, message: impl Into<String>) -> ReadOutcome {
+    ReadOutcome::Bad {
+        status,
+        message: message.into(),
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request. `max_body` bounds `Content-Length` (413 beyond).
+///
+/// Timeout semantics (sockets with a read timeout): before any byte of
+/// the request arrives a timeout yields [`ReadOutcome::IdleTick`]; once
+/// partially received, the parser keeps waiting for up to
+/// [`MAX_STALL_TICKS`] timeouts, then fails with 408.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> ReadOutcome {
+    // Accumulate the head (request line + headers) up to CRLFCRLF.
+    let mut head: Vec<u8> = Vec::new();
+    let mut stalls = 0usize;
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() >= MAX_HEAD_BYTES {
+            return bad(431, "request head exceeds 8 KiB");
+        }
+        let chunk = match reader.fill_buf() {
+            Ok([]) => {
+                return if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    bad(400, "connection closed mid-request")
+                };
+            }
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                if head.is_empty() {
+                    return ReadOutcome::IdleTick;
+                }
+                stalls += 1;
+                if stalls > MAX_STALL_TICKS {
+                    return bad(408, "timed out reading request head");
+                }
+                continue;
+            }
+            Err(_) => return ReadOutcome::Closed,
+        };
+        stalls = 0;
+        // Consume only up to the head terminator; anything after it is
+        // body bytes that stay buffered for the read below.
+        let take = chunk.len().min(MAX_HEAD_BYTES + 4 - head.len());
+        head.extend_from_slice(&chunk[..take]);
+        let consumed = match find_head_end(&head) {
+            Some(pos) => take - (head.len() - (pos + 4)),
+            None => take,
+        };
+        reader.consume(consumed);
+    };
+
+    let head_text = match std::str::from_utf8(&head[..head_end]) {
+        Ok(t) => t,
+        Err(_) => return bad(400, "request head is not UTF-8"),
+    };
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return bad(400, format!("malformed request line {request_line:?}"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return bad(400, format!("malformed request line {request_line:?}"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return bad(400, format!("malformed header line {line:?}"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return bad(411, "chunked bodies are not accepted; send Content-Length");
+    }
+    let content_length = match req.header("content-length") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return bad(400, format!("invalid Content-Length {v:?}")),
+        },
+    };
+    if content_length > max_body {
+        return bad(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        );
+    }
+    let mut body = vec![0u8; content_length];
+    if let Err(outcome) = read_exact_patient(reader, &mut body) {
+        return outcome;
+    }
+    ReadOutcome::Request(Request { body, ..req })
+}
+
+/// Locates the end of the head: byte offset of `\r\n\r\n`, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// `read_exact` that rides out socket read timeouts (bounded, as in the
+/// head loop) and maps failures to protocol outcomes.
+fn read_exact_patient<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), ReadOutcome> {
+    let mut filled = 0usize;
+    let mut stalls = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(bad(400, "connection closed mid-body")),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_STALL_TICKS {
+                    return Err(bad(408, "timed out reading request body"));
+                }
+            }
+            Err(_) => return Err(ReadOutcome::Closed),
+        }
+    }
+    Ok(())
+}
+
+/// Reason phrase for the status codes spannerd emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Type`, `ETag`, …).
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.headers.push((name.into(), value));
+        self
+    }
+}
+
+/// Serializes `resp`; `close` controls the `Connection` header (the
+/// caller closes the stream afterwards when it is `true`).
+pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", resp.body.len()));
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> ReadOutcome {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_keeps_the_rest_buffered() {
+        let raw = b"POST /execute?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let ReadOutcome::Request(req) = read_request(&mut reader, 1024) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("POST", "/execute")
+        );
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"body");
+        assert!(!req.wants_close());
+        // The pipelined second request is still readable.
+        let ReadOutcome::Request(req2) = read_request(&mut reader, 1024) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(req2.path, "/healthz");
+        assert!(req2.body.is_empty());
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn rejects_chunked_with_411() {
+        let out = parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert!(
+            matches!(out, ReadOutcome::Bad { status: 411, .. }),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_with_413() {
+        let out = parse(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+        assert!(
+            matches!(out, ReadOutcome::Bad { status: 413, .. }),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_heads_with_431() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(vec![b'a'; 10_000]);
+        assert!(matches!(parse(&raw), ReadOutcome::Bad { status: 431, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_400() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x SPDY/9\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let out = parse(raw);
+            assert!(
+                matches!(out, ReadOutcome::Bad { status: 400, .. }),
+                "{out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ReadOutcome::Request(req) = parse(raw) else {
+            panic!("must parse");
+        };
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection_headers() {
+        let mut out = Vec::new();
+        let resp = Response::json(429, "{\"error\":1}".into()).with_header("ETag", "\"v1\"".into());
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("ETag: \"v1\"\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n\r\n{\"error\":1}"));
+    }
+}

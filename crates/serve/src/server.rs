@@ -1,0 +1,607 @@
+//! The listener, router, and endpoint handlers.
+
+use crate::catalog::IeSpec;
+use crate::config::ServeConfig;
+use crate::error::ApiError;
+use crate::http::{self, ReadOutcome, Request, Response};
+use crate::json::Json;
+use crate::state::{writer_loop, Cmd, Published, Reply, ServerState};
+use parking_lot::RwLock;
+use spannerlib_core::Value;
+use spannerlib_dataframe::DataFrame;
+use spannerlib_trace::MetricsRegistry;
+use spannerlog_engine::{Session, Snapshot};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Socket read timeout: the tick at which idle keep-alive connections
+/// re-check the drain flag.
+const READ_TICK: Duration = Duration::from_millis(250);
+
+/// Extra wait beyond a request's deadline for the writer's reply. The
+/// engine notices the wall-clock overrun at its next deadline check (a
+/// fixpoint-round boundary or IE batch), which can land slightly after
+/// the deadline itself; waiting this bounded grace converts a generic
+/// timeout into a structured error naming the culprit rule.
+const REPLY_GRACE: Duration = Duration::from_millis(1500);
+
+/// A bound spannerd server. Construct with [`Server::bind`], then run
+/// the accept loop with [`Server::serve`] (blocks until
+/// [`ServerHandle::shutdown`]).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    writer: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A cheap handle for observing and stopping a running [`Server`] from
+/// other threads (signal watchers, tests).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+// Compile-time guarantee: the handle crosses threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServerHandle>()
+};
+
+impl ServerHandle {
+    /// Begins graceful shutdown: stop accepting, let in-flight requests
+    /// drain, turn `/healthz` 503. Idempotent.
+    pub fn shutdown(&self) {
+        if self.state.accepting.swap(false, Ordering::SeqCst) {
+            // Wake the blocking `accept` so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Whether the server is still accepting new work.
+    pub fn is_accepting(&self) -> bool {
+        self.state.accepting.load(Ordering::SeqCst)
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Server {
+    /// Binds `cfg.addr` and moves `session` onto the writer thread. The
+    /// session is evaluated once here so the first `/execute` finds a
+    /// published snapshot.
+    pub fn bind(mut session: Session, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        session.set_max_materialized_rows(cfg.max_materialized_rows);
+        session.set_max_eval_millis(cfg.max_eval_millis);
+        let snapshot = session
+            .snapshot()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let state = Arc::new(ServerState {
+            cfg,
+            published: RwLock::new(Arc::new(Published {
+                snapshot,
+                version: 0,
+            })),
+            prepared: RwLock::new(HashMap::new()),
+            write_version: AtomicU64::new(0),
+            cmd_tx: parking_lot::Mutex::new(Some(cmd_tx)),
+            accepting: AtomicBool::new(true),
+            metrics: MetricsRegistry::new(),
+        });
+        let writer = std::thread::Builder::new()
+            .name("spannerd-writer".into())
+            .spawn({
+                let state = state.clone();
+                move || writer_loop(session, cmd_rx, state)
+            })?;
+        Ok(Server {
+            listener,
+            addr,
+            state,
+            writer: Some(writer),
+        })
+    }
+
+    /// The bound address (read the ephemeral port back from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: self.state.clone(),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the accept loop, fanning connections across a
+    /// `spannerlib_par` pool. Returns after [`ServerHandle::shutdown`]:
+    /// in-flight connections drain (the pool scope waits for them), the
+    /// command queue closes, and the writer thread exits.
+    pub fn serve(mut self) -> io::Result<()> {
+        let pool = spannerlib_par::ThreadPool::new(self.state.cfg.effective_workers());
+        let state = &self.state;
+        pool.scope(|scope| {
+            for conn in self.listener.incoming() {
+                if !state.accepting.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let state = Arc::clone(state);
+                scope.spawn(move || handle_connection(stream, &state));
+            }
+        });
+        // All connection handlers have returned; close the command
+        // queue so the writer loop ends, then reap it.
+        self.state.cmd_tx.lock().take();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one keep-alive connection until close, error, or drain.
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, state.cfg.max_body_bytes) {
+            ReadOutcome::Request(req) => {
+                let draining = !state.accepting.load(Ordering::SeqCst);
+                let close = req.wants_close() || draining;
+                let resp = route(&req, state);
+                if http::write_response(&mut writer, &resp, close).is_err() || close {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::IdleTick => {
+                // Idle keep-alive connections close themselves once the
+                // server starts draining.
+                if !state.accepting.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            ReadOutcome::Bad { status, message } => {
+                let err = ApiError::new(status, "protocol", message);
+                let resp = Response::json(status, err.body());
+                let _ = http::write_response(&mut writer, &resp, true);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one request and records per-endpoint latency.
+fn route(req: &Request, state: &ServerState) -> Response {
+    let start = Instant::now();
+    let (endpoint, resp) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", healthz(state)),
+        ("GET", "/profile") => ("profile", profile(state)),
+        ("POST", "/register") => ("register", register(req, state)),
+        ("POST", "/import") => ("import", import(req, state)),
+        ("POST", "/prepare") => ("prepare", prepare(req, state)),
+        ("POST", "/execute") => ("execute", execute(req, state)),
+        (_, "/healthz" | "/profile" | "/register" | "/import" | "/prepare" | "/execute") => (
+            "other",
+            fail(ApiError::new(
+                405,
+                "method_not_allowed",
+                format!("{} is not supported on {}", req.method, req.path),
+            )),
+        ),
+        _ => (
+            "other",
+            fail(ApiError::new(
+                404,
+                "not_found",
+                format!("no such endpoint {:?}", req.path),
+            )),
+        ),
+    };
+    state.metrics.counter("http_requests_total").inc();
+    if resp.status >= 400 {
+        state.metrics.counter("http_errors_total").inc();
+    }
+    state
+        .metrics
+        .histogram(&format!("http_{endpoint}_ns"))
+        .record(start.elapsed().as_nanos() as u64);
+    resp
+}
+
+/// Renders an [`ApiError`] as its response.
+fn fail(err: ApiError) -> Response {
+    Response::json(err.status, err.body())
+}
+
+/// Parses the request body as a JSON object.
+fn body_json(req: &Request) -> Result<Json, ApiError> {
+    let text = req
+        .body_str()
+        .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+/// Sends one command to the writer thread and waits for its reply.
+fn roundtrip<T>(state: &ServerState, build: impl FnOnce(Reply<T>) -> Cmd) -> Result<T, ApiError> {
+    let (tx, rx) = mpsc::sync_channel(1);
+    state
+        .sender()?
+        .send(build(tx))
+        .map_err(|_| ApiError::new(503, "draining", "server is shutting down"))?;
+    rx.recv()
+        .map_err(|_| ApiError::new(500, "internal", "writer thread is gone"))?
+}
+
+fn ok_body(state: &ServerState, extra: Vec<(String, Json)>) -> Response {
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("version".to_string(), Json::Int(state.version() as i64)),
+    ];
+    members.extend(extra);
+    Response::json(200, Json::Obj(members).render())
+}
+
+/// `GET /healthz`.
+fn healthz(state: &ServerState) -> Response {
+    if state.accepting.load(Ordering::SeqCst) {
+        ok_body(state, vec![("status".into(), Json::str("ok"))])
+    } else {
+        fail(ApiError::new(503, "draining", "server is shutting down"))
+    }
+}
+
+/// `POST /register` — either `{"rules": "<source cell>"}` or
+/// `{"ie": {"name", "pattern", "output": "spans"|"strings"}}`.
+fn register(req: &Request, state: &ServerState) -> Response {
+    let json = match body_json(req) {
+        Ok(j) => j,
+        Err(e) => return fail(e),
+    };
+    let result = if let Some(rules) = json.get("rules").and_then(Json::as_str) {
+        let source = rules.to_string();
+        roundtrip(state, |reply| Cmd::Run { source, reply })
+    } else if let Some(ie) = json.get("ie") {
+        match parse_ie_spec(ie) {
+            Ok(spec) => roundtrip(state, |reply| Cmd::RegisterIe { spec, reply }),
+            Err(e) => Err(e),
+        }
+    } else {
+        Err(ApiError::bad_request(
+            "body must carry \"rules\" (a source cell) or \"ie\" (a catalog spec)",
+        ))
+    };
+    match result {
+        Ok(()) => ok_body(state, vec![]),
+        Err(e) => fail(e),
+    }
+}
+
+fn parse_ie_spec(ie: &Json) -> Result<IeSpec, ApiError> {
+    let name = ie
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("ie.name must be a string"))?;
+    let pattern = ie
+        .get("pattern")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("ie.pattern must be a string"))?;
+    let strings = match ie.get("output").and_then(Json::as_str) {
+        None | Some("spans") => false,
+        Some("strings") => true,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "ie.output must be \"spans\" or \"strings\", got {other:?}"
+            )))
+        }
+    };
+    Ok(IeSpec {
+        name: name.to_string(),
+        pattern: pattern.to_string(),
+        strings,
+    })
+}
+
+/// `POST /import` — `{"relation": "...", "rows": [[...], ...]}`.
+fn import(req: &Request, state: &ServerState) -> Response {
+    let json = match body_json(req) {
+        Ok(j) => j,
+        Err(e) => return fail(e),
+    };
+    let Some(relation) = json.get("relation").and_then(Json::as_str) else {
+        return fail(ApiError::bad_request("\"relation\" must be a string"));
+    };
+    let Some(rows_json) = json.get("rows").and_then(Json::as_array) else {
+        return fail(ApiError::bad_request("\"rows\" must be an array of arrays"));
+    };
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for (i, row) in rows_json.iter().enumerate() {
+        let Some(cells) = row.as_array() else {
+            return fail(ApiError::bad_request(format!("row {i} is not an array")));
+        };
+        let mut out = Vec::with_capacity(cells.len());
+        for (j, cell) in cells.iter().enumerate() {
+            match cell_value(cell) {
+                Some(v) => out.push(v),
+                None => {
+                    return fail(ApiError::bad_request(format!(
+                        "row {i} column {j}: cells must be strings, integers, floats, or booleans"
+                    )))
+                }
+            }
+        }
+        rows.push(out);
+    }
+    let count = rows.len();
+    let relation = relation.to_string();
+    match roundtrip(state, |reply| Cmd::Import {
+        relation,
+        rows,
+        reply,
+    }) {
+        Ok(()) => ok_body(state, vec![("rows".into(), Json::Int(count as i64))]),
+        Err(e) => fail(e),
+    }
+}
+
+/// Maps a JSON cell onto an engine value.
+fn cell_value(cell: &Json) -> Option<Value> {
+    match cell {
+        Json::Str(s) => Some(Value::str(s.as_str())),
+        Json::Int(n) => Some(Value::Int(*n)),
+        Json::Float(x) => Some(Value::Float(*x)),
+        Json::Bool(b) => Some(Value::Bool(*b)),
+        _ => None,
+    }
+}
+
+/// `POST /prepare` — `{"name": "...", "query": "?R(x)"}`.
+fn prepare(req: &Request, state: &ServerState) -> Response {
+    let json = match body_json(req) {
+        Ok(j) => j,
+        Err(e) => return fail(e),
+    };
+    let (Some(name), Some(query)) = (
+        json.get("name").and_then(Json::as_str),
+        json.get("query").and_then(Json::as_str),
+    ) else {
+        return fail(ApiError::bad_request(
+            "\"name\" and \"query\" must be strings",
+        ));
+    };
+    let (name, query) = (name.to_string(), query.to_string());
+    match roundtrip(state, |reply| Cmd::Prepare { name, query, reply }) {
+        Ok(()) => ok_body(state, vec![]),
+        Err(e) => fail(e),
+    }
+}
+
+/// `POST /execute` — `{"prepared": name}` or `{"query": "?R(x)"}`, plus
+/// optional `deadline_ms` and `max_rows`.
+fn execute(req: &Request, state: &ServerState) -> Response {
+    let json = match body_json(req) {
+        Ok(j) => j,
+        Err(e) => return fail(e),
+    };
+    let deadline_ms = match json.get("deadline_ms") {
+        None => state.cfg.default_deadline_ms,
+        Some(v) => match v.as_i64() {
+            Some(ms) if ms > 0 => Some(ms as u64),
+            _ => {
+                return fail(ApiError::bad_request(
+                    "deadline_ms must be a positive integer",
+                ))
+            }
+        },
+    };
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let max_rows = match json.get("max_rows") {
+        None => None,
+        Some(v) => match v.as_i64() {
+            Some(n) if n >= 0 => Some(n as usize),
+            _ => {
+                return fail(ApiError::bad_request(
+                    "max_rows must be a non-negative integer",
+                ))
+            }
+        },
+    };
+
+    let published = match current_published(state, deadline) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let frame = if let Some(name) = json.get("prepared").and_then(Json::as_str) {
+        let Some(query) = state.prepared.read().get(name).cloned() else {
+            return fail(ApiError::new(
+                404,
+                "not_found",
+                format!("no prepared query named {name:?}"),
+            ));
+        };
+        published.snapshot.execute(&query)
+    } else if let Some(query_src) = json.get("query").and_then(Json::as_str) {
+        published.snapshot.export(query_src)
+    } else {
+        return fail(ApiError::bad_request(
+            "body must carry \"prepared\" (a name) or \"query\" (a query string)",
+        ));
+    };
+    let frame = match frame {
+        Ok(f) => f,
+        Err(e) => return fail(ApiError::from_engine(&e)),
+    };
+    if let Some(cap) = max_rows {
+        if frame.num_rows() > cap {
+            return fail(ApiError::new(
+                429,
+                "too_many_rows",
+                format!(
+                    "result has {} rows, request admitted at most {cap}",
+                    frame.num_rows()
+                ),
+            ));
+        }
+    }
+    let etag = published.etag();
+    if req.header("if-none-match") == Some(etag.as_str()) {
+        return Response {
+            status: 304,
+            headers: vec![("ETag".into(), etag)],
+            body: Vec::new(),
+        };
+    }
+    Response::json(200, render_frame(&frame, &published).render()).with_header("ETag", etag)
+}
+
+/// The freshest snapshot consistent with all applied mutations: the
+/// published one when current, otherwise one produced by a (coalesced)
+/// refresh round-trip through the writer.
+fn current_published(
+    state: &ServerState,
+    deadline: Option<Instant>,
+) -> Result<Arc<Published>, ApiError> {
+    let current = state.published.read().clone();
+    if current.version == state.version() {
+        return Ok(current);
+    }
+    let (tx, rx) = mpsc::sync_channel(1);
+    state
+        .sender()?
+        .send(Cmd::Refresh {
+            deadline,
+            reply: tx,
+        })
+        .map_err(|_| ApiError::new(503, "draining", "server is shutting down"))?;
+    match deadline {
+        None => rx
+            .recv()
+            .map_err(|_| ApiError::new(500, "internal", "writer thread is gone"))?,
+        Some(d) => match rx.recv_timeout(d.saturating_duration_since(Instant::now()) + REPLY_GRACE)
+        {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(ApiError::deadline(
+                "deadline expired waiting for evaluation",
+            )),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(ApiError::new(500, "internal", "writer thread is gone"))
+            }
+        },
+    }
+}
+
+/// Serializes a result frame:
+/// `{"columns": […], "rows": [[…]], "row_count": n, "version": v, "fingerprint": "…"}`.
+fn render_frame(frame: &DataFrame, published: &Published) -> Json {
+    let rows = frame
+        .iter_rows()
+        .map(|row| {
+            Json::Arr(
+                row.iter()
+                    .map(|v| value_json(v, &published.snapshot))
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "columns".into(),
+            Json::Arr(frame.column_names().iter().map(Json::str).collect()),
+        ),
+        ("rows".into(), Json::Arr(rows)),
+        ("row_count".into(), Json::Int(frame.num_rows() as i64)),
+        ("version".into(), Json::Int(published.version as i64)),
+        (
+            "fingerprint".into(),
+            Json::str(format!("{:016x}", published.snapshot.fingerprint())),
+        ),
+    ])
+}
+
+/// Serializes one cell; spans resolve their text against the snapshot's
+/// frozen document store.
+fn value_json(v: &Value, snapshot: &Snapshot) -> Json {
+    match v {
+        Value::Str(s) => Json::str(&**s),
+        Value::Int(n) => Json::Int(*n),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Float(x) => Json::Float(*x),
+        Value::Span(span) => Json::Obj(vec![
+            ("start".into(), Json::Int(span.start_usize() as i64)),
+            ("end".into(), Json::Int(span.end_usize() as i64)),
+            (
+                "text".into(),
+                snapshot.span_text(span).map_or(Json::Null, Json::str),
+            ),
+        ]),
+    }
+}
+
+/// `GET /profile` — per-endpoint latency histograms, request counters,
+/// IE-cache stats, publish version/fingerprint, and the evaluation
+/// profile of the last published snapshot (when tracing is on).
+fn profile(state: &ServerState) -> Response {
+    let published = state.published.read().clone();
+    let endpoints: Vec<(String, Json)> = state
+        .metrics
+        .histograms()
+        .into_iter()
+        .map(|(name, snap)| (name, Json::Raw(snap.summary_json())))
+        .collect();
+    let counters: Vec<(String, Json)> = state
+        .metrics
+        .counters()
+        .into_iter()
+        .map(|(name, v)| (name, Json::Int(v as i64)))
+        .collect();
+    let cache = published.snapshot.cache_stats();
+    let eval_profile = published.snapshot.profile().map_or(Json::Null, |p| {
+        Json::Arr(
+            p.to_json_lines()
+                .lines()
+                .map(|line| Json::Raw(line.to_string()))
+                .collect(),
+        )
+    });
+    let body = Json::Obj(vec![
+        ("version".into(), Json::Int(published.version as i64)),
+        (
+            "fingerprint".into(),
+            Json::str(format!("{:016x}", published.snapshot.fingerprint())),
+        ),
+        ("endpoints".into(), Json::Obj(endpoints)),
+        ("counters".into(), Json::Obj(counters)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Int(cache.hits as i64)),
+                ("misses".into(), Json::Int(cache.misses as i64)),
+                ("entries".into(), Json::Int(cache.entries as i64)),
+                ("bytes".into(), Json::Int(cache.bytes as i64)),
+                ("hit_rate".into(), Json::Float(cache.hit_rate())),
+            ]),
+        ),
+        ("eval_profile".into(), eval_profile),
+    ]);
+    Response::json(200, body.render())
+}

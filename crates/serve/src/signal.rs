@@ -1,0 +1,69 @@
+//! SIGTERM / ctrl-c detection without external crates.
+//!
+//! The workspace vendors no `libc`, so the binding is a two-line FFI
+//! declaration of POSIX `signal(2)`. The handler only flips a global
+//! `AtomicBool` (the one operation that is async-signal-safe by
+//! construction); `spannerd` polls [`triggered`] from an ordinary
+//! thread and runs graceful shutdown from there.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Test/fallback hook: trip the flag as if a signal had arrived.
+pub fn trigger_now() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`. The handler argument and return are
+        /// `void (*)(int)` function pointers, passed as raw addresses.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    pub fn install() {
+        let handler: extern "C" fn(i32) = on_signal;
+        unsafe {
+            signal(SIGINT, handler as usize);
+            signal(SIGTERM, handler as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal handling off unix; shutdown relies on other triggers.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_trigger_flips_the_flag() {
+        install();
+        trigger_now();
+        assert!(triggered());
+    }
+}

@@ -1,0 +1,291 @@
+//! Shared server state, the single-writer command thread, and the
+//! refresh coalescer.
+//!
+//! ## Single writer, lock-free readers
+//!
+//! The [`Session`] is owned by one command thread; every mutation
+//! (`/register`, `/import`, `/prepare`) serializes through an mpsc
+//! channel. Readers never touch the session: `/execute` runs against
+//! the latest [`Published`] snapshot behind an `RwLock<Arc<_>>` swap —
+//! the lock is held only for the pointer clone, so concurrent executes
+//! neither block each other nor the writer.
+//!
+//! ## Lazy evaluation = cross-request IE batching
+//!
+//! Mutations apply immediately but do **not** evaluate; they only bump
+//! [`ServerState::write_version`]. The first `/execute` to observe a
+//! stale snapshot sends [`Cmd::Refresh`], and the writer drains its
+//! whole queue before evaluating: every concurrent execute waiting on
+//! the same churn becomes one fixpoint run. Inside that run `plan.rs`
+//! already batches cacheable IE calls per distinct argument tuple and
+//! probes the shared memo — so IE work that N requests would have paid
+//! for separately is paid once, which is this module's answer to
+//! cross-request IE batching (the `execute_coalesced` counter reports
+//! how often it happens).
+
+use crate::catalog::{self, IeSpec};
+use crate::config::ServeConfig;
+use crate::error::ApiError;
+use parking_lot::RwLock;
+use spannerlib_core::Value;
+use spannerlib_dataframe::DataFrame;
+use spannerlib_trace::MetricsRegistry;
+use spannerlog_engine::{PreparedQuery, Session, Snapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One atomically-published evaluation result.
+pub(crate) struct Published {
+    /// The frozen, fully evaluated state.
+    pub snapshot: Snapshot,
+    /// The [`ServerState::write_version`] this snapshot reflects.
+    pub version: u64,
+}
+
+impl Published {
+    /// Strong-validator ETag combining the publish version with the
+    /// engine's evaluation fingerprint.
+    pub fn etag(&self) -> String {
+        format!("\"v{}-{:016x}\"", self.version, self.snapshot.fingerprint())
+    }
+}
+
+/// A reply slot for one queued command. `sync_channel(1)` never blocks
+/// the writer's send even if the requester already gave up.
+pub(crate) type Reply<T> = SyncSender<Result<T, ApiError>>;
+
+/// Commands the writer thread consumes.
+pub(crate) enum Cmd {
+    /// Run a source cell (rules, declarations, facts).
+    Run {
+        /// Spannerlog source text.
+        source: String,
+        /// Completion signal.
+        reply: Reply<()>,
+    },
+    /// Register a catalog IE function.
+    RegisterIe {
+        /// The declarative spec.
+        spec: IeSpec,
+        /// Completion signal.
+        reply: Reply<()>,
+    },
+    /// Import rows as a relation.
+    Import {
+        /// Relation name.
+        relation: String,
+        /// Rows (schema from the first row; empty re-uses the
+        /// relation's existing schema).
+        rows: Vec<Vec<Value>>,
+        /// Completion signal.
+        reply: Reply<()>,
+    },
+    /// Compile and store a named prepared query.
+    Prepare {
+        /// Name executes refer to.
+        name: String,
+        /// Query source, e.g. `?Status(d, s)`.
+        query: String,
+        /// Completion signal.
+        reply: Reply<()>,
+    },
+    /// Evaluate pending churn and publish a fresh snapshot.
+    Refresh {
+        /// The requester's absolute deadline, if it has one.
+        deadline: Option<Instant>,
+        /// Receives the published snapshot (or the evaluation error).
+        reply: Reply<Arc<Published>>,
+    },
+}
+
+/// State shared between the acceptor, connection handlers, and the
+/// writer thread.
+pub(crate) struct ServerState {
+    /// Immutable configuration.
+    pub cfg: ServeConfig,
+    /// Latest published snapshot (swap-on-publish).
+    pub published: RwLock<Arc<Published>>,
+    /// Named prepared queries (`/prepare` inserts, `/execute` reads).
+    pub prepared: RwLock<HashMap<String, Arc<PreparedQuery>>>,
+    /// Bumped by the writer after each applied mutation; a published
+    /// version behind it means `/execute` must request a refresh.
+    pub write_version: AtomicU64,
+    /// Handlers clone a sender per mutation; dropped on shutdown so the
+    /// writer loop ends.
+    pub cmd_tx: parking_lot::Mutex<Option<Sender<Cmd>>>,
+    /// `false` once shutdown begins: the acceptor stops, keep-alive
+    /// connections close after the in-flight request, `/healthz` turns
+    /// 503.
+    pub accepting: AtomicBool,
+    /// Request counters and per-endpoint latency histograms.
+    pub metrics: MetricsRegistry,
+}
+
+impl ServerState {
+    /// Current write version.
+    pub fn version(&self) -> u64 {
+        self.write_version.load(Ordering::Acquire)
+    }
+
+    /// A sender for the writer's command queue, or an error once the
+    /// server is shutting down.
+    pub fn sender(&self) -> Result<Sender<Cmd>, ApiError> {
+        self.cmd_tx
+            .lock()
+            .clone()
+            .ok_or_else(|| ApiError::new(503, "draining", "server is shutting down"))
+    }
+}
+
+/// The writer thread: owns the session, applies mutations in arrival
+/// order, and coalesces refresh requests into single evaluations. Ends
+/// when every sender is dropped.
+pub(crate) fn writer_loop(mut session: Session, rx: Receiver<Cmd>, state: Arc<ServerState>) {
+    session.set_max_materialized_rows(state.cfg.max_materialized_rows);
+    session.set_max_eval_millis(state.cfg.max_eval_millis);
+    while let Ok(first) = rx.recv() {
+        let mut waiters = Vec::new();
+        let mut queue = Some(first);
+        while let Some(cmd) = queue.take() {
+            match cmd {
+                Cmd::Run { source, reply } => {
+                    let result = session
+                        .run(&source)
+                        .map(|_| ())
+                        .map_err(|e| ApiError::from_engine(&e));
+                    state.write_version.fetch_add(1, Ordering::Release);
+                    let _ = reply.send(result);
+                }
+                Cmd::RegisterIe { spec, reply } => {
+                    let result = catalog::register_ie(&mut session, &spec);
+                    state.write_version.fetch_add(1, Ordering::Release);
+                    let _ = reply.send(result);
+                }
+                Cmd::Import {
+                    relation,
+                    rows,
+                    reply,
+                } => {
+                    let result = import(&mut session, &relation, rows);
+                    state.write_version.fetch_add(1, Ordering::Release);
+                    let _ = reply.send(result);
+                }
+                Cmd::Prepare { name, query, reply } => {
+                    let result = match session.prepare(&query) {
+                        Ok(pq) => {
+                            state.prepared.write().insert(name, Arc::new(pq));
+                            Ok(())
+                        }
+                        Err(e) => Err(ApiError::from_engine(&e)),
+                    };
+                    let _ = reply.send(result);
+                }
+                Cmd::Refresh { deadline, reply } => waiters.push((deadline, reply)),
+            }
+            // Drain whatever arrived meanwhile: mutations apply before
+            // the batch's single evaluation, refreshes join it.
+            queue = rx.try_recv().ok();
+        }
+        if !waiters.is_empty() {
+            refresh(&mut session, &state, waiters);
+        }
+    }
+}
+
+/// Applies one `/import` body. Schema comes from the first row; an
+/// empty import clears an existing relation (engine semantics).
+fn import(session: &mut Session, relation: &str, rows: Vec<Vec<Value>>) -> Result<(), ApiError> {
+    if rows.is_empty() {
+        return session
+            .import_typed(relation, Vec::<(i64,)>::new())
+            .map_err(|e| ApiError::from_engine(&e));
+    }
+    let names = (0..rows[0].len()).map(|i| format!("c{i}")).collect();
+    let df = DataFrame::from_rows(names, rows)
+        .map_err(|e| ApiError::bad_request(format!("malformed rows: {e}")))?;
+    session
+        .import_dataframe(&df, relation)
+        .map_err(|e| ApiError::from_engine(&e))
+}
+
+/// Runs (at most) one evaluation for a batch of refresh waiters and
+/// publishes the result.
+fn refresh(
+    session: &mut Session,
+    state: &ServerState,
+    waiters: Vec<(Option<Instant>, Reply<Arc<Published>>)>,
+) {
+    let now = Instant::now();
+    let mut live = Vec::new();
+    for (deadline, reply) in waiters {
+        match deadline {
+            Some(d) if d <= now => {
+                let _ = reply.send(Err(ApiError::deadline(
+                    "deadline expired while queued for evaluation",
+                )));
+            }
+            _ => live.push((deadline, reply)),
+        }
+    }
+    let Some(extra) = live.len().checked_sub(1) else {
+        return; // every waiter's deadline already expired
+    };
+    if extra > 0 {
+        state.metrics.counter("execute_coalesced").add(extra as u64);
+    }
+
+    // Version to stamp on the publish — read *before* evaluating, so a
+    // mutation racing in mid-eval leaves the published version behind
+    // `write_version` and the next execute triggers another refresh.
+    let version = state.version();
+    {
+        let current = state.published.read().clone();
+        if current.version == version {
+            for (_, reply) in live {
+                let _ = reply.send(Ok(current.clone()));
+            }
+            return;
+        }
+    }
+
+    // Evaluation budget: the config cap, tightened to the laxest waiter
+    // deadline when *every* waiter carries one (a deadline-free waiter
+    // is entitled to the full cap).
+    let laxest: Option<u64> = if live.iter().all(|(d, _)| d.is_some()) {
+        live.iter()
+            .filter_map(|(d, _)| *d)
+            .map(|d| (d.saturating_duration_since(now).as_millis() as u64).max(1))
+            .max()
+    } else {
+        None
+    };
+    let budget = match (state.cfg.max_eval_millis, laxest) {
+        (Some(cap), Some(req)) => Some(cap.min(req)),
+        (Some(cap), None) => Some(cap),
+        (None, req) => req,
+    };
+    session.set_max_eval_millis(budget);
+    let outcome = session.snapshot();
+    session.set_max_eval_millis(state.cfg.max_eval_millis);
+
+    match outcome {
+        Ok(snapshot) => {
+            state.metrics.counter("evals_total").inc();
+            let published = Arc::new(Published { snapshot, version });
+            *state.published.write() = published.clone();
+            for (_, reply) in live {
+                let _ = reply.send(Ok(published.clone()));
+            }
+        }
+        Err(e) => {
+            state.metrics.counter("eval_errors_total").inc();
+            let err = ApiError::from_engine(&e);
+            for (_, reply) in live {
+                let _ = reply.send(Err(err.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! End-to-end tests: a real spannerd over a real socket, driven by the
+//! crate's own client.
+
+use spannerlib_serve::{Client, Json, ServeConfig, Server, ServerHandle};
+use spannerlog_engine::Session;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Boots a server on an ephemeral port; returns its address, handle,
+/// and the thread running the accept loop.
+fn boot(
+    session: Session,
+    cfg: ServeConfig,
+) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(
+        session,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            // A keep-alive connection occupies a pool worker for its
+            // lifetime; size the pool above any test's connection count
+            // so the tests cannot starve on small CI hosts.
+            workers: cfg.workers.max(12),
+            ..cfg
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle, thread)
+}
+
+fn post(client: &mut Client, path: &str, body: &str) -> (u16, Json) {
+    let resp = client
+        .post(path, &Json::parse(body).expect("test body is valid JSON"))
+        .expect("request");
+    let json = resp.json().unwrap_or(Json::Null);
+    (resp.status, json)
+}
+
+fn error_kind(json: &Json) -> Option<&str> {
+    json.get("error")?.get("kind")?.as_str()
+}
+
+#[test]
+fn full_lifecycle_register_import_prepare_execute() {
+    let (addr, handle, thread) = boot(Session::new(), ServeConfig::default());
+    let mut client = Client::new(addr);
+
+    let resp = client.get("/healthz").expect("healthz");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.json().unwrap().get("status").unwrap().as_str(),
+        Some("ok")
+    );
+
+    let (status, _) = post(
+        &mut client,
+        "/register",
+        r#"{"rules": "new Doc(str)\nMention(d, s) <- Doc(d), rgx(\"[A-Z][a-z]+\", d) -> (s)"}"#,
+    );
+    assert_eq!(status, 200);
+
+    let (status, body) = post(
+        &mut client,
+        "/import",
+        r#"{"relation": "Doc", "rows": [["Alice met Bob"], ["Carol slept"]]}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(body.get("rows").unwrap(), &Json::Int(2));
+
+    let (status, _) = post(
+        &mut client,
+        "/prepare",
+        r#"{"name": "mentions", "query": "?Mention(d, s)"}"#,
+    );
+    assert_eq!(status, 200);
+
+    // Prepared execution: spans come back resolved against the
+    // snapshot's document store.
+    let (status, body) = post(&mut client, "/execute", r#"{"prepared": "mentions"}"#);
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(body.get("row_count").unwrap(), &Json::Int(3));
+    let rows = body.get("rows").unwrap().as_array().unwrap();
+    let texts: Vec<&str> = rows
+        .iter()
+        .filter_map(|r| r.as_array()?.get(1)?.get("text")?.as_str())
+        .collect();
+    assert!(texts.contains(&"Alice") && texts.contains(&"Bob") && texts.contains(&"Carol"));
+    let span = rows[0].as_array().unwrap()[1].clone();
+    assert!(span.get("start").is_some() && span.get("end").is_some());
+
+    // Ad-hoc queries work too, against the same snapshot.
+    let (status, body) = post(&mut client, "/execute", r#"{"query": "?Doc(d)"}"#);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("row_count").unwrap(), &Json::Int(2));
+
+    // Unknown prepared name: 404, structured.
+    let (status, body) = post(&mut client, "/execute", r#"{"prepared": "nope"}"#);
+    assert_eq!(status, 404);
+    assert_eq!(error_kind(&body), Some("not_found"));
+
+    // /profile reports the endpoint histograms and publish version.
+    let resp = client.get("/profile").expect("profile");
+    assert_eq!(resp.status, 200);
+    let profile = resp.json().unwrap();
+    assert!(profile.get("version").unwrap().as_i64().unwrap() >= 2);
+    let execute_hist = profile
+        .get("endpoints")
+        .unwrap()
+        .get("http_execute_ns")
+        .expect("execute latency histogram");
+    assert!(execute_hist.get("count").unwrap().as_i64().unwrap() >= 3);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn etag_flows_and_304_on_if_none_match() {
+    let (addr, handle, thread) = boot(Session::new(), ServeConfig::default());
+    let mut client = Client::new(addr);
+    post(&mut client, "/register", r#"{"rules": "new R(int)"}"#);
+    post(
+        &mut client,
+        "/import",
+        r#"{"relation": "R", "rows": [[1], [2]]}"#,
+    );
+
+    let resp = client
+        .post("/execute", &Json::parse(r#"{"query": "?R(x)"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let etag = resp.header("etag").expect("ETag on 200").to_string();
+
+    // Same version: conditional request short-circuits to 304.
+    let resp = client
+        .request(
+            "POST",
+            "/execute",
+            &[("If-None-Match", &etag)],
+            Some(r#"{"query": "?R(x)"}"#),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 304);
+    assert!(resp.body.is_empty());
+
+    // Churn an input relation: the fingerprint (and ETag) must move.
+    post(
+        &mut client,
+        "/import",
+        r#"{"relation": "R", "rows": [[3]]}"#,
+    );
+    let resp = client
+        .request(
+            "POST",
+            "/execute",
+            &[("If-None-Match", &etag)],
+            Some(r#"{"query": "?R(x)"}"#),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "stale validator must revalidate");
+    let new_etag = resp.header("etag").unwrap();
+    assert_ne!(new_etag, etag);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn wire_registered_ie_extracts_spans() {
+    let (addr, handle, thread) = boot(Session::new(), ServeConfig::default());
+    let mut client = Client::new(addr);
+    let (status, _) = post(
+        &mut client,
+        "/register",
+        r#"{"ie": {"name": "ticket", "pattern": "([A-Z]+)-([0-9]+)", "output": "strings"}}"#,
+    );
+    assert_eq!(status, 200);
+    post(
+        &mut client,
+        "/register",
+        r#"{"rules": "new Log(str)\nTicket(p, n) <- Log(l), ticket(l) -> (p, n)"}"#,
+    );
+    post(
+        &mut client,
+        "/import",
+        r#"{"relation": "Log", "rows": [["fixed JIRA-123 and JIRA-7"]]}"#,
+    );
+    let (status, body) = post(&mut client, "/execute", r#"{"query": "?Ticket(p, n)"}"#);
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(body.get("row_count").unwrap(), &Json::Int(2));
+
+    // Bad pattern: structured 400 at registration time.
+    let (status, body) = post(
+        &mut client,
+        "/register",
+        r#"{"ie": {"name": "broken", "pattern": "(oops"}}"#,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(error_kind(&body), Some("bad_request"));
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn row_budget_overrun_is_429_naming_the_culprit_rule() {
+    let cfg = ServeConfig {
+        max_materialized_rows: Some(10),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, thread) = boot(Session::new(), cfg);
+    let mut client = Client::new(addr);
+    post(
+        &mut client,
+        "/register",
+        r#"{"rules": "new Seed(int)\nWide(x, y) <- Seed(x), Seed(y)"}"#,
+    );
+    let rows: Vec<String> = (0..20).map(|i| format!("[{i}]")).collect();
+    post(
+        &mut client,
+        "/import",
+        &format!(r#"{{"relation": "Seed", "rows": [{}]}}"#, rows.join(",")),
+    );
+    let (status, body) = post(&mut client, "/execute", r#"{"query": "?Wide(x, y)"}"#);
+    assert_eq!(status, 429, "{body:?}");
+    let err = body.get("error").unwrap();
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("limit"));
+    assert_eq!(err.get("rule").unwrap().as_str(), Some("Wide"));
+    assert!(err
+        .get("source")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("Wide(x, y)"));
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+/// A session with an uncached IE function that sleeps per call.
+fn sleepy_session(millis: u64) -> Session {
+    Session::builder()
+        .register_uncached("sleepy", Some(1), move |args, _ctx| {
+            std::thread::sleep(Duration::from_millis(millis));
+            Ok(vec![vec![args[0].clone()]])
+        })
+        .build()
+}
+
+#[test]
+fn deadline_overrun_is_503_naming_the_culprit_rule() {
+    let (addr, handle, thread) = boot(sleepy_session(400), ServeConfig::default());
+    let mut client = Client::new(addr);
+    post(
+        &mut client,
+        "/register",
+        r#"{"rules": "new In(int)\nSlow(y) <- In(x), sleepy(x) -> (y)"}"#,
+    );
+    post(
+        &mut client,
+        "/import",
+        r#"{"relation": "In", "rows": [[1]]}"#,
+    );
+    let start = Instant::now();
+    let (status, body) = post(
+        &mut client,
+        "/execute",
+        r#"{"query": "?Slow(y)", "deadline_ms": 100}"#,
+    );
+    assert_eq!(status, 503, "{body:?}");
+    let err = body.get("error").unwrap();
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("deadline"));
+    // The writer's evaluation hit the engine wall-clock limit, so the
+    // culprit rule travels through (the handler waits a grace window
+    // beyond the deadline for exactly this).
+    assert_eq!(err.get("rule").unwrap().as_str(), Some("Slow"), "{body:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "the request must not run to completion"
+    );
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn concurrent_executes_share_snapshots_and_never_block_the_writer() {
+    let (addr, handle, thread) = boot(Session::new(), ServeConfig::default());
+    let mut client = Client::new(addr);
+    post(
+        &mut client,
+        "/register",
+        r#"{"rules": "new V(int)\nDouble(x, y) <- V(x), V(y)"}"#,
+    );
+    post(
+        &mut client,
+        "/import",
+        r#"{"relation": "V", "rows": [[1], [2], [3]]}"#,
+    );
+
+    let readers: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::new(addr);
+                let mut versions = Vec::new();
+                for _ in 0..10 {
+                    let resp = c
+                        .post(
+                            "/execute",
+                            &Json::parse(r#"{"query": "?Double(x, y)"}"#).unwrap(),
+                        )
+                        .expect("execute");
+                    assert_eq!(resp.status, 200);
+                    let body = resp.json().unwrap();
+                    // A snapshot is internally consistent: row_count
+                    // matches the rows actually serialized.
+                    let n = body.get("row_count").unwrap().as_i64().unwrap();
+                    assert_eq!(
+                        body.get("rows").unwrap().as_array().unwrap().len() as i64,
+                        n
+                    );
+                    versions.push(body.get("version").unwrap().as_i64().unwrap());
+                }
+                versions
+            })
+        })
+        .collect();
+    // Writer churn while the readers hammer /execute.
+    for i in 0..10 {
+        let (status, _) = post(
+            &mut client,
+            "/import",
+            &format!(r#"{{"relation": "V", "rows": [[{i}], [{}]]}}"#, i + 100),
+        );
+        assert_eq!(status, 200);
+    }
+    for reader in readers {
+        let versions = reader.join().expect("reader thread");
+        // Versions observed by one reader never go backwards.
+        assert!(versions.windows(2).all(|w| w[0] <= w[1]), "{versions:?}");
+    }
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn protocol_errors_are_structured() {
+    let (addr, handle, thread) = boot(Session::new(), ServeConfig::default());
+    let mut client = Client::new(addr);
+
+    // 404 / 405.
+    let resp = client.get("/nope").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client.get("/execute").unwrap();
+    assert_eq!(resp.status, 405);
+
+    // Malformed JSON: 400.
+    let resp = client
+        .request("POST", "/execute", &[], Some("{not json"))
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(error_kind(&resp.json().unwrap()), Some("bad_request"));
+
+    // Chunked transfer: 411, raw socket (the client never sends it).
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /execute HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 411 "), "{text}");
+
+    // Oversized body: 413.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /execute HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+        .unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 413 "), "{text}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests_and_healthz_turns_503() {
+    let (addr, handle, thread) = boot(sleepy_session(500), ServeConfig::default());
+    let mut client = Client::new(addr);
+    post(
+        &mut client,
+        "/register",
+        r#"{"rules": "new In(int)\nSlow(y) <- In(x), sleepy(x) -> (y)"}"#,
+    );
+    post(
+        &mut client,
+        "/import",
+        r#"{"relation": "In", "rows": [[1]]}"#,
+    );
+
+    // Pipeline a slow execute and a healthz on one raw connection: the
+    // handler answers them in order, so the healthz is deterministically
+    // processed *after* shutdown begins (while the execute drains).
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let execute_body = r#"{"query": "?Slow(y)"}"#;
+    raw.write_all(
+        format!(
+            "POST /execute HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}GET /healthz HTTP/1.1\r\n\r\n",
+            execute_body.len(),
+            execute_body
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // execute is now mid-eval
+    assert!(handle.is_accepting());
+    handle.shutdown();
+    assert!(!handle.is_accepting());
+
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    // The in-flight execute drained to a real 200 with its rows…
+    assert!(text.starts_with("HTTP/1.1 200 "), "{text}");
+    assert!(text.contains("\"row_count\":1"), "{text}");
+    // …and the pipelined healthz saw the draining server.
+    assert!(text.contains("HTTP/1.1 503 "), "{text}");
+    assert!(text.contains("draining"), "{text}");
+    // The connection was closed after the drain.
+    assert!(text.contains("Connection: close"), "{text}");
+
+    // The accept loop has exited; serve() returns and new connections
+    // are refused once the listener drops.
+    thread.join().unwrap();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be gone after drain"
+    );
+}

@@ -241,6 +241,30 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Renders the snapshot's summary statistics as one JSON object —
+    /// the wire shape served by `spannerd`'s `/profile` endpoint.
+    ///
+    /// ```
+    /// use spannerlib_trace::Histogram;
+    /// let h = Histogram::new();
+    /// h.record(1_000);
+    /// assert_eq!(
+    ///     h.snapshot().summary_json(),
+    ///     r#"{"count":1,"mean_ns":1000,"p50_ns":1000,"p90_ns":1000,"p99_ns":1000,"max_ns":1000}"#
+    /// );
+    /// ```
+    pub fn summary_json(&self) -> String {
+        format!(
+            r#"{{"count":{},"mean_ns":{},"p50_ns":{},"p90_ns":{},"p99_ns":{},"max_ns":{}}}"#,
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max
+        )
+    }
 }
 
 /// A named registry of [`Counter`]s, [`Gauge`]s, and [`Histogram`]s.

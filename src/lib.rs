@@ -113,6 +113,7 @@
 //! | [`codeast`] | minilang parser + AST pattern matcher |
 //! | [`covid`] | the §4.2 case study, both implementations |
 //! | [`trace`] | structured tracing, metrics, per-rule profiling |
+//! | [`serve`] | `spannerd`: the HTTP serving front end |
 
 pub use spannerlib_cache as cache;
 pub use spannerlib_codeast as codeast;
@@ -122,6 +123,7 @@ pub use spannerlib_dataframe as dataframe;
 pub use spannerlib_llm as llm;
 pub use spannerlib_nlp as nlp;
 pub use spannerlib_regex as regex;
+pub use spannerlib_serve as serve;
 pub use spannerlib_trace as trace;
 pub use spannerlog_engine as engine;
 pub use spannerlog_parser as parser;
