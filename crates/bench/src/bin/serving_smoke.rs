@@ -12,6 +12,12 @@
 //!   overlap, so the scaling gate degrades to "no collapse" (≥ 0.6x)
 //!   and the JSON records `host_cores` so readers can tell which gate a
 //!   reference file was held to.
+//!
+//! The smoke also scrapes `/metrics` after the arms, gates that the
+//! exposition body parses and is non-empty, and records the scrape
+//! latency in the JSON. `--check-exposition FILE` skips the benchmark
+//! entirely and just validates FILE as a Prometheus text-format body —
+//! CI's boot check uses it to gate a live `curl /metrics` capture.
 
 use spannerlib_covid::corpus::generate_corpus;
 use spannerlib_covid::spanner::SpannerPipeline;
@@ -64,12 +70,46 @@ fn percentile(sorted: &[u64], p: usize) -> u64 {
     sorted[idx]
 }
 
+/// `--check-exposition FILE`: validate FILE as Prometheus text format
+/// and exit. Non-zero on parse failure or an empty body, so CI can pipe
+/// a live `/metrics` capture straight through.
+fn check_exposition_file(path: &str) -> ! {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("serving_smoke: read {path}: {e}");
+        std::process::exit(1)
+    });
+    match spannerlib_trace::check_exposition(&body) {
+        Ok(stats) if stats.samples > 0 => {
+            println!(
+                "{path}: valid exposition, {} samples across {} families",
+                stats.samples, stats.families
+            );
+            std::process::exit(0)
+        }
+        Ok(_) => {
+            eprintln!("serving_smoke: {path}: exposition body has no samples");
+            std::process::exit(1)
+        }
+        Err(e) => {
+            eprintln!("serving_smoke: {path}: invalid exposition: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
 fn main() {
     let mut strict = false;
     let mut out_path = "BENCH_serving.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--strict" {
             strict = true;
+        } else if arg == "--check-exposition" {
+            let Some(path) = args.next() else {
+                eprintln!("serving_smoke: --check-exposition needs a FILE");
+                std::process::exit(2)
+            };
+            check_exposition_file(&path);
         } else {
             out_path = arg;
         }
@@ -139,6 +179,23 @@ fn main() {
     let (t1_wall, t1_lats) = run_arm(addr, 1);
     let (t4_wall, t4_lats) = run_arm(addr, 4);
 
+    // Scrape /metrics after the arms: the body must parse as Prometheus
+    // text format and actually carry the request samples just recorded.
+    // The scrape latency (connection + encode + transfer) lands in the
+    // bench JSON so encoder-cost regressions show up in reference runs.
+    let scrape_start = Instant::now();
+    let scrape = Client::new(addr).get("/metrics").expect("metrics scrape");
+    let metrics_scrape_us = scrape_start.elapsed().as_micros();
+    assert_eq!(scrape.status, 200, "{}", scrape.body);
+    let expo = spannerlib_trace::check_exposition(&scrape.body)
+        .unwrap_or_else(|e| panic!("/metrics body does not parse: {e}\n{}", scrape.body));
+    assert!(expo.samples > 0, "/metrics body is empty");
+    assert!(
+        scrape.body.contains("http_requests_total"),
+        "request counters missing from exposition:\n{}",
+        scrape.body
+    );
+
     handle.shutdown();
     server_thread.join().expect("server thread");
 
@@ -155,7 +212,10 @@ fn main() {
          \"t1_qps\": {t1_qps:.1},\n  \"t1_p50_ns\": {t1_p50},\n  \
          \"t1_p99_ns\": {t1_p99},\n  \
          \"t4_qps\": {t4_qps:.1},\n  \"t4_p50_ns\": {t4_p50},\n  \
-         \"t4_p99_ns\": {t4_p99},\n  \"qps_scaling\": {qps_scaling:.3}\n}}\n",
+         \"t4_p99_ns\": {t4_p99},\n  \"qps_scaling\": {qps_scaling:.3},\n  \
+         \"metrics_scrape_us\": {metrics_scrape_us},\n  \
+         \"metrics_samples\": {samples}\n}}\n",
+        samples = expo.samples,
     );
     std::fs::write(&out_path, &json).expect("write bench output");
     print!("{json}");

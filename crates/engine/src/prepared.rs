@@ -293,6 +293,9 @@ pub struct Snapshot {
     profile: Option<Arc<spannerlib_trace::EvalProfile>>,
     /// Evaluation fingerprint hash; see [`Snapshot::fingerprint`].
     fingerprint: u64,
+    /// Sequence number of the fixpoint run behind the frozen state; see
+    /// [`Snapshot::eval_seq`].
+    eval_seq: u64,
 }
 
 impl std::fmt::Debug for Snapshot {
@@ -318,12 +321,14 @@ impl Snapshot {
         cache: Option<spannerlib_cache::SharedIeMemo>,
         profile: Option<Arc<spannerlib_trace::EvalProfile>>,
         fingerprint: u64,
+        eval_seq: u64,
     ) -> Snapshot {
         Snapshot {
             db,
             cache,
             profile,
             fingerprint,
+            eval_seq,
         }
     }
 
@@ -337,6 +342,16 @@ impl Snapshot {
     /// meaningful across restarts and must not be persisted.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Sequence number of the session's fixpoint run that produced this
+    /// snapshot's derived state (see `Session::eval_seq`): zero if the
+    /// session never actually evaluated, otherwise the 1-based count of
+    /// the producing run. Unlike [`Snapshot::fingerprint`], consecutive
+    /// values are ordered, so a serving layer can log *which* coalesced
+    /// evaluation a request ended up reading.
+    pub fn eval_seq(&self) -> u64 {
+        self.eval_seq
     }
 
     /// Lifetime counters of the shared IE memo (all zero when the

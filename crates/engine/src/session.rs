@@ -320,6 +320,8 @@ impl SessionBuilder {
                 .parallelism
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
             pool: None,
+            eval_seq: 0,
+            pending_request_ids: Vec::new(),
         }
     }
 }
@@ -377,6 +379,15 @@ pub struct Session {
     /// Lazily built work-stealing pool — `Some` after the first
     /// evaluation that had a split-correct rule to shard.
     pool: Option<spannerlib_par::ThreadPool>,
+    /// Monotonic count of fixpoint runs actually executed (skipped
+    /// evaluations do not bump it). Stamped onto each run's
+    /// [`EvalProfile`] and onto snapshots, so serving layers can
+    /// attribute a published result to the evaluation that produced it.
+    eval_seq: u64,
+    /// Request ids waiting to be attributed to the *next* fixpoint run
+    /// ([`Session::set_request_ids`]). Consumed — attached or discarded
+    /// — by the next `ensure_evaluated` call.
+    pending_request_ids: Vec<String>,
 }
 
 impl Default for Session {
@@ -480,6 +491,24 @@ impl Session {
             self.trace_level = level;
             self.last_eval = None;
         }
+    }
+
+    /// The sequence number of the most recent fixpoint run — zero
+    /// before the first run, bumped only when evaluation actually
+    /// executes (fingerprint-skipped calls keep the number).
+    pub fn eval_seq(&self) -> u64 {
+        self.eval_seq
+    }
+
+    /// Attributes the *next* fixpoint run to serving requests: `ids`
+    /// land on that run's [`EvalProfile::request_ids`]. The pending set
+    /// is consumed by the next `ensure_evaluated` call — attached if it
+    /// evaluates, discarded if the fingerprint lets it skip (the
+    /// requests were then served by already-current state and owe no
+    /// evaluation). Outside a serving front end there is rarely a
+    /// reason to call this.
+    pub fn set_request_ids(&mut self, ids: Vec<String>) {
+        self.pending_request_ids = ids;
     }
 
     /// Lifetime counters of the IE memo table (all zero when the cache
@@ -658,6 +687,7 @@ impl Session {
             self.ie_cache.clone(),
             self.last_profile.clone(),
             self.last_fingerprint,
+            self.eval_seq,
         ))
     }
 
@@ -937,11 +967,17 @@ impl Session {
                     .zip(&fp.input_gens)
                     .all(|(name, gen)| self.db.generation(name) == *gen)
             {
+                // Served by already-current state: the pending request
+                // ids owe no evaluation, so drop them rather than let
+                // them mis-attribute to a later, unrelated run.
+                self.pending_request_ids.clear();
                 return Ok(());
             }
         }
         let level = self.effective_trace_level();
         let mut trace = RunTrace::new(level, self.trace_buffer_bytes);
+        self.eval_seq += 1;
+        trace.serving_context(self.eval_seq, std::mem::take(&mut self.pending_request_ids));
         // The pool is built lazily: sessions whose programs never clear
         // the split-correctness analysis (or with parallelism 0/1)
         // never spawn a thread.

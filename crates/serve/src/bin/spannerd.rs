@@ -3,13 +3,18 @@
 //! ```text
 //! spannerd [--addr HOST:PORT] [--workers N] [--parallelism N]
 //!          [--deadline-ms N] [--max-eval-millis N] [--max-rows N]
-//!          [--max-body-bytes N] [--trace]
+//!          [--max-body-bytes N] [--idle-timeout-ms N] [--trace]
+//!          [--access-log PATH|stderr] [--slow-eval-ms N]
+//!          [--slow-log PATH|stderr]
 //! ```
 //!
 //! Starts empty; clients build state over the wire (`/register`,
-//! `/import`, `/prepare`) and read it back (`/execute`, `/profile`).
-//! SIGINT/SIGTERM begin a graceful drain: the listener closes,
-//! `/healthz` turns 503, in-flight requests finish.
+//! `/import`, `/prepare`) and read it back (`/execute`, `/profile`,
+//! `/metrics`). `--access-log` appends one JSONL record per request;
+//! `--slow-eval-ms` logs any evaluation at or over the threshold with
+//! its per-rule profile attached (and enables `Summary` tracing so the
+//! profile exists). SIGINT/SIGTERM begin a graceful drain: the
+//! listener closes, `/healthz` turns 503, in-flight requests finish.
 
 use spannerlib_serve::{signal, ServeConfig, Server};
 use spannerlog_engine::{Session, TraceLevel};
@@ -20,7 +25,9 @@ fn usage(error: &str) -> ! {
     eprintln!(
         "usage: spannerd [--addr HOST:PORT] [--workers N] [--parallelism N]\n\
          \u{20}               [--deadline-ms N] [--max-eval-millis N] [--max-rows N]\n\
-         \u{20}               [--max-body-bytes N] [--trace]"
+         \u{20}               [--max-body-bytes N] [--idle-timeout-ms N] [--trace]\n\
+         \u{20}               [--access-log PATH|stderr] [--slow-eval-ms N]\n\
+         \u{20}               [--slow-log PATH|stderr]"
     );
     std::process::exit(2)
 }
@@ -53,6 +60,12 @@ fn main() {
             }
             "--max-rows" => cfg.max_materialized_rows = Some(parse("--max-rows", args.next())),
             "--max-body-bytes" => cfg.max_body_bytes = parse("--max-body-bytes", args.next()),
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout_ms = Some(parse("--idle-timeout-ms", args.next()))
+            }
+            "--access-log" => cfg.access_log = Some(parse("--access-log", args.next())),
+            "--slow-eval-ms" => cfg.slow_eval_ms = Some(parse("--slow-eval-ms", args.next())),
+            "--slow-log" => cfg.slow_log = Some(parse("--slow-log", args.next())),
             "--trace" => trace = true,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag {other:?}")),
@@ -63,7 +76,10 @@ fn main() {
     if let Some(n) = parallelism {
         builder = builder.parallelism(n);
     }
-    if trace {
+    // The slow-query log embeds the per-rule EvalProfile, which only
+    // exists when evaluations are traced — turn Summary tracing on
+    // whenever a threshold is configured.
+    if trace || cfg.slow_eval_ms.is_some() {
         builder = builder.tracing(TraceLevel::Summary);
     }
     let session = builder.build();

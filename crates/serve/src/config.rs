@@ -9,11 +9,10 @@ pub struct ServeConfig {
     /// port (read it back from [`crate::Server::local_addr`]).
     pub addr: String,
     /// Connection-handler threads (the writer thread is extra). `0`
-    /// means one per available core. Each keep-alive connection
-    /// occupies a worker for its lifetime, so this also bounds the
-    /// number of concurrently connected clients — size it to the
-    /// expected client count, not the core count, when clients hold
-    /// connections open.
+    /// means one per available core. Each *active* keep-alive
+    /// connection occupies a worker, but idle connections are closed
+    /// after [`ServeConfig::idle_timeout_ms`], so workers recycle; size
+    /// this to the expected number of concurrently active clients.
     pub workers: usize,
     /// Largest accepted request body; beyond it the request is refused
     /// with 413 before evaluation starts.
@@ -28,6 +27,25 @@ pub struct ServeConfig {
     /// [`spannerlog_engine::SessionBuilder::max_materialized_rows`]);
     /// overruns surface as HTTP 429 naming the culprit rule.
     pub max_materialized_rows: Option<usize>,
+    /// Close a keep-alive connection after this long with no request on
+    /// it, freeing its pool worker for other clients. `None` keeps idle
+    /// connections open forever (each then pins a worker for its
+    /// lifetime). Enforcement granularity is the 250 ms socket read
+    /// tick.
+    pub idle_timeout_ms: Option<u64>,
+    /// Access-log destination: one JSONL record per request, written to
+    /// the literal `"stderr"` or to a file path (append). `None`
+    /// disables the access log.
+    pub access_log: Option<String>,
+    /// Slow-query threshold: any evaluation whose wall time reaches
+    /// this many milliseconds is logged (to the same destination rules
+    /// as [`ServeConfig::slow_log`]) together with its per-rule
+    /// `EvalProfile` JSON. `None` disables the slow-query log.
+    pub slow_eval_ms: Option<u64>,
+    /// Slow-query-log destination (`"stderr"` or a file path). `None`
+    /// falls back to [`ServeConfig::access_log`]'s destination, or
+    /// `stderr` when that is unset too.
+    pub slow_log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +57,10 @@ impl Default for ServeConfig {
             default_deadline_ms: Some(30_000),
             max_eval_millis: Some(60_000),
             max_materialized_rows: Some(10_000_000),
+            idle_timeout_ms: Some(30_000),
+            access_log: None,
+            slow_eval_ms: None,
+            slow_log: None,
         }
     }
 }

@@ -3,6 +3,18 @@
 use crate::json::Json;
 use spannerlog_engine::EngineError;
 
+/// Culprit-rule attribution for evaluation-limit overruns: which rule
+/// blew the budget, where it lives in the program source.
+#[derive(Debug, Clone)]
+pub struct ErrorCulprit {
+    /// Head predicate of the culprit rule.
+    pub rule: String,
+    /// 1-based source line of the culprit rule.
+    pub line: usize,
+    /// Source text of the culprit rule.
+    pub source: String,
+}
+
 /// A structured API error: an HTTP status plus the JSON body spannerd
 /// returns for it. Evaluation-limit overruns carry the culprit rule
 /// (head, line, and source text) so a client can see *which rule* blew
@@ -15,12 +27,13 @@ pub struct ApiError {
     pub kind: &'static str,
     /// Human-readable message.
     pub message: String,
-    /// Head predicate of the culprit rule, when one is attributable.
-    pub rule: Option<String>,
-    /// 1-based source line of the culprit rule.
-    pub line: Option<usize>,
-    /// Source text of the culprit rule.
-    pub source: Option<String>,
+    /// Culprit attribution, when one exists — boxed so the handlers'
+    /// `Result<Response, ApiError>` returns stay register-sized.
+    pub culprit: Option<Box<ErrorCulprit>>,
+    /// The serving request id the error is answering, when request
+    /// handling assigned one (echoed in the body so structured 503/429
+    /// errors correlate with the access log).
+    pub request_id: Option<String>,
 }
 
 impl ApiError {
@@ -30,9 +43,8 @@ impl ApiError {
             status,
             kind,
             message: message.into(),
-            rule: None,
-            line: None,
-            source: None,
+            culprit: None,
+            request_id: None,
         }
     }
 
@@ -67,9 +79,11 @@ impl ApiError {
                     err.to_string(),
                 );
                 if culprit.is_known() {
-                    api.rule = Some(culprit.head.clone());
-                    api.line = Some(culprit.line);
-                    api.source = Some(culprit.source.clone());
+                    api.culprit = Some(Box::new(ErrorCulprit {
+                        rule: culprit.head.clone(),
+                        line: culprit.line,
+                        source: culprit.source.clone(),
+                    }));
                 }
                 api
             }
@@ -85,14 +99,13 @@ impl ApiError {
             ("kind".to_string(), Json::str(self.kind)),
             ("message".to_string(), Json::str(&self.message)),
         ];
-        if let Some(rule) = &self.rule {
-            members.push(("rule".into(), Json::str(rule)));
+        if let Some(culprit) = &self.culprit {
+            members.push(("rule".into(), Json::str(&culprit.rule)));
+            members.push(("line".into(), Json::Int(culprit.line as i64)));
+            members.push(("source".into(), Json::str(&culprit.source)));
         }
-        if let Some(line) = self.line {
-            members.push(("line".into(), Json::Int(line as i64)));
-        }
-        if let Some(source) = &self.source {
-            members.push(("source".into(), Json::str(source)));
+        if let Some(id) = &self.request_id {
+            members.push(("request_id".into(), Json::str(id)));
         }
         Json::Obj(vec![("error".into(), Json::Obj(members))]).render()
     }
@@ -121,7 +134,8 @@ mod tests {
         assert_eq!((deadline.status, deadline.kind), (503, "deadline"));
         let rows = ApiError::from_engine(&limit_err("materialized rows"));
         assert_eq!((rows.status, rows.kind), (429, "limit"));
-        assert_eq!(rows.rule.as_deref(), Some("Blow"));
+        let culprit = rows.culprit.as_deref().expect("culprit attribution");
+        assert_eq!(culprit.rule, "Blow");
         let body = rows.body();
         let parsed = Json::parse(&body).unwrap();
         let err = parsed.get("error").unwrap();
@@ -134,6 +148,6 @@ mod tests {
     fn other_engine_errors_are_400() {
         let e = ApiError::from_engine(&EngineError::UnknownRelation("Nope".into()));
         assert_eq!((e.status, e.kind), (400, "bad_request"));
-        assert!(e.rule.is_none());
+        assert!(e.culprit.is_none());
     }
 }

@@ -60,6 +60,7 @@ pub mod config;
 pub mod error;
 pub mod http;
 pub mod json;
+pub mod log;
 pub mod server;
 pub mod signal;
 mod state;
@@ -67,6 +68,6 @@ mod state;
 pub use catalog::IeSpec;
 pub use client::{Client, ClientResponse};
 pub use config::ServeConfig;
-pub use error::ApiError;
+pub use error::{ApiError, ErrorCulprit};
 pub use json::Json;
 pub use server::{Server, ServerHandle};

@@ -1,0 +1,107 @@
+//! Structured JSONL logging: the access log and the slow-query log.
+//!
+//! Both logs are newline-delimited JSON — one self-contained object per
+//! line — so they stream into `jq`/`grep` and survive partial writes at
+//! line granularity. A [`LogSink`] serializes concurrent writers behind
+//! a mutex and never panics or surfaces I/O errors to request handling:
+//! a full disk degrades logging, not serving.
+
+use crate::json::Json;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Where a [`LogSink`] writes.
+enum Target {
+    Stderr,
+    File(std::fs::File),
+}
+
+/// A shared, append-only JSONL destination (`stderr` or a file opened
+/// for append). Lines are written whole under a mutex, so records from
+/// concurrent connections never interleave mid-line.
+pub struct LogSink {
+    target: Mutex<Target>,
+}
+
+impl std::fmt::Debug for LogSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LogSink")
+    }
+}
+
+impl LogSink {
+    /// Opens the destination named by `spec`: the literal `"stderr"`
+    /// selects standard error, anything else is a file path opened in
+    /// append mode (created if missing).
+    pub fn open(spec: &str) -> std::io::Result<LogSink> {
+        let target = if spec == "stderr" {
+            Target::Stderr
+        } else {
+            Target::File(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(Path::new(spec))?,
+            )
+        };
+        Ok(LogSink {
+            target: Mutex::new(target),
+        })
+    }
+
+    /// Appends one record as a single line. The object is rendered
+    /// before the lock is taken; write failures are swallowed (logging
+    /// must never fail a request).
+    pub fn write(&self, record: &Json) {
+        let mut line = record.render();
+        line.push('\n');
+        let Ok(mut target) = self.target.lock() else {
+            return;
+        };
+        let _ = match &mut *target {
+            Target::Stderr => std::io::stderr().write_all(line.as_bytes()),
+            Target::File(f) => f.write_all(line.as_bytes()),
+        };
+    }
+}
+
+/// Microseconds since the Unix epoch, for `ts_micros` fields.
+pub fn now_micros() -> i64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as i64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_sink_appends_one_json_object_per_line() {
+        let path = std::env::temp_dir().join(format!(
+            "spannerd-log-test-{}-{}.jsonl",
+            std::process::id(),
+            now_micros()
+        ));
+        let spec = path.to_str().unwrap().to_string();
+        let sink = LogSink::open(&spec).unwrap();
+        sink.write(&Json::Obj(vec![("a".into(), Json::Int(1))]));
+        sink.write(&Json::Obj(vec![("b".into(), Json::str("x\ny"))]));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Json::parse(line).expect("every log line is valid JSON");
+        }
+    }
+
+    #[test]
+    fn stderr_spec_opens() {
+        LogSink::open("stderr").unwrap();
+    }
+}

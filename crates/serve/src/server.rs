@@ -5,11 +5,12 @@ use crate::config::ServeConfig;
 use crate::error::ApiError;
 use crate::http::{self, ReadOutcome, Request, Response};
 use crate::json::Json;
+use crate::log::{now_micros, LogSink};
 use crate::state::{writer_loop, Cmd, Published, Reply, ServerState};
 use parking_lot::RwLock;
 use spannerlib_core::Value;
 use spannerlib_dataframe::DataFrame;
-use spannerlib_trace::MetricsRegistry;
+use spannerlib_trace::{encode_prometheus, MetricsRegistry};
 use spannerlog_engine::{Session, Snapshot};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
@@ -88,6 +89,25 @@ impl Server {
             .snapshot()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let (cmd_tx, cmd_rx) = mpsc::channel();
+        let access_log = match &cfg.access_log {
+            Some(spec) => Some(Arc::new(LogSink::open(spec)?)),
+            None => None,
+        };
+        // The slow-query log needs a destination only when a threshold
+        // is set; it falls back to the access log's spec, then stderr.
+        let slow_log = if cfg.slow_eval_ms.is_some() {
+            let spec = cfg
+                .slow_log
+                .as_deref()
+                .or(cfg.access_log.as_deref())
+                .unwrap_or("stderr");
+            Some(Arc::new(LogSink::open(spec)?))
+        } else {
+            None
+        };
+        // Differentiates minted request ids across restarts: wall clock
+        // microseconds folded with the pid.
+        let instance = (now_micros() as u32) ^ std::process::id().rotate_left(16);
         let state = Arc::new(ServerState {
             cfg,
             published: RwLock::new(Arc::new(Published {
@@ -99,7 +119,17 @@ impl Server {
             cmd_tx: parking_lot::Mutex::new(Some(cmd_tx)),
             accepting: AtomicBool::new(true),
             metrics: MetricsRegistry::new(),
+            access_log,
+            slow_log,
+            instance,
+            request_seq: AtomicU64::new(0),
         });
+        // Pool capacity as a gauge, so `connections_active` reads as an
+        // occupancy ratio on a dashboard.
+        state
+            .metrics
+            .gauge("pool_workers")
+            .set(state.cfg.effective_workers() as i64);
         let writer = std::thread::Builder::new()
             .name("spannerd-writer".into())
             .spawn({
@@ -154,8 +184,25 @@ impl Server {
     }
 }
 
-/// Serves one keep-alive connection until close, error, or drain.
+/// Decrements `connections_active` on every exit path of
+/// [`handle_connection`].
+struct ConnectionGuard<'a>(&'a ServerState);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.metrics.gauge("connections_active").add(-1);
+    }
+}
+
+/// Serves one keep-alive connection until close, error, idle timeout,
+/// or drain. Idle connections are closed after
+/// `cfg.idle_timeout_ms` so they stop pinning a pool worker; the
+/// bundled [`crate::Client`] transparently reconnects, so well-behaved
+/// clients never observe the close.
 fn handle_connection(stream: TcpStream, state: &ServerState) {
+    state.metrics.counter("http_connections_total").inc();
+    state.metrics.gauge("connections_active").add(1);
+    let _guard = ConnectionGuard(state);
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
@@ -163,6 +210,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let mut idle_since = Instant::now();
     loop {
         match http::read_request(&mut reader, state.cfg.max_body_bytes) {
             ReadOutcome::Request(req) => {
@@ -172,13 +220,21 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 if http::write_response(&mut writer, &resp, close).is_err() || close {
                     return;
                 }
+                idle_since = Instant::now();
             }
             ReadOutcome::Closed => return,
             ReadOutcome::IdleTick => {
                 // Idle keep-alive connections close themselves once the
-                // server starts draining.
+                // server starts draining, or once they exceed the idle
+                // timeout (freeing their pool worker).
                 if !state.accepting.load(Ordering::SeqCst) {
                     return;
+                }
+                if let Some(ms) = state.cfg.idle_timeout_ms {
+                    if idle_since.elapsed() >= Duration::from_millis(ms) {
+                        state.metrics.counter("connections_idle_closed").inc();
+                        return;
+                    }
                 }
             }
             ReadOutcome::Bad { status, message } => {
@@ -191,19 +247,68 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     }
 }
 
-/// Dispatches one request and records per-endpoint latency.
+/// Per-request context threaded through the handlers: the request id
+/// plus the snapshot attribution `/execute` fills in for the access
+/// log.
+struct ReqCtx {
+    /// Accepted from `X-Request-Id` or minted; echoed on the response.
+    id: String,
+    /// ETag of the snapshot the request read (execute only).
+    etag: Option<String>,
+    /// Sequence number of the (possibly coalesced) evaluation whose
+    /// published result the request read (execute only).
+    eval_seq: Option<u64>,
+}
+
+/// The request id for `req`: the client's `X-Request-Id` when it is
+/// sane (non-empty, ≤ 128 bytes, printable ASCII), else a minted one.
+fn request_id(req: &Request, state: &ServerState) -> String {
+    match req.header("x-request-id") {
+        Some(id)
+            if !id.is_empty() && id.len() <= 128 && id.bytes().all(|b| b.is_ascii_graphic()) =>
+        {
+            id.to_string()
+        }
+        _ => state.mint_request_id(),
+    }
+}
+
+/// Buckets a status code into the class label used by the HTTP metrics
+/// (`2xx`, `3xx`, `4xx`, `5xx`).
+fn status_class(status: u16) -> &'static str {
+    match status {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    }
+}
+
+/// Dispatches one request; assigns its request id, records per-route /
+/// per-status metrics, echoes the id on the response (and inside error
+/// bodies), and appends the access-log record.
 fn route(req: &Request, state: &ServerState) -> Response {
     let start = Instant::now();
-    let (endpoint, resp) = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => ("healthz", healthz(state)),
-        ("GET", "/profile") => ("profile", profile(state)),
-        ("POST", "/register") => ("register", register(req, state)),
-        ("POST", "/import") => ("import", import(req, state)),
-        ("POST", "/prepare") => ("prepare", prepare(req, state)),
-        ("POST", "/execute") => ("execute", execute(req, state)),
-        (_, "/healthz" | "/profile" | "/register" | "/import" | "/prepare" | "/execute") => (
+    let mut ctx = ReqCtx {
+        id: request_id(req, state),
+        etag: None,
+        eval_seq: None,
+    };
+    let (route_label, result) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("/healthz", healthz(state)),
+        ("GET", "/metrics") => ("/metrics", metrics(state)),
+        ("GET", "/profile") => ("/profile", profile(state)),
+        ("POST", "/register") => ("/register", register(req, state)),
+        ("POST", "/import") => ("/import", import(req, state)),
+        ("POST", "/prepare") => ("/prepare", prepare(req, state)),
+        ("POST", "/execute") => ("/execute", execute(req, state, &mut ctx)),
+        (
+            _,
+            "/healthz" | "/metrics" | "/profile" | "/register" | "/import" | "/prepare"
+            | "/execute",
+        ) => (
             "other",
-            fail(ApiError::new(
+            Err(ApiError::new(
                 405,
                 "method_not_allowed",
                 format!("{} is not supported on {}", req.method, req.path),
@@ -211,27 +316,56 @@ fn route(req: &Request, state: &ServerState) -> Response {
         ),
         _ => (
             "other",
-            fail(ApiError::new(
+            Err(ApiError::new(
                 404,
                 "not_found",
                 format!("no such endpoint {:?}", req.path),
             )),
         ),
     };
-    state.metrics.counter("http_requests_total").inc();
+    let mut resp = match result {
+        Ok(resp) => resp,
+        Err(mut err) => {
+            err.request_id = Some(ctx.id.clone());
+            Response::json(err.status, err.body())
+        }
+    };
+    resp.headers.push(("X-Request-Id".into(), ctx.id.clone()));
+    let class = status_class(resp.status);
+    let labels = [("route", route_label), ("status", class)];
+    state
+        .metrics
+        .counter_with("http_requests_total", &labels)
+        .inc();
     if resp.status >= 400 {
         state.metrics.counter("http_errors_total").inc();
     }
+    let wall = start.elapsed();
     state
         .metrics
-        .histogram(&format!("http_{endpoint}_ns"))
-        .record(start.elapsed().as_nanos() as u64);
+        .histogram_with("http_request_duration_ns", &labels)
+        .record(wall.as_nanos() as u64);
+    if let Some(log) = &state.access_log {
+        log.write(&Json::Obj(vec![
+            ("type".into(), Json::str("access")),
+            ("ts_micros".into(), Json::Int(now_micros())),
+            ("request_id".into(), Json::str(&ctx.id)),
+            ("method".into(), Json::str(&req.method)),
+            ("path".into(), Json::str(&req.path)),
+            ("status".into(), Json::Int(i64::from(resp.status))),
+            ("bytes".into(), Json::Int(resp.body.len() as i64)),
+            ("wall_micros".into(), Json::Int(wall.as_micros() as i64)),
+            (
+                "etag".into(),
+                ctx.etag.as_deref().map_or(Json::Null, Json::str),
+            ),
+            (
+                "eval_seq".into(),
+                ctx.eval_seq.map_or(Json::Null, |s| Json::Int(s as i64)),
+            ),
+        ]));
+    }
     resp
-}
-
-/// Renders an [`ApiError`] as its response.
-fn fail(err: ApiError) -> Response {
-    Response::json(err.status, err.body())
 }
 
 /// Parses the request body as a JSON object.
@@ -263,38 +397,44 @@ fn ok_body(state: &ServerState, extra: Vec<(String, Json)>) -> Response {
 }
 
 /// `GET /healthz`.
-fn healthz(state: &ServerState) -> Response {
+fn healthz(state: &ServerState) -> Result<Response, ApiError> {
     if state.accepting.load(Ordering::SeqCst) {
-        ok_body(state, vec![("status".into(), Json::str("ok"))])
+        Ok(ok_body(state, vec![("status".into(), Json::str("ok"))]))
     } else {
-        fail(ApiError::new(503, "draining", "server is shutting down"))
+        Err(ApiError::new(503, "draining", "server is shutting down"))
     }
+}
+
+/// `GET /metrics` — Prometheus text-format exposition over every
+/// counter, gauge, and latency histogram in the server's registry.
+fn metrics(state: &ServerState) -> Result<Response, ApiError> {
+    let body = encode_prometheus(&state.metrics.snapshot());
+    Ok(Response {
+        status: 200,
+        headers: vec![(
+            "Content-Type".into(),
+            "text/plain; version=0.0.4; charset=utf-8".into(),
+        )],
+        body: body.into_bytes(),
+    })
 }
 
 /// `POST /register` — either `{"rules": "<source cell>"}` or
 /// `{"ie": {"name", "pattern", "output": "spans"|"strings"}}`.
-fn register(req: &Request, state: &ServerState) -> Response {
-    let json = match body_json(req) {
-        Ok(j) => j,
-        Err(e) => return fail(e),
-    };
-    let result = if let Some(rules) = json.get("rules").and_then(Json::as_str) {
+fn register(req: &Request, state: &ServerState) -> Result<Response, ApiError> {
+    let json = body_json(req)?;
+    if let Some(rules) = json.get("rules").and_then(Json::as_str) {
         let source = rules.to_string();
-        roundtrip(state, |reply| Cmd::Run { source, reply })
+        roundtrip(state, |reply| Cmd::Run { source, reply })?;
     } else if let Some(ie) = json.get("ie") {
-        match parse_ie_spec(ie) {
-            Ok(spec) => roundtrip(state, |reply| Cmd::RegisterIe { spec, reply }),
-            Err(e) => Err(e),
-        }
+        let spec = parse_ie_spec(ie)?;
+        roundtrip(state, |reply| Cmd::RegisterIe { spec, reply })?;
     } else {
-        Err(ApiError::bad_request(
+        return Err(ApiError::bad_request(
             "body must carry \"rules\" (a source cell) or \"ie\" (a catalog spec)",
-        ))
-    };
-    match result {
-        Ok(()) => ok_body(state, vec![]),
-        Err(e) => fail(e),
+        ));
     }
+    Ok(ok_body(state, vec![]))
 }
 
 fn parse_ie_spec(ie: &Json) -> Result<IeSpec, ApiError> {
@@ -323,28 +463,25 @@ fn parse_ie_spec(ie: &Json) -> Result<IeSpec, ApiError> {
 }
 
 /// `POST /import` — `{"relation": "...", "rows": [[...], ...]}`.
-fn import(req: &Request, state: &ServerState) -> Response {
-    let json = match body_json(req) {
-        Ok(j) => j,
-        Err(e) => return fail(e),
-    };
+fn import(req: &Request, state: &ServerState) -> Result<Response, ApiError> {
+    let json = body_json(req)?;
     let Some(relation) = json.get("relation").and_then(Json::as_str) else {
-        return fail(ApiError::bad_request("\"relation\" must be a string"));
+        return Err(ApiError::bad_request("\"relation\" must be a string"));
     };
     let Some(rows_json) = json.get("rows").and_then(Json::as_array) else {
-        return fail(ApiError::bad_request("\"rows\" must be an array of arrays"));
+        return Err(ApiError::bad_request("\"rows\" must be an array of arrays"));
     };
     let mut rows = Vec::with_capacity(rows_json.len());
     for (i, row) in rows_json.iter().enumerate() {
         let Some(cells) = row.as_array() else {
-            return fail(ApiError::bad_request(format!("row {i} is not an array")));
+            return Err(ApiError::bad_request(format!("row {i} is not an array")));
         };
         let mut out = Vec::with_capacity(cells.len());
         for (j, cell) in cells.iter().enumerate() {
             match cell_value(cell) {
                 Some(v) => out.push(v),
                 None => {
-                    return fail(ApiError::bad_request(format!(
+                    return Err(ApiError::bad_request(format!(
                         "row {i} column {j}: cells must be strings, integers, floats, or booleans"
                     )))
                 }
@@ -354,14 +491,15 @@ fn import(req: &Request, state: &ServerState) -> Response {
     }
     let count = rows.len();
     let relation = relation.to_string();
-    match roundtrip(state, |reply| Cmd::Import {
+    roundtrip(state, |reply| Cmd::Import {
         relation,
         rows,
         reply,
-    }) {
-        Ok(()) => ok_body(state, vec![("rows".into(), Json::Int(count as i64))]),
-        Err(e) => fail(e),
-    }
+    })?;
+    Ok(ok_body(
+        state,
+        vec![("rows".into(), Json::Int(count as i64))],
+    ))
 }
 
 /// Maps a JSON cell onto an engine value.
@@ -376,39 +514,31 @@ fn cell_value(cell: &Json) -> Option<Value> {
 }
 
 /// `POST /prepare` — `{"name": "...", "query": "?R(x)"}`.
-fn prepare(req: &Request, state: &ServerState) -> Response {
-    let json = match body_json(req) {
-        Ok(j) => j,
-        Err(e) => return fail(e),
-    };
+fn prepare(req: &Request, state: &ServerState) -> Result<Response, ApiError> {
+    let json = body_json(req)?;
     let (Some(name), Some(query)) = (
         json.get("name").and_then(Json::as_str),
         json.get("query").and_then(Json::as_str),
     ) else {
-        return fail(ApiError::bad_request(
+        return Err(ApiError::bad_request(
             "\"name\" and \"query\" must be strings",
         ));
     };
     let (name, query) = (name.to_string(), query.to_string());
-    match roundtrip(state, |reply| Cmd::Prepare { name, query, reply }) {
-        Ok(()) => ok_body(state, vec![]),
-        Err(e) => fail(e),
-    }
+    roundtrip(state, |reply| Cmd::Prepare { name, query, reply })?;
+    Ok(ok_body(state, vec![]))
 }
 
 /// `POST /execute` — `{"prepared": name}` or `{"query": "?R(x)"}`, plus
 /// optional `deadline_ms` and `max_rows`.
-fn execute(req: &Request, state: &ServerState) -> Response {
-    let json = match body_json(req) {
-        Ok(j) => j,
-        Err(e) => return fail(e),
-    };
+fn execute(req: &Request, state: &ServerState, ctx: &mut ReqCtx) -> Result<Response, ApiError> {
+    let json = body_json(req)?;
     let deadline_ms = match json.get("deadline_ms") {
         None => state.cfg.default_deadline_ms,
         Some(v) => match v.as_i64() {
             Some(ms) if ms > 0 => Some(ms as u64),
             _ => {
-                return fail(ApiError::bad_request(
+                return Err(ApiError::bad_request(
                     "deadline_ms must be a positive integer",
                 ))
             }
@@ -420,20 +550,19 @@ fn execute(req: &Request, state: &ServerState) -> Response {
         Some(v) => match v.as_i64() {
             Some(n) if n >= 0 => Some(n as usize),
             _ => {
-                return fail(ApiError::bad_request(
+                return Err(ApiError::bad_request(
                     "max_rows must be a non-negative integer",
                 ))
             }
         },
     };
 
-    let published = match current_published(state, deadline) {
-        Ok(p) => p,
-        Err(e) => return fail(e),
-    };
+    let published = current_published(state, deadline, Some(ctx.id.clone()))?;
+    ctx.etag = Some(published.etag());
+    ctx.eval_seq = Some(published.snapshot.eval_seq());
     let frame = if let Some(name) = json.get("prepared").and_then(Json::as_str) {
         let Some(query) = state.prepared.read().get(name).cloned() else {
-            return fail(ApiError::new(
+            return Err(ApiError::new(
                 404,
                 "not_found",
                 format!("no prepared query named {name:?}"),
@@ -443,17 +572,14 @@ fn execute(req: &Request, state: &ServerState) -> Response {
     } else if let Some(query_src) = json.get("query").and_then(Json::as_str) {
         published.snapshot.export(query_src)
     } else {
-        return fail(ApiError::bad_request(
+        return Err(ApiError::bad_request(
             "body must carry \"prepared\" (a name) or \"query\" (a query string)",
         ));
     };
-    let frame = match frame {
-        Ok(f) => f,
-        Err(e) => return fail(ApiError::from_engine(&e)),
-    };
+    let frame = frame.map_err(|e| ApiError::from_engine(&e))?;
     if let Some(cap) = max_rows {
         if frame.num_rows() > cap {
-            return fail(ApiError::new(
+            return Err(ApiError::new(
                 429,
                 "too_many_rows",
                 format!(
@@ -465,21 +591,23 @@ fn execute(req: &Request, state: &ServerState) -> Response {
     }
     let etag = published.etag();
     if req.header("if-none-match") == Some(etag.as_str()) {
-        return Response {
+        return Ok(Response {
             status: 304,
             headers: vec![("ETag".into(), etag)],
             body: Vec::new(),
-        };
+        });
     }
-    Response::json(200, render_frame(&frame, &published).render()).with_header("ETag", etag)
+    Ok(Response::json(200, render_frame(&frame, &published).render()).with_header("ETag", etag))
 }
 
 /// The freshest snapshot consistent with all applied mutations: the
 /// published one when current, otherwise one produced by a (coalesced)
-/// refresh round-trip through the writer.
+/// refresh round-trip through the writer. `request_id` rides along so
+/// the evaluation's profile records which requests it served.
 fn current_published(
     state: &ServerState,
     deadline: Option<Instant>,
+    request_id: Option<String>,
 ) -> Result<Arc<Published>, ApiError> {
     let current = state.published.read().clone();
     if current.version == state.version() {
@@ -490,6 +618,7 @@ fn current_published(
         .sender()?
         .send(Cmd::Refresh {
             deadline,
+            request_id,
             reply: tx,
         })
         .map_err(|_| ApiError::new(503, "draining", "server is shutting down"))?;
@@ -557,10 +686,10 @@ fn value_json(v: &Value, snapshot: &Snapshot) -> Json {
     }
 }
 
-/// `GET /profile` — per-endpoint latency histograms, request counters,
+/// `GET /profile` — per-route latency histograms, request counters,
 /// IE-cache stats, publish version/fingerprint, and the evaluation
 /// profile of the last published snapshot (when tracing is on).
-fn profile(state: &ServerState) -> Response {
+fn profile(state: &ServerState) -> Result<Response, ApiError> {
     let published = state.published.read().clone();
     let endpoints: Vec<(String, Json)> = state
         .metrics
@@ -589,6 +718,10 @@ fn profile(state: &ServerState) -> Response {
             "fingerprint".into(),
             Json::str(format!("{:016x}", published.snapshot.fingerprint())),
         ),
+        (
+            "eval_seq".into(),
+            Json::Int(published.snapshot.eval_seq() as i64),
+        ),
         ("endpoints".into(), Json::Obj(endpoints)),
         ("counters".into(), Json::Obj(counters)),
         (
@@ -603,5 +736,5 @@ fn profile(state: &ServerState) -> Response {
         ),
         ("eval_profile".into(), eval_profile),
     ]);
-    Response::json(200, body.render())
+    Ok(Response::json(200, body.render()))
 }

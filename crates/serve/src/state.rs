@@ -26,6 +26,8 @@
 use crate::catalog::{self, IeSpec};
 use crate::config::ServeConfig;
 use crate::error::ApiError;
+use crate::json::Json;
+use crate::log::{now_micros, LogSink};
 use parking_lot::RwLock;
 use spannerlib_core::Value;
 use spannerlib_dataframe::DataFrame;
@@ -96,6 +98,10 @@ pub(crate) enum Cmd {
     Refresh {
         /// The requester's absolute deadline, if it has one.
         deadline: Option<Instant>,
+        /// The requester's serving request id: attributed to the
+        /// coalesced evaluation's `EvalProfile` so a slow rule is
+        /// traceable back to the requests that paid for it.
+        request_id: Option<String>,
         /// Receives the published snapshot (or the evaluation error).
         reply: Reply<Arc<Published>>,
     },
@@ -120,11 +126,28 @@ pub(crate) struct ServerState {
     /// connections close after the in-flight request, `/healthz` turns
     /// 503.
     pub accepting: AtomicBool,
-    /// Request counters and per-endpoint latency histograms.
+    /// Request counters and per-route/per-status latency histograms.
     pub metrics: MetricsRegistry,
+    /// Per-request JSONL access log (`None` = disabled).
+    pub access_log: Option<Arc<LogSink>>,
+    /// Destination for slow-evaluation records (`None` only when the
+    /// slow-query log is disabled by config).
+    pub slow_log: Option<Arc<LogSink>>,
+    /// Process-unique fingerprint mixed into minted request ids, so ids
+    /// from successive server instances don't collide in shared logs.
+    pub instance: u32,
+    /// Monotonic counter for minted request ids.
+    pub request_seq: AtomicU64,
 }
 
 impl ServerState {
+    /// Mints a request id for a request that arrived without an
+    /// `X-Request-Id` header: `{instance:08x}-{seq:x}`.
+    pub fn mint_request_id(&self) -> String {
+        let seq = self.request_seq.fetch_add(1, Ordering::Relaxed);
+        format!("{:08x}-{seq:x}", self.instance)
+    }
+
     /// Current write version.
     pub fn version(&self) -> u64 {
         self.write_version.load(Ordering::Acquire)
@@ -183,7 +206,15 @@ pub(crate) fn writer_loop(mut session: Session, rx: Receiver<Cmd>, state: Arc<Se
                     };
                     let _ = reply.send(result);
                 }
-                Cmd::Refresh { deadline, reply } => waiters.push((deadline, reply)),
+                Cmd::Refresh {
+                    deadline,
+                    request_id,
+                    reply,
+                } => waiters.push(RefreshWaiter {
+                    deadline,
+                    request_id,
+                    reply,
+                }),
             }
             // Drain whatever arrived meanwhile: mutations apply before
             // the batch's single evaluation, refreshes join it.
@@ -211,23 +242,29 @@ fn import(session: &mut Session, relation: &str, rows: Vec<Vec<Value>>) -> Resul
         .map_err(|e| ApiError::from_engine(&e))
 }
 
+/// One `/execute` request queued on the writer for a fresh snapshot.
+pub(crate) struct RefreshWaiter {
+    /// The requester's absolute deadline, if it has one.
+    deadline: Option<Instant>,
+    /// Its serving request id (attributed to the evaluation).
+    request_id: Option<String>,
+    /// Reply slot.
+    reply: Reply<Arc<Published>>,
+}
+
 /// Runs (at most) one evaluation for a batch of refresh waiters and
 /// publishes the result.
-fn refresh(
-    session: &mut Session,
-    state: &ServerState,
-    waiters: Vec<(Option<Instant>, Reply<Arc<Published>>)>,
-) {
+fn refresh(session: &mut Session, state: &ServerState, waiters: Vec<RefreshWaiter>) {
     let now = Instant::now();
     let mut live = Vec::new();
-    for (deadline, reply) in waiters {
-        match deadline {
+    for w in waiters {
+        match w.deadline {
             Some(d) if d <= now => {
-                let _ = reply.send(Err(ApiError::deadline(
+                let _ = w.reply.send(Err(ApiError::deadline(
                     "deadline expired while queued for evaluation",
                 )));
             }
-            _ => live.push((deadline, reply)),
+            _ => live.push(w),
         }
     }
     let Some(extra) = live.len().checked_sub(1) else {
@@ -236,6 +273,10 @@ fn refresh(
     if extra > 0 {
         state.metrics.counter("execute_coalesced").add(extra as u64);
     }
+    state
+        .metrics
+        .gauge("eval_waiters_last")
+        .set(live.len() as i64);
 
     // Version to stamp on the publish — read *before* evaluating, so a
     // mutation racing in mid-eval leaves the published version behind
@@ -244,8 +285,8 @@ fn refresh(
     {
         let current = state.published.read().clone();
         if current.version == version {
-            for (_, reply) in live {
-                let _ = reply.send(Ok(current.clone()));
+            for w in live {
+                let _ = w.reply.send(Ok(current.clone()));
             }
             return;
         }
@@ -254,9 +295,9 @@ fn refresh(
     // Evaluation budget: the config cap, tightened to the laxest waiter
     // deadline when *every* waiter carries one (a deadline-free waiter
     // is entitled to the full cap).
-    let laxest: Option<u64> = if live.iter().all(|(d, _)| d.is_some()) {
+    let laxest: Option<u64> = if live.iter().all(|w| w.deadline.is_some()) {
         live.iter()
-            .filter_map(|(d, _)| *d)
+            .filter_map(|w| w.deadline)
             .map(|d| (d.saturating_duration_since(now).as_millis() as u64).max(1))
             .max()
     } else {
@@ -267,25 +308,96 @@ fn refresh(
         (Some(cap), None) => Some(cap),
         (None, req) => req,
     };
+    let request_ids: Vec<String> = live.iter().filter_map(|w| w.request_id.clone()).collect();
+    session.set_request_ids(request_ids.clone());
     session.set_max_eval_millis(budget);
+    let eval_start = Instant::now();
     let outcome = session.snapshot();
+    let eval_wall = eval_start.elapsed();
     session.set_max_eval_millis(state.cfg.max_eval_millis);
+
+    state
+        .metrics
+        .histogram("eval_duration_ns")
+        .record(eval_wall.as_nanos() as u64);
+    slow_query_log(session, state, eval_wall, &request_ids, outcome.is_err());
 
     match outcome {
         Ok(snapshot) => {
             state.metrics.counter("evals_total").inc();
+            let cache = snapshot.cache_stats();
+            state
+                .metrics
+                .gauge("ie_cache_entries")
+                .set(cache.entries as i64);
+            state
+                .metrics
+                .gauge("ie_cache_bytes")
+                .set(cache.bytes as i64);
+            state
+                .metrics
+                .gauge("published_eval_seq")
+                .set(snapshot.eval_seq() as i64);
             let published = Arc::new(Published { snapshot, version });
             *state.published.write() = published.clone();
-            for (_, reply) in live {
-                let _ = reply.send(Ok(published.clone()));
+            for w in live {
+                let _ = w.reply.send(Ok(published.clone()));
             }
         }
         Err(e) => {
             state.metrics.counter("eval_errors_total").inc();
             let err = ApiError::from_engine(&e);
-            for (_, reply) in live {
-                let _ = reply.send(Err(err.clone()));
+            for w in live {
+                let _ = w.reply.send(Err(err.clone()));
             }
         }
     }
+}
+
+/// Writes a slow-query record when the evaluation's wall time reached
+/// `cfg.slow_eval_ms`: one JSONL object carrying the eval attribution
+/// (seq, request ids, error) and the engine's per-rule `EvalProfile`
+/// records embedded verbatim (requires session tracing ≥ `Summary`;
+/// `spannerd` enables that automatically when `--slow-eval-ms` is set).
+fn slow_query_log(
+    session: &Session,
+    state: &ServerState,
+    eval_wall: std::time::Duration,
+    request_ids: &[String],
+    errored: bool,
+) {
+    let Some(threshold) = state.cfg.slow_eval_ms else {
+        return;
+    };
+    let Some(sink) = &state.slow_log else {
+        return;
+    };
+    if (eval_wall.as_millis() as u64) < threshold {
+        return;
+    }
+    state.metrics.counter("slow_evals_total").inc();
+    let profile = session.profile().map_or(Json::Null, |p| {
+        Json::Arr(
+            p.to_json_lines()
+                .lines()
+                .map(|line| Json::Raw(line.to_string()))
+                .collect(),
+        )
+    });
+    sink.write(&Json::Obj(vec![
+        ("type".into(), Json::str("slow_eval")),
+        ("ts_micros".into(), Json::Int(now_micros())),
+        ("eval_seq".into(), Json::Int(session.eval_seq() as i64)),
+        (
+            "eval_wall_micros".into(),
+            Json::Int(eval_wall.as_micros() as i64),
+        ),
+        ("threshold_ms".into(), Json::Int(threshold as i64)),
+        ("errored".into(), Json::Bool(errored)),
+        (
+            "request_ids".into(),
+            Json::Arr(request_ids.iter().map(Json::str).collect()),
+        ),
+        ("profile".into(), profile),
+    ]));
 }

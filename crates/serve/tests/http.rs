@@ -101,17 +101,23 @@ fn full_lifecycle_register_import_prepare_execute() {
     assert_eq!(status, 404);
     assert_eq!(error_kind(&body), Some("not_found"));
 
-    // /profile reports the endpoint histograms and publish version.
+    // /profile reports the per-route histograms and publish version.
     let resp = client.get("/profile").expect("profile");
     assert_eq!(resp.status, 200);
     let profile = resp.json().unwrap();
     assert!(profile.get("version").unwrap().as_i64().unwrap() >= 2);
-    let execute_hist = profile
-        .get("endpoints")
-        .unwrap()
-        .get("http_execute_ns")
-        .expect("execute latency histogram");
-    assert!(execute_hist.get("count").unwrap().as_i64().unwrap() >= 3);
+    let Json::Obj(endpoints) = profile.get("endpoints").unwrap() else {
+        panic!("endpoints must be an object");
+    };
+    // The execute histogram is labeled per route and status class.
+    let execute_count: i64 = endpoints
+        .iter()
+        .filter(|(name, _)| {
+            name.starts_with("http_request_duration_ns") && name.contains("/execute")
+        })
+        .filter_map(|(_, h)| h.get("count")?.as_i64())
+        .sum();
+    assert!(execute_count >= 3, "{endpoints:?}");
 
     handle.shutdown();
     thread.join().unwrap();
@@ -383,6 +389,107 @@ fn protocol_errors_are_structured() {
 
     handle.shutdown();
     thread.join().unwrap();
+}
+
+#[test]
+fn request_id_flows_to_header_access_log_and_slow_query_profile() {
+    use spannerlog_engine::TraceLevel;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let access_path = dir.join(format!("spannerd_test_access_{pid}.jsonl"));
+    let slow_path = dir.join(format!("spannerd_test_slow_{pid}.jsonl"));
+    let _ = std::fs::remove_file(&access_path);
+    let _ = std::fs::remove_file(&slow_path);
+
+    // Summary tracing gives the slow-query log a profile to attach;
+    // threshold 0 logs every evaluation.
+    let session = Session::builder().tracing(TraceLevel::Summary).build();
+    let cfg = ServeConfig {
+        access_log: Some(access_path.display().to_string()),
+        slow_eval_ms: Some(0),
+        slow_log: Some(slow_path.display().to_string()),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, thread) = boot(session, cfg);
+    let mut client = Client::new(addr);
+    post(
+        &mut client,
+        "/register",
+        r#"{"rules": "new Doc(str)\nWord(d, s) <- Doc(d), rgx(\"[a-z]+\", d) -> (s)"}"#,
+    );
+    post(
+        &mut client,
+        "/import",
+        r#"{"relation": "Doc", "rows": [["hello world"]]}"#,
+    );
+
+    // First /execute after a mutation forces an evaluation, so the
+    // caller-chosen id must attach to that evaluation.
+    let resp = client
+        .request(
+            "POST",
+            "/execute",
+            &[("X-Request-Id", "e2e-trace-me-7")],
+            Some(r#"{"query": "?Word(d, s)"}"#),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    // 1. Echoed in the response header.
+    assert_eq!(resp.header("x-request-id"), Some("e2e-trace-me-7"));
+
+    // A request without the header gets a minted id.
+    let resp = client.get("/healthz").unwrap();
+    let minted = resp.header("x-request-id").expect("minted id").to_string();
+    assert!(!minted.is_empty() && minted != "e2e-trace-me-7");
+
+    handle.shutdown();
+    thread.join().unwrap();
+
+    // 2. In the access log, on the /execute line, with the snapshot
+    // validator the request observed.
+    let access = std::fs::read_to_string(&access_path).expect("access log written");
+    let line = access
+        .lines()
+        .find(|l| l.contains("\"request_id\":\"e2e-trace-me-7\""))
+        .unwrap_or_else(|| panic!("id missing from access log:\n{access}"));
+    let record = Json::parse(line).expect("access line is valid JSON");
+    assert_eq!(record.get("type").unwrap().as_str(), Some("access"));
+    assert_eq!(record.get("path").unwrap().as_str(), Some("/execute"));
+    assert_eq!(record.get("status").unwrap(), &Json::Int(200));
+    assert!(record.get("etag").unwrap().as_str().is_some(), "{record:?}");
+    assert!(record.get("eval_seq").unwrap().as_i64().unwrap() >= 1);
+
+    // 3. In the slow-query record, which embeds the per-rule profile of
+    // the evaluation that served this request.
+    let slow = std::fs::read_to_string(&slow_path).expect("slow log written");
+    let record = slow
+        .lines()
+        .map(|l| Json::parse(l).expect("slow line is valid JSON"))
+        .find(|r| {
+            r.get("request_ids")
+                .and_then(|ids| ids.as_array())
+                .is_some_and(|ids| ids.iter().any(|id| id.as_str() == Some("e2e-trace-me-7")))
+        })
+        .unwrap_or_else(|| panic!("id missing from slow-query log:\n{slow}"));
+    assert_eq!(record.get("type").unwrap().as_str(), Some("slow_eval"));
+    assert!(record.get("eval_wall_micros").unwrap().as_i64().is_some());
+    let profile = record.get("profile").unwrap().as_array().unwrap();
+    assert!(!profile.is_empty(), "{record:?}");
+    assert_eq!(profile[0].get("type").unwrap().as_str(), Some("profile"));
+    assert_eq!(profile[0].get("schema").unwrap(), &Json::Int(1));
+    assert!(
+        profile[0]
+            .get("request_ids")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|id| id.as_str() == Some("e2e-trace-me-7")),
+        "{record:?}"
+    );
+
+    let _ = std::fs::remove_file(&access_path);
+    let _ = std::fs::remove_file(&slow_path);
 }
 
 #[test]

@@ -43,6 +43,7 @@
 //! assert!(profile.render().contains("Out(x) <- In(x)."));
 //! ```
 
+mod expo;
 mod metrics;
 mod profile;
 mod ring;
@@ -50,8 +51,10 @@ mod run;
 mod span;
 mod tracer;
 
+pub use expo::{check_exposition, encode_prometheus, sanitize_metric_name, ExpositionStats};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
+    Counter, Gauge, Histogram, HistogramSnapshot, Labels, MetricsRegistry, MetricsSnapshot, Series,
+    HISTOGRAM_BUCKETS,
 };
 pub use profile::{fmt_ns, EvalProfile, IeFunctionProfile, RuleProfile, StratumProfile};
 pub use ring::SpanRing;

@@ -267,11 +267,161 @@ impl HistogramSnapshot {
     }
 }
 
-/// A named registry of [`Counter`]s, [`Gauge`]s, and [`Histogram`]s.
+/// An interned, immutable label set (`route="/execute"`, …), shared by
+/// every instrument and snapshot series carrying it.
+pub type Labels = Arc<[(String, String)]>;
+
+/// The registry's label-set table: each distinct set of label pairs is
+/// interned once and addressed by a small id, so instruments key on
+/// `(name, label-set id)` instead of re-hashing label vectors.
+#[derive(Debug)]
+struct LabelTable {
+    /// Id → interned set. Id `0` is always the empty set.
+    sets: Vec<Labels>,
+    /// Reverse index for interning.
+    ids: BTreeMap<Vec<(String, String)>, u32>,
+}
+
+impl Default for LabelTable {
+    fn default() -> Self {
+        LabelTable {
+            sets: vec![Arc::from(Vec::new().into_boxed_slice())],
+            ids: BTreeMap::new(),
+        }
+    }
+}
+
+impl LabelTable {
+    /// The id of `labels`, interning on first sight. Pair order is
+    /// preserved (callers pass a stable order per call site).
+    fn intern(&mut self, labels: &[(&str, &str)]) -> u32 {
+        if labels.is_empty() {
+            return 0;
+        }
+        let key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(id) = self.ids.get(&key) {
+            return *id;
+        }
+        let id = self.sets.len() as u32;
+        self.sets.push(Arc::from(key.clone().into_boxed_slice()));
+        self.ids.insert(key, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> Labels {
+        self.sets[id as usize].clone()
+    }
+}
+
+/// One observed time series in a [`MetricsSnapshot`]: a metric name, an
+/// interned label set, and the value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series<T> {
+    /// Metric (family) name as registered.
+    pub name: String,
+    /// Label pairs, in registration order; empty for unlabeled series.
+    pub labels: Labels,
+    /// The value captured by the snapshot.
+    pub value: T,
+}
+
+impl<T> Series<T> {
+    fn same_series<U>(&self, other: &Series<U>) -> bool {
+        self.name == other.name && self.labels == other.labels
+    }
+}
+
+/// A point-in-time copy of every series in a [`MetricsRegistry`] —
+/// the input to the Prometheus exposition encoder
+/// ([`crate::encode_prometheus`]) and the unit of delta windows:
+/// [`MetricsSnapshot::delta`] subtracts an earlier snapshot so scrape
+/// intervals can be turned into rates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter series, ordered by (name, label-set registration order).
+    pub counters: Vec<Series<u64>>,
+    /// Gauge series, same order contract.
+    pub gauges: Vec<Series<i64>>,
+    /// Histogram series, same order contract.
+    pub histograms: Vec<Series<HistogramSnapshot>>,
+}
+
+impl MetricsSnapshot {
+    /// The window between `earlier` and `self`: counters and histogram
+    /// buckets/counts/sums subtract (saturating — a restarted registry
+    /// reads as a fresh window, never as underflow); gauges keep the
+    /// current value (they are instantaneous, not cumulative). Series
+    /// absent from `earlier` pass through whole.
+    ///
+    /// ```
+    /// use spannerlib_trace::MetricsRegistry;
+    /// let reg = MetricsRegistry::new();
+    /// reg.counter("reqs").add(5);
+    /// let t0 = reg.snapshot();
+    /// reg.counter("reqs").add(3);
+    /// let window = reg.snapshot().delta(&t0);
+    /// assert_eq!(window.counters[0].value, 3);
+    /// ```
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|s| {
+                let before = earlier
+                    .counters
+                    .iter()
+                    .find(|e| e.same_series(s))
+                    .map_or(0, |e| e.value);
+                Series {
+                    name: s.name.clone(),
+                    labels: s.labels.clone(),
+                    value: s.value.saturating_sub(before),
+                }
+            })
+            .collect();
+        let gauges = self.gauges.clone();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|s| {
+                let mut value = s.value.clone();
+                if let Some(e) = earlier.histograms.iter().find(|e| e.same_series(s)) {
+                    for (b, prev) in value.buckets.iter_mut().zip(e.value.buckets.iter()) {
+                        *b = b.saturating_sub(*prev);
+                    }
+                    value.count = value.count.saturating_sub(e.value.count);
+                    value.sum = value.sum.saturating_sub(e.value.sum);
+                    // `max` cannot be windowed from cumulative state; the
+                    // lifetime max is the best available bound.
+                }
+                Series {
+                    name: s.name.clone(),
+                    labels: s.labels.clone(),
+                    value,
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A named registry of [`Counter`]s, [`Gauge`]s, and [`Histogram`]s,
+/// optionally dimensioned by label pairs.
 ///
 /// Instruments are created on first use and shared thereafter
 /// (`Arc`-handed-out), so call sites can cache the handle and skip the
-/// name lookup on the hot path.
+/// name lookup on the hot path. Labeled variants address one series of
+/// a family: `counter_with("http_requests_total",
+/// &[("route", "/execute"), ("status", "2xx")])` — label sets are
+/// interned once in a side table, so repeated lookups hash a small id,
+/// not the pairs.
 ///
 /// ```
 /// use spannerlib_trace::MetricsRegistry;
@@ -281,12 +431,20 @@ impl HistogramSnapshot {
 /// reg.histogram("eval_ns").record(1_500);
 /// assert_eq!(reg.counter("evals").get(), 3);
 /// assert_eq!(reg.counters()[0], ("evals".to_string(), 3));
+///
+/// let ok = reg.counter_with("http_requests_total", &[("status", "2xx")]);
+/// ok.inc();
+/// assert_eq!(
+///     reg.counters().iter().find(|(n, _)| n.contains("2xx")).unwrap().1,
+///     1,
+/// );
 /// ```
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    labels: Mutex<LabelTable>,
+    counters: Mutex<BTreeMap<(String, u32), Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<(String, u32), Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<(String, u32), Arc<Histogram>>>,
 }
 
 /// Std-mutex lock that shrugs off poisoning: metrics must never turn a
@@ -295,58 +453,133 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Renders `name{k="v",…}` for human-readable listings (the exposition
+/// encoder does its own escaping; this is for [`MetricsRegistry::counters`]
+/// and friends).
+fn series_name(name: &str, labels: &Labels) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+    format!("{name}{{{}}}", pairs.join(","))
+}
+
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// The counter named `name`, created at zero on first use.
+    fn label_id(&self, labels: &[(&str, &str)]) -> u32 {
+        lock(&self.labels).intern(labels)
+    }
+
+    /// The unlabeled counter named `name`, created at zero on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter series `name{labels}`, created at zero on first use.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = self.label_id(labels);
         lock(&self.counters)
-            .entry(name.to_string())
+            .entry((name.to_string(), id))
             .or_default()
             .clone()
     }
 
-    /// The gauge named `name`, created at zero on first use.
+    /// The unlabeled gauge named `name`, created at zero on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge series `name{labels}`, created at zero on first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = self.label_id(labels);
         lock(&self.gauges)
-            .entry(name.to_string())
+            .entry((name.to_string(), id))
             .or_default()
             .clone()
     }
 
-    /// The histogram named `name`, created empty on first use.
+    /// The unlabeled histogram named `name`, created empty on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram series `name{labels}`, created empty on first use.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let id = self.label_id(labels);
         lock(&self.histograms)
-            .entry(name.to_string())
+            .entry((name.to_string(), id))
             .or_default()
             .clone()
     }
 
-    /// All counters, sorted by name.
+    /// All counter values, sorted by name; labeled series render as
+    /// `name{k="v"}`.
     pub fn counters(&self) -> Vec<(String, u64)> {
+        let labels = lock(&self.labels);
         lock(&self.counters)
             .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
+            .map(|((name, id), v)| (series_name(name, &labels.get(*id)), v.get()))
             .collect()
     }
 
-    /// All gauges, sorted by name.
+    /// All gauge values, sorted by name; labeled series render as
+    /// `name{k="v"}`.
     pub fn gauges(&self) -> Vec<(String, i64)> {
+        let labels = lock(&self.labels);
         lock(&self.gauges)
             .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
+            .map(|((name, id), v)| (series_name(name, &labels.get(*id)), v.get()))
             .collect()
     }
 
-    /// Snapshots of all histograms, sorted by name.
+    /// Snapshots of all histograms, sorted by name; labeled series
+    /// render as `name{k="v"}`.
     pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let labels = lock(&self.labels);
         lock(&self.histograms)
             .iter()
-            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .map(|((name, id), v)| (series_name(name, &labels.get(*id)), v.snapshot()))
             .collect()
+    }
+
+    /// A structured point-in-time copy of every series — the input to
+    /// the exposition encoder and to [`MetricsSnapshot::delta`] rate
+    /// windows.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let labels = lock(&self.labels);
+        let counters = lock(&self.counters)
+            .iter()
+            .map(|((name, id), v)| Series {
+                name: name.clone(),
+                labels: labels.get(*id),
+                value: v.get(),
+            })
+            .collect();
+        let gauges = lock(&self.gauges)
+            .iter()
+            .map(|((name, id), v)| Series {
+                name: name.clone(),
+                labels: labels.get(*id),
+                value: v.get(),
+            })
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .map(|((name, id), v)| Series {
+                name: name.clone(),
+                labels: labels.get(*id),
+                value: v.snapshot(),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
     }
 }
 

@@ -16,6 +16,13 @@ use std::fmt::Write as _;
 pub struct EvalProfile {
     /// The level the run was traced at.
     pub level: TraceLevel,
+    /// Monotonic per-session evaluation sequence number (0 when the
+    /// run was not attributed — e.g. constructed by hand).
+    pub eval_seq: u64,
+    /// Serving request ids whose work this evaluation performed: under
+    /// coalescing, one evaluation can pay for many requests, and this
+    /// is the attribution trail back to them. Empty outside serving.
+    pub request_ids: Vec<String>,
     /// Total evaluation wall time, in nanoseconds.
     pub total_ns: u64,
     /// Fixpoint rounds across all strata.
@@ -113,6 +120,12 @@ pub struct IeFunctionProfile {
     /// Latency distribution of the calls, in nanoseconds.
     pub latency: HistogramSnapshot,
 }
+
+/// Version of the [`EvalProfile::to_json_lines`] record format,
+/// stamped as `"schema"` on every emitted line. Bump when a field is
+/// renamed or removed (additions are backward-compatible and don't
+/// require a bump).
+pub const PROFILE_JSON_SCHEMA: u32 = 1;
 
 /// Formats nanoseconds compactly: `17ns`, `3.4µs`, `1.2ms`, `5.0s`.
 pub fn fmt_ns(ns: u64) -> String {
@@ -332,26 +345,36 @@ impl EvalProfile {
 
     /// Exports the profile as JSON lines: one `profile` record, then
     /// one record per rule, IE function, and span. Each line is a
-    /// self-contained JSON object with a `"type"` discriminator, so
-    /// the output streams into `jq`/pandas without a wrapping array.
+    /// self-contained JSON object with a `"type"` discriminator and a
+    /// `"schema"` version ([`PROFILE_JSON_SCHEMA`]), so the output
+    /// streams into `jq`/pandas without a wrapping array and consumers
+    /// of the slow-query log can detect format changes.
     ///
     /// ```
     /// use spannerlib_trace::EvalProfile;
     /// let lines = EvalProfile::default().to_json_lines();
-    /// assert!(lines.starts_with("{\"type\":\"profile\""));
+    /// assert!(lines.starts_with("{\"type\":\"profile\",\"schema\":1"));
     /// assert_eq!(lines.trim_end().lines().count(), 1);
     /// ```
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
+        let request_ids = {
+            let ids: Vec<String> = self.request_ids.iter().map(|id| json_str(id)).collect();
+            format!("[{}]", ids.join(","))
+        };
         let _ = writeln!(
             out,
-            "{{\"type\":\"profile\",\"level\":{},\"total_ns\":{},\"rounds\":{},\
+            "{{\"type\":\"profile\",\"schema\":{PROFILE_JSON_SCHEMA},\
+             \"eval_seq\":{},\"request_ids\":{},\
+             \"level\":{},\"total_ns\":{},\"rounds\":{},\
              \"rule_firings\":{},\"tuples_derived\":{},\"tuples_new\":{},\
              \"strata\":{},\"spans_dropped\":{},\"index_hits\":{},\
              \"index_builds\":{},\"prefilter_searches\":{},\
              \"prefilter_pruned\":{},\"par_workers\":{},\"par_shards\":{},\
              \"par_ie_batches\":{},\"par_stolen\":{},\
              \"par_serial_rules\":{},\"error\":{}}}",
+            self.eval_seq,
+            request_ids,
             json_str(self.level.name()),
             self.total_ns,
             self.rounds,
@@ -378,7 +401,8 @@ impl EvalProfile {
             for rule in &stratum.rules {
                 let _ = writeln!(
                     out,
-                    "{{\"type\":\"rule\",\"stratum\":{},\"stratum_rounds\":{},\
+                    "{{\"type\":\"rule\",\"schema\":{PROFILE_JSON_SCHEMA},\
+                     \"stratum\":{},\"stratum_rounds\":{},\
                      \"head\":{},\"source\":{},\"line\":{},\"firings\":{},\
                      \"tuples_derived\":{},\"tuples_new\":{},\
                      \"join_rows_scanned\":{},\"total_ns\":{},\"plan\":{}}}",
@@ -399,7 +423,8 @@ impl EvalProfile {
         for f in &self.ie_functions {
             let _ = writeln!(
                 out,
-                "{{\"type\":\"ie\",\"name\":{},\"calls\":{},\"memo_hits\":{},\
+                "{{\"type\":\"ie\",\"schema\":{PROFILE_JSON_SCHEMA},\
+                 \"name\":{},\"calls\":{},\"memo_hits\":{},\
                  \"memo_misses\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\
                  \"max_ns\":{},\"total_ns\":{}}}",
                 json_str(&f.name),
@@ -416,7 +441,8 @@ impl EvalProfile {
         for span in &self.spans {
             let _ = writeln!(
                 out,
-                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"kind\":{},\
+                "{{\"type\":\"span\",\"schema\":{PROFILE_JSON_SCHEMA},\
+                 \"id\":{},\"parent\":{},\"kind\":{},\
                  \"label\":{},\"start_ns\":{},\"duration_ns\":{}}}",
                 span.id,
                 span.parent,
@@ -441,6 +467,8 @@ mod tests {
         latency.record(2_000);
         EvalProfile {
             level: TraceLevel::Spans,
+            eval_seq: 42,
+            request_ids: vec!["req-\"quoted\"".into()],
             total_ns: 5_000,
             rounds: 3,
             rule_firings: 4,
@@ -556,6 +584,10 @@ mod tests {
             .collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("\"type\":\"profile\""));
+        assert!(lines[0].contains("\"schema\":1"));
+        assert!(lines[0].contains("\"eval_seq\":42"));
+        assert!(lines[0].contains("\"request_ids\":[\"req-\\\"quoted\\\"\"]"));
+        assert!(lines.iter().all(|l| l.contains("\"schema\":1")));
         assert!(lines[1].contains("\"type\":\"rule\""));
         assert!(lines[2].contains("\"type\":\"ie\""));
         assert!(lines[3].contains("\"type\":\"span\""));

@@ -63,6 +63,8 @@ pub struct RunTrace {
     rules: Vec<RuleProfile>,
     ie: BTreeMap<String, IeFunctionProfile>,
     totals: EvalTotals,
+    eval_seq: u64,
+    request_ids: Vec<String>,
 }
 
 #[derive(Debug, Default)]
@@ -102,12 +104,26 @@ impl RunTrace {
             rules: Vec::new(),
             ie: BTreeMap::new(),
             totals: EvalTotals::default(),
+            eval_seq: 0,
+            request_ids: Vec::new(),
         }
     }
 
     /// A collector that records nothing ([`TraceLevel::Off`]).
     pub fn disabled() -> RunTrace {
         RunTrace::new(TraceLevel::Off, 0)
+    }
+
+    /// Attributes this run to its serving context: the session's eval
+    /// sequence number and the request ids whose work the (possibly
+    /// coalesced) evaluation performs. Both land verbatim on the
+    /// resulting [`EvalProfile`]. No-op at [`TraceLevel::Off`].
+    pub fn serving_context(&mut self, eval_seq: u64, request_ids: Vec<String>) {
+        if !self.enabled() {
+            return;
+        }
+        self.eval_seq = eval_seq;
+        self.request_ids = request_ids;
     }
 
     /// The level this run records at.
@@ -300,6 +316,8 @@ impl RunTrace {
             rules: vec![RuleProfile::default()],
             ie: BTreeMap::new(),
             totals: EvalTotals::default(),
+            eval_seq: 0,
+            request_ids: Vec::new(),
         }
     }
 
@@ -457,6 +475,8 @@ impl RunTrace {
             .collect();
         Some(EvalProfile {
             level: self.level,
+            eval_seq: self.eval_seq,
+            request_ids: self.request_ids,
             total_ns,
             rounds: self.totals.rounds,
             rule_firings: self.totals.rule_firings,

@@ -1,0 +1,97 @@
+//! Property tests closing the loop between `encode_prometheus` and
+//! `check_exposition`: arbitrary instrument names and label values must
+//! survive sanitization/escaping into a body the checker accepts, and
+//! histogram expansion must always be a valid cumulative distribution.
+
+use proptest::prelude::*;
+use spannerlib_trace::{check_exposition, encode_prometheus, MetricsRegistry};
+
+/// Strings drawn from a hostile palette: exposition metacharacters,
+/// escape triggers, unicode, and grammar-legal identifier characters.
+fn wild_string() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] = &[
+        'a', 'Z', '_', ':', '.', '-', '0', '7', '"', '\\', '\n', '{', '}', '=', ',', ' ', 'é', 'λ',
+        '\t',
+    ];
+    prop::collection::vec(0usize..PALETTE.len(), 0..12)
+        .prop_map(|idx| idx.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the names and label pairs are, the encoded body passes
+    /// the checker and carries every family.
+    #[test]
+    fn arbitrary_names_and_labels_encode_validly(
+        counter_name in wild_string(),
+        histogram_name in wild_string(),
+        pairs in prop::collection::vec((wild_string(), wild_string()), 0..4),
+        samples in prop::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let reg = MetricsRegistry::new();
+        let borrowed: Vec<(&str, &str)> =
+            pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        reg.counter_with(&counter_name, &borrowed).add(3);
+        reg.gauge_with("wild_gauge", &borrowed).set(-9);
+        let h = reg.histogram_with(&histogram_name, &borrowed);
+        for &s in &samples {
+            h.record(s);
+        }
+
+        let body = encode_prometheus(&reg.snapshot());
+        let stats = check_exposition(&body)
+            .unwrap_or_else(|e| panic!("{e}\n--- body ---\n{body}"));
+        // Counter + gauge + histogram (>= one finite bucket, +Inf,
+        // _sum, _count even when empty).
+        prop_assert!(stats.samples >= 6, "{body}");
+        prop_assert_eq!(stats.families, 3);
+    }
+
+    /// The expanded histogram is a genuine cumulative distribution:
+    /// finite-bucket values never decrease, `+Inf` dominates them all,
+    /// and `_count` equals the `+Inf` bucket equals the sample count.
+    #[test]
+    fn histogram_buckets_are_monotone_cumulative(
+        samples in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ns");
+        for &s in &samples {
+            h.record(s);
+        }
+
+        let body = encode_prometheus(&reg.snapshot());
+        prop_assert!(check_exposition(&body).is_ok(), "{body}");
+
+        let mut finite: Vec<(u64, u64)> = Vec::new(); // (le, cumulative)
+        let mut inf = None;
+        let mut count = None;
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("lat_ns_bucket{le=\"") {
+                let (le, value) = rest
+                    .split_once("\"} ")
+                    .unwrap_or_else(|| panic!("bad bucket line {line:?}"));
+                let value: u64 = value.parse().unwrap();
+                if le == "+Inf" {
+                    inf = Some(value);
+                } else {
+                    finite.push((le.parse().unwrap(), value));
+                }
+            } else if let Some(rest) = line.strip_prefix("lat_ns_count ") {
+                count = Some(rest.parse::<u64>().unwrap());
+            }
+        }
+
+        prop_assert!(
+            finite.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "buckets not cumulative: {finite:?}"
+        );
+        let inf = inf.expect("+Inf bucket always present");
+        if let Some(&(_, last)) = finite.last() {
+            prop_assert!(last <= inf);
+        }
+        prop_assert_eq!(inf, samples.len() as u64, "{}", body);
+        prop_assert_eq!(count, Some(samples.len() as u64));
+    }
+}

@@ -83,7 +83,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("re-execute with If-None-Match: {}", resp.status);
     assert_eq!(resp.status, 304);
 
-    // 6. Graceful shutdown: stop accepting, drain, join.
+    // 6. Scrape /metrics: every request above is already on the
+    //    counters, and the latency histograms expose cumulative
+    //    Prometheus buckets a scraper can ingest as-is.
+    let resp = client.get("/metrics")?;
+    assert_eq!(resp.status, 200);
+    let requests: u64 = resp
+        .body
+        .lines()
+        .filter(|l| l.starts_with("http_requests_total"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    println!(
+        "metrics: {} exposition lines, {requests} requests served",
+        resp.body.lines().count()
+    );
+
+    // 7. Graceful shutdown: stop accepting, drain, join.
     handle.shutdown();
     server_thread.join().expect("server thread")?;
     println!("drained cleanly");
